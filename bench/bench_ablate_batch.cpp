@@ -1,0 +1,49 @@
+// Ablation: batch size n_b. The paper benchmarks "a range of batch-sizes
+// for each graph and processor count" and reports the best, noting the
+// winner "was usually achieved by the largest batch-size that still fit in
+// memory" (§7.1) — n_b trades iterations (n/n_b batches) against per-batch
+// state (n·n_b words) and per-multiply efficiency. This sweep reproduces
+// that trade-off curve on one graph and processor count.
+#include <cstdio>
+#include <string>
+
+#include "benchsupport/harness.hpp"
+#include "benchsupport/table.hpp"
+#include "graph/generators.hpp"
+#include "support/strutil.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mfbc;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  const bool small = args.small;
+  const graph::vid_t n = small ? 1024 : 4096;
+  graph::Graph g = graph::erdos_renyi(n, n * 8, false, {}, 99);
+  const graph::vid_t total_sources = small ? 64 : 256;
+
+  bench::Table tab({"batch nb", "batches", "MTEPS/node", "critical W (words)",
+                    "msgs", "modelled sec"});
+  for (graph::vid_t nb : {graph::vid_t{8}, graph::vid_t{16}, graph::vid_t{32},
+                          graph::vid_t{64}, graph::vid_t{128},
+                          graph::vid_t{256}}) {
+    if (nb > total_sources) break;
+    bench::CellConfig cfg;
+    cfg.nodes = 16;
+    cfg.batch_size = nb;
+    cfg.num_sources = total_sources;  // fixed total work, varying batching
+    auto r = bench::run_mfbc_cell(g, cfg);
+    tab.add_row({std::to_string(nb),
+                 std::to_string((total_sources + nb - 1) / nb),
+                 bench::cell_str(r), compact(r.words, 4), fixed(r.msgs, 0),
+                 fixed(r.seconds, 4)});
+  }
+  std::fputs(tab.render("Ablation: batch size sweep (p=16, " +
+                        std::to_string(total_sources) + " sources total)")
+                 .c_str(),
+             stdout);
+  std::puts("\nExpected: throughput rises with nb (fewer, larger "
+            "multiplications; fewer\nsynchronizations) until per-batch state "
+            "dominates memory — the paper's\n\"largest batch that fits\" "
+            "heuristic.");
+  bench::maybe_write_csv(args, "ablate_batch", tab);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Approximation-quality sweep: pivot-sampled BC versus exact, as a function
+// of the pivot count. Not a paper artifact per se — the paper's batches are
+// exact-BC building blocks — but the standard large-graph practice both
+// CombBLAS and MFBC target is pivot approximation [4], and this quantifies
+// the cost/quality frontier the batch machinery offers: K pivots cost K/n
+// of the exact sweep.
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "baseline/brandes.hpp"
+#include "benchsupport/table.hpp"
+#include "graph/generators.hpp"
+#include "graph/prep.hpp"
+#include "mfbc/approx.hpp"
+#include "mfbc/ranking.hpp"
+#include "support/strutil.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mfbc;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  const bool small = args.small;
+
+  graph::RmatParams params;
+  params.scale = small ? 9 : 11;
+  params.edge_factor = 10;
+  graph::Graph g = graph::random_relabel(
+      graph::remove_isolated(graph::rmat(params, 404)), 9);
+  std::fprintf(stderr, "[approx] graph n=%lld m=%lld\n",
+               static_cast<long long>(g.n()), static_cast<long long>(g.m()));
+
+  const auto exact = baseline::brandes(g);
+
+  auto pearson = [&](const std::vector<double>& a,
+                     const std::vector<double>& b) {
+    double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+    const auto n = static_cast<double>(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      sx += a[i];
+      sy += b[i];
+      sxx += a[i] * a[i];
+      syy += b[i] * b[i];
+      sxy += a[i] * b[i];
+    }
+    return (n * sxy - sx * sy) /
+           std::sqrt((n * sxx - sx * sx) * (n * syy - sy * sy));
+  };
+
+  bench::Table tab({"pivots", "work vs exact", "top-10 overlap",
+                    "top-50 overlap", "correlation"});
+  for (graph::vid_t k : {16, 32, 64, 128, 256, 512}) {
+    if (k > g.n()) break;
+    const auto approx = core::approx_bc(g, k, /*seed=*/2027, /*batch_size=*/64);
+    tab.add_row({std::to_string(k),
+                 fixed(100.0 * static_cast<double>(k) /
+                           static_cast<double>(g.n()),
+                       1) + "%",
+                 fixed(100.0 * core::top_k_overlap(approx.bc, exact, 10), 0) + "%",
+                 fixed(100.0 * core::top_k_overlap(approx.bc, exact, 50), 0) + "%",
+                 fixed(pearson(approx.bc, exact), 4)});
+  }
+  std::fputs(tab.render("Pivot-sampling quality on an R-MAT graph (n=" +
+                        std::to_string(g.n()) + ")")
+                 .c_str(),
+             stdout);
+  std::puts("\nExpected: strong top-k agreement and correlation well before "
+            "10% of the\nexact work — the regime where a single MFBC batch "
+            "already gives a usable ranking.");
+  bench::maybe_write_csv(args, "approx_quality", tab);
+  return 0;
+}

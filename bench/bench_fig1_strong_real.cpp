@@ -1,0 +1,66 @@
+// Reproduces Figure 1(a)/(b): strong scaling of CTF-MFBC and the
+// CombBLAS-style baseline on the real-graph proxies (Table 2), reporting
+// MTEPS/node versus node count. The paper sweeps 2..128 Blue Waters nodes on
+// graphs up to 1.8B edges; here the proxies are scaled down and nodes are
+// virtual, so compare *shapes*: per-node rates fall slowly for MFBC as p
+// grows (good strong scaling), the baseline is competitive on the sparse
+// high-diameter citation graph and loses on dense low-diameter social
+// graphs.
+#include <cstdio>
+
+#include "benchsupport/harness.hpp"
+#include "benchsupport/table.hpp"
+#include "graph/snap_proxy.hpp"
+#include "support/strutil.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mfbc;
+  // `--small` shrinks the proxies for CI-style runs.
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  const bool small = args.small;
+  const int scale = small ? 11 : 13;
+  const std::vector<int> nodes = {1, 4, 16, 64};
+
+  bench::Table mfbc_tab({"graph", "p=1", "p=4", "p=16", "p=64", "fwd iters"});
+  bench::Table comb_tab({"graph", "p=1", "p=4", "p=16", "p=64", "fwd iters"});
+
+  for (const graph::SnapSpec& spec : graph::snap_specs()) {
+    graph::Graph g = graph::snap_proxy(spec.id, scale);
+    std::fprintf(stderr, "[fig1] %s proxy: n=%lld m=%lld\n", spec.name.c_str(),
+                 static_cast<long long>(g.n()), static_cast<long long>(g.m()));
+    std::vector<std::string> mrow{spec.name}, crow{spec.name};
+    int fwd_m = 0, fwd_c = 0;
+    for (int p : nodes) {
+      bench::CellConfig cfg;
+      cfg.nodes = p;
+      cfg.batch_size = small ? 16 : 32;
+      auto rm = bench::run_mfbc_cell(g, cfg);
+      mrow.push_back(bench::cell_str(rm));
+      fwd_m = rm.fwd_iterations;
+      auto rc = bench::run_combblas_cell(g, cfg);
+      crow.push_back(bench::cell_str(rc));
+      fwd_c = rc.fwd_iterations;
+    }
+    mrow.push_back(std::to_string(fwd_m));
+    crow.push_back(std::to_string(fwd_c));
+    mfbc_tab.add_row(mrow);
+    comb_tab.add_row(crow);
+  }
+  std::fputs(mfbc_tab
+                 .render("Figure 1(a): CTF-MFBC strong scaling on real-graph "
+                         "proxies (MTEPS/node)")
+                 .c_str(),
+             stdout);
+  std::puts("");
+  std::fputs(comb_tab
+                 .render("Figure 1(b): CombBLAS-style strong scaling on "
+                         "real-graph proxies (MTEPS/node)")
+                 .c_str(),
+             stdout);
+  std::puts("\nPaper shape: MFBC scales to 64 nodes on all four graphs "
+            "(~30x on 64x nodes);\nCombBLAS is volatile across graphs and "
+            "competitive mainly on the patents graph.");
+  bench::maybe_write_csv(args, "fig1a", mfbc_tab);
+  bench::maybe_write_csv(args, "fig1b", comb_tab);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Exercises the §5.2 SpGEMM algorithm space directly: for a frontier-shaped
+// multiplication (sparse nb×n frontier times n×n adjacency) on p ranks,
+// print the *measured* critical-path words/messages of every 1D/2D/3D
+// variant shape next to the §5.2 model prediction, and mark the plan the
+// §6.2 autotuner selects. This is the experiment behind the paper's claim
+// that no single decomposition dominates — which operand is heaviest decides.
+#include <cstdio>
+#include <string>
+
+#include "algebra/multpath.hpp"
+#include "benchsupport/table.hpp"
+#include "dist/spgemm_dist.hpp"
+#include "graph/generators.hpp"
+#include "sparse/ops.hpp"
+#include "support/strutil.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mfbc;
+  using algebra::BellmanFordAction;
+  using algebra::Multpath;
+  using algebra::MultpathMonoid;
+  using algebra::SumMonoid;
+  using dist::DistMatrix;
+  using dist::Layout;
+  using dist::Range;
+
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  const bool small = args.small;
+  const int p = 16;
+  const graph::vid_t n = small ? 1024 : 4096;
+  const graph::vid_t nb = small ? 32 : 128;
+
+  graph::Graph g = graph::erdos_renyi(n, n * 8, false, {}, 7);
+  // Frontier: rows 0..nb of the adjacency, as multpaths.
+  sparse::Coo<Multpath> fc(nb, n);
+  for (graph::vid_t s = 0; s < nb; ++s) {
+    auto cols = g.adj().row_cols(s);
+    auto vals = g.adj().row_vals(s);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      fc.push(s, cols[i], Multpath{vals[i], 1.0});
+    }
+  }
+  auto f = sparse::Csr<Multpath>::from_coo<MultpathMonoid>(std::move(fc));
+
+  auto stats = dist::MultiplyStats::estimated(
+      nb, n, n, static_cast<double>(f.nnz()),
+      static_cast<double>(g.adj().nnz()), sim::sparse_entry_words<Multpath>(),
+      sim::sparse_entry_words<double>(), sim::sparse_entry_words<Multpath>());
+  const sim::MachineModel mm;
+  const dist::Plan chosen = dist::autotune(p, stats, mm);
+
+  bench::Table tab({"plan", "measured W (words)", "measured S (msgs)",
+                    "model (sec)", "measured comm (sec)", "autotuned?"});
+  for (const dist::Plan& plan : dist::enumerate_plans(p)) {
+    sim::Sim sim(p, mm);
+    Layout lf{0, 1, p, Range{0, nb}, Range{0, n}, false};
+    Layout la{0, 4, 4, Range{0, n}, Range{0, n}, false};
+    auto df = DistMatrix<Multpath>::scatter<MultpathMonoid>(sim, f, lf);
+    auto da = DistMatrix<double>::scatter<SumMonoid>(sim, g.adj(), la);
+    sim.ledger().reset();
+    dist::spgemm<MultpathMonoid>(sim, plan, df, da, BellmanFordAction{}, lf);
+    const sim::Cost c = sim.ledger().critical();
+    tab.add_row({plan.to_string(), compact(c.words, 4), fixed(c.msgs, 0),
+                 compact(dist::model_cost(plan, stats, mm).total(), 3),
+                 compact(c.comm_seconds, 3),
+                 plan.to_string() == chosen.to_string() ? "<== chosen" : ""});
+  }
+  std::fputs(tab.render("SpGEMM variant space on p=16: measured critical "
+                        "path vs the section 5.2 model (frontier x adjacency)")
+                 .c_str(),
+             stdout);
+  std::puts("\nExpected: variants that communicate the adjacency (the heavy "
+            "operand) pay the\nmost; the autotuned plan sits at or near the "
+            "measured minimum.");
+  bench::maybe_write_csv(args, "spgemm_variants", tab);
+  return 0;
+}

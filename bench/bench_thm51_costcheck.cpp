@@ -1,0 +1,80 @@
+// Sanity-checks Theorem 5.1 empirically: the measured critical-path
+// bandwidth of MFBC under the CA plan should track
+//     W = O( n²/√(cp) + c·m/p )    words per batch-normalized unit,
+// decreasing with p at fixed c (∝ 1/√p) and exhibiting the §5.3.4 strong
+// scaling range. We sweep p at fixed c and c at fixed p on a uniform random
+// graph and print measured words next to the theory curve (normalized to
+// the first point, since the theorem is asymptotic).
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "benchsupport/harness.hpp"
+#include "benchsupport/table.hpp"
+#include "graph/generators.hpp"
+#include "support/strutil.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mfbc;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  const bool small = args.small;
+  const graph::vid_t n = small ? 2048 : 4096;
+  graph::Graph g = graph::erdos_renyi(n, n * 16, false, {}, 2026);
+  const double nd = static_cast<double>(g.n());
+  const double md = static_cast<double>(g.m());
+
+  auto measure = [&](int p, int c) {
+    bench::CellConfig cfg;
+    cfg.nodes = p;
+    cfg.batch_size = small ? 16 : 32;
+    cfg.plan_mode = core::PlanMode::kFixedCa;
+    cfg.replication_c = c;
+    cfg.warmup = true;  // steady state: adjacency replication amortized
+    return bench::run_mfbc_cell(g, cfg);
+  };
+  auto theory = [&](int p, int c) {
+    return nd * nd / std::sqrt(static_cast<double>(c) * p) +
+           static_cast<double>(c) * md / p;
+  };
+
+  {
+    bench::Table tab({"p", "c", "measured W (words)", "theory (normalized)",
+                      "measured (normalized)"});
+    double w0 = 0, t0 = 0;
+    for (int p : {4, 16, 64}) {
+      auto r = measure(p, 1);
+      if (w0 == 0) {
+        w0 = r.words;
+        t0 = theory(p, 1);
+      }
+      tab.add_row({std::to_string(p), "1", compact(r.words, 4),
+                   fixed(theory(p, 1) / t0, 3), fixed(r.words / w0, 3)});
+    }
+    std::fputs(tab.render("Theorem 5.1 check: bandwidth vs p at c=1 "
+                          "(both columns should fall together ~1/sqrt(p))")
+                   .c_str(),
+               stdout);
+    bench::maybe_write_csv(args, "thm51_p_sweep", tab);
+  }
+  std::puts("");
+  {
+    bench::Table tab({"p", "c", "measured W (words)", "theory (normalized)",
+                      "measured (normalized)"});
+    double w0 = 0, t0 = 0;
+    for (int c : {1, 4, 16}) {
+      auto r = measure(64, c);
+      if (w0 == 0) {
+        w0 = r.words;
+        t0 = theory(64, c);
+      }
+      tab.add_row({"64", std::to_string(c), compact(r.words, 4),
+                   fixed(theory(64, c) / t0, 3), fixed(r.words / w0, 3)});
+    }
+    std::fputs(tab.render("Theorem 5.1 check: bandwidth vs replication c at "
+                          "p=64 (replication trades bandwidth for memory)")
+                   .c_str(),
+               stdout);
+    bench::maybe_write_csv(args, "thm51_c_sweep", tab);
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+// From algebra to code (paper §6.1): write graph algorithms in the CTF
+// index-label notation the paper uses, on top of this library's ctfx facade.
+//
+// Demonstrates the paper's two signature snippets —
+//     Function:  B["ij"] = inv(A["ij"])
+//     Kernel:    Z["ij"] = BF(A["ik"], Z["kj"])
+// — then runs a complete Bellman-Ford-with-multiplicities to a fixed point
+// in five lines of expression code and checks it against the library's MFBF.
+//
+//   $ ./example_algebraic_kernels
+#include <cstdio>
+
+#include "algebra/multpath.hpp"
+#include "ctfx/ctfx.hpp"
+#include "graph/generators.hpp"
+#include "mfbc/mfbc_seq.hpp"
+
+int main() {
+  using namespace mfbc;
+  using algebra::Multpath;
+  using algebra::MultpathMonoid;
+  using ctfx::Kernel;
+  using ctfx::Matrix;
+
+  graph::WeightSpec ws{true, 1, 9};
+  graph::Graph g = graph::erdos_renyi(512, 2048, true, ws, 17);
+  std::printf("graph: n=%lld m=%lld directed weighted\n\n",
+              static_cast<long long>(g.n()), static_cast<long long>(g.m()));
+
+  // --- Paper snippet 1: elementwise Function --------------------------
+  Matrix<double> a(g.adj());
+  Matrix<double> inv_a(g.n(), g.n());
+  auto inv = ctfx::make_function<double, double>([](double x) { return 1.0 / x; });
+  inv_a["ij"] = inv(a["ij"]);
+  std::printf("Function demo: inverted %lld edge weights elementwise\n",
+              static_cast<long long>(inv_a.csr().nnz()));
+
+  // --- Paper snippet 2: the Bellman-Ford Kernel -----------------------
+  // Column-vector formulation: Z(v, s) holds the multpath from source s to
+  // vertex v; one expression per relaxation, adjacency first (so the bridge
+  // flips the action's argument order, as CTF's Kernel<W,M,M,u,f> does).
+  struct BfBridge {
+    Multpath operator()(double w, const Multpath& z) const {
+      return Multpath{z.w + w, z.m};
+    }
+  };
+  const graph::vid_t source = 0;
+  sparse::Coo<Multpath> init_coo(g.n(), 1);
+  init_coo.push(source, 0, Multpath{0.0, 1.0});
+  auto init_csr =
+      sparse::Csr<Multpath>::from_coo<MultpathMonoid>(std::move(init_coo));
+  Matrix<Multpath> z0(init_csr);  // constant: paths of zero edges
+  Matrix<Multpath> z(init_csr);   // h_j: shortest paths using <= j edges
+
+  // Functional Bellman-Ford: h_{j+1} = h_0 ⊕ (Aᵀ •⟨⊕,f⟩ h_j). Note the
+  // *replacement*, not accumulation — naively folding each relaxation into
+  // the previous state (z ⊕= A·z) would re-add the multiplicities of paths
+  // already counted; avoiding exactly that re-counting is what MFBF's
+  // changed-entries-only frontier achieves while also skipping settled work.
+  // The transposed label A["ki"] extends paths along in-edges of i:
+  // Z(i,s) = ⊕_k f(A(k,i), Z(k,s)).
+  Kernel<MultpathMonoid, BfBridge> bf;
+  int iterations = 0;
+  while (true) {
+    Matrix<Multpath> next(g.n(), 1);
+    next["ij"] = bf(a["ki"], z["kj"]);
+    next["ij"] = ctfx::ewise<MultpathMonoid>(next["ij"], z0["ij"]);
+    ++iterations;
+    if (next.csr() == z.csr()) break;  // fixed point after d+1 products
+    z.assign(next.csr());
+  }
+  std::printf("Kernel demo: Bellman-Ford fixed point after %d relaxations\n",
+              iterations);
+
+  // --- Check against the library's MFBF -------------------------------
+  const graph::vid_t srcs[] = {source};
+  core::PathMatrix t = core::mfbf(g, srcs);
+  double max_err = 0;
+  long long mismatches = 0;
+  for (graph::vid_t v = 0; v < g.n(); ++v) {
+    Multpath got{algebra::kInfWeight, 0.0};
+    auto cols = z.csr().row_cols(v);
+    auto vals = z.csr().row_vals(v);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      if (cols[i] == 0) got = vals[i];
+    }
+    if (v == source) continue;
+    const double want_w = t.d(0, v);
+    const double want_m = t.m(0, v);
+    if (want_w == algebra::kInfWeight) {
+      if (got.w != algebra::kInfWeight) ++mismatches;
+      continue;
+    }
+    max_err = std::max(max_err, std::abs(got.w - want_w));
+    if (got.m != want_m) ++mismatches;
+  }
+  std::printf("check vs MFBF: max distance error %.1e, %lld multiplicity "
+              "mismatches\n",
+              max_err, mismatches);
+  return (max_err == 0 && mismatches == 0) ? 0 : 1;
+}

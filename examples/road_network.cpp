@@ -1,0 +1,104 @@
+// Weighted-graph betweenness on a road-network-style grid — the capability
+// that sets MFBC apart from prior algebraic BC codes, which "have largely
+// been limited to unweighted graphs" (§2.4). Transportation analysis is one
+// of the paper's motivating BC applications.
+//
+// Builds a king's-move grid with integer travel times, finds the
+// highest-betweenness road junctions (the congestion-critical ones), and
+// contrasts the weighted ranking with the hop-count (unweighted) ranking to
+// show why edge weights matter.
+//
+//   $ ./example_road_network [side]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "mfbc/mfbc_seq.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using mfbc::graph::Edge;
+using mfbc::graph::Graph;
+using mfbc::graph::vid_t;
+
+/// side×side grid; horizontal/vertical roads with travel times 1..9, and a
+/// fast "highway" along the middle row (weight 1) that weighted BC should
+/// light up.
+Graph road_grid(vid_t side, bool weighted) {
+  mfbc::Xoshiro256 rng(7);
+  std::vector<Edge> edges;
+  auto id = [side](vid_t r, vid_t c) { return r * side + c; };
+  const vid_t mid = side / 2;
+  for (vid_t r = 0; r < side; ++r) {
+    for (vid_t c = 0; c < side; ++c) {
+      if (c + 1 < side) {
+        const double w = (r == mid) ? 1.0 : rng.weight(3, 9);
+        edges.push_back({id(r, c), id(r, c + 1), w});
+      }
+      if (r + 1 < side) {
+        edges.push_back({id(r, c), id(r + 1, c), rng.weight(3, 9)});
+      }
+    }
+  }
+  return Graph::from_edges(side * side, edges, /*directed=*/false, weighted);
+}
+
+std::vector<std::size_t> top_vertices(const std::vector<double>& bc,
+                                      std::size_t k) {
+  std::vector<std::size_t> idx(bc.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
+                    idx.end(),
+                    [&](std::size_t a, std::size_t b) { return bc[a] > bc[b]; });
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mfbc;
+  const vid_t side = argc > 1 ? std::atol(argv[1]) : 24;
+  Graph weighted = road_grid(side, true);
+  Graph hops = road_grid(side, false);
+  std::printf("road grid: %lldx%lld junctions, %lld road segments, "
+              "fast highway on row %lld\n",
+              static_cast<long long>(side), static_cast<long long>(side),
+              static_cast<long long>(weighted.m()),
+              static_cast<long long>(side / 2));
+
+  core::MfbcStats wstats, ustats;
+  auto bc_w = core::mfbc(weighted, {.batch_size = 128}, &wstats);
+  auto bc_u = core::mfbc(hops, {.batch_size = 128}, &ustats);
+  std::printf("weighted MFBC: %d forward relaxations over %d batches "
+              "(Bellman-Ford revisits)\n",
+              wstats.forward.iterations(), wstats.batches);
+  std::printf("unweighted MFBC: %d forward relaxations (pure BFS depth)\n\n",
+              ustats.forward.iterations());
+
+  const auto top_w = top_vertices(bc_w, 10);
+  const auto top_u = top_vertices(bc_u, 10);
+  std::puts("rank  weighted (travel time)      hop-count (topology only)");
+  for (std::size_t r = 0; r < 10; ++r) {
+    const auto wv = static_cast<vid_t>(top_w[r]);
+    const auto uv = static_cast<vid_t>(top_u[r]);
+    std::printf("%4zu  junction (%2lld,%2lld) %9.0f   junction (%2lld,%2lld) %9.0f\n",
+                r + 1, static_cast<long long>(wv / side),
+                static_cast<long long>(wv % side), bc_w[top_w[r]],
+                static_cast<long long>(uv / side),
+                static_cast<long long>(uv % side), bc_u[top_u[r]]);
+  }
+
+  // The highway row should dominate the weighted ranking.
+  int highway_hits = 0;
+  for (std::size_t r = 0; r < 10; ++r) {
+    if (static_cast<vid_t>(top_w[r]) / side == side / 2) ++highway_hits;
+  }
+  std::printf("\nhighway-row junctions in the weighted top-10: %d "
+              "(hop-count ranking ignores the highway entirely)\n",
+              highway_hits);
+  return highway_hits >= 5 ? 0 : 1;
+}

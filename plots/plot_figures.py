@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Render the bench CSVs as figures.
+
+Uses matplotlib when available (PNG output next to the data); otherwise
+falls back to ASCII log-log charts on stdout so the scaling shapes are
+inspectable on any machine.
+
+Usage:
+    mkdir -p plots/data
+    ./build/bench/bench_fig1_strong_real  --csv plots/data
+    ./build/bench/bench_fig1c_rmat        --csv plots/data
+    ./build/bench/bench_fig2a_edge_weak   --csv plots/data
+    ./build/bench/bench_fig2b_vertex_weak --csv plots/data
+    python3 plots/plot_figures.py plots/data
+"""
+import csv
+import math
+import os
+import sys
+
+FIGURES = {
+    "fig1a": "Fig 1(a): CTF-MFBC strong scaling, real-graph proxies",
+    "fig1b": "Fig 1(b): CombBLAS-style strong scaling, real-graph proxies",
+    "fig1c": "Fig 1(c): R-MAT strong scaling",
+    "fig2a": "Fig 2(a): edge weak scaling",
+    "fig2b": "Fig 2(b): vertex weak scaling",
+}
+
+
+def read_series(path):
+    """Wide CSV -> (nodes, {series: [mteps...]}). Non-numeric cells -> None."""
+    with open(path) as f:
+        rows = list(csv.reader(f))
+    header, body = rows[0], rows[1:]
+    nodes = []
+    for cell in header[1:]:
+        if cell.startswith("p="):
+            nodes.append(int(cell[2:]))
+    series = {}
+    for row in body:
+        vals = []
+        for cell in row[1 : 1 + len(nodes)]:
+            try:
+                vals.append(float(cell))
+            except ValueError:
+                vals.append(None)
+        series[row[0]] = vals
+    return nodes, series
+
+
+def ascii_plot(title, nodes, series, width=64, height=18):
+    pts = [v for vals in series.values() for v in vals if v]
+    if not pts:
+        print(f"{title}: no data")
+        return
+    lo, hi = math.log(min(pts)), math.log(max(pts))
+    if hi == lo:
+        hi = lo + 1
+    xlo, xhi = math.log(min(nodes)), math.log(max(nodes) or 1)
+    if xhi == xlo:
+        xhi = xlo + 1
+    grid = [[" "] * width for _ in range(height)]
+    marks = "ox+*sd^v"
+    legend = []
+    for idx, (name, vals) in enumerate(series.items()):
+        m = marks[idx % len(marks)]
+        legend.append(f"  {m} {name}")
+        for n, v in zip(nodes, vals):
+            if v is None:
+                continue
+            x = int((math.log(n) - xlo) / (xhi - xlo) * (width - 1))
+            y = int((math.log(v) - lo) / (hi - lo) * (height - 1))
+            grid[height - 1 - y][x] = m
+    print(f"\n== {title} ==  (log-log: MTEPS/node vs #nodes)")
+    print(f"{math.exp(hi):10.1f} +" + "-" * width)
+    for row in grid:
+        print(" " * 11 + "|" + "".join(row))
+    print(f"{math.exp(lo):10.1f} +" + "-" * width)
+    labels = "".join(
+        str(n).ljust(width // max(1, len(nodes))) for n in nodes)
+    print(" " * 12 + labels)
+    print("\n".join(legend))
+
+
+def mpl_plot(title, nodes, series, out_path):
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    fig, ax = plt.subplots(figsize=(7, 5))
+    for name, vals in series.items():
+        xs = [n for n, v in zip(nodes, vals) if v is not None]
+        ys = [v for v in vals if v is not None]
+        ax.plot(xs, ys, marker="o", label=name)
+    ax.set_xscale("log", base=2)
+    ax.set_yscale("log", base=2)
+    ax.set_xlabel("#nodes")
+    ax.set_ylabel("MTEPS/node")
+    ax.set_title(title)
+    ax.grid(True, which="both", alpha=0.3)
+    ax.legend(fontsize=8)
+    fig.tight_layout()
+    fig.savefig(out_path)
+    print(f"wrote {out_path}")
+
+
+def main():
+    data_dir = sys.argv[1] if len(sys.argv) > 1 else "plots/data"
+    try:
+        import matplotlib  # noqa: F401
+        have_mpl = True
+    except ImportError:
+        have_mpl = False
+        print("matplotlib not available; rendering ASCII charts\n")
+    for stem, title in FIGURES.items():
+        path = os.path.join(data_dir, stem + ".csv")
+        if not os.path.exists(path):
+            print(f"(skipping {stem}: {path} not found)")
+            continue
+        nodes, series = read_series(path)
+        if not nodes:
+            print(f"(skipping {stem}: no p= columns)")
+            continue
+        if have_mpl:
+            mpl_plot(title, nodes, series, os.path.join(data_dir, stem + ".png"))
+        else:
+            ascii_plot(title, nodes, series)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+// The centpath monoid (paper §4.2.1) and the Brandes action (§4.2.2).
+//
+// A centpath x = (x.w, x.p, x.c) carries a path weight w, a partial
+// centrality factor p, and a counter c. MFBr converges, for every
+// (source, vertex) pair, to a centpath whose p equals the partial centrality
+// factor ζ(s,v) = δ(s,v)/σ̄(s,v).
+//
+// The monoid operator ⊗ keeps the centpath with the *larger* weight and, on
+// ties, sums both the partial factors and the counters:
+//
+//   x ⊗ y = x                              if x.w > y.w
+//         = y                              if x.w < y.w
+//         = (x.w, x.p + y.p, x.c + y.c)    if x.w = y.w
+//
+// Why larger? MFBr back-propagates along Aᵀ: a successor u of v on a
+// shortest path tree satisfies τ(s,u) − A(v,u) = τ(s,v), while every other
+// neighbor yields a strictly smaller value (triangle inequality). Keeping the
+// maximum therefore selects exactly the shortest-path-tree contributions.
+//
+// The Brandes action g : C × W → C peels one edge off the tail of a path:
+// g(a, w) = (a.w − w, a.p, a.c). It is an action of the monoid (W, +) on C.
+#pragma once
+
+#include <cstdint>
+
+#include "algebra/tropical.hpp"
+
+namespace mfbc::algebra {
+
+struct Centpath {
+  Weight w = -kInfWeight;  ///< path weight (−∞ = no contribution)
+  double p = 0.0;          ///< partial centrality factor contribution
+  double c = 0.0;          ///< predecessor counter (see Alg. 2)
+
+  friend bool operator==(const Centpath&, const Centpath&) = default;
+};
+
+/// Commutative monoid (C, ⊗) of centpaths.
+///
+/// The identity is (−∞, 0, 0): the paper writes the sentinel as (∞, 0, 0),
+/// but since ⊗ keeps the *larger* weight the absorbing "no information"
+/// element must be the bottom of the weight order. We use −∞, which makes
+/// ⊗ a genuine monoid with is_identity the natural sparse-zero test. This is
+/// a presentation choice only; the algorithm is unchanged.
+struct CentpathMonoid {
+  using value_type = Centpath;
+
+  static constexpr value_type identity() { return {-kInfWeight, 0.0, 0.0}; }
+
+  static value_type combine(const value_type& x, const value_type& y) {
+    if (x.w > y.w) return x;
+    if (x.w < y.w) return y;
+    return {x.w, x.p + y.p, x.c + y.c};
+  }
+
+  static bool is_identity(const value_type& x) {
+    return x.w == -kInfWeight && x.p == 0.0 && x.c == 0.0;
+  }
+};
+
+/// Brandes action g(a, w) = (a.w − w, a.p, a.c)  (paper §4.2.2).
+///
+/// Used as the bridge function of the back-propagation
+///   Z̃ := Z̃ •⟨⊗,g⟩ Aᵀ.
+struct BrandesAction {
+  Centpath operator()(const Centpath& a, Weight w) const {
+    return {a.w - w, a.p, a.c};
+  }
+};
+
+}  // namespace mfbc::algebra

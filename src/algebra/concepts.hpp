@@ -1,0 +1,44 @@
+// Algebraic structure concepts (paper §2.2, §3).
+//
+// The paper's key formal move is to replace semirings with commutative
+// monoids plus arbitrary "bridge" functions between domains: the generalized
+// matrix multiplication C = A •⟨⊕,f⟩ B needs only
+//   * a commutative monoid (D_C, ⊕) on the output domain, and
+//   * a bivariate map f : D_A × D_B → D_C.
+//
+// We model a monoid as a stateless policy type exposing
+//   value_type           — the carrier set D
+//   identity()           — the ⊕-identity (doubles as the sparse "zero")
+//   combine(a, b)        — the ⊕ operation
+//   is_identity(a)       — identity test (sparse matrices drop identities)
+#pragma once
+
+#include <concepts>
+#include <utility>
+
+namespace mfbc::algebra {
+
+template <typename M>
+concept Monoid = requires(typename M::value_type a, typename M::value_type b) {
+  typename M::value_type;
+  { M::identity() } -> std::convertible_to<typename M::value_type>;
+  { M::combine(a, b) } -> std::convertible_to<typename M::value_type>;
+  { M::is_identity(a) } -> std::convertible_to<bool>;
+};
+
+/// A bridge function f : A × B → C for use in C = A •⟨⊕,f⟩ B.
+template <typename F, typename A, typename B, typename C>
+concept BridgeFn = requires(F f, A a, B b) {
+  { f(a, b) } -> std::convertible_to<C>;
+};
+
+/// Fold a range through a monoid (used by tests to check associativity and
+/// by the sequential reference kernels).
+template <Monoid M, typename It>
+typename M::value_type fold(It first, It last) {
+  auto acc = M::identity();
+  for (; first != last; ++first) acc = M::combine(acc, *first);
+  return acc;
+}
+
+}  // namespace mfbc::algebra

@@ -1,0 +1,63 @@
+// The multpath monoid (paper §4.1.1) and the Bellman-Ford action (§4.1.2).
+//
+// A multpath x = (x.w, x.m) models the set of currently-known shortest paths
+// between one (source, destination) pair: w is the common path weight and m
+// the number of such paths. The monoid operator ⊕ keeps the lighter path set
+// and merges multiplicities on ties:
+//
+//   x ⊕ y = x                      if x.w < y.w
+//         = y                      if x.w > y.w
+//         = (x.w, x.m + y.m)       if x.w = y.w
+//
+// The Bellman-Ford action f : M × W → M appends one edge to every path in the
+// set: f(a, w) = (a.w + w, a.m). It is an action of the monoid (W, +) on M.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "algebra/tropical.hpp"
+
+namespace mfbc::algebra {
+
+/// Path multiplicity count. A double holds exact integers up to 2^53, which
+/// is ample: shortest-path counts on the graph sizes this library targets
+/// stay far below that, and the paper's σ̄ is accumulated the same way in
+/// floating point by CombBLAS.
+using Multiplicity = double;
+
+struct Multpath {
+  Weight w = kInfWeight;    ///< path weight (∞ = no path known)
+  Multiplicity m = 0.0;     ///< number of paths of weight w
+
+  friend bool operator==(const Multpath&, const Multpath&) = default;
+};
+
+/// Commutative monoid (M, ⊕) of multpaths; identity (∞, 0).
+struct MultpathMonoid {
+  using value_type = Multpath;
+
+  static constexpr value_type identity() { return {kInfWeight, 0.0}; }
+
+  static value_type combine(const value_type& x, const value_type& y) {
+    if (x.w < y.w) return x;
+    if (x.w > y.w) return y;
+    return {x.w, x.m + y.m};
+  }
+
+  static bool is_identity(const value_type& x) {
+    return x.w == kInfWeight && x.m == 0.0;
+  }
+};
+
+/// Bellman-Ford action f(a, w) = (a.w + w, a.m)  (paper §4.1.2).
+///
+/// Used as the bridge function of the frontier relaxation
+///   T̃ := T̃ •⟨⊕,f⟩ A.
+struct BellmanFordAction {
+  Multpath operator()(const Multpath& a, Weight w) const {
+    return {a.w + w, a.m};
+  }
+};
+
+}  // namespace mfbc::algebra

@@ -1,0 +1,28 @@
+// Maximum flow — the extension target the paper names explicitly (§8: the
+// algebraic formalism "enables intuitive expression of frontiers and edge
+// relaxations, making it extensible to other graph problems such as maximum
+// flow").
+//
+// Edmonds–Karp with the augmenting-path search expressed algebraically:
+// each BFS level over the residual graph is one generalized product over a
+// hop-minimizing monoid whose values carry the predecessor (encoded in the
+// frontier value, so the standard f(A(i,k),B(k,j)) bridge suffices).
+// Edge weights act as capacities; undirected edges become a pair of
+// opposing arcs.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace mfbc::apps {
+
+struct MaxFlowStats {
+  int augmenting_paths = 0;
+  int bfs_products = 0;  ///< generalized products across all searches
+};
+
+/// Maximum s→t flow; capacities are the graph's edge weights (1 for
+/// unweighted graphs). Returns 0 when t is unreachable from s.
+double max_flow(const graph::Graph& g, graph::vid_t s, graph::vid_t t,
+                MaxFlowStats* stats = nullptr);
+
+}  // namespace mfbc::apps

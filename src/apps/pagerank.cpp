@@ -1,0 +1,78 @@
+#include "apps/pagerank.hpp"
+
+#include <cmath>
+
+#include "algebra/tropical.hpp"
+#include "sparse/ops.hpp"
+#include "sparse/spgemm.hpp"
+#include "support/error.hpp"
+
+namespace mfbc::apps {
+
+namespace {
+
+using algebra::SumMonoid;
+using graph::vid_t;
+using sparse::Csr;
+
+struct Times {
+  double operator()(double a, double b) const { return a * b; }
+};
+
+}  // namespace
+
+PageRankResult pagerank(const graph::Graph& g, const PageRankOptions& opts) {
+  MFBC_CHECK(opts.damping > 0 && opts.damping < 1, "damping must be in (0,1)");
+  MFBC_CHECK(opts.max_iterations >= 1, "need at least one iteration");
+  const vid_t n = g.n();
+  PageRankResult result;
+  if (n == 0) return result;
+
+  // Row-stochastic link matrix: W(u,v) = 1/outdeg(u) for each edge u→v.
+  const Csr<double> w = sparse::map_values<double>(
+      g.adj(), [&](vid_t u, vid_t, double) {
+        return 1.0 / static_cast<double>(g.out_degree(u));
+      });
+
+  const double d = opts.damping;
+  const double uniform = 1.0 / static_cast<double>(n);
+  std::vector<double> x(static_cast<std::size_t>(n), uniform);
+
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    // One generalized product: contribution(v) = Σ_u x(u)·W(u,v). The rank
+    // vector rides as a 1×n sparse row (dense in practice).
+    std::vector<sparse::nnz_t> rowptr{0, static_cast<sparse::nnz_t>(n)};
+    std::vector<vid_t> col(static_cast<std::size_t>(n));
+    for (vid_t v = 0; v < n; ++v) col[static_cast<std::size_t>(v)] = v;
+    Csr<double> xrow(1, n, std::move(rowptr), std::move(col), x);
+    const Csr<double> contrib = sparse::spgemm<SumMonoid>(xrow, w, Times{});
+
+    // Dangling vertices (no out-links) spread their mass uniformly.
+    double dangling = 0;
+    for (vid_t u = 0; u < n; ++u) {
+      if (g.out_degree(u) == 0) dangling += x[static_cast<std::size_t>(u)];
+    }
+    const double base = (1.0 - d) * uniform + d * dangling * uniform;
+
+    std::vector<double> next(static_cast<std::size_t>(n), base);
+    auto cols = contrib.row_cols(0);
+    auto vals = contrib.row_vals(0);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      next[static_cast<std::size_t>(cols[i])] += d * vals[i];
+    }
+
+    double delta = 0;
+    for (vid_t v = 0; v < n; ++v) {
+      delta += std::abs(next[static_cast<std::size_t>(v)] -
+                        x[static_cast<std::size_t>(v)]);
+    }
+    x = std::move(next);
+    result.iterations = iter + 1;
+    result.residual = delta;
+    if (delta < opts.tolerance) break;
+  }
+  result.rank = std::move(x);
+  return result;
+}
+
+}  // namespace mfbc::apps

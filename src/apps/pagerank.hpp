@@ -1,0 +1,31 @@
+// PageRank over the generalized-product kernels — another instance of the
+// paper's extensibility methodology (§8), this time with the plain numeric
+// (+,×) structure: each power-iteration step is one generalized product of
+// the rank row vector with the out-degree-normalized adjacency matrix.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mfbc::apps {
+
+struct PageRankOptions {
+  double damping = 0.85;
+  double tolerance = 1e-12;  ///< L1 change per iteration to stop at
+  int max_iterations = 200;
+};
+
+struct PageRankResult {
+  std::vector<double> rank;  ///< sums to 1 over all vertices
+  int iterations = 0;
+  double residual = 0;  ///< final L1 change
+};
+
+/// PageRank with uniform teleportation; dangling vertices redistribute
+/// their mass uniformly. Edge weights are ignored (link analysis uses the
+/// link structure), matching the classic formulation.
+PageRankResult pagerank(const graph::Graph& g,
+                        const PageRankOptions& opts = {});
+
+}  // namespace mfbc::apps

@@ -1,0 +1,27 @@
+// Distributed batched shortest paths on the simulated machine — the
+// §2.3 tropical-monoid traversal running through the same autotuned
+// distributed SpGEMM layer as MFBC. Demonstrates that the §5.2/§6.2
+// machinery is algorithm-agnostic: swapping the monoid and bridge function
+// is all it takes to get a new distributed graph algorithm.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "apps/traversal.hpp"
+#include "sim/comm.hpp"
+
+namespace mfbc::apps {
+
+/// Distances from each of `sources` (dense nb×n row-major, ∞ unreachable),
+/// computed with distributed frontier relaxations on sim's ranks. Matches
+/// sssp_batch() exactly; communication is charged to sim's ledger.
+std::vector<Weight> sssp_batch_dist(sim::Sim& sim, const Graph& g,
+                                    std::span<const vid_t> sources);
+
+/// Distributed harmonic closeness (batched over sim's ranks); matches
+/// harmonic_closeness() exactly.
+std::vector<double> harmonic_closeness_dist(sim::Sim& sim, const Graph& g,
+                                            const ClosenessOptions& opts = {});
+
+}  // namespace mfbc::apps

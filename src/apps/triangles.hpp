@@ -1,0 +1,26 @@
+// Triangle counting and clustering coefficients via the masked product
+// (A·A) ∘ A — the canonical "graph algorithm as sparse linear algebra"
+// kernel alongside BFS (§2.3) and a further instance of the paper's
+// methodology: the count semiring for the product, an intersection mask for
+// the wedge-closure test.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mfbc::apps {
+
+/// Number of triangles (3-cycles) in the undirected graph. Directed graphs
+/// are symmetrized first (a triangle = a closed triple ignoring direction).
+std::uint64_t count_triangles(const graph::Graph& g);
+
+/// Per-vertex triangle counts (each triangle contributes 1 to each corner).
+std::vector<std::uint64_t> triangles_per_vertex(const graph::Graph& g);
+
+/// Local clustering coefficients: triangles(v) / (deg(v) choose 2), zero
+/// for degree < 2. Computed on the symmetrized graph.
+std::vector<double> clustering_coefficients(const graph::Graph& g);
+
+}  // namespace mfbc::apps

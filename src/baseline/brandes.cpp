@@ -1,0 +1,140 @@
+#include "baseline/brandes.hpp"
+
+#include <limits>
+#include <queue>
+#include <stack>
+#include <vector>
+
+#include "algebra/tropical.hpp"
+#include "support/error.hpp"
+
+namespace mfbc::baseline {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// One Brandes source iteration: fills dist/sigma, returns vertices in
+/// non-decreasing settle order (the backward sweep pops them in reverse).
+/// Unweighted graphs use BFS; weighted use Dijkstra with lazy deletion.
+std::vector<vid_t> forward_sweep(const Graph& g, vid_t s,
+                                 std::vector<double>& dist,
+                                 std::vector<double>& sigma) {
+  const vid_t n = g.n();
+  dist.assign(static_cast<std::size_t>(n), kInf);
+  sigma.assign(static_cast<std::size_t>(n), 0.0);
+  dist[static_cast<std::size_t>(s)] = 0.0;
+  sigma[static_cast<std::size_t>(s)] = 1.0;
+  std::vector<vid_t> order;
+  order.reserve(static_cast<std::size_t>(n));
+
+  if (!g.weighted()) {
+    std::queue<vid_t> q;
+    q.push(s);
+    while (!q.empty()) {
+      const vid_t u = q.front();
+      q.pop();
+      order.push_back(u);
+      const double du = dist[static_cast<std::size_t>(u)];
+      for (vid_t v : g.adj().row_cols(u)) {
+        auto vi = static_cast<std::size_t>(v);
+        if (dist[vi] == kInf) {
+          dist[vi] = du + 1.0;
+          q.push(v);
+        }
+        if (dist[vi] == du + 1.0) sigma[vi] += sigma[static_cast<std::size_t>(u)];
+      }
+    }
+    return order;
+  }
+
+  using Item = std::pair<double, vid_t>;  // (dist, vertex), min-heap
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  std::vector<char> settled(static_cast<std::size_t>(n), 0);
+  pq.emplace(0.0, s);
+  while (!pq.empty()) {
+    auto [du, u] = pq.top();
+    pq.pop();
+    auto ui = static_cast<std::size_t>(u);
+    if (settled[ui]) continue;
+    settled[ui] = 1;
+    order.push_back(u);
+    auto cols = g.adj().row_cols(u);
+    auto vals = g.adj().row_vals(u);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      auto vi = static_cast<std::size_t>(cols[i]);
+      const double cand = du + vals[i];
+      if (cand < dist[vi]) {
+        dist[vi] = cand;
+        sigma[vi] = sigma[ui];
+        pq.emplace(cand, cols[i]);
+      } else if (cand == dist[vi] && !settled[vi]) {
+        sigma[vi] += sigma[ui];
+      }
+    }
+  }
+  return order;
+}
+
+void accumulate_source(const Graph& g, vid_t s, std::vector<double>& bc,
+                       std::vector<double>& dist, std::vector<double>& sigma,
+                       std::vector<double>& delta) {
+  const std::vector<vid_t> order = forward_sweep(g, s, dist, sigma);
+  delta.assign(static_cast<std::size_t>(g.n()), 0.0);
+  // Backward sweep in reverse settle order, pulling from successors: u's
+  // out-edge u→w is a shortest-path DAG edge iff dist(w) = dist(u) + w(u,w),
+  // and every such w settles strictly after u (positive weights), so δ(w) is
+  // final when u is processed.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const vid_t u = *it;
+    auto ui = static_cast<std::size_t>(u);
+    auto cols = g.adj().row_cols(u);
+    auto vals = g.adj().row_vals(u);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      auto wi = static_cast<std::size_t>(cols[i]);
+      if (dist[wi] == dist[ui] + vals[i]) {
+        acc += sigma[ui] / sigma[wi] * (1.0 + delta[wi]);
+      }
+    }
+    delta[ui] = acc;
+    if (u != s) bc[ui] += delta[ui];
+  }
+}
+
+}  // namespace
+
+std::vector<double> brandes(const Graph& g) {
+  std::vector<vid_t> all(static_cast<std::size_t>(g.n()));
+  for (vid_t v = 0; v < g.n(); ++v) all[static_cast<std::size_t>(v)] = v;
+  return brandes_partial(g, all);
+}
+
+std::vector<double> brandes_partial(const Graph& g,
+                                    std::span<const vid_t> sources) {
+  std::vector<double> bc(static_cast<std::size_t>(g.n()), 0.0);
+  std::vector<double> dist, sigma, delta;
+  for (vid_t s : sources) {
+    MFBC_CHECK(s >= 0 && s < g.n(), "source out of range");
+    accumulate_source(g, s, bc, dist, sigma, delta);
+  }
+  return bc;
+}
+
+SsspResult sssp_with_counts(const Graph& g, vid_t source) {
+  SsspResult r;
+  std::vector<double> dist, sigma;
+  forward_sweep(g, source, dist, sigma);
+  r.dist = std::move(dist);
+  r.sigma = std::move(sigma);
+  return r;
+}
+
+std::vector<double> brandes_dependencies(const Graph& g, vid_t source) {
+  std::vector<double> bc(static_cast<std::size_t>(g.n()), 0.0);
+  std::vector<double> dist, sigma, delta;
+  accumulate_source(g, source, bc, dist, sigma, delta);
+  return delta;
+}
+
+}  // namespace mfbc::baseline

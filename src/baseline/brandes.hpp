@@ -1,0 +1,39 @@
+// Serial Brandes' algorithm [10] — the ground truth the MFBC implementations
+// are verified against.
+//
+// Two variants: the classic BFS formulation for unweighted graphs and the
+// Dijkstra formulation for positively weighted graphs. Both compute
+// λ(v) = Σ_{s,t} σ(s,t,v)/σ̄(s,t) over ordered (s,t) pairs, the same
+// convention as the paper (§2.4).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mfbc::baseline {
+
+using graph::Graph;
+using graph::vid_t;
+
+/// Exact betweenness centrality; dispatches on g.weighted().
+std::vector<double> brandes(const Graph& g);
+
+/// Partial BC accumulated from the given source vertices only (matches
+/// batched/approximate runs of MFBC on the same source set).
+std::vector<double> brandes_partial(const Graph& g,
+                                    std::span<const vid_t> sources);
+
+/// Single-source shortest path distances (hops for unweighted graphs,
+/// weights otherwise) and path counts — used to validate MFBF directly.
+struct SsspResult {
+  std::vector<double> dist;   ///< ∞ for unreachable
+  std::vector<double> sigma;  ///< number of shortest paths (0 if unreachable)
+};
+SsspResult sssp_with_counts(const Graph& g, vid_t source);
+
+/// Brandes dependencies δ(s,·) for one source — validates MFBr.
+std::vector<double> brandes_dependencies(const Graph& g, vid_t source);
+
+}  // namespace mfbc::baseline

@@ -1,0 +1,227 @@
+#include "baseline/combblas_bc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "algebra/tropical.hpp"
+#include "dist/batch_state.hpp"
+#include "sparse/ops.hpp"
+#include "support/error.hpp"
+
+namespace mfbc::baseline {
+
+namespace {
+
+using algebra::SumMonoid;
+using algebra::TropicalMinMonoid;
+using dist::DistMatrix;
+using dist::Layout;
+using dist::Range;
+using graph::vid_t;
+using sparse::Coo;
+using sparse::Csr;
+using sparse::nnz_t;
+
+template <typename T>
+using Keep = dist::detail::KeepFirst<T>;
+
+/// Count-semiring bridge: extending a path count along an (unweighted) edge
+/// keeps the count; the SumMonoid ⊕ then adds counts over predecessors.
+struct CountAction {
+  double operator()(double count, Weight) const { return count; }
+};
+
+/// Dependency-propagation bridge for the backward sweep.
+struct DepAction {
+  double operator()(double w, Weight) const { return w; }
+};
+
+/// The per-block dense fields of the baseline's BFS state.
+struct BfsFields {
+  std::vector<vid_t> level;   ///< -1 = unvisited
+  std::vector<double> sigma;
+  std::vector<double> delta;
+
+  void resize(std::size_t sz) {
+    level.assign(sz, -1);
+    sigma.assign(sz, 0.0);
+    delta.assign(sz, 0.0);
+  }
+};
+
+}  // namespace
+
+/// Per-batch dense BFS state on the (square) state grid.
+struct CombBlasBc::Batch : dist::BatchState<BfsFields> {
+  using dist::BatchState<BfsFields>::BatchState;
+};
+
+CombBlasBc::CombBlasBc(sim::Sim& sim, const graph::Graph& g)
+    : sim_(sim), g_(g) {
+  MFBC_CHECK(!g.weighted(),
+             "CombBLAS-style BC supports unweighted graphs only");
+  const int p = sim.nranks();
+  const int s = static_cast<int>(std::lround(std::sqrt(static_cast<double>(p))));
+  MFBC_CHECK(s * s == p, "CombBLAS-style BC requires a square processor grid");
+  plan_ = dist::Plan{1, s, s, dist::Variant1D::kA, dist::Variant2D::kAB};
+  const Layout base{0, s, s, Range{0, g.n()}, Range{0, g.n()}, false};
+  adj_ = DistMatrix<Weight>::scatter<TropicalMinMonoid>(sim, g.adj(), base);
+  adj_t_ = DistMatrix<Weight>::scatter<TropicalMinMonoid>(
+      sim, sparse::transpose(g.adj()), base);
+}
+
+std::vector<double> CombBlasBc::run(const CombBlasOptions& opts,
+                                    CombBlasStats* stats) {
+  MFBC_CHECK(opts.batch_size >= 1, "batch size must be positive");
+  const vid_t n = g_.n();
+  const int p = sim_.nranks();
+  std::vector<vid_t> sources = opts.sources;
+  if (sources.empty()) {
+    sources.resize(static_cast<std::size_t>(n));
+    for (vid_t v = 0; v < n; ++v) sources[static_cast<std::size_t>(v)] = v;
+  }
+  std::vector<int> all_ranks(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) all_ranks[static_cast<std::size_t>(r)] = r;
+
+  std::vector<double> bc(static_cast<std::size_t>(n), 0.0);
+
+  for (std::size_t lo = 0; lo < sources.size();
+       lo += static_cast<std::size_t>(opts.batch_size)) {
+    const std::size_t hi = std::min(
+        sources.size(), lo + static_cast<std::size_t>(opts.batch_size));
+    Batch batch(std::vector<vid_t>(sources.begin() + static_cast<std::ptrdiff_t>(lo),
+                                   sources.begin() + static_cast<std::ptrdiff_t>(hi)),
+                n, p);
+    const Layout& sl = batch.layout();
+
+    // ---- forward BFS with path counting ----
+    DistMatrix<double> frontier;
+    {
+      auto bins = dist::empty_bins<double>(sl, n);
+      for (vid_t s = 0; s < batch.nb(); ++s) {
+        const vid_t src = batch.source(s);
+        auto [bi, bj] = sl.owner(s, src);
+        bins[static_cast<std::size_t>(bi * sl.pc + bj)].push(
+            s - sl.block_rows(bi, bj).lo, src, 1.0);
+        auto& blk = batch.at(bi, bj);
+        blk.level[blk.at(s, src)] = 0;
+        blk.sigma[blk.at(s, src)] = 1.0;
+      }
+      sim_.charge_alltoall(all_ranks,
+                           static_cast<double>(batch.nb()) *
+                               sim::sparse_entry_words<double>());
+      frontier = dist::from_blocks<Keep<double>>(batch.nb(), n, sl, std::move(bins));
+    }
+
+    vid_t level = 0;
+    vid_t max_level = 0;
+    while (frontier.nnz() > 0) {
+      ++level;
+      dist::DistSpgemmStats dst;
+      DistMatrix<double> reached = dist::spgemm<SumMonoid>(
+          sim_, plan_, frontier, adj_, CountAction{}, sl, &dst, &adj_cache_);
+      if (stats != nullptr) {
+        stats->forward.frontier_nnz.push_back(frontier.nnz());
+        stats->forward.product_nnz.push_back(reached.nnz());
+        stats->forward.total_ops += static_cast<nnz_t>(dst.total_ops);
+      }
+      auto bins = dist::empty_bins<double>(sl, n);
+      for (int i = 0; i < sl.pr; ++i) {
+        for (int j = 0; j < sl.pc; ++j) {
+          auto& blk = batch.at(i, j);
+          const auto& rb = reached.block(i, j);
+          auto& bin = bins[static_cast<std::size_t>(i * sl.pc + j)];
+          for (vid_t lr = 0; lr < rb.nrows(); ++lr) {
+            const vid_t s = blk.rows.lo + lr;
+            auto cols = rb.row_cols(lr);
+            auto vals = rb.row_vals(lr);
+            for (std::size_t x = 0; x < cols.size(); ++x) {
+              const std::size_t at = blk.at(s, cols[x]);
+              if (blk.level[at] != -1) continue;  // visited mask
+              blk.level[at] = level;
+              blk.sigma[at] = vals[x];
+              bin.push(lr, cols[x], vals[x]);
+            }
+          }
+          sim_.charge_compute(sl.rank_at(i, j), static_cast<double>(rb.nnz()));
+        }
+      }
+      frontier = dist::from_blocks<Keep<double>>(batch.nb(), n, sl, std::move(bins));
+      if (frontier.nnz() > 0) max_level = level;
+      sim_.charge_allreduce(all_ranks, 1.0);
+    }
+
+    // ---- backward dependency accumulation, level-synchronized ----
+    for (vid_t lvl = max_level; lvl >= 1; --lvl) {
+      auto bins = dist::empty_bins<double>(sl, n);
+      for (int i = 0; i < sl.pr; ++i) {
+        for (int j = 0; j < sl.pc; ++j) {
+          auto& blk = batch.at(i, j);
+          auto& bin = bins[static_cast<std::size_t>(i * sl.pc + j)];
+          for (vid_t s = blk.rows.lo; s < blk.rows.hi; ++s) {
+            for (vid_t v = blk.cols.lo; v < blk.cols.hi; ++v) {
+              const std::size_t at = blk.at(s, v);
+              if (blk.level[at] == lvl) {
+                bin.push(s - blk.rows.lo, v,
+                         (1.0 + blk.delta[at]) / blk.sigma[at]);
+              }
+            }
+          }
+          sim_.charge_compute(sl.rank_at(i, j),
+                              static_cast<double>(blk.rows.size()) *
+                                  static_cast<double>(blk.cols.size()));
+        }
+      }
+      DistMatrix<double> w = dist::from_blocks<Keep<double>>(batch.nb(), n, sl, std::move(bins));
+      dist::DistSpgemmStats dst;
+      DistMatrix<double> u = dist::spgemm<SumMonoid>(
+          sim_, plan_, w, adj_t_, DepAction{}, sl, &dst, &adj_t_cache_);
+      if (stats != nullptr) {
+        stats->backward.frontier_nnz.push_back(w.nnz());
+        stats->backward.product_nnz.push_back(u.nnz());
+        stats->backward.total_ops += static_cast<nnz_t>(dst.total_ops);
+      }
+      for (int i = 0; i < sl.pr; ++i) {
+        for (int j = 0; j < sl.pc; ++j) {
+          auto& blk = batch.at(i, j);
+          const auto& ub = u.block(i, j);
+          for (vid_t lr = 0; lr < ub.nrows(); ++lr) {
+            const vid_t s = blk.rows.lo + lr;
+            auto cols = ub.row_cols(lr);
+            auto vals = ub.row_vals(lr);
+            for (std::size_t x = 0; x < cols.size(); ++x) {
+              const std::size_t at = blk.at(s, cols[x]);
+              if (blk.level[at] == lvl - 1) {
+                blk.delta[at] += vals[x] * blk.sigma[at];
+              }
+            }
+          }
+          sim_.charge_compute(sl.rank_at(i, j), static_cast<double>(ub.nnz()));
+        }
+      }
+    }
+
+    // Accumulate BC (sources excluded, as in Brandes).
+    for (int i = 0; i < sl.pr; ++i) {
+      for (int j = 0; j < sl.pc; ++j) {
+        auto& blk = batch.at(i, j);
+        for (vid_t s = blk.rows.lo; s < blk.rows.hi; ++s) {
+          const vid_t src = batch.source(s);
+          for (vid_t v = blk.cols.lo; v < blk.cols.hi; ++v) {
+            if (v == src) continue;
+            bc[static_cast<std::size_t>(v)] += blk.delta[blk.at(s, v)];
+          }
+        }
+        sim_.charge_compute(sl.rank_at(i, j),
+                            static_cast<double>(blk.rows.size()) *
+                                static_cast<double>(blk.cols.size()));
+      }
+    }
+    if (stats != nullptr) ++stats->batches;
+  }
+
+  sim_.charge_reduce(all_ranks, static_cast<double>(n));
+  return bc;
+}
+
+}  // namespace mfbc::baseline

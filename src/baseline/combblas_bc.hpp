@@ -1,0 +1,60 @@
+// CombBLAS-style distributed betweenness centrality — the comparison target
+// of the paper's evaluation (§7).
+//
+// The Combinatorial BLAS BC code [11] is a batched, BFS-based algebraic
+// Brandes over a *square-only* 2D processor grid using SUMMA sparse matrix
+// multiplication, for *unweighted* graphs. This class reproduces those
+// design axes on the simulated machine:
+//   * frontier × adjacency products over the (+,×) count semiring,
+//   * visited-mask filtering after each product (BFS, not Bellman-Ford),
+//   * level-synchronized backward dependency accumulation,
+//   * a fixed 2D SUMMA plan on a √p×√p grid — constructor rejects non-square
+//     rank counts, mirroring "CombBLAS requires square processor grids"
+//     (§7.1), and rejects weighted graphs, mirroring that prior algebraic BC
+//     codes "have largely been limited to unweighted graphs" (§2.4).
+#pragma once
+
+#include <vector>
+
+#include "dist/spgemm_dist.hpp"
+#include "graph/graph.hpp"
+#include "mfbc/mfbc_seq.hpp"
+#include "sim/comm.hpp"
+
+namespace mfbc::baseline {
+
+using core::FrontierTrace;
+using graph::Weight;
+
+struct CombBlasOptions {
+  graph::vid_t batch_size = 64;
+  std::vector<graph::vid_t> sources;  ///< empty = all vertices
+};
+
+struct CombBlasStats {
+  FrontierTrace forward;
+  FrontierTrace backward;
+  int batches = 0;
+};
+
+class CombBlasBc {
+ public:
+  /// Throws unless sim's rank count is a perfect square and g is unweighted.
+  CombBlasBc(sim::Sim& sim, const graph::Graph& g);
+
+  std::vector<double> run(const CombBlasOptions& opts,
+                          CombBlasStats* stats = nullptr);
+
+ private:
+  struct Batch;
+
+  sim::Sim& sim_;
+  const graph::Graph& g_;
+  dist::Plan plan_;  ///< fixed 2D SUMMA on the square grid
+  dist::DistMatrix<Weight> adj_;
+  dist::DistMatrix<Weight> adj_t_;
+  dist::HomeCache<Weight> adj_cache_;
+  dist::HomeCache<Weight> adj_t_cache_;
+};
+
+}  // namespace mfbc::baseline

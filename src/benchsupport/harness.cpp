@@ -1,0 +1,104 @@
+#include "benchsupport/harness.hpp"
+
+#include <algorithm>
+
+#include "baseline/combblas_bc.hpp"
+#include "mfbc/teps.hpp"
+#include "support/error.hpp"
+#include "support/strutil.hpp"
+
+namespace mfbc::bench {
+
+namespace {
+
+std::vector<graph::vid_t> pick_sources(const graph::Graph& g,
+                                       const CellConfig& cfg) {
+  // Benchmarks time one (or a few) batches, as the paper does ("we executed
+  // each batch only once", §7.1). Sources are the first k vertices; the
+  // graphs are randomly relabeled by the generators, so this is a uniform
+  // sample.
+  graph::vid_t k = cfg.num_sources > 0 ? cfg.num_sources : cfg.batch_size;
+  k = std::min(k, g.n());
+  std::vector<graph::vid_t> out(static_cast<std::size_t>(k));
+  for (graph::vid_t i = 0; i < k; ++i) out[static_cast<std::size_t>(i)] = i;
+  return out;
+}
+
+void fill_costs(CellResult& r, const sim::Sim& sim, const graph::Graph& g,
+                double nsources) {
+  const sim::Cost crit = sim.ledger().critical();
+  r.seconds = crit.total_seconds();
+  r.comm_seconds = crit.comm_seconds;
+  r.words = crit.words;
+  r.msgs = crit.msgs;
+  r.mteps_per_node = core::mteps_per_node(
+      core::edge_traversals(g, nsources), r.seconds, r.nodes);
+}
+
+}  // namespace
+
+CellResult run_mfbc_cell(const graph::Graph& g, const CellConfig& cfg) {
+  CellResult r;
+  r.nodes = cfg.nodes;
+  try {
+    sim::Sim sim(cfg.nodes, cfg.machine);
+    core::DistMfbc engine(sim, g);
+    core::DistMfbcOptions opts;
+    opts.batch_size = cfg.batch_size;
+    opts.plan_mode = cfg.plan_mode;
+    opts.replication_c = cfg.replication_c;
+    opts.sources = pick_sources(g, cfg);
+    if (cfg.warmup) {
+      core::DistMfbcOptions warm = opts;
+      warm.sources.assign(
+          opts.sources.begin(),
+          opts.sources.begin() +
+              std::min<std::ptrdiff_t>(
+                  static_cast<std::ptrdiff_t>(opts.sources.size()),
+                  static_cast<std::ptrdiff_t>(cfg.batch_size)));
+      engine.run(warm);
+    }
+    sim.ledger().reset();  // exclude one-time graph distribution, as §7 does
+    core::DistMfbcStats stats;
+    engine.run(opts, &stats);
+    r.fwd_iterations = stats.forward.iterations();
+    r.bwd_iterations = stats.backward.iterations();
+    r.fwd_words = stats.forward_cost.words;
+    r.bwd_words = stats.backward_cost.words;
+    r.plans = stats.plans_used;
+    fill_costs(r, sim, g, static_cast<double>(opts.sources.size()));
+  } catch (const Error& e) {
+    r.ok = false;
+    r.error = e.what();
+  }
+  return r;
+}
+
+CellResult run_combblas_cell(const graph::Graph& g, const CellConfig& cfg) {
+  CellResult r;
+  r.nodes = cfg.nodes;
+  try {
+    sim::Sim sim(cfg.nodes, cfg.machine);
+    baseline::CombBlasBc engine(sim, g);
+    sim.ledger().reset();
+    baseline::CombBlasOptions opts;
+    opts.batch_size = cfg.batch_size;
+    opts.sources = pick_sources(g, cfg);
+    baseline::CombBlasStats stats;
+    engine.run(opts, &stats);
+    r.fwd_iterations = stats.forward.iterations();
+    r.bwd_iterations = stats.backward.iterations();
+    fill_costs(r, sim, g, static_cast<double>(opts.sources.size()));
+  } catch (const Error& e) {
+    r.ok = false;
+    r.error = e.what();
+  }
+  return r;
+}
+
+std::string cell_str(const CellResult& r) {
+  if (!r.ok) return "fail";
+  return fixed(r.mteps_per_node, 2);
+}
+
+}  // namespace mfbc::bench

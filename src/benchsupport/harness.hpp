@@ -1,0 +1,61 @@
+// Shared measurement harness for the per-figure benchmark binaries.
+//
+// Every Figure 1/2 point is "MTEPS per node" for one (graph, p, code) cell:
+// we run the distributed algorithm on a p-rank simulated machine, read the
+// critical-path cost off the ledger, convert to modelled seconds, and report
+// traversals/second/node. run_mfbc_cell / run_combblas_cell package that.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "mfbc/mfbc_dist.hpp"
+#include "sim/machine.hpp"
+
+namespace mfbc::bench {
+
+struct CellResult {
+  int nodes = 0;
+  double seconds = 0;        ///< modelled time (critical path, §7.4)
+  double comm_seconds = 0;
+  double words = 0;          ///< critical-path words W
+  double msgs = 0;           ///< critical-path messages S
+  double mteps_per_node = 0;
+  int fwd_iterations = 0;
+  int bwd_iterations = 0;
+  /// MFBC phase split of the critical-path words (forward MFBF vs backward
+  /// MFBr); zero for the baseline, which has no phase instrumentation.
+  double fwd_words = 0;
+  double bwd_words = 0;
+  std::vector<std::string> plans;
+  bool ok = true;            ///< false when the code refused the configuration
+  std::string error;
+};
+
+struct CellConfig {
+  int nodes = 4;
+  graph::vid_t batch_size = 64;
+  graph::vid_t num_sources = 0;  ///< 0 = one batch of batch_size sources
+  core::PlanMode plan_mode = core::PlanMode::kAuto;
+  int replication_c = 1;
+  /// Run one unmeasured batch first, then reset the ledger: reports the
+  /// steady-state per-batch cost with the adjacency mapping already
+  /// amortized (the regime Theorem 5.1's replication argument describes).
+  bool warmup = false;
+  sim::MachineModel machine = sim::MachineModel::blue_waters();
+};
+
+/// One CTF-MFBC (or CA-MFBC) measurement.
+CellResult run_mfbc_cell(const graph::Graph& g, const CellConfig& cfg);
+
+/// One CombBLAS-style measurement. Returns ok=false (instead of throwing)
+/// when the configuration is unsupported (non-square grid, weighted graph) —
+/// the paper likewise reports CombBLAS failing to execute some cells.
+CellResult run_combblas_cell(const graph::Graph& g, const CellConfig& cfg);
+
+/// Format helper: MTEPS/node or "fail".
+std::string cell_str(const CellResult& r);
+
+}  // namespace mfbc::bench

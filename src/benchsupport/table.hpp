@@ -1,0 +1,46 @@
+// Plain-text table/series printers for the benchmark binaries. Each bench
+// reproduces one paper artifact and prints rows in the same shape the paper
+// reports (Table 3 columns, Figure 1/2 MTEPS-per-node series).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mfbc::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment; `title` printed above when non-empty.
+  std::string render(const std::string& title = {}) const;
+
+  /// Comma-separated rendering (quotes cells containing commas/quotes).
+  std::string to_csv() const;
+
+  /// Write to_csv() to `path` (throws mfbc::Error on I/O failure).
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Shared option parsing for the bench binaries: every bench accepts
+/// `--small` (reduced problem sizes for smoke runs) and `--csv DIR`
+/// (write the printed tables as CSV files into DIR).
+struct BenchArgs {
+  bool small = false;
+  std::string csv_dir;
+};
+
+BenchArgs parse_bench_args(int argc, char** argv);
+
+/// If args.csv_dir is set, write `table` to "<dir>/<name>.csv" and print a
+/// note; otherwise do nothing.
+void maybe_write_csv(const BenchArgs& args, const std::string& name,
+                     const Table& table);
+
+}  // namespace mfbc::bench

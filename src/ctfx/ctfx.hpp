@@ -1,0 +1,236 @@
+// The CTF programming interface (paper §6.1), as a typed facade over the
+// sequential sparse kernels.
+//
+// The paper expresses MFBC's operations in CTF's index-label notation:
+//
+//     Kernel<W,M,M,u,f> BF;
+//     Z["ij"] = BF(A["ik"], Z["kj"]);          // Z = A •⟨⊕,f⟩ Z
+//
+//     Function<int,float> inv([](int x){ return 1.f/x; });
+//     B["ij"] = inv(A["ij"]);                  // elementwise map
+//
+// This header provides that surface: Matrix<T> wraps a Csr, operator[]
+// attaches two index labels, Kernel<⊕,f> builds a contraction expression
+// whose contracted index is inferred from the labels (the label occurring
+// in both operands), and assignment evaluates. Transposed operand labels
+// ("ki" instead of "ik") and transposed outputs are handled by inserting
+// explicit transpositions, matching the paper's observation that "aside
+// from the need for transposition (data-reordering), sparse tensor
+// contractions are equivalent to sparse matrix multiplication" (§1).
+//
+// Execution is sequential; the facade exists to demonstrate (and test) the
+// paper's "from algebra to code" mapping. The distributed path uses the
+// typed API in src/dist directly.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "algebra/concepts.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/ops.hpp"
+#include "sparse/spgemm.hpp"
+#include "support/error.hpp"
+
+namespace mfbc::ctfx {
+
+using sparse::Csr;
+using sparse::vid_t;
+
+namespace detail {
+
+struct Labels {
+  char row = 'i';
+  char col = 'j';
+
+  friend bool operator==(const Labels&, const Labels&) = default;
+};
+
+inline Labels parse_labels(const char* s) {
+  MFBC_CHECK(s != nullptr && s[0] != '\0' && s[1] != '\0' && s[2] == '\0',
+             "matrix index labels must be exactly two characters, e.g. \"ij\"");
+  MFBC_CHECK(s[0] != s[1], "repeated index labels (traces) are not supported");
+  return Labels{s[0], s[1]};
+}
+
+}  // namespace detail
+
+template <typename T>
+class Matrix;
+
+/// A matrix with index labels attached: the building block of expressions.
+template <typename T>
+struct Indexed {
+  const Matrix<T>* matrix;
+  detail::Labels labels;
+};
+
+/// Mutable flavor returned by Matrix::operator[]; assignment to it runs an
+/// expression (see Kernel/Function below). Publicly derives from Indexed so
+/// template argument deduction lets a mutable handle appear as an operand.
+template <typename T>
+class IndexedMut : public Indexed<T> {
+ public:
+  IndexedMut(Matrix<T>* m, detail::Labels l)
+      : Indexed<T>{m, l}, mutable_(m) {}
+
+  /// Evaluate any expression object exposing eval(out_labels) -> Csr<T>.
+  template <typename Expr>
+  IndexedMut& operator=(const Expr& expr) {
+    mutable_->assign(expr.eval(this->labels));
+    return *this;
+  }
+
+ private:
+  Matrix<T>* mutable_;
+};
+
+/// A CTF-style matrix handle (dense shape, sparse storage).
+template <typename T>
+class Matrix {
+ public:
+  Matrix(vid_t nrows, vid_t ncols) : data_(nrows, ncols) {}
+  explicit Matrix(Csr<T> data) : data_(std::move(data)) {}
+
+  vid_t nrows() const { return data_.nrows(); }
+  vid_t ncols() const { return data_.ncols(); }
+  const Csr<T>& csr() const { return data_; }
+
+  Indexed<T> operator[](const char* labels) const {
+    return {this, detail::parse_labels(labels)};
+  }
+  IndexedMut<T> operator[](const char* labels) {
+    return {this, detail::parse_labels(labels)};
+  }
+
+  void assign(Csr<T> data) { data_ = std::move(data); }
+
+ private:
+  Csr<T> data_;
+};
+
+namespace detail {
+
+/// Orient an operand so its labels match (want_row, want_col), transposing
+/// if they arrive swapped.
+template <typename T>
+Csr<T> oriented(const Indexed<T>& x, char want_row, char want_col) {
+  if (x.labels.row == want_row && x.labels.col == want_col) {
+    return x.matrix->csr();
+  }
+  MFBC_CHECK(x.labels.row == want_col && x.labels.col == want_row,
+             "operand labels do not match the expression");
+  return sparse::transpose(x.matrix->csr());
+}
+
+/// Deferred contraction C(i,j) = ⊕_k f(A(i,k), B(k,j)) with label inference.
+template <algebra::Monoid M, typename F, typename TA, typename TB>
+struct ContractionExpr {
+  Indexed<TA> a;
+  Indexed<TB> b;
+  F f;
+
+  Csr<typename M::value_type> eval(Labels out) const {
+    // The contracted label is the one the operands share; it must not
+    // appear in the output.
+    char k = 0;
+    for (char ca : {a.labels.row, a.labels.col}) {
+      for (char cb : {b.labels.row, b.labels.col}) {
+        if (ca == cb) k = ca;
+      }
+    }
+    MFBC_CHECK(k != 0, "operands share no index to contract over");
+    MFBC_CHECK(k != out.row && k != out.col,
+               "contracted index may not appear in the output");
+    const char m = a.labels.row == k ? a.labels.col : a.labels.row;
+    const char n = b.labels.row == k ? b.labels.col : b.labels.row;
+    MFBC_CHECK((out == Labels{m, n}) || (out == Labels{n, m}),
+               "output labels must be the operands' two free indices");
+    Csr<TA> ac = oriented(a, m, k);
+    Csr<TB> bc = oriented(b, k, n);
+    auto c = sparse::spgemm<M>(ac, bc, f);
+    if (out == Labels{n, m}) return sparse::transpose(c);
+    return c;
+  }
+};
+
+/// Deferred unary map B(i,j) = fn(A(i,j)) (CTF's Function on one operand).
+template <typename R, typename TA, typename Fn>
+struct MapExpr {
+  Indexed<TA> a;
+  Fn fn;
+
+  Csr<R> eval(Labels out) const {
+    Csr<TA> ac = oriented(a, out.row, out.col);
+    return sparse::map_values<R>(
+        ac, [&](vid_t, vid_t, const TA& v) { return fn(v); });
+  }
+};
+
+/// Deferred elementwise combine C(i,j) = A(i,j) ⊕ B(i,j) over the union of
+/// patterns (CTF's summation into a monoid).
+template <algebra::Monoid M>
+struct EwiseExpr {
+  Indexed<typename M::value_type> a;
+  Indexed<typename M::value_type> b;
+
+  Csr<typename M::value_type> eval(Labels out) const {
+    auto ac = oriented(a, out.row, out.col);
+    auto bc = oriented(b, out.row, out.col);
+    return sparse::ewise_union<M>(ac, bc);
+  }
+};
+
+}  // namespace detail
+
+/// Generalized contraction kernel •⟨⊕,f⟩ (paper §3 / §6.1's Kernel).
+/// M is the output monoid, F the bridge function f : TA × TB → M::value_type.
+template <algebra::Monoid M, typename F>
+class Kernel {
+ public:
+  explicit Kernel(F f = F{}) : f_(std::move(f)) {}
+
+  template <typename TA, typename TB>
+  auto operator()(Indexed<TA> a, Indexed<TB> b) const {
+    return detail::ContractionExpr<M, F, TA, TB>{a, b, f_};
+  }
+
+ private:
+  F f_;
+};
+
+/// Elementwise unary function (CTF's Function<R,TA>).
+template <typename R, typename TA, typename Fn>
+class Function {
+ public:
+  explicit Function(Fn fn) : fn_(std::move(fn)) {}
+
+  auto operator()(Indexed<TA> a) const {
+    return detail::MapExpr<R, TA, Fn>{a, fn_};
+  }
+
+ private:
+  Fn fn_;
+};
+
+template <typename R, typename TA, typename Fn>
+Function<R, TA, Fn> make_function(Fn fn) {
+  return Function<R, TA, Fn>(std::move(fn));
+}
+
+/// Elementwise monoid combine of two equally-typed matrices.
+template <algebra::Monoid M>
+auto ewise(Indexed<typename M::value_type> a,
+           Indexed<typename M::value_type> b) {
+  return detail::EwiseExpr<M>{a, b};
+}
+
+/// In-place value transform (CTF's Transform): mutates stored values.
+template <typename T, typename Fn>
+void transform(Matrix<T>& m, Fn fn) {
+  Csr<T> updated = sparse::map_values<T>(
+      m.csr(), [&](vid_t r, vid_t c, const T& v) { return fn(r, c, v); });
+  m.assign(std::move(updated));
+}
+
+}  // namespace mfbc::ctfx

@@ -1,0 +1,60 @@
+#include "dist/autotune.hpp"
+
+#include "dist/procgrid.hpp"
+#include "support/error.hpp"
+
+namespace mfbc::dist {
+
+std::vector<Plan> enumerate_plans(int p, const TuneOptions& opts) {
+  MFBC_CHECK(p >= 1, "p must be positive");
+  std::vector<Plan> out;
+  if (p == 1) {
+    out.push_back(Plan{});  // local multiply
+    return out;
+  }
+  for (const GridDims& d : factorizations(p)) {
+    const bool is_1d = d.p1 > 1 && d.p2 == 1 && d.p3 == 1;
+    const bool is_2d = d.p1 == 1 && d.p2 * d.p3 > 1;
+    const bool is_3d = d.p1 > 1 && d.p2 * d.p3 > 1;
+    if (is_1d) {
+      if (!opts.allow_1d) continue;
+      for (Variant1D v1 : {Variant1D::kA, Variant1D::kB, Variant1D::kC}) {
+        out.push_back(Plan{d.p1, 1, 1, v1, Variant2D::kAB});
+      }
+    } else if (is_2d) {
+      if (!opts.allow_2d) continue;
+      if (opts.square_2d_only && d.p2 != d.p3) continue;
+      for (Variant2D v2 : {Variant2D::kAB, Variant2D::kAC, Variant2D::kBC}) {
+        out.push_back(Plan{1, d.p2, d.p3, Variant1D::kA, v2});
+      }
+    } else if (is_3d) {
+      if (!opts.allow_3d) continue;
+      for (Variant1D v1 : {Variant1D::kA, Variant1D::kB, Variant1D::kC}) {
+        for (Variant2D v2 : {Variant2D::kAB, Variant2D::kAC, Variant2D::kBC}) {
+          out.push_back(Plan{d.p1, d.p2, d.p3, v1, v2});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Plan autotune(int p, const MultiplyStats& stats, const sim::MachineModel& mm,
+              const TuneOptions& opts) {
+  const auto plans = enumerate_plans(p, opts);
+  MFBC_CHECK(!plans.empty(), "no plan shapes permitted by TuneOptions");
+  const Plan* best = nullptr;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const Plan& plan : plans) {
+    if (model_memory_words(plan, stats) > opts.memory_words_limit) continue;
+    const double cost = model_cost(plan, stats, mm).total();
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = &plan;
+    }
+  }
+  MFBC_CHECK(best != nullptr, "no plan fits in the per-rank memory limit");
+  return *best;
+}
+
+}  // namespace mfbc::dist

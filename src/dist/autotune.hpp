@@ -1,0 +1,35 @@
+// Plan selection (paper §6.2): "For each operation, CTF seeks an optimal
+// processor grid, considering the space of algorithms described in §5.2 as
+// well as overheads, such as redistributing the matrices."
+//
+// enumerate_plans() produces the full 1D/2D/3D variant × factorization
+// space; autotune() evaluates the §5.2 model on each and returns the
+// cheapest plan that fits the per-rank memory limit.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "dist/cost_model.hpp"
+
+namespace mfbc::dist {
+
+struct TuneOptions {
+  double memory_words_limit = std::numeric_limits<double>::infinity();
+  bool allow_1d = true;
+  bool allow_2d = true;
+  bool allow_3d = true;
+  /// Restrict to square 2D grids (the CombBLAS constraint, used by the
+  /// baseline to mirror "CombBLAS requires square processor grids", §7.1).
+  bool square_2d_only = false;
+};
+
+/// Every distinct plan for p ranks under the options. Duplicate degenerate
+/// shapes (e.g. 3D with p1 = 1 collapsing to 2D) are canonicalized away.
+std::vector<Plan> enumerate_plans(int p, const TuneOptions& opts = {});
+
+/// Cheapest plan under the §5.2 model; throws if no plan fits in memory.
+Plan autotune(int p, const MultiplyStats& stats, const sim::MachineModel& mm,
+              const TuneOptions& opts = {});
+
+}  // namespace mfbc::dist

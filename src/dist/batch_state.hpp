@@ -1,0 +1,104 @@
+// Dense per-rank batch state for frontier algorithms.
+//
+// Both MFBC and the CombBLAS-style baseline keep their accumulated per-batch
+// quantities (distances/multiplicities/ζ/counters, or levels/σ/δ) densely
+// tiled on an n_b×n state grid — O(n·n_b/p) words per rank, the Theorem 5.1
+// memory footprint. BatchState centralizes the tiling bookkeeping; the
+// algorithm supplies a Fields struct with a `resize(std::size_t)` that
+// allocates its per-block arrays.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "dist/procgrid.hpp"
+#include "support/error.hpp"
+
+namespace mfbc::dist {
+
+/// Near-square pr×pc factorization of p (pr <= pc) — the default state grid
+/// shape (§6.2: "block dimensions owned by each processor as close to a
+/// square as possible").
+inline std::pair<int, int> near_square_grid(int p) {
+  int pr = 1;
+  for (int d = 1; d * d <= p; ++d) {
+    if (p % d == 0) pr = d;
+  }
+  return {pr, p / pr};
+}
+
+template <typename Fields>
+class BatchState {
+ public:
+  struct Block : Fields {
+    Range rows;  ///< global batch-row (source index) range
+    Range cols;  ///< global vertex range
+
+    /// Offset of global (s, v) in this block's row-major arrays.
+    std::size_t at(vid_t s, vid_t v) const {
+      MFBC_DCHECK(rows.contains(s) && cols.contains(v), "entry not in block");
+      return static_cast<std::size_t>(s - rows.lo) *
+                 static_cast<std::size_t>(cols.size()) +
+             static_cast<std::size_t>(v - cols.lo);
+    }
+  };
+
+  /// Tile nb×n over the given grid; each block's Fields are resized to the
+  /// block's entry count.
+  BatchState(std::vector<vid_t> sources, vid_t n, Layout layout)
+      : sources_(std::move(sources)),
+        nb_(static_cast<vid_t>(sources_.size())),
+        n_(n),
+        layout_(layout) {
+    MFBC_CHECK((layout.rows == Range{0, nb_} && layout.cols == Range{0, n}),
+               "state layout must cover the nb x n region");
+    init_blocks();
+  }
+
+  /// Convenience: tile over p ranks on the near-square default grid.
+  BatchState(std::vector<vid_t> sources, vid_t n, int p)
+      : sources_(std::move(sources)),
+        nb_(static_cast<vid_t>(sources_.size())),
+        n_(n) {
+    auto [pr, pc] = near_square_grid(p);
+    layout_ = Layout{0, pr, pc, Range{0, nb_}, Range{0, n}, false};
+    init_blocks();
+  }
+
+  vid_t nb() const { return nb_; }
+  vid_t n() const { return n_; }
+  const std::vector<vid_t>& sources() const { return sources_; }
+  vid_t source(vid_t s) const {
+    return sources_[static_cast<std::size_t>(s)];
+  }
+  const Layout& layout() const { return layout_; }
+
+  Block& at(int i, int j) {
+    return blocks_[static_cast<std::size_t>(i * layout_.pc + j)];
+  }
+  const Block& at(int i, int j) const {
+    return blocks_[static_cast<std::size_t>(i * layout_.pc + j)];
+  }
+
+ private:
+  void init_blocks() {
+    blocks_.resize(static_cast<std::size_t>(layout_.nranks()));
+    for (int i = 0; i < layout_.pr; ++i) {
+      for (int j = 0; j < layout_.pc; ++j) {
+        Block& b = blocks_[static_cast<std::size_t>(i * layout_.pc + j)];
+        b.rows = layout_.block_rows(i, j);
+        b.cols = layout_.block_cols(i, j);
+        b.resize(static_cast<std::size_t>(b.rows.size()) *
+                 static_cast<std::size_t>(b.cols.size()));
+      }
+    }
+  }
+
+  std::vector<vid_t> sources_;
+  vid_t nb_ = 0;
+  vid_t n_ = 0;
+  Layout layout_;
+  std::vector<Block> blocks_;
+};
+
+}  // namespace mfbc::dist

@@ -1,0 +1,75 @@
+// Analytic communication-cost models for the SpGEMM algorithm space
+// (paper §5.2) and the plan type the autotuner selects.
+//
+// The models are the paper's formulas verbatim:
+//   1D variant X ∈ {A,B,C}:
+//       W_X(X,p) = O(α·log p + β·nnz(X))
+//   2D variant YZ ∈ {AB,AC,BC} on a pr×pc grid:
+//       W_YZ(Y,Z,pr,pc) = O(α·max(pr,pc)·log p + β·(nnz(Y)/pr + nnz(Z)/pc))
+//   3D variant (X,YZ) on p1×p2×p3 (1D over p1 nested with 2D over p2×p3):
+//       W_X,YZ = W_X(X[p2,p3]) + W_YZ with the non-replicated operands
+//                blocked by p1 (paper's case split on X ∈ {Y,Z} or not)
+// plus CTF-style mapping overhead for redistributing operands and output
+// (§6.2), and the optimal-compute term ops(A,B)/p.
+#pragma once
+
+#include <string>
+
+#include "sim/machine.hpp"
+#include "sparse/types.hpp"
+
+namespace mfbc::dist {
+
+using sparse::nnz_t;
+
+enum class Variant1D { kA, kB, kC };
+enum class Variant2D { kAB, kAC, kBC };
+
+/// A fully specified multiplication plan: the factorization p = p1·p2·p3 and
+/// which matrix the 1D level replicates/reduces (v1, active when p1 > 1) and
+/// which pair the 2D level communicates (v2, active when p2·p3 > 1).
+struct Plan {
+  int p1 = 1, p2 = 1, p3 = 1;
+  Variant1D v1 = Variant1D::kA;
+  Variant2D v2 = Variant2D::kAB;
+
+  int total_ranks() const { return p1 * p2 * p3; }
+  bool has_1d() const { return p1 > 1; }
+  bool has_2d() const { return p2 * p3 > 1; }
+
+  std::string to_string() const;
+};
+
+/// Problem statistics the model needs. nnz_c and ops may be exact (measured
+/// on a previous iteration) or the §5.2 uniform estimates.
+struct MultiplyStats {
+  sparse::vid_t m = 0, k = 0, n = 0;
+  double nnz_a = 0, nnz_b = 0, nnz_c = 0, ops = 0;
+  double words_a = 2, words_b = 2, words_c = 2;  ///< wire words per nonzero
+
+  /// §5.2 uniform-sparsity estimates: ops ≈ nnz(A)·nnz(B)/k and
+  /// nnz(C) ≈ min(m·n, ops).
+  static MultiplyStats estimated(sparse::vid_t m, sparse::vid_t k,
+                                 sparse::vid_t n, double nnz_a, double nnz_b,
+                                 double words_a, double words_b,
+                                 double words_c);
+};
+
+/// Modelled cost decomposition of one plan (seconds).
+struct ModelCost {
+  double latency = 0;    ///< α terms
+  double bandwidth = 0;  ///< β terms
+  double compute = 0;    ///< ops/p term
+  double remap = 0;      ///< operand/output redistribution overhead
+
+  double total() const { return latency + bandwidth + compute + remap; }
+};
+
+/// Per-rank memory footprint in words, M_X,YZ of §5.2.3.
+double model_memory_words(const Plan& plan, const MultiplyStats& s);
+
+/// Evaluate the §5.2 cost model for `plan` on machine `mm`.
+ModelCost model_cost(const Plan& plan, const MultiplyStats& s,
+                     const sim::MachineModel& mm);
+
+}  // namespace mfbc::dist

@@ -1,0 +1,173 @@
+// Distributed dense matrices and CTF's dense redistribution kernels.
+//
+// §6.2: "Transitioning between processor grids and other data distributions
+// are achieved using three kernels: (1) block-to-block redistribution,
+// (2) dense-to-dense redistribution, (3) sparse-to-sparse redistribution."
+// Kernel (3) lives in dmatrix.hpp; this header provides the dense container
+// plus kernels (1) and (2). The accumulated per-batch state of the MFBC
+// algorithms (T, ζ, counters) is dense per rank — O(n·n_b/p) words, the
+// Theorem 5.1 memory footprint — and lives in this type.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "dist/procgrid.hpp"
+#include "sim/comm.hpp"
+#include "support/error.hpp"
+
+namespace mfbc::dist {
+
+template <typename T>
+class DistDenseMatrix {
+ public:
+  DistDenseMatrix() = default;
+
+  /// Dense matrix tiled per `layout`, all entries set to `fill`.
+  DistDenseMatrix(vid_t nrows, vid_t ncols, Layout layout, T fill = T{})
+      : nrows_(nrows), ncols_(ncols), layout_(layout) {
+    MFBC_CHECK(layout.rows.lo >= 0 && layout.rows.hi <= nrows &&
+                   layout.cols.lo >= 0 && layout.cols.hi <= ncols,
+               "layout region exceeds matrix shape");
+    blocks_.resize(static_cast<std::size_t>(layout.nranks()));
+    for (int i = 0; i < layout.pr; ++i) {
+      for (int j = 0; j < layout.pc; ++j) {
+        auto& b = blocks_[static_cast<std::size_t>(i * layout.pc + j)];
+        b.assign(static_cast<std::size_t>(layout.block_rows(i, j).size()) *
+                     static_cast<std::size_t>(layout.block_cols(i, j).size()),
+                 fill);
+      }
+    }
+  }
+
+  vid_t nrows() const { return nrows_; }
+  vid_t ncols() const { return ncols_; }
+  const Layout& layout() const { return layout_; }
+
+  /// Words held by the largest block (per-rank memory footprint).
+  double max_block_words() const {
+    std::size_t mx = 0;
+    for (const auto& b : blocks_) mx = std::max(mx, b.size());
+    return static_cast<double>(mx) * sim::words_of<T>();
+  }
+
+  std::vector<T>& block(int i, int j) {
+    return blocks_[static_cast<std::size_t>(i * layout_.pc + j)];
+  }
+  const std::vector<T>& block(int i, int j) const {
+    return blocks_[static_cast<std::size_t>(i * layout_.pc + j)];
+  }
+
+  /// Element access by global coordinates (resolves the owning block).
+  T& at(vid_t r, vid_t c) {
+    auto [i, j] = layout_.owner(r, c);
+    return block(i, j)[index_in(i, j, r, c)];
+  }
+  const T& at(vid_t r, vid_t c) const {
+    auto [i, j] = layout_.owner(r, c);
+    return block(i, j)[index_in(i, j, r, c)];
+  }
+
+  /// Offset of global (r,c) within block (i,j)'s row-major storage.
+  std::size_t index_in(int i, int j, vid_t r, vid_t c) const {
+    const Range rr = layout_.block_rows(i, j);
+    const Range cr = layout_.block_cols(i, j);
+    MFBC_DCHECK(rr.contains(r) && cr.contains(c), "entry not in block");
+    return static_cast<std::size_t>(r - rr.lo) *
+               static_cast<std::size_t>(cr.size()) +
+           static_cast<std::size_t>(c - cr.lo);
+  }
+
+  /// Collect to one rank (row-major full matrix); charges a gather of the
+  /// full dense payload.
+  std::vector<T> gather(sim::Sim& sim) const {
+    std::vector<T> out(static_cast<std::size_t>(nrows_) *
+                       static_cast<std::size_t>(ncols_));
+    for (int i = 0; i < layout_.pr; ++i) {
+      for (int j = 0; j < layout_.pc; ++j) {
+        const Range rr = layout_.block_rows(i, j);
+        const Range cr = layout_.block_cols(i, j);
+        const auto& b = block(i, j);
+        for (vid_t r = rr.lo; r < rr.hi; ++r) {
+          for (vid_t c = cr.lo; c < cr.hi; ++c) {
+            out[static_cast<std::size_t>(r) *
+                    static_cast<std::size_t>(ncols_) +
+                static_cast<std::size_t>(c)] = b[index_in(i, j, r, c)];
+          }
+        }
+      }
+    }
+    sim.charge_gather(layout_.ranks(),
+                      static_cast<double>(layout_.rows.size()) *
+                          static_cast<double>(layout_.cols.size()) *
+                          sim::words_of<T>());
+    return out;
+  }
+
+ private:
+  vid_t nrows_ = 0;
+  vid_t ncols_ = 0;
+  Layout layout_;
+  std::vector<std::vector<T>> blocks_;
+};
+
+/// Kernel (1): block-to-block redistribution — the same grid shape on a
+/// different rank set (e.g. moving a matrix onto a 3D layer). Whole blocks
+/// move point-to-point: one message per relocated block, its full payload
+/// in words.
+template <typename T>
+DistDenseMatrix<T> redistribute_blocks(sim::Sim& sim,
+                                       const DistDenseMatrix<T>& src,
+                                       int new_rank0) {
+  const Layout& sl = src.layout();
+  Layout target = sl;
+  target.rank0 = new_rank0;
+  MFBC_CHECK(new_rank0 >= 0 && new_rank0 + target.nranks() <= sim.nranks(),
+             "target ranks exceed the machine");
+  DistDenseMatrix<T> out(src.nrows(), src.ncols(), target);
+  for (int i = 0; i < sl.pr; ++i) {
+    for (int j = 0; j < sl.pc; ++j) {
+      out.block(i, j) = src.block(i, j);
+      const int from = sl.rank_at(i, j);
+      const int to = target.rank_at(i, j);
+      if (from != to) {
+        const double words = static_cast<double>(src.block(i, j).size()) *
+                             sim::words_of<T>();
+        const int pair[] = {from, to};
+        // One point-to-point message carrying the block.
+        sim.ledger().collective(pair, words, 1.0,
+                                words * sim.model().beta + sim.model().alpha);
+      }
+    }
+  }
+  return out;
+}
+
+/// Kernel (2): dense-to-dense redistribution between arbitrary layouts of
+/// the same region — a personalized all-to-all whose per-rank volume is the
+/// largest target block.
+template <typename T>
+DistDenseMatrix<T> redistribute_dense(sim::Sim& sim,
+                                      const DistDenseMatrix<T>& src,
+                                      Layout target) {
+  MFBC_CHECK(target.rows == src.layout().rows &&
+                 target.cols == src.layout().cols,
+             "dense redistribution must cover the same region");
+  if (src.layout() == target) return src;
+  DistDenseMatrix<T> out(src.nrows(), src.ncols(), target);
+  const Range rows = target.rows;
+  const Range cols = target.cols;
+  for (vid_t r = rows.lo; r < rows.hi; ++r) {
+    for (vid_t c = cols.lo; c < cols.hi; ++c) {
+      out.at(r, c) = src.at(r, c);
+    }
+  }
+  std::vector<int> group = src.layout().ranks();
+  for (int r : target.ranks()) group.push_back(r);
+  std::sort(group.begin(), group.end());
+  group.erase(std::unique(group.begin(), group.end()), group.end());
+  sim.charge_alltoall(group, out.max_block_words());
+  return out;
+}
+
+}  // namespace mfbc::dist

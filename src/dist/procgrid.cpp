@@ -1,0 +1,77 @@
+#include "dist/procgrid.hpp"
+
+#include "support/error.hpp"
+
+namespace mfbc::dist {
+
+Range split_range(Range r, int parts, int i) {
+  MFBC_CHECK(parts >= 1 && i >= 0 && i < parts, "bad split index");
+  const vid_t n = r.size();
+  return {r.lo + n * i / parts, r.lo + n * (i + 1) / parts};
+}
+
+int split_owner(Range r, int parts, vid_t idx) {
+  MFBC_DCHECK(r.contains(idx), "index outside split range");
+  const vid_t n = r.size();
+  const vid_t off = idx - r.lo;
+  // Inverse of lo = n*i/parts: candidate then local fixup for rounding.
+  auto i = static_cast<int>((off * parts + parts - 1) / (n == 0 ? 1 : n));
+  i = std::min(i, parts - 1);
+  while (i > 0 && split_range(r, parts, i).lo > idx) --i;
+  while (i < parts - 1 && split_range(r, parts, i).hi <= idx) ++i;
+  MFBC_DCHECK(split_range(r, parts, i).contains(idx), "split_owner fixup failed");
+  return i;
+}
+
+std::vector<GridDims> factorizations(int p) {
+  MFBC_CHECK(p >= 1, "p must be positive");
+  std::vector<GridDims> out;
+  for (int p1 = 1; p1 <= p; ++p1) {
+    if (p % p1 != 0) continue;
+    const int rest = p / p1;
+    for (int p2 = 1; p2 <= rest; ++p2) {
+      if (rest % p2 != 0) continue;
+      out.push_back({p1, p2, rest / p2});
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<int, int>> factorizations2(int p) {
+  std::vector<std::pair<int, int>> out;
+  for (int pr = 1; pr <= p; ++pr) {
+    if (p % pr == 0) out.emplace_back(pr, p / pr);
+  }
+  return out;
+}
+
+std::pair<int, int> Layout::owner(vid_t r, vid_t c) const {
+  const int rs = split_owner(rows, row_splits(), r);
+  const int cs = split_owner(cols, col_splits(), c);
+  return transposed ? std::make_pair(cs, rs) : std::make_pair(rs, cs);
+}
+
+std::vector<int> Layout::ranks() const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(nranks()));
+  for (int i = 0; i < pr; ++i) {
+    for (int j = 0; j < pc; ++j) out.push_back(rank_at(i, j));
+  }
+  return out;
+}
+
+std::vector<int> Layout::row_group(int i) const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(pc));
+  for (int j = 0; j < pc; ++j) out.push_back(rank_at(i, j));
+  return out;
+}
+
+std::vector<int> Layout::col_group(int j) const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(pr));
+  for (int i = 0; i < pr; ++i) out.push_back(rank_at(i, j));
+  return out;
+}
+
+}  // namespace mfbc::dist

@@ -1,0 +1,584 @@
+// Distributed generalized SpGEMM over the simulated machine — the paper's
+// §5.2 algorithm space, executed faithfully:
+//
+//   * 1D variants A/B/C: replicate one matrix (or reduce C) across all ranks;
+//   * 2D variants AB/AC/BC: lcm(pr,pc)-step broadcast/reduce schedules on a
+//     pr×pc grid (the CTF scheme: "CTF uses lcm(pr,pc) broadcasts/reductions");
+//   * 3D variants (X,YZ): the nine nestings of a 1D variant over p1 layers
+//     with a 2D variant on each layer's p2×p3 grid.
+//
+// Every variant really moves the block data between virtual-rank slots and
+// charges the α–β ledger at each collective, so measured critical-path costs
+// come out of execution rather than out of the model. The §5.2 closed forms
+// live in cost_model.hpp and are used only for *plan selection* (§6.2), as
+// in CTF.
+//
+// All variants compute bit-identical results to sparse::spgemm for the
+// commutative monoids used in this library (verified by the test suite).
+#pragma once
+
+#include <numeric>
+#include <optional>
+#include <vector>
+
+#include "dist/autotune.hpp"
+#include "dist/cost_model.hpp"
+#include "dist/dmatrix.hpp"
+#include "sparse/spgemm.hpp"
+
+namespace mfbc::dist {
+
+/// Measured execution counters for one distributed multiply.
+struct DistSpgemmStats {
+  double total_ops = 0;     ///< Σ over ranks of nonzero products
+  double max_rank_ops = 0;  ///< load imbalance indicator
+};
+
+namespace detail {
+
+/// "Keep first" pseudo-monoid for rebuilding blocks whose entries are known
+/// to be duplicate-free (redistribution never merges).
+template <typename T>
+struct KeepFirst {
+  using value_type = T;
+  static value_type identity() { return value_type{}; }
+  static value_type combine(const value_type& a, const value_type&) { return a; }
+  static bool is_identity(const value_type&) { return false; }
+};
+
+/// Home layouts of the three 2D variants (§5.2.2) for a layer grid at
+/// `rank0` with shape p2×p3 and operand regions Rm×Rk (A), Rk×Rn (B).
+struct Homes {
+  Layout a, b, c;
+};
+
+inline Homes homes_2d(Variant2D v2, int rank0, int p2, int p3, Range rm,
+                      Range rk, Range rn) {
+  Homes h;
+  h.c = Layout{rank0, p2, p3, rm, rn, false};
+  switch (v2) {
+    case Variant2D::kAB:
+      h.a = Layout{rank0, p2, p3, rm, rk, false};
+      h.b = Layout{rank0, p2, p3, rk, rn, false};
+      break;
+    case Variant2D::kAC:
+      // Stationary B: A lives transposed (m split by p3, k split by p2) so
+      // its k-split matches B's row split.
+      h.a = Layout{rank0, p2, p3, rm, rk, true};
+      h.b = Layout{rank0, p2, p3, rk, rn, false};
+      break;
+    case Variant2D::kBC:
+      // Stationary A: B lives transposed (k split by p3, n split by p2).
+      h.a = Layout{rank0, p2, p3, rm, rk, false};
+      h.b = Layout{rank0, p2, p3, rk, rn, true};
+      break;
+  }
+  return h;
+}
+
+/// Move entries from several source distributions into one target layout
+/// with a single all-to-all charge. Sources must tile disjoint regions.
+template <algebra::Monoid M, typename T>
+DistMatrix<T> merge_to(sim::Sim& sim, vid_t nrows, vid_t ncols,
+                       const std::vector<DistMatrix<T>>& parts,
+                       Layout target) {
+  // Fast path: a single part already on the target layout.
+  if (parts.size() == 1 && parts[0].layout() == target) return parts[0];
+  DistMatrix<T> out(nrows, ncols, target);
+  std::vector<Coo<T>> bins;
+  bins.reserve(static_cast<std::size_t>(target.nranks()));
+  for (int i = 0; i < target.pr; ++i) {
+    for (int j = 0; j < target.pc; ++j) {
+      bins.emplace_back(target.block_rows(i, j).size(), ncols);
+    }
+  }
+  std::vector<double> send_words(static_cast<std::size_t>(sim.nranks()), 0.0);
+  std::vector<int> group;
+  for (const auto& part : parts) {
+    const Layout& sl = part.layout();
+    for (int r : sl.ranks()) group.push_back(r);
+    for (int i = 0; i < sl.pr; ++i) {
+      for (int j = 0; j < sl.pc; ++j) {
+        const Range rr = sl.block_rows(i, j);
+        const auto& blk = part.block(i, j);
+        const int src_rank = sl.rank_at(i, j);
+        for (vid_t r = 0; r < blk.nrows(); ++r) {
+          const vid_t gr = rr.lo + r;
+          if (!target.rows.contains(gr)) continue;
+          auto cols = blk.row_cols(r);
+          auto vals = blk.row_vals(r);
+          for (std::size_t x = 0; x < cols.size(); ++x) {
+            if (!target.cols.contains(cols[x])) continue;
+            auto [ti, tj] = target.owner(gr, cols[x]);
+            bins[static_cast<std::size_t>(ti * target.pc + tj)].push(
+                gr - target.block_rows(ti, tj).lo, cols[x], vals[x]);
+            if (target.rank_at(ti, tj) != src_rank) {
+              send_words[static_cast<std::size_t>(src_rank)] +=
+                  sim::sparse_entry_words<T>();
+            }
+          }
+        }
+      }
+    }
+  }
+  double max_words = 0;
+  for (std::size_t b = 0; b < bins.size(); ++b) {
+    max_words = std::max(max_words, static_cast<double>(bins[b].nnz()) *
+                                        sim::sparse_entry_words<T>());
+  }
+  for (double w : send_words) max_words = std::max(max_words, w);
+  for (int r : target.ranks()) group.push_back(r);
+  std::sort(group.begin(), group.end());
+  group.erase(std::unique(group.begin(), group.end()), group.end());
+  if (max_words > 0 || group.size() > 1) sim.charge_alltoall(group, max_words);
+  for (int i = 0; i < target.pr; ++i) {
+    for (int j = 0; j < target.pc; ++j) {
+      out.block(i, j) = Csr<T>::template from_coo<M>(
+          std::move(bins[static_cast<std::size_t>(i * target.pc + j)]));
+    }
+  }
+  return out;
+}
+
+/// Split one distribution into several target layouts (disjoint regions)
+/// with a single all-to-all charge.
+template <algebra::Monoid M, typename T>
+std::vector<DistMatrix<T>> split_to(sim::Sim& sim, const DistMatrix<T>& src,
+                                    const std::vector<Layout>& targets) {
+  std::vector<DistMatrix<T>> out;
+  out.reserve(targets.size());
+  struct Bin {
+    std::vector<Coo<T>> blocks;
+  };
+  std::vector<Bin> bins(targets.size());
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    const Layout& tl = targets[t];
+    bins[t].blocks.reserve(static_cast<std::size_t>(tl.nranks()));
+    for (int i = 0; i < tl.pr; ++i) {
+      for (int j = 0; j < tl.pc; ++j) {
+        bins[t].blocks.emplace_back(tl.block_rows(i, j).size(), src.ncols());
+      }
+    }
+  }
+  std::vector<double> send_words(static_cast<std::size_t>(sim.nranks()), 0.0);
+  const Layout& sl = src.layout();
+  for (int i = 0; i < sl.pr; ++i) {
+    for (int j = 0; j < sl.pc; ++j) {
+      const Range rr = sl.block_rows(i, j);
+      const auto& blk = src.block(i, j);
+      const int src_rank = sl.rank_at(i, j);
+      for (vid_t r = 0; r < blk.nrows(); ++r) {
+        const vid_t gr = rr.lo + r;
+        auto cols = blk.row_cols(r);
+        auto vals = blk.row_vals(r);
+        for (std::size_t x = 0; x < cols.size(); ++x) {
+          for (std::size_t t = 0; t < targets.size(); ++t) {
+            const Layout& tl = targets[t];
+            if (!tl.rows.contains(gr) || !tl.cols.contains(cols[x])) continue;
+            auto [ti, tj] = tl.owner(gr, cols[x]);
+            bins[t].blocks[static_cast<std::size_t>(ti * tl.pc + tj)].push(
+                gr - tl.block_rows(ti, tj).lo, cols[x], vals[x]);
+            if (tl.rank_at(ti, tj) != src_rank) {
+              send_words[static_cast<std::size_t>(src_rank)] +=
+                  sim::sparse_entry_words<T>();
+            }
+            break;  // regions are disjoint: first match wins
+          }
+        }
+      }
+    }
+  }
+  std::vector<int> group = sl.ranks();
+  double max_words = 0;
+  for (double w : send_words) max_words = std::max(max_words, w);
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    const Layout& tl = targets[t];
+    for (int r : tl.ranks()) group.push_back(r);
+    for (const auto& bin : bins[t].blocks) {
+      max_words = std::max(max_words, static_cast<double>(bin.nnz()) *
+                                          sim::sparse_entry_words<T>());
+    }
+  }
+  std::sort(group.begin(), group.end());
+  group.erase(std::unique(group.begin(), group.end()), group.end());
+  if (group.size() > 1) sim.charge_alltoall(group, max_words);
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    const Layout& tl = targets[t];
+    DistMatrix<T> dm(src.nrows(), src.ncols(), tl);
+    for (int i = 0; i < tl.pr; ++i) {
+      for (int j = 0; j < tl.pc; ++j) {
+        dm.block(i, j) = Csr<T>::template from_coo<M>(std::move(
+            bins[t].blocks[static_cast<std::size_t>(i * tl.pc + j)]));
+      }
+    }
+    out.push_back(std::move(dm));
+  }
+  return out;
+}
+
+/// Replicate a layer-resident matrix onto sibling layers: one broadcast per
+/// grid position across the p1 same-position ranks (§5.2.3's 1D replication
+/// of X given from a p2×p3 distribution).
+template <typename T>
+std::vector<DistMatrix<T>> replicate_layers(sim::Sim& sim,
+                                            const DistMatrix<T>& layer0,
+                                            const std::vector<Layout>& layouts) {
+  std::vector<DistMatrix<T>> out;
+  out.reserve(layouts.size());
+  const Layout& l0 = layer0.layout();
+  for (const Layout& lt : layouts) {
+    MFBC_CHECK(lt.pr == l0.pr && lt.pc == l0.pc && lt.rows == l0.rows &&
+                   lt.cols == l0.cols && lt.transposed == l0.transposed,
+               "replica layouts must match layer 0 up to rank offset");
+    DistMatrix<T> copy(layer0.nrows(), layer0.ncols(), lt);
+    for (int i = 0; i < lt.pr; ++i) {
+      for (int j = 0; j < lt.pc; ++j) copy.block(i, j) = layer0.block(i, j);
+    }
+    out.push_back(std::move(copy));
+  }
+  if (layouts.size() > 1) {
+    for (int i = 0; i < l0.pr; ++i) {
+      for (int j = 0; j < l0.pc; ++j) {
+        std::vector<int> group;
+        group.reserve(layouts.size());
+        for (const Layout& lt : layouts) group.push_back(lt.rank_at(i, j));
+        sim.charge_bcast(group, static_cast<double>(layer0.block(i, j).nnz()) *
+                                    sim::sparse_entry_words<T>());
+      }
+    }
+  }
+  return out;
+}
+
+/// One layer's 2D multiply: operands must already sit on homes_2d layouts.
+template <algebra::Monoid M, typename TA, typename TB, typename F>
+DistMatrix<typename M::value_type> spgemm_2d(sim::Sim& sim, Variant2D v2,
+                                             const DistMatrix<TA>& a,
+                                             const DistMatrix<TB>& b, F f,
+                                             DistSpgemmStats* st) {
+  using TC = typename M::value_type;
+  const Range rm = a.layout().rows;
+  const Range rk = a.layout().cols;
+  const Range rn = b.layout().cols;
+  MFBC_CHECK(b.layout().rows == rk, "2D spgemm inner region mismatch");
+  const int rank0 = a.layout().rank0;
+  const int p2 = a.layout().pr;
+  const int p3 = a.layout().pc;
+  MFBC_CHECK(b.layout().rank0 == rank0 && b.layout().pr == p2 &&
+                 b.layout().pc == p3,
+             "operands must share the layer grid");
+  const Layout cl = Layout{rank0, p2, p3, rm, rn, false};
+  DistMatrix<TC> c(a.nrows(), b.ncols(), cl);
+
+  auto charge_multiply = [&](int rank, const sparse::SpgemmStats& s,
+                             nnz_t union_touched) {
+    sim.charge_compute(rank, static_cast<double>(s.ops) +
+                                 static_cast<double>(union_touched));
+    if (st != nullptr) {
+      st->total_ops += static_cast<double>(s.ops);
+    }
+  };
+
+  if (p2 * p3 == 1) {
+    // Degenerate single-rank layer: one local Gustavson multiply.
+    sparse::SpgemmStats s;
+    c.block(0, 0) = sparse::spgemm<M>(a.block(0, 0), b.block(0, 0), f, &s,
+                                      /*b_row_offset=*/rk.lo);
+    charge_multiply(rank0, s, 0);
+    return c;
+  }
+
+  const int steps = std::lcm(p2, p3);
+  for (int step = 0; step < steps; ++step) {
+    switch (v2) {
+      case Variant2D::kAB: {
+        // Stationary C: broadcast a k-slice of A along grid rows and of B
+        // along grid columns; every rank multiply-accumulates its C block.
+        const Range kr = split_range(rk, steps, step);
+        if (kr.size() == 0) continue;
+        const int ja = step / (steps / p3);
+        const int ib = step / (steps / p2);
+        std::vector<Csr<TA>> a_slice;
+        a_slice.reserve(static_cast<std::size_t>(p2));
+        for (int i = 0; i < p2; ++i) {
+          a_slice.push_back(sparse::slice_cols(a.block(i, ja), kr.lo, kr.hi));
+          auto group = cl.row_group(i);
+          sim.charge_bcast(group, static_cast<double>(a_slice.back().nnz()) *
+                                      sim::sparse_entry_words<TA>());
+        }
+        std::vector<Csr<TB>> b_slice;
+        b_slice.reserve(static_cast<std::size_t>(p3));
+        const Range b_rows = b.layout().block_rows(ib, 0);
+        for (int j = 0; j < p3; ++j) {
+          b_slice.push_back(sparse::slice_rows(b.block(ib, j),
+                                               kr.lo - b_rows.lo,
+                                               kr.hi - b_rows.lo));
+          auto group = cl.col_group(j);
+          sim.charge_bcast(group, static_cast<double>(b_slice.back().nnz()) *
+                                      sim::sparse_entry_words<TB>());
+        }
+        for (int i = 0; i < p2; ++i) {
+          for (int j = 0; j < p3; ++j) {
+            sparse::SpgemmStats s;
+            auto partial = sparse::spgemm<M>(a_slice[static_cast<std::size_t>(i)],
+                                             b_slice[static_cast<std::size_t>(j)],
+                                             f, &s, /*b_row_offset=*/kr.lo);
+            const nnz_t touched = partial.nnz() + c.block(i, j).nnz();
+            c.block(i, j) = sparse::ewise_union<M>(c.block(i, j), partial);
+            charge_multiply(cl.rank_at(i, j), s, touched);
+          }
+        }
+        break;
+      }
+      case Variant2D::kAC: {
+        // Stationary B: broadcast an m-slice of A along grid rows, reduce
+        // the matching m-slice of C along grid columns.
+        const Range mr = split_range(rm, steps, step);
+        if (mr.size() == 0) continue;
+        const int ja = step / (steps / p3);  // A transposed: m split by p3
+        const int ic = step / (steps / p2);  // C rows split by p2
+        std::vector<Csr<TA>> a_slice;
+        a_slice.reserve(static_cast<std::size_t>(p2));
+        const Range a_rows = a.layout().block_rows(0, ja);
+        for (int i = 0; i < p2; ++i) {
+          a_slice.push_back(sparse::slice_rows(a.block(i, ja),
+                                               mr.lo - a_rows.lo,
+                                               mr.hi - a_rows.lo));
+          auto group = cl.row_group(i);
+          sim.charge_bcast(group, static_cast<double>(a_slice.back().nnz()) *
+                                      sim::sparse_entry_words<TA>());
+        }
+        for (int j = 0; j < p3; ++j) {
+          Csr<TC> reduced(mr.size(), b.ncols());
+          for (int i = 0; i < p2; ++i) {
+            sparse::SpgemmStats s;
+            const Range b_rows = b.layout().block_rows(i, j);
+            auto partial = sparse::spgemm<M>(a_slice[static_cast<std::size_t>(i)],
+                                             b.block(i, j), f, &s,
+                                             /*b_row_offset=*/b_rows.lo);
+            charge_multiply(cl.rank_at(i, j), s, partial.nnz());
+            reduced = sparse::ewise_union<M>(reduced, partial);
+          }
+          sim.charge_reduce(cl.col_group(j), static_cast<double>(reduced.nnz()) *
+                                                 sim::sparse_entry_words<TC>());
+          const Range c_rows = cl.block_rows(ic, j);
+          auto embedded = sparse::embed_rows(reduced, c_rows.size(),
+                                             mr.lo - c_rows.lo);
+          c.block(ic, j) = sparse::ewise_union<M>(c.block(ic, j), embedded);
+        }
+        break;
+      }
+      case Variant2D::kBC: {
+        // Stationary A: broadcast an n-slice of B along grid columns, reduce
+        // the matching n-slice of C along grid rows.
+        const Range nr = split_range(rn, steps, step);
+        if (nr.size() == 0) continue;
+        const int ib = step / (steps / p2);  // B transposed: n split by p2
+        const int jc = step / (steps / p3);  // C cols split by p3
+        std::vector<Csr<TB>> b_slice;
+        b_slice.reserve(static_cast<std::size_t>(p3));
+        for (int j = 0; j < p3; ++j) {
+          b_slice.push_back(sparse::slice_cols(b.block(ib, j), nr.lo, nr.hi));
+          auto group = cl.col_group(j);
+          sim.charge_bcast(group, static_cast<double>(b_slice.back().nnz()) *
+                                      sim::sparse_entry_words<TB>());
+        }
+        for (int i = 0; i < p2; ++i) {
+          Csr<TC> reduced(cl.block_rows(i, 0).size(), b.ncols());
+          for (int j = 0; j < p3; ++j) {
+            sparse::SpgemmStats s;
+            const Range b_rows = b.layout().block_rows(ib, j);
+            auto partial = sparse::spgemm<M>(a.block(i, j),
+                                             b_slice[static_cast<std::size_t>(j)],
+                                             f, &s,
+                                             /*b_row_offset=*/b_rows.lo);
+            charge_multiply(cl.rank_at(i, j), s, partial.nnz());
+            reduced = sparse::ewise_union<M>(reduced, partial);
+          }
+          sim.charge_reduce(cl.row_group(i), static_cast<double>(reduced.nnz()) *
+                                                 sim::sparse_entry_words<TC>());
+          c.block(i, jc) = sparse::ewise_union<M>(c.block(i, jc), reduced);
+        }
+        break;
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace detail
+
+/// Cache of operand copies keyed by home layout.
+///
+/// CTF amortizes the mapping of a reused operand "over (up to d) sparse
+/// matrix multiplications and over the n²/cm batches, since A is always the
+/// same adjacency matrix" (proof of Thm 5.1). A HomeCache passed to spgemm
+/// realizes that amortization: the first multiply with a given plan pays the
+/// redistribution/replication of B, subsequent multiplies reuse the copies
+/// for free.
+template <typename T>
+class HomeCache {
+ public:
+  const DistMatrix<T>* find(const Layout& l) const {
+    for (const auto& [layout, m] : entries_) {
+      if (layout == l) return &m;
+    }
+    return nullptr;
+  }
+
+  const DistMatrix<T>& insert(Layout l, DistMatrix<T> m) {
+    entries_.emplace_back(std::move(l), std::move(m));
+    return entries_.back().second;
+  }
+
+  void clear() { entries_.clear(); }
+
+ private:
+  std::vector<std::pair<Layout, DistMatrix<T>>> entries_;
+};
+
+/// Distributed C = A •⟨⊕,f⟩ B following `plan`; the result is delivered on
+/// `out_layout`. Operands may be on any layout — they are remapped to the
+/// plan's home layouts first (CTF's mapping step), with every move charged.
+template <algebra::Monoid M, typename TA, typename TB, typename F>
+DistMatrix<typename M::value_type> spgemm(sim::Sim& sim, const Plan& plan,
+                                          const DistMatrix<TA>& a,
+                                          const DistMatrix<TB>& b, F f,
+                                          Layout out_layout,
+                                          DistSpgemmStats* st = nullptr,
+                                          HomeCache<TB>* b_cache = nullptr) {
+  using TC = typename M::value_type;
+  using detail::KeepFirst;
+  MFBC_CHECK(a.ncols() == b.nrows(), "spgemm inner dimension mismatch");
+  MFBC_CHECK(plan.total_ranks() <= sim.nranks(),
+             "plan uses more ranks than the simulated machine has");
+  const Range rm = a.layout().rows;
+  const Range rk = a.layout().cols;
+  const Range rn = b.layout().cols;
+  MFBC_CHECK(b.layout().rows == rk, "operand inner regions must match");
+
+  const int p1 = plan.p1, p2 = plan.p2, p3 = plan.p3;
+  const int layer_sz = p2 * p3;
+
+  // Per-layer operand regions and home layouts.
+  std::vector<Layout> a_homes, b_homes;
+  std::vector<DistMatrix<TA>> as;
+  std::vector<DistMatrix<TB>> bs;
+  a_homes.reserve(static_cast<std::size_t>(p1));
+  b_homes.reserve(static_cast<std::size_t>(p1));
+  for (int l = 0; l < p1; ++l) {
+    Range lrm = rm, lrk = rk, lrn = rn;
+    if (p1 > 1) {
+      switch (plan.v1) {
+        case Variant1D::kA: lrn = split_range(rn, p1, l); break;
+        case Variant1D::kB: lrm = split_range(rm, p1, l); break;
+        case Variant1D::kC: lrk = split_range(rk, p1, l); break;
+      }
+    }
+    auto h = detail::homes_2d(plan.v2, l * layer_sz, p2, p3, lrm, lrk, lrn);
+    a_homes.push_back(h.a);
+    b_homes.push_back(h.b);
+  }
+
+  // B-side mapping, with optional amortization through the cache: if every
+  // per-layer copy of B for this plan is cached, reuse them for free;
+  // otherwise map (charging) and populate the cache.
+  auto map_b = [&]() {
+    if (b_cache != nullptr) {
+      bool all_cached = true;
+      for (const Layout& h : b_homes) {
+        if (b_cache->find(h) == nullptr) {
+          all_cached = false;
+          break;
+        }
+      }
+      if (all_cached) {
+        for (const Layout& h : b_homes) bs.push_back(*b_cache->find(h));
+        return;
+      }
+    }
+    if (p1 == 1) {
+      bs.push_back(redistribute<KeepFirst<TB>>(sim, b, b_homes[0]));
+    } else if (plan.v1 == Variant1D::kB) {
+      bs = detail::replicate_layers(
+          sim, redistribute<KeepFirst<TB>>(sim, b, b_homes[0]), b_homes);
+    } else {
+      bs = detail::split_to<KeepFirst<TB>>(sim, b, b_homes);
+    }
+    if (b_cache != nullptr) {
+      for (std::size_t l = 0; l < b_homes.size(); ++l) {
+        b_cache->insert(b_homes[l], bs[l]);
+      }
+    }
+  };
+  map_b();
+
+  if (p1 == 1) {
+    as.push_back(redistribute<KeepFirst<TA>>(sim, a, a_homes[0]));
+  } else if (plan.v1 == Variant1D::kA) {
+    as = detail::replicate_layers(
+        sim, redistribute<KeepFirst<TA>>(sim, a, a_homes[0]), a_homes);
+  } else {  // kB and kC both split A
+    as = detail::split_to<KeepFirst<TA>>(sim, a, a_homes);
+  }
+
+  std::vector<DistMatrix<TC>> cs;
+  cs.reserve(static_cast<std::size_t>(p1));
+  for (int l = 0; l < p1; ++l) {
+    cs.push_back(detail::spgemm_2d<M>(sim, plan.v2, as[static_cast<std::size_t>(l)],
+                                      bs[static_cast<std::size_t>(l)], f, st));
+  }
+
+  if (st != nullptr) {
+    // max over ranks approximated by max over per-layer averages is wrong;
+    // recompute from the ledger if needed. Here track the coarse total only.
+    st->max_rank_ops = std::max(st->max_rank_ops, st->total_ops /
+                                                      std::max(1, plan.total_ranks()));
+  }
+
+  if (p1 > 1 && plan.v1 == Variant1D::kC) {
+    // Sparse-reduce the full-shape partial Cs across layers onto layer 0,
+    // then deliver.
+    DistMatrix<TC> c0 = cs[0];
+    for (int l = 1; l < p1; ++l) {
+      for (int i = 0; i < p2; ++i) {
+        for (int j = 0; j < p3; ++j) {
+          c0.block(i, j) = sparse::ewise_union<M>(
+              c0.block(i, j), cs[static_cast<std::size_t>(l)].block(i, j));
+        }
+      }
+    }
+    for (int i = 0; i < p2; ++i) {
+      for (int j = 0; j < p3; ++j) {
+        std::vector<int> group;
+        group.reserve(static_cast<std::size_t>(p1));
+        for (int l = 0; l < p1; ++l) {
+          group.push_back(cs[static_cast<std::size_t>(l)].layout().rank_at(i, j));
+        }
+        sim.charge_reduce(group, static_cast<double>(c0.block(i, j).nnz()) *
+                                     sim::sparse_entry_words<TC>());
+      }
+    }
+    std::vector<DistMatrix<TC>> one{std::move(c0)};
+    return detail::merge_to<M>(sim, a.nrows(), b.ncols(), one, out_layout);
+  }
+  return detail::merge_to<M>(sim, a.nrows(), b.ncols(), cs, out_layout);
+}
+
+/// Convenience overload: autotune the plan (§6.2) from the §5.2 estimates,
+/// then execute. `p` is the number of ranks to use (defaults to all).
+template <algebra::Monoid M, typename TA, typename TB, typename F>
+DistMatrix<typename M::value_type> spgemm_auto(
+    sim::Sim& sim, const DistMatrix<TA>& a, const DistMatrix<TB>& b, F f,
+    Layout out_layout, const TuneOptions& opts = {},
+    DistSpgemmStats* st = nullptr) {
+  auto stats = MultiplyStats::estimated(
+      a.nrows(), a.ncols(), b.ncols(), static_cast<double>(a.nnz()),
+      static_cast<double>(b.nnz()), sim::sparse_entry_words<TA>(),
+      sim::sparse_entry_words<TB>(),
+      sim::sparse_entry_words<typename M::value_type>());
+  const Plan plan = autotune(sim.nranks(), stats, sim.model(), opts);
+  return spgemm<M>(sim, plan, a, b, f, out_layout, st);
+}
+
+}  // namespace mfbc::dist

@@ -1,0 +1,100 @@
+#include "graph/generators.hpp"
+
+#include <unordered_set>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace mfbc::graph {
+
+namespace {
+
+/// Pack an edge into one u64 for dedup sets (n < 2^32 is enforced by the
+/// generators; the library's CSR itself has no such limit).
+std::uint64_t pack(vid_t u, vid_t v) {
+  return (static_cast<std::uint64_t>(u) << 32) | static_cast<std::uint32_t>(v);
+}
+
+Weight draw_weight(Xoshiro256& rng, const WeightSpec& ws) {
+  return ws.weighted ? rng.weight(ws.wmin, ws.wmax) : 1.0;
+}
+
+}  // namespace
+
+Graph erdos_renyi(vid_t n, nnz_t m, bool directed, WeightSpec ws,
+                  std::uint64_t seed) {
+  MFBC_CHECK(n >= 2, "erdos_renyi requires n >= 2");
+  MFBC_CHECK(n < (vid_t{1} << 32), "generator limit: n < 2^32");
+  const double max_edges = static_cast<double>(n) * (n - 1) / (directed ? 1 : 2);
+  MFBC_CHECK(static_cast<double>(m) <= 0.8 * max_edges,
+             "requested edge count too close to complete graph");
+  Xoshiro256 rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(m) * 2);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(m));
+  while (static_cast<nnz_t>(edges.size()) < m) {
+    vid_t u = static_cast<vid_t>(rng.bounded(static_cast<std::uint64_t>(n)));
+    vid_t v = static_cast<vid_t>(rng.bounded(static_cast<std::uint64_t>(n)));
+    if (u == v) continue;
+    // For undirected graphs canonicalize so {u,v} is drawn once.
+    if (!directed && u > v) std::swap(u, v);
+    if (!seen.insert(pack(u, v)).second) continue;
+    edges.push_back({u, v, draw_weight(rng, ws)});
+  }
+  return Graph::from_edges(n, edges, directed, ws.weighted);
+}
+
+Graph erdos_renyi_percent(vid_t n, double f_percent, bool directed,
+                          WeightSpec ws, std::uint64_t seed) {
+  MFBC_CHECK(f_percent > 0, "edge percentage must be positive");
+  const auto m = static_cast<nnz_t>(f_percent / 100.0 * static_cast<double>(n) *
+                                    static_cast<double>(n) /
+                                    (directed ? 1.0 : 2.0));
+  return erdos_renyi(n, std::max<nnz_t>(m, n), directed, ws, seed);
+}
+
+Graph rmat(const RmatParams& params, std::uint64_t seed) {
+  MFBC_CHECK(params.scale >= 1 && params.scale < 31, "rmat scale out of range");
+  const double d = 1.0 - params.a - params.b - params.c;
+  MFBC_CHECK(params.a > 0 && params.b > 0 && params.c > 0 && d > 0,
+             "rmat quadrant probabilities must be positive and sum below 1");
+  const vid_t n = vid_t{1} << params.scale;
+  const auto target =
+      static_cast<nnz_t>(params.edge_factor * static_cast<double>(n));
+  Xoshiro256 rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(target) * 2);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(target));
+  // Standard R-MAT: drop one edge per recursive quadrant descent; duplicates
+  // are merged, giving the usual sub-linear realized density.
+  nnz_t attempts = 0;
+  const nnz_t max_attempts = target * 4;
+  while (static_cast<nnz_t>(edges.size()) < target && attempts < max_attempts) {
+    ++attempts;
+    vid_t u = 0, v = 0;
+    for (int bit = params.scale - 1; bit >= 0; --bit) {
+      const double r = rng.uniform01();
+      if (r < params.a) {
+        // top-left: no bits set
+      } else if (r < params.a + params.b) {
+        v |= vid_t{1} << bit;
+      } else if (r < params.a + params.b + params.c) {
+        u |= vid_t{1} << bit;
+      } else {
+        u |= vid_t{1} << bit;
+        v |= vid_t{1} << bit;
+      }
+    }
+    if (u == v) continue;
+    vid_t cu = u, cv = v;
+    if (!params.directed && cu > cv) std::swap(cu, cv);
+    if (!seen.insert(pack(cu, cv)).second) continue;
+    edges.push_back({cu, cv, draw_weight(rng, params.weights)});
+  }
+  return Graph::from_edges(n, edges, params.directed, params.weights.weighted);
+}
+
+}  // namespace mfbc::graph

@@ -1,0 +1,36 @@
+#include "graph/graph.hpp"
+
+#include "sparse/coo.hpp"
+#include "support/error.hpp"
+
+namespace mfbc::graph {
+
+namespace {
+/// Parallel edges keep the minimum weight (tropical elementwise combine).
+using MinMonoid = algebra::TropicalMinMonoid;
+}  // namespace
+
+Graph Graph::from_edges(vid_t n, const std::vector<Edge>& edges, bool directed,
+                        bool weighted) {
+  MFBC_CHECK(n >= 0, "vertex count must be non-negative");
+  sparse::Coo<Weight> coo(n, n);
+  coo.reserve(static_cast<nnz_t>(edges.size()) * (directed ? 1 : 2));
+  for (const Edge& e : edges) {
+    MFBC_CHECK(e.u >= 0 && e.u < n && e.v >= 0 && e.v < n,
+               "edge endpoint out of range");
+    const Weight w = weighted ? e.w : 1.0;
+    MFBC_CHECK(w > 0, "edge weights must be strictly positive");
+    if (e.u == e.v) continue;  // drop self-loops
+    coo.push(e.u, e.v, w);
+    if (!directed) coo.push(e.v, e.u, w);
+  }
+  auto adj = sparse::Csr<Weight>::from_coo<MinMonoid>(std::move(coo));
+  return Graph(std::move(adj), directed, weighted);
+}
+
+Graph graph_from_csr(sparse::Csr<Weight> adj, bool directed, bool weighted) {
+  MFBC_CHECK(adj.nrows() == adj.ncols(), "adjacency matrix must be square");
+  return Graph(std::move(adj), directed, weighted);
+}
+
+}  // namespace mfbc::graph

@@ -1,0 +1,75 @@
+// Graph representation (paper §2.1).
+//
+// A graph G = (V, E, w) is stored as its adjacency matrix A in CSR with
+// A(i,j) = w(i,j) for (i,j) ∈ E; absent entries mean A(i,j) = ∞. Unweighted
+// graphs store weight 1 on every edge. Undirected graphs store both (i,j)
+// and (j,i).
+#pragma once
+
+#include <vector>
+
+#include "algebra/tropical.hpp"
+#include "sparse/csr.hpp"
+
+namespace mfbc::graph {
+
+using sparse::nnz_t;
+using sparse::vid_t;
+using Weight = algebra::Weight;
+
+struct Edge {
+  vid_t u = 0;
+  vid_t v = 0;
+  Weight w = 1.0;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Build from an edge list. Self-loops are dropped (they never lie on a
+  /// simple shortest path and Brandes' recurrence ignores them); parallel
+  /// edges keep the minimum weight. For undirected graphs each edge is
+  /// inserted in both directions. All weights must be strictly positive —
+  /// MFBF's frontier-termination argument needs w > 0 (a zero-weight cycle
+  /// would admit equal-weight paths of unbounded edge count).
+  static Graph from_edges(vid_t n, const std::vector<Edge>& edges,
+                          bool directed, bool weighted);
+
+  vid_t n() const { return adj_.nrows(); }
+
+  /// Number of stored adjacency nonzeros (2m for undirected graphs).
+  nnz_t nnz() const { return adj_.nnz(); }
+
+  /// Number of edges in the usual graph sense.
+  nnz_t m() const { return directed_ ? adj_.nnz() : adj_.nnz() / 2; }
+
+  bool directed() const { return directed_; }
+  bool weighted() const { return weighted_; }
+
+  const sparse::Csr<Weight>& adj() const { return adj_; }
+
+  /// Average degree m/n over stored directions (paper's k = m/n).
+  double avg_degree() const {
+    return n() == 0 ? 0.0 : static_cast<double>(m()) / static_cast<double>(n());
+  }
+
+  vid_t out_degree(vid_t v) const { return adj_.row_nnz(v); }
+
+ private:
+  Graph(sparse::Csr<Weight> adj, bool directed, bool weighted)
+      : adj_(std::move(adj)), directed_(directed), weighted_(weighted) {}
+
+  sparse::Csr<Weight> adj_;
+  bool directed_ = false;
+  bool weighted_ = false;
+
+  friend Graph graph_from_csr(sparse::Csr<Weight> adj, bool directed,
+                              bool weighted);
+};
+
+/// Internal: wrap an adjacency CSR that is already well-formed (used by the
+/// preprocessing passes).
+Graph graph_from_csr(sparse::Csr<Weight> adj, bool directed, bool weighted);
+
+}  // namespace mfbc::graph

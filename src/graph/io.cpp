@@ -1,0 +1,133 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace mfbc::graph {
+
+namespace {
+
+struct RawEdges {
+  std::vector<Edge> edges;
+  vid_t n = 0;
+};
+
+RawEdges parse_lines(std::istream& in, bool weighted, bool one_indexed) {
+  RawEdges out;
+  std::unordered_map<vid_t, vid_t> remap;
+  auto intern = [&](vid_t raw) {
+    auto [it, inserted] = remap.emplace(raw, out.n);
+    if (inserted) ++out.n;
+    return it->second;
+  };
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    vid_t u = 0, v = 0;
+    if (!(ls >> u >> v)) {
+      throw Error("malformed edge list line: '" + line + "'");
+    }
+    double w = 1.0;
+    if (weighted && !(ls >> w)) {
+      throw Error("missing weight on line: '" + line + "'");
+    }
+    if (one_indexed) {
+      --u;
+      --v;
+    }
+    MFBC_CHECK(u >= 0 && v >= 0, "negative vertex id in edge list");
+    out.edges.push_back({intern(u), intern(v), w});
+  }
+  return out;
+}
+
+}  // namespace
+
+Graph read_edge_list(std::istream& in, const EdgeListOptions& opts) {
+  RawEdges raw = parse_lines(in, opts.weighted, opts.one_indexed);
+  return Graph::from_edges(raw.n, raw.edges, opts.directed, opts.weighted);
+}
+
+Graph read_edge_list_file(const std::string& path,
+                          const EdgeListOptions& opts) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open graph file: " + path);
+  return read_edge_list(in, opts);
+}
+
+void write_edge_list(std::ostream& out, const Graph& g) {
+  const auto& adj = g.adj();
+  for (vid_t r = 0; r < adj.nrows(); ++r) {
+    auto cols = adj.row_cols(r);
+    auto vals = adj.row_vals(r);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      if (!g.directed() && cols[i] < r) continue;  // one direction only
+      out << r << ' ' << cols[i] << ' ' << vals[i] << '\n';
+    }
+  }
+}
+
+Graph read_matrix_market(std::istream& in) {
+  std::string line;
+  MFBC_CHECK(static_cast<bool>(std::getline(in, line)), "empty MatrixMarket file");
+  MFBC_CHECK(line.rfind("%%MatrixMarket", 0) == 0, "missing MatrixMarket banner");
+  const bool symmetric = line.find("symmetric") != std::string::npos;
+  const bool pattern = line.find("pattern") != std::string::npos;
+  // Skip comments; first data line is "nrows ncols nnz".
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream hs(line);
+  vid_t nrows = 0, ncols = 0;
+  nnz_t nz = 0;
+  MFBC_CHECK(static_cast<bool>(hs >> nrows >> ncols >> nz),
+             "malformed MatrixMarket size line");
+  MFBC_CHECK(nrows == ncols, "adjacency matrix must be square");
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(nz));
+  for (nnz_t i = 0; i < nz; ++i) {
+    MFBC_CHECK(static_cast<bool>(std::getline(in, line)),
+               "MatrixMarket file truncated");
+    std::istringstream ls(line);
+    vid_t u = 0, v = 0;
+    double w = 1.0;
+    MFBC_CHECK(static_cast<bool>(ls >> u >> v), "malformed MatrixMarket entry");
+    if (!pattern) ls >> w;
+    edges.push_back({u - 1, v - 1, w});
+  }
+  return Graph::from_edges(nrows, edges, /*directed=*/!symmetric, !pattern);
+}
+
+void write_matrix_market(std::ostream& out, const Graph& g) {
+  out << "%%MatrixMarket matrix coordinate "
+      << (g.weighted() ? "real" : "pattern") << ' '
+      << (g.directed() ? "general" : "symmetric") << '\n';
+  // Count emitted entries first (undirected: lower triangle only).
+  nnz_t count = 0;
+  const auto& adj = g.adj();
+  for (vid_t r = 0; r < adj.nrows(); ++r) {
+    for (vid_t c : adj.row_cols(r)) {
+      if (g.directed() || c <= r) ++count;
+    }
+  }
+  out << g.n() << ' ' << g.n() << ' ' << count << '\n';
+  for (vid_t r = 0; r < adj.nrows(); ++r) {
+    auto cols = adj.row_cols(r);
+    auto vals = adj.row_vals(r);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      if (!g.directed() && cols[i] > r) continue;
+      out << (r + 1) << ' ' << (cols[i] + 1);
+      if (g.weighted()) out << ' ' << vals[i];
+      out << '\n';
+    }
+  }
+}
+
+}  // namespace mfbc::graph

@@ -1,0 +1,31 @@
+// Graph I/O: whitespace edge lists (the SNAP distribution format) and
+// MatrixMarket coordinate files, so real datasets can replace the synthetic
+// proxies when available.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace mfbc::graph {
+
+struct EdgeListOptions {
+  bool directed = false;
+  bool weighted = false;      ///< expect a third column with a weight
+  bool one_indexed = false;   ///< vertex ids start at 1 (MatrixMarket style)
+};
+
+/// Parse "u v [w]" lines; '#' and '%' start comment lines. Vertex ids are
+/// compacted to 0..n-1 preserving first-appearance order.
+Graph read_edge_list(std::istream& in, const EdgeListOptions& opts);
+Graph read_edge_list_file(const std::string& path, const EdgeListOptions& opts);
+
+/// Write "u v w" lines (one stored direction per undirected edge).
+void write_edge_list(std::ostream& out, const Graph& g);
+
+/// MatrixMarket coordinate format ("%%MatrixMarket matrix coordinate ...").
+Graph read_matrix_market(std::istream& in);
+void write_matrix_market(std::ostream& out, const Graph& g);
+
+}  // namespace mfbc::graph

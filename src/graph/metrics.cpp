@@ -1,0 +1,121 @@
+#include "graph/metrics.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "sparse/ops.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace mfbc::graph {
+
+std::vector<vid_t> bfs_levels(const Graph& g, vid_t source) {
+  MFBC_CHECK(source >= 0 && source < g.n(), "bfs source out of range");
+  std::vector<vid_t> level(static_cast<std::size_t>(g.n()), -1);
+  std::queue<vid_t> q;
+  level[static_cast<std::size_t>(source)] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const vid_t u = q.front();
+    q.pop();
+    const vid_t lu = level[static_cast<std::size_t>(u)];
+    for (vid_t v : g.adj().row_cols(u)) {
+      if (level[static_cast<std::size_t>(v)] < 0) {
+        level[static_cast<std::size_t>(v)] = lu + 1;
+        q.push(v);
+      }
+    }
+  }
+  return level;
+}
+
+vid_t weakly_connected_components(const Graph& g) {
+  // Union-find over the undirected closure.
+  std::vector<vid_t> parent(static_cast<std::size_t>(g.n()));
+  for (vid_t v = 0; v < g.n(); ++v) parent[static_cast<std::size_t>(v)] = v;
+  auto find = [&](vid_t x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+  const auto& adj = g.adj();
+  for (vid_t r = 0; r < adj.nrows(); ++r) {
+    for (vid_t c : adj.row_cols(r)) {
+      const vid_t a = find(r), b = find(c);
+      if (a != b) parent[static_cast<std::size_t>(a)] = b;
+    }
+  }
+  vid_t components = 0;
+  for (vid_t v = 0; v < g.n(); ++v) {
+    if (find(v) == v) ++components;
+  }
+  return components;
+}
+
+vid_t reachable_count(const Graph& g, vid_t source) {
+  auto levels = bfs_levels(g, source);
+  return static_cast<vid_t>(
+      std::count_if(levels.begin(), levels.end(), [](vid_t l) { return l >= 0; }));
+}
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats s;
+  if (g.n() == 0) return s;
+  s.min = g.n();
+  nnz_t total = 0;
+  for (vid_t v = 0; v < g.n(); ++v) {
+    const vid_t d = g.out_degree(v);
+    total += d;
+    s.max = std::max(s.max, d);
+    s.min = std::min(s.min, d);
+  }
+  s.avg = static_cast<double>(total) / static_cast<double>(g.n());
+  return s;
+}
+
+DiameterEstimate estimate_diameter(const Graph& g, int samples,
+                                   std::uint64_t seed) {
+  DiameterEstimate est;
+  if (g.n() == 0) return est;
+  Xoshiro256 rng(seed);
+  std::vector<vid_t> all_dists;
+  vid_t best_ecc = 0;
+  vid_t frontier_source = -1;
+  const int rounds = std::min<int>(samples, static_cast<int>(g.n()));
+  for (int i = 0; i < rounds; ++i) {
+    const vid_t src =
+        samples >= g.n()
+            ? static_cast<vid_t>(i)
+            : static_cast<vid_t>(rng.bounded(static_cast<std::uint64_t>(g.n())));
+    auto levels = bfs_levels(g, src);
+    for (std::size_t v = 0; v < levels.size(); ++v) {
+      const vid_t l = levels[v];
+      if (l > 0) all_dists.push_back(l);
+      if (l > best_ecc) {
+        best_ecc = l;
+        // remember the farthest vertex for the double sweep
+        frontier_source = static_cast<vid_t>(v);
+      }
+    }
+  }
+  // Double sweep: BFS again from the farthest vertex found.
+  if (frontier_source >= 0) {
+    auto levels = bfs_levels(g, frontier_source);
+    for (vid_t l : levels) best_ecc = std::max(best_ecc, l);
+  }
+  est.lower_bound = best_ecc;
+  if (!all_dists.empty()) {
+    std::nth_element(all_dists.begin(),
+                     all_dists.begin() +
+                         static_cast<std::ptrdiff_t>(all_dists.size() * 9 / 10),
+                     all_dists.end());
+    est.effective90 = static_cast<double>(
+        all_dists[all_dists.size() * 9 / 10]);
+  }
+  return est;
+}
+
+}  // namespace mfbc::graph

@@ -1,0 +1,40 @@
+// Structural graph metrics: BFS levels, connectivity, diameter estimates,
+// degree statistics. Used by tests, the Table 2 reproduction, and the
+// workload generators' self-reports.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mfbc::graph {
+
+/// Hop distances from `source` following out-edges (-1 = unreachable).
+std::vector<vid_t> bfs_levels(const Graph& g, vid_t source);
+
+/// Number of weakly connected components.
+vid_t weakly_connected_components(const Graph& g);
+
+/// Count of vertices reachable from `source` (including itself).
+vid_t reachable_count(const Graph& g, vid_t source);
+
+struct DegreeStats {
+  double avg = 0.0;
+  vid_t max = 0;
+  vid_t min = 0;
+};
+DegreeStats degree_stats(const Graph& g);
+
+struct DiameterEstimate {
+  vid_t lower_bound = 0;   ///< max eccentricity over sampled BFS sweeps
+  double effective90 = 0;  ///< 90-percentile effective diameter (Table 2's d̄)
+};
+
+/// Estimate diameter by repeated BFS sweeps from `samples` pseudo-random
+/// sources plus double-sweep refinement (exact on small graphs when
+/// samples >= n). For directed graphs the sweep follows out-edges.
+DiameterEstimate estimate_diameter(const Graph& g, int samples,
+                                   std::uint64_t seed);
+
+}  // namespace mfbc::graph

@@ -1,0 +1,115 @@
+#include "graph/more_generators.hpp"
+
+#include <unordered_set>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace mfbc::graph {
+
+namespace {
+
+std::uint64_t pack(vid_t u, vid_t v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | static_cast<std::uint32_t>(v);
+}
+
+Weight draw_weight(Xoshiro256& rng, const WeightSpec& ws) {
+  return ws.weighted ? rng.weight(ws.wmin, ws.wmax) : 1.0;
+}
+
+}  // namespace
+
+Graph watts_strogatz(vid_t n, int k, double beta, WeightSpec ws,
+                     std::uint64_t seed) {
+  MFBC_CHECK(n >= 4, "watts_strogatz requires n >= 4");
+  MFBC_CHECK(k >= 2 && k % 2 == 0 && k < n, "k must be even and < n");
+  MFBC_CHECK(beta >= 0.0 && beta <= 1.0, "rewiring probability in [0,1]");
+  Xoshiro256 rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<Edge> edges;
+  for (vid_t u = 0; u < n; ++u) {
+    for (int d = 1; d <= k / 2; ++d) {
+      vid_t v = (u + d) % n;
+      if (rng.uniform01() < beta) {
+        // Rewire to a uniform random endpoint, avoiding loops/duplicates.
+        for (int attempt = 0; attempt < 32; ++attempt) {
+          const auto w =
+              static_cast<vid_t>(rng.bounded(static_cast<std::uint64_t>(n)));
+          if (w != u && !seen.count(pack(u, w))) {
+            v = w;
+            break;
+          }
+        }
+      }
+      if (u == v || seen.count(pack(u, v))) continue;
+      seen.insert(pack(u, v));
+      edges.push_back({u, v, draw_weight(rng, ws)});
+    }
+  }
+  return Graph::from_edges(n, edges, /*directed=*/false, ws.weighted);
+}
+
+Graph barabasi_albert(vid_t n, int m, WeightSpec ws, std::uint64_t seed) {
+  MFBC_CHECK(m >= 1 && n > m, "need n > m >= 1");
+  Xoshiro256 rng(seed);
+  std::vector<Edge> edges;
+  // Repeated-endpoint list: picking a uniform element of `targets` is
+  // degree-proportional sampling.
+  std::vector<vid_t> targets;
+  // Seed clique over the first m+1 vertices.
+  for (vid_t u = 0; u <= m; ++u) {
+    for (vid_t v = u + 1; v <= m; ++v) {
+      edges.push_back({u, v, draw_weight(rng, ws)});
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  std::unordered_set<std::uint64_t> seen;
+  for (const Edge& e : edges) seen.insert(pack(e.u, e.v));
+  for (vid_t u = m + 1; u < n; ++u) {
+    int added = 0;
+    int attempts = 0;
+    while (added < m && attempts < 64 * m) {
+      ++attempts;
+      const vid_t v = targets[static_cast<std::size_t>(
+          rng.bounded(targets.size()))];
+      if (v == u || seen.count(pack(u, v))) continue;
+      seen.insert(pack(u, v));
+      edges.push_back({u, v, draw_weight(rng, ws)});
+      ++added;
+    }
+    for (int i = 0; i < added; ++i) targets.push_back(u);
+    for (std::size_t i = edges.size() - static_cast<std::size_t>(added);
+         i < edges.size(); ++i) {
+      targets.push_back(edges[i].v);
+    }
+  }
+  return Graph::from_edges(n, edges, /*directed=*/false, ws.weighted);
+}
+
+Graph grid_2d(vid_t side, bool torus, WeightSpec ws, std::uint64_t seed) {
+  MFBC_CHECK(side >= 2, "grid side must be >= 2");
+  Xoshiro256 rng(seed);
+  std::vector<Edge> edges;
+  auto id = [side](vid_t r, vid_t c) { return r * side + c; };
+  for (vid_t r = 0; r < side; ++r) {
+    for (vid_t c = 0; c < side; ++c) {
+      if (c + 1 < side) {
+        edges.push_back({id(r, c), id(r, c + 1), draw_weight(rng, ws)});
+      } else if (torus && side > 2) {
+        edges.push_back({id(r, c), id(r, 0), draw_weight(rng, ws)});
+      }
+      if (r + 1 < side) {
+        edges.push_back({id(r, c), id(r + 1, c), draw_weight(rng, ws)});
+      } else if (torus && side > 2) {
+        edges.push_back({id(r, c), id(0, c), draw_weight(rng, ws)});
+      }
+    }
+  }
+  return Graph::from_edges(side * side, edges, /*directed=*/false,
+                           ws.weighted);
+}
+
+}  // namespace mfbc::graph

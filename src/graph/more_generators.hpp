@@ -1,0 +1,33 @@
+// Additional workload families beyond the paper's R-MAT / Erdős–Rényi:
+// small-world rings (Watts–Strogatz), preferential attachment
+// (Barabási–Albert), and regular grids/tori. These give the test suite and
+// the examples graph classes with controlled diameter and degree structure —
+// e.g. a torus has large diameter and uniform degree (the opposite corner of
+// the workload space from R-MAT), which stresses the frontier loops in ways
+// power-law graphs do not.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "graph/generators.hpp"
+
+namespace mfbc::graph {
+
+/// Watts–Strogatz small world: a ring of n vertices each connected to its k
+/// nearest neighbors (k even), with every edge rewired to a random endpoint
+/// with probability beta. beta=0 gives a high-diameter ring lattice; small
+/// beta collapses the diameter while keeping local clustering.
+Graph watts_strogatz(vid_t n, int k, double beta, WeightSpec ws,
+                     std::uint64_t seed);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches m
+/// edges to existing vertices with probability proportional to their
+/// degree. Produces power-law degree tails with guaranteed connectivity.
+Graph barabasi_albert(vid_t n, int m, WeightSpec ws, std::uint64_t seed);
+
+/// side×side 4-neighbor grid (optionally a torus with wraparound edges).
+/// Weighted variants draw integer weights from ws.
+Graph grid_2d(vid_t side, bool torus, WeightSpec ws, std::uint64_t seed);
+
+}  // namespace mfbc::graph

@@ -1,0 +1,130 @@
+#include "graph/prep.hpp"
+
+#include <numeric>
+
+#include "sparse/coo.hpp"
+#include "sparse/ops.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace mfbc::graph {
+
+namespace {
+using MinMonoid = algebra::TropicalMinMonoid;
+
+Graph rebuild(const Graph& g, const std::vector<vid_t>& old_to_new,
+              vid_t new_n) {
+  sparse::Coo<Weight> coo(new_n, new_n);
+  coo.reserve(g.nnz());
+  const auto& adj = g.adj();
+  for (vid_t r = 0; r < adj.nrows(); ++r) {
+    const vid_t nr = old_to_new[static_cast<std::size_t>(r)];
+    if (nr < 0) continue;
+    auto cols = adj.row_cols(r);
+    auto vals = adj.row_vals(r);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      const vid_t nc = old_to_new[static_cast<std::size_t>(cols[i])];
+      if (nc >= 0) coo.push(nr, nc, vals[i]);
+    }
+  }
+  return graph_from_csr(
+      sparse::Csr<Weight>::from_coo<MinMonoid>(std::move(coo)), g.directed(),
+      g.weighted());
+}
+}  // namespace
+
+Graph remove_isolated(const Graph& g, std::vector<vid_t>* old_to_new_out) {
+  const auto& adj = g.adj();
+  std::vector<char> live(static_cast<std::size_t>(g.n()), 0);
+  for (vid_t r = 0; r < adj.nrows(); ++r) {
+    if (adj.row_nnz(r) > 0) live[static_cast<std::size_t>(r)] = 1;
+  }
+  for (vid_t c : adj.col()) live[static_cast<std::size_t>(c)] = 1;
+  std::vector<vid_t> old_to_new(static_cast<std::size_t>(g.n()), -1);
+  vid_t next = 0;
+  for (vid_t v = 0; v < g.n(); ++v) {
+    if (live[static_cast<std::size_t>(v)]) {
+      old_to_new[static_cast<std::size_t>(v)] = next++;
+    }
+  }
+  Graph out = rebuild(g, old_to_new, next);
+  if (old_to_new_out != nullptr) *old_to_new_out = std::move(old_to_new);
+  return out;
+}
+
+Graph random_relabel(const Graph& g, std::uint64_t seed,
+                     std::vector<vid_t>* perm_out) {
+  std::vector<vid_t> perm(static_cast<std::size_t>(g.n()));
+  std::iota(perm.begin(), perm.end(), vid_t{0});
+  Xoshiro256 rng(seed);
+  // Fisher–Yates with the library's deterministic generator.
+  for (std::size_t i = perm.size(); i > 1; --i) {
+    std::size_t j = static_cast<std::size_t>(rng.bounded(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  Graph out = rebuild(g, perm, g.n());
+  if (perm_out != nullptr) *perm_out = std::move(perm);
+  return out;
+}
+
+Graph symmetrize(const Graph& g) {
+  if (!g.directed()) return g;
+  auto merged = sparse::ewise_union<MinMonoid>(g.adj(),
+                                               sparse::transpose(g.adj()));
+  return graph_from_csr(std::move(merged), /*directed=*/false, g.weighted());
+}
+
+Graph largest_component(const Graph& g, std::vector<vid_t>* old_to_new_out) {
+  // Union-find over the undirected closure, then keep the biggest root.
+  std::vector<vid_t> parent(static_cast<std::size_t>(g.n()));
+  for (vid_t v = 0; v < g.n(); ++v) parent[static_cast<std::size_t>(v)] = v;
+  auto find = [&](vid_t x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+  const auto& adj = g.adj();
+  for (vid_t r = 0; r < adj.nrows(); ++r) {
+    for (vid_t c : adj.row_cols(r)) {
+      const vid_t a = find(r), b = find(c);
+      if (a != b) parent[static_cast<std::size_t>(a)] = b;
+    }
+  }
+  std::vector<vid_t> size(static_cast<std::size_t>(g.n()), 0);
+  for (vid_t v = 0; v < g.n(); ++v) size[static_cast<std::size_t>(find(v))]++;
+  vid_t best_root = 0;
+  for (vid_t v = 0; v < g.n(); ++v) {
+    if (size[static_cast<std::size_t>(v)] >
+        size[static_cast<std::size_t>(best_root)]) {
+      best_root = v;
+    }
+  }
+  std::vector<vid_t> old_to_new(static_cast<std::size_t>(g.n()), -1);
+  vid_t next = 0;
+  for (vid_t v = 0; v < g.n(); ++v) {
+    if (find(v) == best_root) old_to_new[static_cast<std::size_t>(v)] = next++;
+  }
+  Graph out = rebuild(g, old_to_new, next);
+  if (old_to_new_out != nullptr) *old_to_new_out = std::move(old_to_new);
+  return out;
+}
+
+Graph induced_subgraph(const Graph& g, std::span<const vid_t> vertices,
+                       std::vector<vid_t>* old_to_new_out) {
+  std::vector<vid_t> old_to_new(static_cast<std::size_t>(g.n()), -1);
+  vid_t next = 0;
+  for (vid_t v : vertices) {
+    MFBC_CHECK(v >= 0 && v < g.n(), "subgraph vertex out of range");
+    if (old_to_new[static_cast<std::size_t>(v)] == -1) {
+      old_to_new[static_cast<std::size_t>(v)] = next++;
+    }
+  }
+  Graph out = rebuild(g, old_to_new, next);
+  if (old_to_new_out != nullptr) *old_to_new_out = std::move(old_to_new);
+  return out;
+}
+
+}  // namespace mfbc::graph

@@ -1,0 +1,45 @@
+// Graph preprocessing passes.
+//
+// The paper's pipeline (§7.1) preprocesses all graphs to remove completely
+// disconnected vertices, and the load-balance assumption of §5.2 requires
+// randomizing the row/column order ("randomizing the row and column order
+// implies that the number of nonzeros of each block is proportional to the
+// block size").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mfbc::graph {
+
+/// Remove vertices with no in- or out-edges, compacting vertex ids.
+/// Returns the cleaned graph; if old_to_new is non-null it receives the id
+/// mapping (-1 for removed vertices).
+Graph remove_isolated(const Graph& g, std::vector<vid_t>* old_to_new = nullptr);
+
+/// Apply a uniformly random permutation to vertex ids (the §5.2
+/// load-balancing preconditioner). Centrality scores are permuted
+/// accordingly; `perm_out` (optional) receives new_id = perm[old_id].
+Graph random_relabel(const Graph& g, std::uint64_t seed,
+                     std::vector<vid_t>* perm_out = nullptr);
+
+/// Make a directed graph undirected by adding reverse edges (minimum weight
+/// wins on conflicts). No-op for graphs that are already undirected.
+Graph symmetrize(const Graph& g);
+
+/// Restrict the graph to its largest weakly connected component, compacting
+/// vertex ids (BC studies commonly run on the giant component; TEPS
+/// accounting assumes connectivity). `old_to_new` (optional) receives the
+/// id mapping (-1 for removed vertices).
+Graph largest_component(const Graph& g,
+                        std::vector<vid_t>* old_to_new = nullptr);
+
+/// Induced subgraph on `vertices` (deduplicated), with ids compacted in the
+/// order given. Edges with both endpoints in the set survive.
+Graph induced_subgraph(const Graph& g, std::span<const vid_t> vertices,
+                       std::vector<vid_t>* old_to_new = nullptr);
+
+}  // namespace mfbc::graph

@@ -1,0 +1,53 @@
+// Synthetic stand-ins for the paper's real-world SNAP graphs (Table 2).
+//
+// The evaluation uses Friendster, Orkut, LiveJournal, and the patent
+// citation graph. Those datasets (up to 1.8B edges) are neither shipped with
+// this repository nor tractable on a single host, so each is replaced by a
+// *scaled-down proxy*: an R-MAT power-law graph matching the original's
+//   * directedness,
+//   * average degree m/n,
+//   * diameter class (low-diameter social network vs. higher-diameter
+//     citation graph — controlled by the R-MAT skew),
+// with n shrunk by a caller-chosen power of two. BC performance in the paper
+// is driven by density (cost of each frontier multiply), diameter (number of
+// multiplies), and directedness (forward vs. backward sparsity), so the
+// proxies preserve the shape of the Figure 1 / Table 3 comparisons. Real
+// SNAP files can be substituted through graph/io.hpp at any time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mfbc::graph {
+
+enum class SnapId { kFriendster, kOrkut, kLiveJournal, kPatents };
+
+struct SnapSpec {
+  SnapId id;
+  std::string name;        ///< paper's ID column ("frd", "ork", ...)
+  std::string full_name;
+  bool directed;
+  double n_real;           ///< Table 2 n
+  double m_real;           ///< Table 2 m
+  vid_t diameter_real;     ///< Table 2 d
+  double eff_diameter_real;  ///< Table 2 d̄
+  int default_scale;       ///< log2 of the default proxy vertex count
+  double rmat_a;           ///< R-MAT skew chosen to land in the right
+                           ///< diameter class at proxy size
+};
+
+/// Specs for all four Table 2 graphs, in the paper's order (sorted by m).
+const std::vector<SnapSpec>& snap_specs();
+
+const SnapSpec& snap_spec(SnapId id);
+
+/// Build the proxy at `scale` (log2 vertex count); scale <= 0 uses the
+/// spec's default. Isolated vertices are removed and ids randomly relabeled,
+/// mirroring the paper's preprocessing (§7.1) and the §5.2 load-balance
+/// precondition.
+Graph snap_proxy(SnapId id, int scale = 0, std::uint64_t seed = 0x5eed);
+
+}  // namespace mfbc::graph

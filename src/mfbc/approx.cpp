@@ -1,0 +1,82 @@
+#include "mfbc/approx.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sparse/ops.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace mfbc::core {
+
+namespace {
+
+/// k distinct uniform vertices (partial Fisher–Yates).
+std::vector<vid_t> sample_vertices(vid_t n, vid_t k, std::uint64_t seed) {
+  std::vector<vid_t> pool(static_cast<std::size_t>(n));
+  std::iota(pool.begin(), pool.end(), vid_t{0});
+  Xoshiro256 rng(seed);
+  for (vid_t i = 0; i < k; ++i) {
+    const auto j = i + static_cast<vid_t>(rng.bounded(
+                           static_cast<std::uint64_t>(n - i)));
+    std::swap(pool[static_cast<std::size_t>(i)],
+              pool[static_cast<std::size_t>(j)]);
+  }
+  pool.resize(static_cast<std::size_t>(k));
+  return pool;
+}
+
+}  // namespace
+
+ApproxBcResult approx_bc(const graph::Graph& g, vid_t num_pivots,
+                         std::uint64_t seed, vid_t batch_size) {
+  MFBC_CHECK(num_pivots >= 1, "need at least one pivot");
+  const vid_t n = g.n();
+  const vid_t k = std::min(num_pivots, n);
+  ApproxBcResult result;
+  result.pivots_used = k;
+  MfbcOptions opts;
+  opts.batch_size = batch_size;
+  opts.sources = sample_vertices(n, k, seed);
+  result.bc = mfbc(g, opts);
+  const double scale = static_cast<double>(n) / static_cast<double>(k);
+  for (double& v : result.bc) v *= scale;
+  return result;
+}
+
+AdaptiveBcResult adaptive_bc_vertex(const graph::Graph& g, vid_t v,
+                                    const AdaptiveOptions& opts) {
+  MFBC_CHECK(v >= 0 && v < g.n(), "vertex out of range");
+  MFBC_CHECK(opts.alpha > 0, "alpha must be positive");
+  const vid_t n = g.n();
+  const vid_t cap = opts.max_samples > 0 ? std::min(opts.max_samples, n) : n;
+  const std::vector<vid_t> order = sample_vertices(n, cap, opts.seed);
+  const auto at = sparse::transpose(g.adj());
+
+  AdaptiveBcResult result;
+  double sum = 0;
+  vid_t used = 0;
+  const double threshold = opts.alpha * static_cast<double>(n);
+  while (used < cap) {
+    const vid_t take = std::min(opts.batch_size, cap - used);
+    std::span<const vid_t> batch(order.data() + used,
+                                 static_cast<std::size_t>(take));
+    // One MFBF+MFBr round for the batch; δ(s,v) = ζ(s,v)·σ̄(s,v).
+    PathMatrix t = mfbf(g, batch);
+    FactorMatrix z = mfbr(g, at, t);
+    for (vid_t s = 0; s < t.nb; ++s) {
+      ++used;
+      if (batch[static_cast<std::size_t>(s)] == v) continue;
+      if (t.d(s, v) == algebra::kInfWeight) continue;
+      sum += z.z(s, v) * t.m(s, v);
+      if (sum >= threshold && used >= 2) break;
+    }
+    if (sum >= threshold && used >= 2) break;
+  }
+  result.samples_used = used;
+  result.estimate =
+      sum * static_cast<double>(n) / static_cast<double>(std::max<vid_t>(used, 1));
+  return result;
+}
+
+}  // namespace mfbc::core

@@ -1,0 +1,53 @@
+// Approximate betweenness centrality by pivot sampling.
+//
+// Exact BC costs a full n-source sweep; the standard practice on large
+// graphs — and the motivation behind the paper's batched design — is to
+// accumulate dependencies from a sample of pivot sources. Two estimators:
+//
+//   * approx_bc: k uniformly sampled pivots, scores scaled by n/k — the
+//     unbiased plug-in estimator (each δ(s,·) has expectation λ(·)/n over a
+//     uniform source).
+//   * adaptive_bc_vertex: Bader, Kintali, Madduri, Mihail's adaptive
+//     sampling [4] for a single vertex of interest: keep sampling sources
+//     until the accumulated dependency exceeds α·n, then scale by n/k.
+//     High-centrality vertices stop after very few samples.
+//
+// Both run on the MFBC batch machinery, so the pivots are processed
+// batch-at-a-time exactly like exact runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "mfbc/mfbc_seq.hpp"
+
+namespace mfbc::core {
+
+struct ApproxBcResult {
+  std::vector<double> bc;  ///< scaled estimates (comparable to exact λ)
+  vid_t pivots_used = 0;
+};
+
+/// Uniform pivot estimator with k pivots (k clamped to n). Deterministic in
+/// `seed`; pivots are sampled without replacement.
+ApproxBcResult approx_bc(const graph::Graph& g, vid_t num_pivots,
+                         std::uint64_t seed, vid_t batch_size = 64);
+
+struct AdaptiveOptions {
+  double alpha = 5.0;       ///< stop once Σ δ(s,v) ≥ alpha·n
+  vid_t max_samples = 0;    ///< 0 = up to n samples
+  vid_t batch_size = 16;    ///< sources are drawn and solved in batches
+  std::uint64_t seed = 1;
+};
+
+struct AdaptiveBcResult {
+  double estimate = 0;      ///< estimated λ(v)
+  vid_t samples_used = 0;
+};
+
+/// Adaptive-sampling estimate of one vertex's centrality [4].
+AdaptiveBcResult adaptive_bc_vertex(const graph::Graph& g, vid_t v,
+                                    const AdaptiveOptions& opts = {});
+
+}  // namespace mfbc::core

@@ -1,0 +1,400 @@
+#include "mfbc/mfbc_dist.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dist/batch_state.hpp"
+#include "sparse/ops.hpp"
+#include "support/error.hpp"
+
+namespace mfbc::core {
+
+namespace {
+
+using algebra::BellmanFordAction;
+using algebra::BrandesAction;
+using algebra::Centpath;
+using algebra::CentpathMonoid;
+using algebra::kInfWeight;
+using algebra::Multpath;
+using algebra::MultpathMonoid;
+using algebra::TropicalMinMonoid;
+using dist::DistMatrix;
+using dist::Layout;
+using dist::Range;
+using sparse::Coo;
+using sparse::Csr;
+
+template <typename T>
+using Keep = dist::detail::KeepFirst<T>;
+
+/// The per-block dense fields of the MFBC batch state: accumulated T
+/// (distances, multiplicities), the centrality factors ζ, the Algorithm 2
+/// counters, and the done flags.
+struct MfbcFields {
+  std::vector<Weight> dist;
+  std::vector<algebra::Multiplicity> mult;
+  std::vector<double> zeta;
+  std::vector<double> counter;
+  std::vector<unsigned char> done;
+
+  void resize(std::size_t sz) {
+    dist.assign(sz, kInfWeight);
+    mult.assign(sz, 0.0);
+    zeta.assign(sz, 0.0);
+    counter.assign(sz, 0.0);
+    done.assign(sz, 0);
+  }
+};
+
+}  // namespace
+
+dist::Plan ca_plan(int p, int c) {
+  MFBC_CHECK(c >= 1 && p % c == 0, "replication factor must divide p");
+  const int rest = p / c;
+  const int s = static_cast<int>(std::lround(std::sqrt(static_cast<double>(rest))));
+  MFBC_CHECK(s * s == rest, "CA-MFBC requires p/c to be a perfect square");
+  dist::Plan plan;
+  plan.p1 = c;
+  plan.p2 = s;
+  plan.p3 = s;
+  // Theorem 5.1's grid, translated to frontier-first operand order: the
+  // adjacency (our second operand, B) is replicated c-fold by the 1D level
+  // and is *stationary* inside each layer's 2D algorithm (variant AC, which
+  // communicates the frontier and the output). This is what makes the
+  // adjacency movement a one-time cost "amortized over (up to d) sparse
+  // matrix multiplications" while per-multiply traffic is the frontier and
+  // output at O(nnz/√(cp)).
+  plan.v1 = dist::Variant1D::kB;
+  plan.v2 = dist::Variant2D::kAC;
+  return plan;
+}
+
+/// Per-batch dense state tiled on the near-square state grid (shared
+/// machinery in dist/batch_state.hpp; fields above).
+struct DistMfbc::Batch : dist::BatchState<MfbcFields> {
+  using dist::BatchState<MfbcFields>::BatchState;
+};
+
+DistMfbc::DistMfbc(sim::Sim& sim, const graph::Graph& g)
+    : sim_(sim), g_(g) {
+  auto [pr, pc] = dist::near_square_grid(sim.nranks());
+  base_ = Layout{0, pr, pc, Range{0, g.n()}, Range{0, g.n()}, false};
+  adj_ = DistMatrix<Weight>::scatter<TropicalMinMonoid>(sim, g.adj(), base_);
+  adj_t_ = DistMatrix<Weight>::scatter<TropicalMinMonoid>(
+      sim, sparse::transpose(g.adj()), base_);
+}
+
+dist::Plan DistMfbc::plan_for(const DistMfbcOptions& opts, double frontier_nnz,
+                              double b_nnz, double out_words) const {
+  if (opts.plan_mode == PlanMode::kFixedCa) {
+    return ca_plan(sim_.nranks(), opts.replication_c);
+  }
+  auto stats = dist::MultiplyStats::estimated(
+      /*m=*/opts.batch_size, /*k=*/g_.n(), /*n=*/g_.n(), frontier_nnz, b_nnz,
+      /*words_a=*/sim::sparse_entry_words<Multpath>(),
+      /*words_b=*/sim::sparse_entry_words<Weight>(), out_words);
+  return dist::autotune(sim_.nranks(), stats, sim_.model(), opts.tune);
+}
+
+std::vector<double> DistMfbc::run(const DistMfbcOptions& opts,
+                                  DistMfbcStats* stats) {
+  MFBC_CHECK(opts.batch_size >= 1, "batch size must be positive");
+  const vid_t n = g_.n();
+  const int p = sim_.nranks();
+  std::vector<vid_t> sources = opts.sources;
+  if (sources.empty()) {
+    sources.resize(static_cast<std::size_t>(n));
+    for (vid_t v = 0; v < n; ++v) sources[static_cast<std::size_t>(v)] = v;
+  }
+  std::vector<int> all_ranks(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) all_ranks[static_cast<std::size_t>(r)] = r;
+
+  auto note_plan = [&](const dist::Plan& plan) {
+    if (stats == nullptr) return;
+    const std::string name = plan.to_string();
+    if (std::find(stats->plans_used.begin(), stats->plans_used.end(), name) ==
+        stats->plans_used.end()) {
+      stats->plans_used.push_back(name);
+    }
+  };
+
+  std::vector<double> lambda(static_cast<std::size_t>(n), 0.0);
+
+  // Componentwise critical-path delta, for the per-phase cost breakdown.
+  auto cost_delta = [](const sim::Cost& now, const sim::Cost& then) {
+    sim::Cost d;
+    d.words = now.words - then.words;
+    d.msgs = now.msgs - then.msgs;
+    d.comm_seconds = now.comm_seconds - then.comm_seconds;
+    d.compute_seconds = now.compute_seconds - then.compute_seconds;
+    d.ops = now.ops - then.ops;
+    return d;
+  };
+
+  for (std::size_t lo = 0; lo < sources.size();
+       lo += static_cast<std::size_t>(opts.batch_size)) {
+    const std::size_t hi = std::min(
+        sources.size(), lo + static_cast<std::size_t>(opts.batch_size));
+    Batch batch(std::vector<vid_t>(sources.begin() + static_cast<std::ptrdiff_t>(lo),
+                                   sources.begin() + static_cast<std::ptrdiff_t>(hi)),
+                n, p);
+    const Layout& sl = batch.layout();
+
+    const sim::Cost before_forward = sim_.ledger().critical();
+
+    // ---- MFBF (Algorithm 1) ----
+    // Initial frontier: row s of T is row sources[s] of A. The entries move
+    // from the adjacency owners to the state-grid owners: one all-to-all.
+    DistMatrix<Multpath> frontier;
+    {
+      auto bins = dist::empty_bins<Multpath>(sl, n);
+      double max_words = 0;
+      for (vid_t s = 0; s < batch.nb(); ++s) {
+        const vid_t src = batch.source(s);
+        auto cols = g_.adj().row_cols(src);
+        auto vals = g_.adj().row_vals(src);
+        for (std::size_t x = 0; x < cols.size(); ++x) {
+          auto [bi, bj] = sl.owner(s, cols[x]);
+          bins[static_cast<std::size_t>(bi * sl.pc + bj)].push(
+              s - sl.block_rows(bi, bj).lo, cols[x],
+              Multpath{vals[x], 1.0});
+          auto& blk = batch.at(bi, bj);
+          const std::size_t at = blk.at(s, cols[x]);
+          blk.dist[at] = vals[x];
+          blk.mult[at] = 1.0;
+        }
+      }
+      for (const auto& bin : bins) {
+        max_words = std::max(max_words,
+                             static_cast<double>(bin.nnz()) *
+                                 sim::sparse_entry_words<Multpath>());
+      }
+      sim_.charge_alltoall(all_ranks, max_words);
+      frontier = dist::from_blocks<Keep<Multpath>>(batch.nb(), n, sl, std::move(bins));
+    }
+
+    while (frontier.nnz() > 0) {
+      const dist::Plan plan =
+          plan_for(opts, static_cast<double>(frontier.nnz()),
+                   static_cast<double>(adj_.nnz()),
+                   sim::sparse_entry_words<Multpath>());
+      note_plan(plan);
+      dist::DistSpgemmStats dst;
+      DistMatrix<Multpath> product = dist::spgemm<MultpathMonoid>(
+          sim_, plan, frontier, adj_, BellmanFordAction{}, sl, &dst,
+          &adj_cache_);
+      if (stats != nullptr) {
+        stats->forward.frontier_nnz.push_back(frontier.nnz());
+        stats->forward.product_nnz.push_back(product.nnz());
+        stats->forward.total_ops += static_cast<nnz_t>(dst.total_ops);
+      }
+      // Local accumulate-and-filter (lines 5–6): T ⊕= G, next frontier keeps
+      // entries whose path information improved or tied with new paths.
+      auto bins = dist::empty_bins<Multpath>(sl, n);
+      for (int i = 0; i < sl.pr; ++i) {
+        for (int j = 0; j < sl.pc; ++j) {
+          auto& blk = batch.at(i, j);
+          const auto& gb = product.block(i, j);
+          auto& bin = bins[static_cast<std::size_t>(i * sl.pc + j)];
+          for (vid_t lr = 0; lr < gb.nrows(); ++lr) {
+            const vid_t s = blk.rows.lo + lr;
+            const vid_t src = batch.source(s);
+            auto cols = gb.row_cols(lr);
+            auto vals = gb.row_vals(lr);
+            for (std::size_t x = 0; x < cols.size(); ++x) {
+              const vid_t v = cols[x];
+              if (v == src) continue;
+              const Multpath& mp = vals[x];
+              const std::size_t at = blk.at(s, v);
+              if (mp.w < blk.dist[at]) {
+                blk.dist[at] = mp.w;
+                blk.mult[at] = mp.m;
+                bin.push(lr, v, mp);
+              } else if (mp.w == blk.dist[at]) {
+                blk.mult[at] += mp.m;
+                bin.push(lr, v, Multpath{mp.w, mp.m});
+              }
+            }
+          }
+          sim_.charge_compute(sl.rank_at(i, j),
+                              static_cast<double>(gb.nnz()));
+        }
+      }
+      frontier = dist::from_blocks<Keep<Multpath>>(batch.nb(), n, sl, std::move(bins));
+      // Line 3's termination test is a global predicate: one allreduce.
+      sim_.charge_allreduce(all_ranks, 1.0);
+    }
+
+    const sim::Cost after_forward = sim_.ledger().critical();
+    if (stats != nullptr) {
+      stats->forward_cost += cost_delta(after_forward, before_forward);
+    }
+
+    // ---- MFBr (Algorithm 2) ----
+    // Lines 1–2: successor counting via Z ⊗ (Z •⟨⊗,g⟩ Aᵀ) with
+    // Z(s,v) = (τ(s,v), 0, 1) on every reachable pair.
+    {
+      auto bins = dist::empty_bins<Centpath>(sl, n);
+      for (int i = 0; i < sl.pr; ++i) {
+        for (int j = 0; j < sl.pc; ++j) {
+          auto& blk = batch.at(i, j);
+          auto& bin = bins[static_cast<std::size_t>(i * sl.pc + j)];
+          for (vid_t s = blk.rows.lo; s < blk.rows.hi; ++s) {
+            for (vid_t v = blk.cols.lo; v < blk.cols.hi; ++v) {
+              const std::size_t at = blk.at(s, v);
+              if (blk.dist[at] == kInfWeight) continue;
+              bin.push(s - blk.rows.lo, v, Centpath{blk.dist[at], 0.0, 1.0});
+            }
+          }
+          sim_.charge_compute(sl.rank_at(i, j),
+                              static_cast<double>(blk.rows.size()) *
+                                  static_cast<double>(blk.cols.size()));
+        }
+      }
+      DistMatrix<Centpath> z0 =
+          dist::from_blocks<Keep<Centpath>>(batch.nb(), n, sl, std::move(bins));
+      const dist::Plan plan =
+          plan_for(opts, static_cast<double>(z0.nnz()),
+                   static_cast<double>(adj_t_.nnz()),
+                   sim::sparse_entry_words<Centpath>());
+      note_plan(plan);
+      dist::DistSpgemmStats dst;
+      DistMatrix<Centpath> pred = dist::spgemm<CentpathMonoid>(
+          sim_, plan, z0, adj_t_, BrandesAction{}, sl, &dst, &adj_t_cache_);
+      if (stats != nullptr) {
+        stats->backward.total_ops += static_cast<nnz_t>(dst.total_ops);
+      }
+      for (int i = 0; i < sl.pr; ++i) {
+        for (int j = 0; j < sl.pc; ++j) {
+          auto& blk = batch.at(i, j);
+          const auto& pb = pred.block(i, j);
+          for (vid_t lr = 0; lr < pb.nrows(); ++lr) {
+            const vid_t s = blk.rows.lo + lr;
+            auto cols = pb.row_cols(lr);
+            auto vals = pb.row_vals(lr);
+            for (std::size_t x = 0; x < cols.size(); ++x) {
+              const std::size_t at = blk.at(s, cols[x]);
+              if (blk.dist[at] != kInfWeight && vals[x].w == blk.dist[at]) {
+                blk.counter[at] = vals[x].c;
+              }
+            }
+          }
+          sim_.charge_compute(sl.rank_at(i, j),
+                              static_cast<double>(pb.nnz()));
+        }
+      }
+    }
+
+    // Lines 3–4: initial frontier = the shortest-path-tree leaves.
+    DistMatrix<Centpath> cfrontier;
+    {
+      auto bins = dist::empty_bins<Centpath>(sl, n);
+      for (int i = 0; i < sl.pr; ++i) {
+        for (int j = 0; j < sl.pc; ++j) {
+          auto& blk = batch.at(i, j);
+          auto& bin = bins[static_cast<std::size_t>(i * sl.pc + j)];
+          for (vid_t s = blk.rows.lo; s < blk.rows.hi; ++s) {
+            const vid_t src = batch.source(s);
+            for (vid_t v = blk.cols.lo; v < blk.cols.hi; ++v) {
+              const std::size_t at = blk.at(s, v);
+              if (v == src) {
+                blk.done[at] = 1;  // the root never joins a frontier
+                continue;
+              }
+              if (blk.dist[at] == kInfWeight) continue;
+              if (blk.counter[at] == 0.0) {
+                blk.done[at] = 1;
+                bin.push(s - blk.rows.lo, v,
+                         Centpath{blk.dist[at], 1.0 / blk.mult[at], -1.0});
+              }
+            }
+          }
+        }
+      }
+      cfrontier = dist::from_blocks<Keep<Centpath>>(batch.nb(), n, sl, std::move(bins));
+    }
+
+    // Lines 5–12: back-propagation loop.
+    while (cfrontier.nnz() > 0) {
+      const dist::Plan plan =
+          plan_for(opts, static_cast<double>(cfrontier.nnz()),
+                   static_cast<double>(adj_t_.nnz()),
+                   sim::sparse_entry_words<Centpath>());
+      note_plan(plan);
+      dist::DistSpgemmStats dst;
+      DistMatrix<Centpath> product = dist::spgemm<CentpathMonoid>(
+          sim_, plan, cfrontier, adj_t_, BrandesAction{}, sl, &dst,
+          &adj_t_cache_);
+      if (stats != nullptr) {
+        stats->backward.frontier_nnz.push_back(cfrontier.nnz());
+        stats->backward.product_nnz.push_back(product.nnz());
+        stats->backward.total_ops += static_cast<nnz_t>(dst.total_ops);
+      }
+      auto bins = dist::empty_bins<Centpath>(sl, n);
+      for (int i = 0; i < sl.pr; ++i) {
+        for (int j = 0; j < sl.pc; ++j) {
+          auto& blk = batch.at(i, j);
+          const auto& ub = product.block(i, j);
+          auto& bin = bins[static_cast<std::size_t>(i * sl.pc + j)];
+          for (vid_t lr = 0; lr < ub.nrows(); ++lr) {
+            const vid_t s = blk.rows.lo + lr;
+            const vid_t src = batch.source(s);
+            auto cols = ub.row_cols(lr);
+            auto vals = ub.row_vals(lr);
+            for (std::size_t x = 0; x < cols.size(); ++x) {
+              const vid_t v = cols[x];
+              const Centpath& cp = vals[x];
+              const std::size_t at = blk.at(s, v);
+              if (blk.dist[at] == kInfWeight || cp.w != blk.dist[at]) continue;
+              blk.zeta[at] += cp.p;
+              blk.counter[at] += cp.c;
+              if (!blk.done[at] && blk.counter[at] == 0.0) {
+                blk.done[at] = 1;
+                if (v != src) {
+                  bin.push(lr, v,
+                           Centpath{blk.dist[at],
+                                    1.0 / blk.mult[at] + blk.zeta[at], -1.0});
+                }
+              }
+            }
+          }
+          sim_.charge_compute(sl.rank_at(i, j),
+                              static_cast<double>(ub.nnz()));
+        }
+      }
+      cfrontier = dist::from_blocks<Keep<Centpath>>(batch.nb(), n, sl, std::move(bins));
+      sim_.charge_allreduce(all_ranks, 1.0);
+    }
+
+    // Line 5 of Algorithm 3: λ(v) += Σ_s ζ(s,v)·σ̄(s,v), local partials.
+    for (int i = 0; i < sl.pr; ++i) {
+      for (int j = 0; j < sl.pc; ++j) {
+        auto& blk = batch.at(i, j);
+        for (vid_t s = blk.rows.lo; s < blk.rows.hi; ++s) {
+          const vid_t src = batch.source(s);
+          for (vid_t v = blk.cols.lo; v < blk.cols.hi; ++v) {
+            if (v == src) continue;
+            const std::size_t at = blk.at(s, v);
+            if (blk.dist[at] == kInfWeight) continue;
+            lambda[static_cast<std::size_t>(v)] += blk.zeta[at] * blk.mult[at];
+          }
+        }
+        sim_.charge_compute(sl.rank_at(i, j),
+                            static_cast<double>(blk.rows.size()) *
+                                static_cast<double>(blk.cols.size()));
+      }
+    }
+    if (stats != nullptr) {
+      stats->backward_cost +=
+          cost_delta(sim_.ledger().critical(), after_forward);
+      ++stats->batches;
+    }
+  }
+
+  // The per-rank λ partials are summed with one reduction over all ranks.
+  sim_.charge_reduce(all_ranks, static_cast<double>(n));
+  return lambda;
+}
+
+}  // namespace mfbc::core

@@ -1,0 +1,88 @@
+// Distributed MFBC (paper §6): Algorithms 1–3 executed on the simulated
+// machine with every frontier relaxation performed as a distributed
+// generalized SpGEMM from src/dist.
+//
+// Two operating modes, mirroring the paper's two implementations:
+//   * CTF-MFBC  — per-multiply plan autotuning over the full §5.2 space
+//     (PlanMode::kAuto), "dynamically selects data layouts without guidance
+//     from the developer";
+//   * CA-MFBC   — the fixed 3D layout of Theorem 5.1 (PlanMode::kFixedCa):
+//     the adjacency matrix is replicated over c layers (the 1D level, our
+//     Variant1D::kB since the adjacency is the second operand of F·A) and
+//     each layer runs the "BC" 2D variant on a √(p/c)×√(p/c) grid.
+//
+// The accumulated matrices T/ζ and the frontier bookkeeping live in dense
+// per-rank state blocks aligned with a fixed nb×n state grid — O(n·nb/p)
+// words per rank, the Theorem 5.1 memory footprint. The adjacency operand is
+// mapped to each plan's home layout once and cached (the theorem's
+// replication amortization).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/spgemm_dist.hpp"
+#include "graph/graph.hpp"
+#include "mfbc/mfbc_seq.hpp"
+#include "sim/comm.hpp"
+
+namespace mfbc::core {
+
+enum class PlanMode { kAuto, kFixedCa };
+
+struct DistMfbcOptions {
+  vid_t batch_size = 64;
+  PlanMode plan_mode = PlanMode::kAuto;
+  /// Replication factor c for CA-MFBC; p/c must be a perfect square.
+  int replication_c = 1;
+  dist::TuneOptions tune;
+  /// If non-empty, accumulate partial BC from these sources only.
+  std::vector<vid_t> sources;
+};
+
+struct DistMfbcStats {
+  FrontierTrace forward;
+  FrontierTrace backward;
+  int batches = 0;
+  std::vector<std::string> plans_used;  ///< distinct plan names, in order seen
+  /// Critical-path cost deltas per phase (summed over batches): how much of
+  /// the run's W/S/time the forward (MFBF) and backward (MFBr) phases each
+  /// contributed — the Table 3 breakdown at phase granularity.
+  sim::Cost forward_cost;
+  sim::Cost backward_cost;
+};
+
+/// The Theorem 5.1 processor grid for p ranks and replication factor c.
+dist::Plan ca_plan(int p, int c);
+
+class DistMfbc {
+ public:
+  /// Distributes g's adjacency matrix (and its transpose, for the backward
+  /// phase) over all of sim's ranks on a near-square base grid.
+  DistMfbc(sim::Sim& sim, const graph::Graph& g);
+
+  /// Run batched BC; centrality scores are gathered to the caller at the
+  /// end (one reduction, charged).
+  std::vector<double> run(const DistMfbcOptions& opts,
+                          DistMfbcStats* stats = nullptr);
+
+  const dist::DistMatrix<Weight>& adj() const { return adj_; }
+  sim::Sim& sim() { return sim_; }
+
+ private:
+  struct Batch;  // per-batch dense state blocks (defined in the .cpp)
+
+  dist::Plan plan_for(const DistMfbcOptions& opts, double frontier_nnz,
+                      double b_nnz, double out_words) const;
+
+  sim::Sim& sim_;
+  const graph::Graph& g_;
+  dist::Layout base_;                  ///< near-square grid over all ranks
+  dist::DistMatrix<Weight> adj_;       ///< A
+  dist::DistMatrix<Weight> adj_t_;     ///< Aᵀ
+  dist::HomeCache<Weight> adj_cache_;  ///< plan-home copies of A
+  dist::HomeCache<Weight> adj_t_cache_;
+};
+
+}  // namespace mfbc::core

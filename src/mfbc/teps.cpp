@@ -1,0 +1,16 @@
+#include "mfbc/teps.hpp"
+
+#include "support/error.hpp"
+
+namespace mfbc::core {
+
+double edge_traversals(const graph::Graph& g, double nsources) {
+  return static_cast<double>(g.m()) * nsources;
+}
+
+double mteps_per_node(double traversals, double seconds, int nodes) {
+  MFBC_CHECK(seconds > 0 && nodes > 0, "mteps needs positive time and nodes");
+  return traversals / seconds / 1e6 / static_cast<double>(nodes);
+}
+
+}  // namespace mfbc::core

@@ -1,0 +1,19 @@
+// TEPS accounting (paper §7.1): "the metric of edge traversals per second".
+//
+// For betweenness centrality on a connected unweighted graph each edge is
+// traversed once per starting vertex, so a run from nsources sources
+// performs nsources·m traversals; MTEPS/node divides by modelled time and
+// node count, which is what Figures 1–2 plot.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace mfbc::core {
+
+/// Total edge traversals for a BC run over `nsources` starting vertices.
+double edge_traversals(const graph::Graph& g, double nsources);
+
+/// Millions of traversals per second per node.
+double mteps_per_node(double traversals, double seconds, int nodes);
+
+}  // namespace mfbc::core

@@ -1,0 +1,70 @@
+#include "sim/comm.hpp"
+
+#include "support/error.hpp"
+
+namespace mfbc::sim {
+
+Sim::Sim(int nranks, MachineModel model)
+    : model_(model), ledger_(nranks) {}
+
+namespace {
+int group_size(std::span<const int> group) {
+  MFBC_CHECK(!group.empty(), "collective over empty group");
+  return static_cast<int>(group.size());
+}
+}  // namespace
+
+void Sim::charge_bcast(std::span<const int> group, double payload_words) {
+  const int p = group_size(group);
+  if (p == 1) return;  // no communication within a single rank
+  const double msgs = 2.0 * log2_ceil(p);
+  const double words = 2.0 * payload_words;
+  ledger_.collective(group, words, msgs,
+                     words * model_.beta + msgs * model_.alpha);
+}
+
+void Sim::charge_reduce(std::span<const int> group, double result_words) {
+  const int p = group_size(group);
+  if (p == 1) return;
+  const double msgs = 2.0 * log2_ceil(p);
+  const double words = 2.0 * result_words;
+  ledger_.collective(group, words, msgs,
+                     words * model_.beta + msgs * model_.alpha);
+}
+
+void Sim::charge_allreduce(std::span<const int> group, double result_words) {
+  charge_reduce(group, result_words);
+}
+
+void Sim::charge_scatter(std::span<const int> group, double max_rank_words) {
+  const int p = group_size(group);
+  if (p == 1) return;
+  const double msgs = log2_ceil(p);
+  ledger_.collective(group, max_rank_words, msgs,
+                     max_rank_words * model_.beta + msgs * model_.alpha);
+}
+
+void Sim::charge_gather(std::span<const int> group, double max_rank_words) {
+  charge_scatter(group, max_rank_words);
+}
+
+void Sim::charge_allgather(std::span<const int> group, double max_rank_words) {
+  charge_scatter(group, max_rank_words);
+}
+
+void Sim::charge_alltoall(std::span<const int> group, double max_rank_words) {
+  const int p = group_size(group);
+  if (p == 1) return;
+  // Bruck-style personalized exchange: 2·log2(p) rounds. CTF's sparse
+  // redistribution kernels are log-depth collectives in the §5.1 model
+  // (same α term as the sparse reduction bound O(β·x + α·log p)).
+  const double msgs = 2.0 * log2_ceil(p);
+  ledger_.collective(group, max_rank_words, msgs,
+                     max_rank_words * model_.beta + msgs * model_.alpha);
+}
+
+void Sim::charge_compute(int rank, double ops) {
+  ledger_.compute(rank, ops, ops * model_.seconds_per_op);
+}
+
+}  // namespace mfbc::sim

@@ -1,0 +1,54 @@
+// The virtual communicator: a CTF "World" over simulated ranks.
+//
+// Distributed data structures in src/dist keep one block per virtual rank in
+// a single address space. Communication steps copy blocks between ranks'
+// slots and charge the ledger through this class. Each charge_* method
+// implements one collective's α–β cost from machine.hpp's conventions; the
+// adjacent code in the dist layer performs the matching data movement, and
+// the test suite cross-checks charged words against the bytes actually moved.
+#pragma once
+
+#include <span>
+
+#include "sim/ledger.hpp"
+#include "sim/machine.hpp"
+
+namespace mfbc::sim {
+
+class Sim {
+ public:
+  explicit Sim(int nranks, MachineModel model = MachineModel::blue_waters());
+
+  int nranks() const { return ledger_.nranks(); }
+  const MachineModel& model() const { return model_; }
+  CostLedger& ledger() { return ledger_; }
+  const CostLedger& ledger() const { return ledger_; }
+
+  /// Broadcast `payload_words` from one rank to the group: 2xβ + 2·log₂(p')·α.
+  void charge_bcast(std::span<const int> group, double payload_words);
+
+  /// (Dense or sparse) reduction; `result_words` is the reduced output size.
+  void charge_reduce(std::span<const int> group, double result_words);
+
+  /// Allreduce: same model cost as reduce (§5.1 lists both as O(βx + α log p)).
+  void charge_allreduce(std::span<const int> group, double result_words);
+
+  /// Scatter/gather/allgather: xβ + log₂(p')·α where x is the max words any
+  /// rank owns at the start or end of the collective (§5.1).
+  void charge_scatter(std::span<const int> group, double max_rank_words);
+  void charge_gather(std::span<const int> group, double max_rank_words);
+  void charge_allgather(std::span<const int> group, double max_rank_words);
+
+  /// Personalized all-to-all (CTF redistribution): β·x per rank where x is
+  /// the max per-rank send/receive volume, p'−1 messages.
+  void charge_alltoall(std::span<const int> group, double max_rank_words);
+
+  /// Local sparse-kernel work on one rank (ops = nonzero products).
+  void charge_compute(int rank, double ops);
+
+ private:
+  MachineModel model_;
+  CostLedger ledger_;
+};
+
+}  // namespace mfbc::sim

@@ -1,0 +1,69 @@
+#include "sim/ledger.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace mfbc::sim {
+
+Cost& Cost::operator+=(const Cost& o) {
+  words += o.words;
+  msgs += o.msgs;
+  comm_seconds += o.comm_seconds;
+  compute_seconds += o.compute_seconds;
+  ops += o.ops;
+  return *this;
+}
+
+CostLedger::CostLedger(int nranks) : state_(static_cast<std::size_t>(nranks)) {
+  MFBC_CHECK(nranks >= 1, "ledger needs at least one rank");
+}
+
+void CostLedger::collective(std::span<const int> ranks, double words,
+                            double msgs, double seconds) {
+  Cost sync;
+  for (int r : ranks) {
+    MFBC_DCHECK(r >= 0 && r < nranks(), "rank out of range");
+    const Cost& c = state_[static_cast<std::size_t>(r)];
+    sync.words = std::max(sync.words, c.words);
+    sync.msgs = std::max(sync.msgs, c.msgs);
+    sync.comm_seconds = std::max(sync.comm_seconds, c.comm_seconds);
+    sync.compute_seconds = std::max(sync.compute_seconds, c.compute_seconds);
+    sync.ops = std::max(sync.ops, c.ops);
+  }
+  sync.words += words;
+  sync.msgs += msgs;
+  sync.comm_seconds += seconds;
+  for (int r : ranks) state_[static_cast<std::size_t>(r)] = sync;
+}
+
+void CostLedger::compute(int rank, double ops, double seconds) {
+  MFBC_DCHECK(rank >= 0 && rank < nranks(), "rank out of range");
+  Cost& c = state_[static_cast<std::size_t>(rank)];
+  c.ops += ops;
+  c.compute_seconds += seconds;
+}
+
+Cost CostLedger::critical() const {
+  Cost m;
+  for (const Cost& c : state_) {
+    m.words = std::max(m.words, c.words);
+    m.msgs = std::max(m.msgs, c.msgs);
+    m.comm_seconds = std::max(m.comm_seconds, c.comm_seconds);
+    m.compute_seconds = std::max(m.compute_seconds, c.compute_seconds);
+    m.ops = std::max(m.ops, c.ops);
+  }
+  return m;
+}
+
+double CostLedger::total_compute_seconds() const {
+  double t = 0;
+  for (const Cost& c : state_) t += c.compute_seconds;
+  return t;
+}
+
+void CostLedger::reset() {
+  std::fill(state_.begin(), state_.end(), Cost{});
+}
+
+}  // namespace mfbc::sim

@@ -1,0 +1,60 @@
+// Critical-path cost ledger (paper §7.4).
+//
+// The paper profiles communication by following the communication pattern:
+// "for each collective over a set of processors, we maximize the critical
+// path costs incurred by those processors so far", and at the end takes the
+// maximum over all processors for each cost — yielding the greatest amount
+// of data (and, separately, messages) communicated along any dependent
+// sequence of collectives. This class implements exactly that bookkeeping,
+// plus a modelled wall-clock that interleaves local compute.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace mfbc::sim {
+
+/// Cost components tracked along the critical path.
+struct Cost {
+  double words = 0;      ///< W: words on the critical path
+  double msgs = 0;       ///< S: messages on the critical path
+  double comm_seconds = 0;
+  double compute_seconds = 0;
+  double ops = 0;        ///< nonzero elementary products (max over path)
+
+  double total_seconds() const { return comm_seconds + compute_seconds; }
+
+  Cost& operator+=(const Cost& o);
+  friend Cost operator+(Cost a, const Cost& b) { return a += b; }
+};
+
+class CostLedger {
+ public:
+  explicit CostLedger(int nranks);
+
+  int nranks() const { return static_cast<int>(state_.size()); }
+
+  /// Charge a collective over `ranks`: every participant first synchronizes
+  /// to the componentwise max of the group's accumulated costs, then adds
+  /// (words, msgs, seconds).
+  void collective(std::span<const int> ranks, double words, double msgs,
+                  double seconds);
+
+  /// Charge local computation on one rank.
+  void compute(int rank, double ops, double seconds);
+
+  /// Critical-path cost: componentwise max over all ranks.
+  Cost critical() const;
+
+  /// Sum of per-rank compute seconds (total work, for efficiency metrics).
+  double total_compute_seconds() const;
+
+  void reset();
+
+ private:
+  std::vector<Cost> state_;
+};
+
+}  // namespace mfbc::sim

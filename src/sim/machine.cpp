@@ -1,0 +1,16 @@
+#include "sim/machine.hpp"
+
+namespace mfbc::sim {
+
+double log2_ceil(int p) {
+  if (p <= 1) return 0.0;
+  int bits = 0;
+  unsigned v = static_cast<unsigned>(p - 1);
+  while (v != 0) {
+    v >>= 1;
+    ++bits;
+  }
+  return static_cast<double>(bits);
+}
+
+}  // namespace mfbc::sim

@@ -1,0 +1,58 @@
+// The simulated parallel machine (paper §5.1).
+//
+// The paper's experiments ran on Blue Waters (Cray XE6, Gemini torus) with
+// MPI. This repository has no cluster, so the distributed algorithms execute
+// on a *simulated* machine: p virtual ranks whose blocks live in one address
+// space, with every communication step (a) actually moving the data between
+// per-rank buffers and (b) charging an α–β cost to a critical-path ledger.
+//
+// Cost conventions (paper §5.1 and §7.4):
+//   * latency α per message, inverse bandwidth β per 8-byte word;
+//   * broadcast / reduce / allreduce of x words over p' ranks:
+//       2x·β + 2·log2(p')·α        (the §7.4 profiling model)
+//   * scatter / gather / allgather: half that — x·β + log2(p')·α;
+//   * sparse reduction producing x output nonzeros: 2x·β + 2·log2(p')·α
+//     (the §5.1 O(β·x + α·log p) bound with the same constants as reduce);
+//   * all-to-all (CTF redistribution): x·β per rank where x is the maximum
+//     per-rank send/receive volume, with p'−1 messages.
+//
+// Sparse payloads are charged (value words + 1 index word) per nonzero —
+// matching CTF's index–value pair exchange format (§6.2).
+//
+// Modelled execution time adds a compute term: ops(A,B)/p per rank at
+// `seconds_per_op`, the measured-sparse-kernel calibration constant. The
+// defaults are Blue-Waters-like (Gemini: ~2 µs latency, ~6 GB/s effective
+// per-node bandwidth); absolute times are therefore order-of-magnitude, but
+// all *comparisons* (MFBC vs CombBLAS-style, scaling slopes) are driven by
+// measured words/messages/ops, not by the constants.
+#pragma once
+
+#include <cstddef>
+
+namespace mfbc::sim {
+
+struct MachineModel {
+  double alpha = 2e-6;            ///< seconds per message
+  double beta = 8.0 / 6e9;        ///< seconds per 8-byte word
+  double seconds_per_op = 2e-9;   ///< seconds per nonzero elementary product
+  double memory_words = 8e9 / 8;  ///< per-rank memory M in words (64 GiB-ish)
+
+  static MachineModel blue_waters() { return MachineModel{}; }
+};
+
+/// Number of 8-byte words an element of type T occupies on the wire.
+template <typename T>
+constexpr double words_of() {
+  return static_cast<double>((sizeof(T) + 7) / 8);
+}
+
+/// Wire size of one sparse nonzero of value type T: value + packed index.
+template <typename T>
+constexpr double sparse_entry_words() {
+  return words_of<T>() + 1.0;
+}
+
+/// ceil(log2(p)) as a double, 0 for p <= 1 (collective tree depth).
+double log2_ceil(int p);
+
+}  // namespace mfbc::sim

@@ -1,0 +1,161 @@
+#include "sim/tuner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "algebra/centpath.hpp"
+#include "algebra/multpath.hpp"
+#include "graph/generators.hpp"
+#include "sparse/ops.hpp"
+#include "sparse/spgemm.hpp"
+#include "support/error.hpp"
+#include "support/timer.hpp"
+
+namespace mfbc::sim {
+
+namespace {
+
+using algebra::BellmanFordAction;
+using algebra::BrandesAction;
+using algebra::Centpath;
+using algebra::CentpathMonoid;
+using algebra::Multpath;
+using algebra::MultpathMonoid;
+using sparse::Csr;
+using sparse::vid_t;
+
+/// Time one kernel closure that returns its op count; min over repetitions.
+template <typename Fn>
+double ops_per_second(Fn kernel, int repetitions) {
+  double best = 0;
+  for (int r = 0; r < repetitions; ++r) {
+    WallTimer timer;
+    const double ops = kernel();
+    const double secs = std::max(timer.seconds(), 1e-9);
+    best = std::max(best, ops / secs);
+  }
+  return best;
+}
+
+}  // namespace
+
+TuneResult tune_machine(const TunerOptions& opts) {
+  MFBC_CHECK(opts.repetitions >= 1, "tuner needs at least one repetition");
+  graph::RmatParams params;
+  params.scale = opts.scale;
+  params.edge_factor = opts.edge_factor;
+  const graph::Graph g = graph::rmat(params, /*seed=*/0xCA11B);
+  const vid_t nb = std::min<vid_t>(64, g.n());
+
+  // Frontier of multpaths / centpaths: rows 0..nb of the adjacency.
+  sparse::Coo<Multpath> mc(nb, g.n());
+  sparse::Coo<Centpath> cc(nb, g.n());
+  for (vid_t s = 0; s < nb; ++s) {
+    auto cols = g.adj().row_cols(s);
+    auto vals = g.adj().row_vals(s);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      mc.push(s, cols[i], Multpath{vals[i], 1.0});
+      cc.push(s, cols[i], Centpath{vals[i], 0.5, -1.0});
+    }
+  }
+  const auto mf = Csr<Multpath>::from_coo<MultpathMonoid>(std::move(mc));
+  const auto cf = Csr<Centpath>::from_coo<CentpathMonoid>(std::move(cc));
+
+  std::vector<double> rates;
+  rates.push_back(ops_per_second(
+      [&] {
+        sparse::SpgemmStats st;
+        auto out = sparse::spgemm<MultpathMonoid>(mf, g.adj(),
+                                                  BellmanFordAction{}, &st);
+        return static_cast<double>(st.ops) + static_cast<double>(out.nnz());
+      },
+      opts.repetitions));
+  rates.push_back(ops_per_second(
+      [&] {
+        sparse::SpgemmStats st;
+        auto out =
+            sparse::spgemm<CentpathMonoid>(cf, g.adj(), BrandesAction{}, &st);
+        return static_cast<double>(st.ops) + static_cast<double>(out.nnz());
+      },
+      opts.repetitions));
+  rates.push_back(ops_per_second(
+      [&] {
+        struct Times {
+          double operator()(double a, double b) const { return a * b; }
+        };
+        sparse::SpgemmStats st;
+        auto out = sparse::spgemm<algebra::SumMonoid>(
+            sparse::slice_rows(g.adj(), 0, nb), g.adj(), Times{}, &st,
+            /*b_row_offset=*/0);
+        return static_cast<double>(st.ops) + static_cast<double>(out.nnz());
+      },
+      opts.repetitions));
+
+  TuneResult result;
+  const auto [lo, hi] = std::minmax_element(rates.begin(), rates.end());
+  // The compute model charges one cost per elementary product across all
+  // kernels; use the geometric middle so no monoid is systematically
+  // under- or over-charged.
+  double geo = 1.0;
+  for (double r : rates) geo *= r;
+  geo = std::pow(geo, 1.0 / static_cast<double>(rates.size()));
+  result.measured_ops_per_second = geo;
+  result.spread = *hi / std::max(*lo, 1.0);
+  result.model.alpha = opts.alpha;
+  result.model.beta = opts.beta;
+  result.model.seconds_per_op = 1.0 / geo;
+  return result;
+}
+
+void save_model(std::ostream& out, const MachineModel& model) {
+  out.precision(17);
+  out << "alpha=" << model.alpha << '\n'
+      << "beta=" << model.beta << '\n'
+      << "seconds_per_op=" << model.seconds_per_op << '\n'
+      << "memory_words=" << model.memory_words << '\n';
+}
+
+MachineModel load_model(std::istream& in) {
+  std::map<std::string, double> kv;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto eq = line.find('=');
+    MFBC_CHECK(eq != std::string::npos, "malformed model line: " + line);
+    kv[line.substr(0, eq)] = std::stod(line.substr(eq + 1));
+  }
+  MachineModel m;
+  auto take = [&](const char* key, double& field) {
+    auto it = kv.find(key);
+    MFBC_CHECK(it != kv.end(), std::string("missing model key: ") + key);
+    field = it->second;
+  };
+  take("alpha", m.alpha);
+  take("beta", m.beta);
+  take("seconds_per_op", m.seconds_per_op);
+  take("memory_words", m.memory_words);
+  MFBC_CHECK(m.alpha > 0 && m.beta > 0 && m.seconds_per_op > 0 &&
+                 m.memory_words > 0,
+             "model parameters must be positive");
+  return m;
+}
+
+void save_model_file(const std::string& path, const MachineModel& model) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot write model file: " + path);
+  save_model(out, model);
+}
+
+MachineModel load_model_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot read model file: " + path);
+  return load_model(in);
+}
+
+}  // namespace mfbc::sim

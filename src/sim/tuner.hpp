@@ -1,0 +1,51 @@
+// Model tuning (paper §6.2): "CTF predicts the cost of communication
+// routines, redistributions, and blockwise operations based on linear cost
+// models. ... Automatic model tuning allows the cost expressions of
+// different kernels to be comparable on any given architecture. CTF employs
+// a model tuner that executes a wide set of benchmarks ... Tuning is done
+// once per architecture."
+//
+// This module is that tuner for the simulated machine: it measures the
+// *host's* actual sparse-kernel throughput (the compute term of every
+// modelled cost) by timing generalized SpGEMMs over the monoids the library
+// uses, and packages the result as a MachineModel whose α/β stay at their
+// configured network values (the network is simulated; its parameters are
+// inputs, not measurables). Calibrations persist to a small key=value file
+// so tuning runs once per machine.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/machine.hpp"
+
+namespace mfbc::sim {
+
+struct TuneResult {
+  MachineModel model;
+  double measured_ops_per_second = 0;  ///< host sparse-kernel throughput
+  double spread = 0;  ///< max/min ratio across calibration kernels
+};
+
+struct TunerOptions {
+  int scale = 12;          ///< calibration graph size (2^scale vertices)
+  double edge_factor = 8;  ///< calibration graph density
+  int repetitions = 3;     ///< timing repetitions per kernel (min is taken)
+  /// Network parameters to embed in the result (not measurable in
+  /// simulation): defaults are the Blue-Waters-like values.
+  double alpha = MachineModel{}.alpha;
+  double beta = MachineModel{}.beta;
+};
+
+/// Run the calibration kernels and return a tuned MachineModel.
+TuneResult tune_machine(const TunerOptions& opts = {});
+
+/// Persist / restore a model (key=value lines: alpha, beta, seconds_per_op,
+/// memory_words).
+void save_model(std::ostream& out, const MachineModel& model);
+MachineModel load_model(std::istream& in);
+
+void save_model_file(const std::string& path, const MachineModel& model);
+MachineModel load_model_file(const std::string& path);
+
+}  // namespace mfbc::sim

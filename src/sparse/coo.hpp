@@ -1,0 +1,82 @@
+// Coordinate-format sparse matrix (the interchange/builder format).
+//
+// COO is used for graph construction, I/O, and redistribution shuffles; the
+// compute kernels run on CSR (see csr.hpp). This mirrors CTF, which stores
+// index–value pairs for input and converts to CSR for multiplication
+// (paper §6.2).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "algebra/concepts.hpp"
+#include "sparse/types.hpp"
+#include "support/error.hpp"
+
+namespace mfbc::sparse {
+
+template <typename T>
+struct CooEntry {
+  vid_t row = 0;
+  vid_t col = 0;
+  T val{};
+
+  friend bool operator==(const CooEntry&, const CooEntry&) = default;
+};
+
+template <typename T>
+class Coo {
+ public:
+  Coo() = default;
+  Coo(vid_t nrows, vid_t ncols) : nrows_(nrows), ncols_(ncols) {
+    MFBC_CHECK(nrows >= 0 && ncols >= 0, "matrix dims must be non-negative");
+  }
+
+  vid_t nrows() const { return nrows_; }
+  vid_t ncols() const { return ncols_; }
+  nnz_t nnz() const { return static_cast<nnz_t>(entries_.size()); }
+
+  void reserve(nnz_t n) { entries_.reserve(static_cast<std::size_t>(n)); }
+
+  void push(vid_t r, vid_t c, T v) {
+    MFBC_DCHECK(r >= 0 && r < nrows_ && c >= 0 && c < ncols_,
+                "COO entry out of bounds");
+    entries_.push_back({r, c, std::move(v)});
+  }
+
+  std::vector<CooEntry<T>>& entries() { return entries_; }
+  const std::vector<CooEntry<T>>& entries() const { return entries_; }
+
+  /// Sort entries into row-major order and merge duplicates through the
+  /// monoid M. Entries that merge to the monoid identity are dropped.
+  template <algebra::Monoid M>
+  void sort_and_combine() {
+    std::sort(entries_.begin(), entries_.end(),
+              [](const CooEntry<T>& a, const CooEntry<T>& b) {
+                return a.row != b.row ? a.row < b.row : a.col < b.col;
+              });
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < entries_.size();) {
+      std::size_t j = i + 1;
+      T acc = entries_[i].val;
+      while (j < entries_.size() && entries_[j].row == entries_[i].row &&
+             entries_[j].col == entries_[i].col) {
+        acc = M::combine(acc, entries_[j].val);
+        ++j;
+      }
+      if (!M::is_identity(acc)) {
+        entries_[out] = {entries_[i].row, entries_[i].col, std::move(acc)};
+        ++out;
+      }
+      i = j;
+    }
+    entries_.resize(out);
+  }
+
+ private:
+  vid_t nrows_ = 0;
+  vid_t ncols_ = 0;
+  std::vector<CooEntry<T>> entries_;
+};
+
+}  // namespace mfbc::sparse

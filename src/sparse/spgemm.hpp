@@ -1,0 +1,106 @@
+// Generalized sparse matrix–matrix multiplication  C = A •⟨⊕,f⟩ B
+// (paper §3): output element C(i,j) = ⊕_k f(A(i,k), B(k,j)) over a
+// commutative monoid (D_C, ⊕) and bridge function f : D_A × D_B → D_C.
+//
+// The kernel is Gustavson's row-wise algorithm with a sparse accumulator:
+// optimal O(ops(A,B)) work, which is what the paper's cost model assumes for
+// the local block multiplies (§5.1: "all the considered algorithms have an
+// optimal computation cost").
+//
+// The `b_row_offset` parameter lets a caller multiply against a row *slice*
+// of a conceptually larger B without materializing a huge rowptr: row k of
+// the conceptual matrix lives at row (k - b_row_offset) of the passed slice,
+// and k outside the slice contributes nothing. The distributed SUMMA-style
+// algorithms use this to multiply k-dimension slices (§5.2.2).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "algebra/concepts.hpp"
+#include "sparse/csr.hpp"
+
+namespace mfbc::sparse {
+
+/// Work counters for one multiplication; ops matches the paper's
+/// ops(A,B) = number of nonzero elementary products.
+struct SpgemmStats {
+  nnz_t ops = 0;
+};
+
+template <algebra::Monoid M, typename TA, typename TB, typename F>
+Csr<typename M::value_type> spgemm(const Csr<TA>& a, const Csr<TB>& b, F f,
+                                   SpgemmStats* stats = nullptr,
+                                   vid_t b_row_offset = 0) {
+  using TC = typename M::value_type;
+  // B may be a row slice of the conceptual inner dimension (possibly the
+  // whole of it); slices must lie inside [0, a.ncols()).
+  MFBC_CHECK(b_row_offset >= 0 && b_row_offset + b.nrows() <= a.ncols(),
+             "spgemm B slice out of the inner-dimension range");
+
+  const vid_t ncols = b.ncols();
+  std::vector<TC> acc(static_cast<std::size_t>(ncols), M::identity());
+  std::vector<unsigned char> occupied(static_cast<std::size_t>(ncols), 0);
+  std::vector<vid_t> touched;
+
+  std::vector<nnz_t> rowptr(static_cast<std::size_t>(a.nrows()) + 1, 0);
+  std::vector<vid_t> out_col;
+  std::vector<TC> out_val;
+  nnz_t ops = 0;
+
+  for (vid_t i = 0; i < a.nrows(); ++i) {
+    auto acs = a.row_cols(i);
+    auto avs = a.row_vals(i);
+    touched.clear();
+    for (std::size_t t = 0; t < acs.size(); ++t) {
+      const vid_t k = acs[t] - b_row_offset;
+      if (k < 0 || k >= b.nrows()) continue;
+      auto bcs = b.row_cols(k);
+      auto bvs = b.row_vals(k);
+      const TA& av = avs[t];
+      for (std::size_t u = 0; u < bcs.size(); ++u) {
+        const vid_t j = bcs[u];
+        TC prod = f(av, bvs[u]);
+        ++ops;
+        auto ju = static_cast<std::size_t>(j);
+        if (!occupied[ju]) {
+          occupied[ju] = 1;
+          touched.push_back(j);
+          acc[ju] = std::move(prod);
+        } else {
+          acc[ju] = M::combine(acc[ju], prod);
+        }
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    for (vid_t j : touched) {
+      auto ju = static_cast<std::size_t>(j);
+      if (!M::is_identity(acc[ju])) {
+        out_col.push_back(j);
+        out_val.push_back(std::move(acc[ju]));
+      }
+      occupied[ju] = 0;
+      acc[ju] = M::identity();
+    }
+    rowptr[static_cast<std::size_t>(i) + 1] = static_cast<nnz_t>(out_col.size());
+  }
+  if (stats != nullptr) stats->ops += ops;
+  return Csr<TC>(a.nrows(), ncols, std::move(rowptr), std::move(out_col),
+                 std::move(out_val));
+}
+
+/// Count ops(A,B) without computing the product (used by cost models and by
+/// the load-balance assertions in tests).
+template <typename TA, typename TB>
+nnz_t spgemm_ops(const Csr<TA>& a, const Csr<TB>& b, vid_t b_row_offset = 0) {
+  nnz_t ops = 0;
+  for (vid_t i = 0; i < a.nrows(); ++i) {
+    for (vid_t k : a.row_cols(i)) {
+      const vid_t kb = k - b_row_offset;
+      if (kb >= 0 && kb < b.nrows()) ops += b.row_nnz(kb);
+    }
+  }
+  return ops;
+}
+
+}  // namespace mfbc::sparse

@@ -1,0 +1,16 @@
+// Fundamental index types for the sparse kernels.
+#pragma once
+
+#include <cstdint>
+
+namespace mfbc::sparse {
+
+/// Vertex / row / column index. 64-bit: the library targets graphs with up
+/// to tens of millions of vertices and the simulator composes many blocks,
+/// so we do not play 32-bit games.
+using vid_t = std::int64_t;
+
+/// Nonzero count / offset into nonzero arrays.
+using nnz_t = std::int64_t;
+
+}  // namespace mfbc::sparse

@@ -1,0 +1,15 @@
+#include "support/error.hpp"
+
+#include <sstream>
+
+namespace mfbc::detail {
+
+void fail(const char* expr, const char* file, int line,
+          const std::string& msg) {
+  std::ostringstream os;
+  os << "MFBC_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace mfbc::detail

@@ -1,0 +1,39 @@
+// Error handling primitives for the mfbc library.
+//
+// All precondition violations throw mfbc::Error with a formatted message.
+// MFBC_CHECK is always on (cheap checks on API boundaries); MFBC_DCHECK is
+// compiled out in NDEBUG builds (hot inner loops).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mfbc {
+
+/// Exception thrown on contract violations and invalid inputs.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void fail(const char* expr, const char* file, int line,
+                       const std::string& msg);
+}  // namespace detail
+
+}  // namespace mfbc
+
+#define MFBC_CHECK(cond, msg)                                     \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      ::mfbc::detail::fail(#cond, __FILE__, __LINE__, (msg));     \
+    }                                                             \
+  } while (0)
+
+#ifdef NDEBUG
+#define MFBC_DCHECK(cond, msg) \
+  do {                         \
+  } while (0)
+#else
+#define MFBC_DCHECK(cond, msg) MFBC_CHECK(cond, msg)
+#endif

@@ -1,0 +1,51 @@
+// Deterministic random number generation.
+//
+// All randomized components of the library (graph generators, random
+// relabelings, property tests) draw from these generators so that every run
+// is reproducible from a single 64-bit seed.
+#pragma once
+
+#include <cstdint>
+
+namespace mfbc {
+
+/// SplitMix64: used to expand a single seed into stream seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: the library's workhorse generator. Satisfies
+/// UniformRandomBitGenerator so it can drive <random> distributions.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() { return next(); }
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire reduction).
+  std::uint64_t bounded(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform integer weight in [lo, hi] returned as double (the library's
+  /// weight type); lo >= 1 keeps path weights strictly positive.
+  double weight(std::uint64_t lo, std::uint64_t hi);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace mfbc

@@ -1,0 +1,49 @@
+#include "support/strutil.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mfbc {
+
+namespace {
+std::string printf_str(const char* fmt, double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, fmt, digits, v);
+  return buf;
+}
+}  // namespace
+
+std::string human_bytes(double bytes) {
+  static const char* units[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 5) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, bytes < 10 ? "%.2f %s" : "%.1f %s", bytes,
+                units[u]);
+  return buf;
+}
+
+std::string human_count(double count) {
+  static const char* units[] = {"", "K", "M", "B", "T"};
+  int u = 0;
+  while (std::fabs(count) >= 1000.0 && u < 4) {
+    count /= 1000.0;
+    ++u;
+  }
+  char buf[64];
+  if (u == 0) {
+    std::snprintf(buf, sizeof buf, "%.0f", count);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f%s", count, units[u]);
+  }
+  return buf;
+}
+
+std::string fixed(double v, int digits) { return printf_str("%.*f", v, digits); }
+
+std::string compact(double v, int digits) { return printf_str("%.*g", v, digits); }
+
+}  // namespace mfbc

@@ -1,0 +1,21 @@
+// Small string/formatting helpers shared by the CLI tools and benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mfbc {
+
+/// "1.80 GB", "117 MB", "512 B" — human-readable byte counts.
+std::string human_bytes(double bytes);
+
+/// "65.6M", "1.8B", "737" — human-readable counts (as the paper's Table 2).
+std::string human_count(double count);
+
+/// Fixed-precision double formatting ("%.*f").
+std::string fixed(double v, int digits);
+
+/// Scientific-ish compact formatting ("%.*g").
+std::string compact(double v, int digits = 4);
+
+}  // namespace mfbc

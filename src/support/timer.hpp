@@ -1,0 +1,25 @@
+// Wall-clock timing helper used by benchmarks and the harness.
+#pragma once
+
+#include <chrono>
+
+namespace mfbc {
+
+/// Monotonic stopwatch; starts on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed wall-clock seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace mfbc

@@ -1,0 +1,118 @@
+// Tests for the pivot-sampling BC estimators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/brandes.hpp"
+#include "graph/generators.hpp"
+#include "mfbc/approx.hpp"
+#include "support/error.hpp"
+
+namespace mfbc::core {
+namespace {
+
+using baseline::brandes;
+using graph::Graph;
+
+TEST(ApproxBc, AllPivotsEqualsExact) {
+  Graph g = graph::erdos_renyi(50, 150, false, {}, 3);
+  auto exact = brandes(g);
+  auto approx = approx_bc(g, g.n(), /*seed=*/7, /*batch_size=*/16);
+  EXPECT_EQ(approx.pivots_used, g.n());
+  for (std::size_t v = 0; v < exact.size(); ++v) {
+    EXPECT_NEAR(approx.bc[v], exact[v], 1e-9 * (1.0 + exact[v]));
+  }
+}
+
+TEST(ApproxBc, PivotCountClamped) {
+  Graph g = graph::erdos_renyi(30, 90, false, {}, 4);
+  auto approx = approx_bc(g, 10000, 7);
+  EXPECT_EQ(approx.pivots_used, 30);
+}
+
+TEST(ApproxBc, EstimatesCorrelateWithExact) {
+  Graph g = graph::erdos_renyi(120, 480, false, {}, 5);
+  auto exact = brandes(g);
+  auto approx = approx_bc(g, 40, /*seed=*/11, /*batch_size=*/20);
+  // Pearson correlation between estimate and truth should be strong.
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  const auto n = static_cast<double>(exact.size());
+  for (std::size_t v = 0; v < exact.size(); ++v) {
+    sx += approx.bc[v];
+    sy += exact[v];
+    sxx += approx.bc[v] * approx.bc[v];
+    syy += exact[v] * exact[v];
+    sxy += approx.bc[v] * exact[v];
+  }
+  const double corr = (n * sxy - sx * sy) /
+                      std::sqrt((n * sxx - sx * sx) * (n * syy - sy * sy));
+  EXPECT_GT(corr, 0.85);
+}
+
+TEST(ApproxBc, DeterministicInSeed) {
+  Graph g = graph::erdos_renyi(40, 120, false, {}, 6);
+  auto a = approx_bc(g, 10, 42);
+  auto b = approx_bc(g, 10, 42);
+  auto c = approx_bc(g, 10, 43);
+  EXPECT_EQ(a.bc, b.bc);
+  EXPECT_NE(a.bc, c.bc);
+}
+
+TEST(ApproxBc, TotalMassIsUnbiasedScale) {
+  // Summed over all vertices, the k-pivot estimate scaled by n/k has the
+  // same expectation as the exact total; with k=n it matches exactly, with
+  // k=n/2 it should land within a loose band.
+  Graph g = graph::erdos_renyi(80, 320, false, {}, 8);
+  auto exact = brandes(g);
+  double exact_total = 0;
+  for (double x : exact) exact_total += x;
+  auto approx = approx_bc(g, 40, 21);
+  double approx_total = 0;
+  for (double x : approx.bc) approx_total += x;
+  EXPECT_NEAR(approx_total, exact_total, 0.35 * exact_total);
+}
+
+TEST(AdaptiveBc, HighCentralityVertexStopsEarly) {
+  // Star center: every sampled leaf contributes δ(s,center) = k−1, so the
+  // α·n threshold trips after very few samples.
+  std::vector<graph::Edge> edges;
+  const graph::vid_t leaves = 40;
+  for (graph::vid_t v = 1; v <= leaves; ++v) edges.push_back({0, v});
+  Graph g = Graph::from_edges(leaves + 1, edges, false, false);
+  AdaptiveOptions opts;
+  opts.alpha = 2.0;
+  opts.batch_size = 4;
+  auto r = adaptive_bc_vertex(g, 0, opts);
+  EXPECT_LT(r.samples_used, g.n() / 2);
+  const double exact = static_cast<double>(leaves) * (leaves - 1);
+  EXPECT_NEAR(r.estimate, exact, 0.45 * exact);
+}
+
+TEST(AdaptiveBc, LowCentralityVertexUsesAllSamples) {
+  // A leaf has zero centrality: the threshold never trips.
+  std::vector<graph::Edge> edges{{0, 1}, {0, 2}, {0, 3}};
+  Graph g = Graph::from_edges(4, edges, false, false);
+  auto r = adaptive_bc_vertex(g, 1, {});
+  EXPECT_EQ(r.samples_used, g.n());
+  EXPECT_DOUBLE_EQ(r.estimate, 0.0);
+}
+
+TEST(AdaptiveBc, RespectsSampleCap) {
+  Graph g = graph::erdos_renyi(60, 180, false, {}, 9);
+  AdaptiveOptions opts;
+  opts.alpha = 1e12;  // never trips
+  opts.max_samples = 13;
+  auto r = adaptive_bc_vertex(g, 0, opts);
+  EXPECT_EQ(r.samples_used, 13);
+}
+
+TEST(AdaptiveBc, ValidatesArguments) {
+  Graph g = graph::erdos_renyi(10, 20, false, {}, 10);
+  EXPECT_THROW(adaptive_bc_vertex(g, 99, {}), Error);
+  AdaptiveOptions bad;
+  bad.alpha = 0;
+  EXPECT_THROW(adaptive_bc_vertex(g, 0, bad), Error);
+}
+
+}  // namespace
+}  // namespace mfbc::core

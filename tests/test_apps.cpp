@@ -1,0 +1,183 @@
+// Tests for the extension algorithms (src/apps): algebraic BFS/SSSP,
+// connected components, harmonic closeness, and the distributed SSSP that
+// reuses the autotuned SpGEMM layer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "apps/traversal.hpp"
+#include "apps/traversal_dist.hpp"
+#include "baseline/brandes.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+
+namespace mfbc::apps {
+namespace {
+
+using algebra::kInfWeight;
+using graph::Edge;
+using graph::Graph;
+
+TEST(BfsHops, MatchesBfsLevels) {
+  Graph g = graph::erdos_renyi(60, 150, false, {}, 3);
+  auto hops = bfs_hops(g, 5);
+  auto levels = graph::bfs_levels(g, 5);
+  for (graph::vid_t v = 0; v < g.n(); ++v) {
+    if (levels[static_cast<std::size_t>(v)] < 0) {
+      EXPECT_EQ(hops[static_cast<std::size_t>(v)], kInfWeight);
+    } else {
+      EXPECT_EQ(hops[static_cast<std::size_t>(v)],
+                static_cast<Weight>(levels[static_cast<std::size_t>(v)]));
+    }
+  }
+}
+
+TEST(BfsHops, WeightedGraphUsesUnitWeights) {
+  // BFS counts hops even when the graph carries weights.
+  std::vector<Edge> edges{{0, 1, 9.0}, {1, 2, 9.0}, {0, 2, 1.0}};
+  Graph g = Graph::from_edges(3, edges, true, true);
+  auto hops = bfs_hops(g, 0);
+  EXPECT_EQ(hops[2], 1.0);  // direct edge wins in hops...
+  auto dist = sssp(g, 0);
+  EXPECT_EQ(dist[2], 1.0);  // ...and happens to win in weight here too
+  EXPECT_EQ(dist[1], 9.0);
+}
+
+class SsspVsDijkstra : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SsspVsDijkstra, RandomWeightedGraphs) {
+  graph::WeightSpec ws{true, 1, 20};
+  Graph g = graph::erdos_renyi(70, 220, GetParam() % 2 == 0, ws, GetParam());
+  auto d = sssp(g, 0);
+  auto ref = baseline::sssp_with_counts(g, 0);
+  for (graph::vid_t v = 0; v < g.n(); ++v) {
+    EXPECT_EQ(d[static_cast<std::size_t>(v)],
+              ref.dist[static_cast<std::size_t>(v)])
+        << "v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SsspVsDijkstra,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(SsspBatch, RowsMatchSingleSource) {
+  graph::WeightSpec ws{true, 1, 9};
+  Graph g = graph::erdos_renyi(40, 120, false, ws, 9);
+  const std::vector<graph::vid_t> sources{0, 7, 31};
+  auto batch = sssp_batch(g, sources);
+  for (std::size_t s = 0; s < sources.size(); ++s) {
+    auto single = sssp(g, sources[s]);
+    for (graph::vid_t v = 0; v < g.n(); ++v) {
+      EXPECT_EQ(batch[s * static_cast<std::size_t>(g.n()) +
+                      static_cast<std::size_t>(v)],
+                single[static_cast<std::size_t>(v)]);
+    }
+  }
+}
+
+TEST(Components, LabelsPartitionCorrectly) {
+  std::vector<Edge> edges{{0, 1}, {1, 2}, {4, 3}, {5, 6}, {6, 7}, {7, 5}};
+  Graph g = Graph::from_edges(9, edges, false, false);
+  auto labels = connected_component_labels(g);
+  EXPECT_EQ(labels[0], 0);
+  EXPECT_EQ(labels[1], 0);
+  EXPECT_EQ(labels[2], 0);
+  EXPECT_EQ(labels[3], 3);
+  EXPECT_EQ(labels[4], 3);
+  EXPECT_EQ(labels[5], 5);
+  EXPECT_EQ(labels[6], 5);
+  EXPECT_EQ(labels[7], 5);
+  EXPECT_EQ(labels[8], 8);  // isolated
+}
+
+TEST(Components, CountMatchesUnionFind) {
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    Graph g = graph::erdos_renyi(80, 90, false, {}, seed);  // sparse: many CCs
+    auto labels = connected_component_labels(g);
+    std::vector<graph::vid_t> distinct = labels;
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                   distinct.end());
+    EXPECT_EQ(static_cast<graph::vid_t>(distinct.size()),
+              graph::weakly_connected_components(g));
+  }
+}
+
+TEST(Components, DirectedTreatedWeakly) {
+  Graph g = Graph::from_edges(4, {{1, 0}, {2, 3}}, true, false);
+  auto labels = connected_component_labels(g);
+  EXPECT_EQ(labels[0], 0);
+  EXPECT_EQ(labels[1], 0);
+  EXPECT_EQ(labels[2], 2);
+  EXPECT_EQ(labels[3], 2);
+}
+
+TEST(Closeness, StarCenterHighest) {
+  std::vector<Edge> edges{{0, 1}, {0, 2}, {0, 3}, {0, 4}};
+  Graph g = Graph::from_edges(5, edges, false, false);
+  auto h = harmonic_closeness(g);
+  EXPECT_DOUBLE_EQ(h[0], 4.0);            // four neighbors at distance 1
+  EXPECT_DOUBLE_EQ(h[1], 1.0 + 3.0 / 2);  // center at 1, three leaves at 2
+  for (std::size_t v = 2; v < 5; ++v) EXPECT_DOUBLE_EQ(h[v], h[1]);
+}
+
+TEST(Closeness, DisconnectedPairsContributeZero) {
+  Graph g = Graph::from_edges(4, {{0, 1}, {2, 3}}, false, false);
+  auto h = harmonic_closeness(g);
+  for (double v : h) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(Closeness, SubsetOfSources) {
+  Graph g = graph::erdos_renyi(50, 150, false, {}, 21);
+  ClosenessOptions opts;
+  opts.sources = {3, 14, 41};
+  opts.batch_size = 2;
+  auto sub = harmonic_closeness(g, opts);
+  auto full = harmonic_closeness(g);
+  ASSERT_EQ(sub.size(), 3u);
+  EXPECT_DOUBLE_EQ(sub[0], full[3]);
+  EXPECT_DOUBLE_EQ(sub[1], full[14]);
+  EXPECT_DOUBLE_EQ(sub[2], full[41]);
+}
+
+class DistSsspRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistSsspRanks, MatchesSequential) {
+  graph::WeightSpec ws{true, 1, 12};
+  Graph g = graph::erdos_renyi(45, 140, true, ws,
+                               77 + static_cast<std::uint64_t>(GetParam()));
+  const std::vector<graph::vid_t> sources{0, 11, 22, 33, 44};
+  sim::Sim sim(GetParam());
+  auto got = sssp_batch_dist(sim, g, sources);
+  auto ref = sssp_batch(g, sources);
+  EXPECT_EQ(got, ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, DistSsspRanks, ::testing::Values(1, 2, 4, 9));
+
+TEST(DistCloseness, MatchesSequential) {
+  graph::WeightSpec ws{true, 1, 6};
+  Graph g = graph::erdos_renyi(36, 110, false, ws, 14);
+  sim::Sim sim(4);
+  ClosenessOptions opts;
+  opts.batch_size = 9;
+  auto got = harmonic_closeness_dist(sim, g, opts);
+  auto ref = harmonic_closeness(g, opts);
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got[i], ref[i]);
+  }
+  EXPECT_GT(sim.ledger().critical().words, 0.0);
+}
+
+TEST(DistSssp, ChargesCommunication) {
+  Graph g = graph::erdos_renyi(40, 120, false, {}, 5);
+  const std::vector<graph::vid_t> sources{0, 1, 2, 3};
+  sim::Sim sim(4);
+  sssp_batch_dist(sim, g, sources);
+  EXPECT_GT(sim.ledger().critical().words, 0.0);
+}
+
+}  // namespace
+}  // namespace mfbc::apps

@@ -1,0 +1,78 @@
+// Tests for the shared dense batch-state tiling.
+#include <gtest/gtest.h>
+
+#include "dist/batch_state.hpp"
+
+namespace mfbc::dist {
+namespace {
+
+struct TwoFields {
+  std::vector<double> a;
+  std::vector<int> b;
+  void resize(std::size_t sz) {
+    a.assign(sz, -1.0);
+    b.assign(sz, 7);
+  }
+};
+
+TEST(BatchState, NearSquareGridShapes) {
+  EXPECT_EQ(near_square_grid(1), (std::pair{1, 1}));
+  EXPECT_EQ(near_square_grid(12), (std::pair{3, 4}));
+  EXPECT_EQ(near_square_grid(16), (std::pair{4, 4}));
+  EXPECT_EQ(near_square_grid(7), (std::pair{1, 7}));
+  EXPECT_EQ(near_square_grid(36), (std::pair{6, 6}));
+}
+
+TEST(BatchState, BlocksTileAndResize) {
+  BatchState<TwoFields> st({5, 9, 13}, 10, /*p=*/6);
+  EXPECT_EQ(st.nb(), 3);
+  EXPECT_EQ(st.n(), 10);
+  EXPECT_EQ(st.source(1), 9);
+  const Layout& l = st.layout();
+  EXPECT_EQ(l.pr * l.pc, 6);
+  std::size_t total = 0;
+  for (int i = 0; i < l.pr; ++i) {
+    for (int j = 0; j < l.pc; ++j) {
+      auto& blk = st.at(i, j);
+      EXPECT_EQ(blk.a.size(), blk.b.size());
+      EXPECT_EQ(blk.a.size(),
+                static_cast<std::size_t>(blk.rows.size()) *
+                    static_cast<std::size_t>(blk.cols.size()));
+      total += blk.a.size();
+      if (!blk.a.empty()) {
+        EXPECT_EQ(blk.a[0], -1.0);
+        EXPECT_EQ(blk.b[0], 7);
+      }
+    }
+  }
+  EXPECT_EQ(total, 30u);  // 3 sources x 10 vertices
+}
+
+TEST(BatchState, AtIndexingIsRowMajorLocal) {
+  BatchState<TwoFields> st({0, 1, 2, 3}, 8, /*p=*/4);
+  const Layout& l = st.layout();
+  for (vid_t s = 0; s < st.nb(); ++s) {
+    for (vid_t v = 0; v < st.n(); ++v) {
+      auto [i, j] = l.owner(s, v);
+      auto& blk = st.at(i, j);
+      const std::size_t idx = blk.at(s, v);
+      ASSERT_LT(idx, blk.a.size());
+      blk.a[idx] += 1.0;  // every (s,v) hits a distinct slot exactly once
+    }
+  }
+  for (int i = 0; i < l.pr; ++i) {
+    for (int j = 0; j < l.pc; ++j) {
+      for (double x : st.at(i, j).a) EXPECT_EQ(x, 0.0);  // -1 + 1
+    }
+  }
+}
+
+TEST(BatchState, ExplicitLayoutValidated) {
+  Layout wrong{0, 2, 2, Range{0, 5}, Range{0, 10}, false};
+  EXPECT_THROW((BatchState<TwoFields>({1, 2, 3}, 10, wrong)), Error);
+  Layout right{0, 2, 2, Range{0, 3}, Range{0, 10}, false};
+  EXPECT_NO_THROW((BatchState<TwoFields>({1, 2, 3}, 10, right)));
+}
+
+}  // namespace
+}  // namespace mfbc::dist

@@ -1,0 +1,116 @@
+// Tests for the bench harness utilities: table rendering, TEPS math, and
+// the per-cell runners (including their refusal paths).
+#include <gtest/gtest.h>
+
+#include "benchsupport/harness.hpp"
+#include "benchsupport/table.hpp"
+#include "graph/generators.hpp"
+#include "mfbc/teps.hpp"
+#include "support/error.hpp"
+#include "support/strutil.hpp"
+
+namespace mfbc::bench {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "23456"});
+  const std::string out = t.render("My Title");
+  EXPECT_NE(out.find("== My Title =="), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // Header and both rows present, separated by a rule line.
+  EXPECT_NE(out.find("----"), std::string::npos);
+  // All rows share the same column start for "value".
+  const auto header_pos = out.find("value");
+  const auto row1_line = out.find("x");
+  ASSERT_NE(row1_line, std::string::npos);
+  EXPECT_NE(header_pos, std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table({}), Error);
+}
+
+TEST(Teps, EdgeTraversalsScaleWithSources) {
+  graph::Graph g = graph::erdos_renyi(100, 400, false, {}, 1);
+  EXPECT_DOUBLE_EQ(core::edge_traversals(g, 10), 4000.0);
+  EXPECT_DOUBLE_EQ(core::edge_traversals(g, 100), 40000.0);
+}
+
+TEST(Teps, MtepsPerNode) {
+  EXPECT_DOUBLE_EQ(core::mteps_per_node(64e6, 2.0, 16), 2.0);
+  EXPECT_THROW(core::mteps_per_node(1, 0, 4), Error);
+  EXPECT_THROW(core::mteps_per_node(1, 1, 0), Error);
+}
+
+TEST(Harness, MfbcCellProducesCosts) {
+  graph::Graph g = graph::erdos_renyi(60, 200, false, {}, 2);
+  CellConfig cfg;
+  cfg.nodes = 4;
+  cfg.batch_size = 8;
+  const CellResult r = run_mfbc_cell(g, cfg);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_GT(r.seconds, 0);
+  EXPECT_GT(r.mteps_per_node, 0);
+  EXPECT_GT(r.words, 0);
+  EXPECT_GT(r.fwd_iterations, 0);
+  EXPECT_FALSE(r.plans.empty());
+  EXPECT_EQ(cell_str(r), fixed(r.mteps_per_node, 2));
+}
+
+TEST(Harness, CombblasCellRefusesNonSquare) {
+  graph::Graph g = graph::erdos_renyi(40, 120, false, {}, 3);
+  CellConfig cfg;
+  cfg.nodes = 8;  // not a perfect square
+  const CellResult r = run_combblas_cell(g, cfg);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(cell_str(r), "fail");
+  EXPECT_NE(r.error.find("square"), std::string::npos);
+}
+
+TEST(Harness, CombblasCellRefusesWeighted) {
+  graph::WeightSpec ws{true, 1, 5};
+  graph::Graph g = graph::erdos_renyi(40, 120, false, ws, 4);
+  CellConfig cfg;
+  cfg.nodes = 4;
+  const CellResult r = run_combblas_cell(g, cfg);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Harness, WarmupReducesMeasuredWords) {
+  graph::Graph g = graph::erdos_renyi(80, 400, false, {}, 5);
+  CellConfig cold;
+  cold.nodes = 4;
+  cold.batch_size = 8;
+  cold.plan_mode = core::PlanMode::kFixedCa;
+  cold.replication_c = 4;
+  CellConfig warm = cold;
+  warm.warmup = true;
+  const CellResult rc = run_mfbc_cell(g, cold);
+  const CellResult rw = run_mfbc_cell(g, warm);
+  ASSERT_TRUE(rc.ok && rw.ok);
+  EXPECT_LT(rw.words, rc.words);  // adjacency replication amortized away
+}
+
+TEST(Harness, NumSourcesControlsWork) {
+  graph::Graph g = graph::erdos_renyi(60, 240, false, {}, 6);
+  CellConfig one;
+  one.nodes = 4;
+  one.batch_size = 8;
+  one.num_sources = 8;
+  CellConfig four = one;
+  four.num_sources = 32;
+  const CellResult r1 = run_mfbc_cell(g, one);
+  const CellResult r4 = run_mfbc_cell(g, four);
+  ASSERT_TRUE(r1.ok && r4.ok);
+  EXPECT_GT(r4.seconds, r1.seconds);
+}
+
+}  // namespace
+}  // namespace mfbc::bench

@@ -1,0 +1,102 @@
+// Tests for the CombBLAS-style baseline: exactness on unweighted graphs and
+// the configuration restrictions the paper reports for CombBLAS.
+#include <gtest/gtest.h>
+
+#include "baseline/brandes.hpp"
+#include "baseline/combblas_bc.hpp"
+#include "graph/generators.hpp"
+#include "support/error.hpp"
+
+namespace mfbc::baseline {
+namespace {
+
+using graph::Graph;
+
+void expect_close(const std::vector<double>& got,
+                  const std::vector<double>& ref) {
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t v = 0; v < ref.size(); ++v) {
+    EXPECT_NEAR(got[v], ref[v], 1e-9 * (1.0 + ref[v])) << "vertex " << v;
+  }
+}
+
+class CombBlasRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(CombBlasRanks, MatchesBrandesOnSquareGrids) {
+  const int p = GetParam();
+  Graph g = graph::erdos_renyi(44, 140, false, {},
+                               42 + static_cast<std::uint64_t>(p));
+  sim::Sim sim(p);
+  CombBlasBc engine(sim, g);
+  auto got = engine.run({.batch_size = 11});
+  expect_close(got, brandes(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(SquareGrids, CombBlasRanks,
+                         ::testing::Values(1, 4, 9, 16));
+
+TEST(CombBlas, DirectedGraph) {
+  Graph g = graph::erdos_renyi(40, 150, true, {}, 7);
+  sim::Sim sim(4);
+  CombBlasBc engine(sim, g);
+  auto got = engine.run({.batch_size = 10});
+  expect_close(got, brandes(g));
+}
+
+TEST(CombBlas, RejectsNonSquareGrid) {
+  Graph g = graph::erdos_renyi(20, 60, false, {}, 8);
+  sim::Sim sim(8);  // 8 is not a perfect square
+  EXPECT_THROW(CombBlasBc(sim, g), Error);
+}
+
+TEST(CombBlas, RejectsWeightedGraph) {
+  graph::WeightSpec ws{true, 1, 10};
+  Graph g = graph::erdos_renyi(20, 60, false, ws, 9);
+  sim::Sim sim(4);
+  EXPECT_THROW(CombBlasBc(sim, g), Error);
+}
+
+TEST(CombBlas, PartialSources) {
+  Graph g = graph::erdos_renyi(36, 120, false, {}, 10);
+  sim::Sim sim(9);
+  CombBlasBc engine(sim, g);
+  CombBlasOptions opts;
+  opts.batch_size = 3;
+  opts.sources = {0, 5, 10, 15, 20};
+  auto got = engine.run(opts);
+  expect_close(got, brandes_partial(g, opts.sources));
+}
+
+TEST(CombBlas, DisconnectedGraph) {
+  std::vector<graph::Edge> edges{{0, 1}, {2, 3}, {3, 4}};
+  Graph g = Graph::from_edges(6, edges, false, false);
+  sim::Sim sim(4);
+  CombBlasBc engine(sim, g);
+  auto got = engine.run({.batch_size = 6});
+  expect_close(got, brandes(g));
+}
+
+TEST(CombBlas, ForwardIterationsEqualEccentricityBound) {
+  // On a path from one end, BFS needs exactly diameter iterations.
+  std::vector<graph::Edge> edges;
+  for (graph::vid_t v = 0; v + 1 < 8; ++v) edges.push_back({v, v + 1});
+  Graph g = Graph::from_edges(8, edges, false, false);
+  sim::Sim sim(4);
+  CombBlasBc engine(sim, g);
+  CombBlasStats stats;
+  engine.run({.batch_size = 1, .sources = {0}}, &stats);
+  // 7 productive levels + 1 empty-product terminating iteration.
+  EXPECT_EQ(stats.forward.iterations(), 8);
+}
+
+TEST(CombBlas, ChargesCommunication) {
+  Graph g = graph::erdos_renyi(30, 90, false, {}, 12);
+  sim::Sim sim(4);
+  CombBlasBc engine(sim, g);
+  sim.ledger().reset();
+  engine.run({.batch_size = 8, .sources = {0, 1, 2, 3}});
+  EXPECT_GT(sim.ledger().critical().words, 0.0);
+}
+
+}  // namespace
+}  // namespace mfbc::baseline

@@ -1,0 +1,188 @@
+// Tests for the §5.2 analytic cost models and the §6.2 plan autotuner.
+#include <gtest/gtest.h>
+
+#include "dist/autotune.hpp"
+#include "dist/cost_model.hpp"
+#include "support/error.hpp"
+
+namespace mfbc::dist {
+namespace {
+
+MultiplyStats square_stats(double nnz) {
+  return MultiplyStats::estimated(1000, 1000, 1000, nnz, nnz, 2, 2, 2);
+}
+
+TEST(MultiplyStats, UniformEstimates) {
+  // §5.2: ops ≈ nnz(A)·nnz(B)/k, nnz(C) ≈ min(mn, ops).
+  auto s = MultiplyStats::estimated(100, 50, 200, 500, 400, 2, 1, 2);
+  EXPECT_DOUBLE_EQ(s.ops, 500.0 * 400.0 / 50.0);
+  EXPECT_DOUBLE_EQ(s.nnz_c, std::min(100.0 * 200.0, s.ops));
+}
+
+TEST(PlanNames, AllShapes) {
+  EXPECT_EQ((Plan{1, 1, 1}).to_string(), "local");
+  EXPECT_EQ((Plan{4, 1, 1, Variant1D::kB, Variant2D::kAB}).to_string(),
+            "1D-B[4]");
+  EXPECT_EQ((Plan{1, 2, 3, Variant1D::kA, Variant2D::kBC}).to_string(),
+            "2D-BC[2x3]");
+  EXPECT_EQ((Plan{2, 2, 2, Variant1D::kC, Variant2D::kAC}).to_string(),
+            "3D-C,AC[2x2x2]");
+}
+
+TEST(CostModel, Pure1DBandwidthIsOperandSize) {
+  // W_X = α·log p + β·nnz(X): the β term must not shrink with p.
+  sim::MachineModel mm;
+  mm.alpha = 0;
+  mm.beta = 1;
+  mm.seconds_per_op = 0;
+  auto s = square_stats(1e6);
+  Plan p4{4, 1, 1, Variant1D::kA, Variant2D::kAB};
+  Plan p16{16, 1, 1, Variant1D::kA, Variant2D::kAB};
+  const double c4 = model_cost(p4, s, mm).bandwidth;
+  const double c16 = model_cost(p16, s, mm).bandwidth;
+  EXPECT_DOUBLE_EQ(c4, c16);
+  EXPECT_DOUBLE_EQ(c4, 2.0 * 1e6 * 2);  // 2β·nnz(A)·words
+}
+
+TEST(CostModel, TwoDBandwidthScalesWithGrid) {
+  // W_AB = α·max(pr,pc)·log p + β(nnz(A)/pr + nnz(B)/pc): doubling the grid
+  // side halves the bandwidth term.
+  sim::MachineModel mm;
+  mm.alpha = 0;
+  mm.beta = 1;
+  mm.seconds_per_op = 0;
+  auto s = square_stats(1e6);
+  Plan g2{1, 2, 2, Variant1D::kA, Variant2D::kAB};
+  Plan g4{1, 4, 4, Variant1D::kA, Variant2D::kAB};
+  EXPECT_NEAR(model_cost(g2, s, mm).bandwidth,
+              2.0 * model_cost(g4, s, mm).bandwidth, 1e-9);
+}
+
+TEST(CostModel, LatencyGrowsWithGridSide) {
+  sim::MachineModel mm;
+  mm.beta = 0;
+  mm.seconds_per_op = 0;
+  mm.alpha = 1;
+  auto s = square_stats(1e6);
+  Plan g2{1, 2, 2, Variant1D::kA, Variant2D::kAB};
+  Plan g8{1, 8, 8, Variant1D::kA, Variant2D::kAB};
+  EXPECT_GT(model_cost(g8, s, mm).latency, model_cost(g2, s, mm).latency);
+}
+
+TEST(CostModel, ComputeDividesByRanks) {
+  sim::MachineModel mm;
+  mm.alpha = 0;
+  mm.beta = 0;
+  mm.seconds_per_op = 1;
+  auto s = square_stats(1e6);
+  Plan local{1, 1, 1};
+  Plan grid{1, 4, 4, Variant1D::kA, Variant2D::kAB};
+  EXPECT_DOUBLE_EQ(model_cost(local, s, mm).compute,
+                   16.0 * model_cost(grid, s, mm).compute);
+}
+
+TEST(CostModel, MemoryGrowsWithReplication) {
+  // M_X,YZ = nnz(X)·p1/p + (nnz(A)+nnz(B)+nnz(C))/p.
+  auto s = square_stats(1e6);
+  Plan flat{1, 4, 4, Variant1D::kB, Variant2D::kAB};
+  Plan replicated{4, 2, 2, Variant1D::kB, Variant2D::kAB};
+  EXPECT_GT(model_memory_words(replicated, s), model_memory_words(flat, s));
+}
+
+TEST(CostModel, ReplicatedOperandDominatesMemory) {
+  auto s = square_stats(1e6);
+  Plan full_rep{16, 1, 1, Variant1D::kB, Variant2D::kAB};
+  // Replicating B on every rank costs at least nnz(B)·words per rank.
+  EXPECT_GE(model_memory_words(full_rep, s), 2e6);
+}
+
+TEST(Enumerate, CountsForPrime) {
+  // p=7: 1D plans (3 variants) + degenerate 2D grids 1x7 and 7x1 (3 each).
+  auto plans = enumerate_plans(7);
+  EXPECT_EQ(plans.size(), 9u);
+}
+
+TEST(Enumerate, LocalOnlyForOneRank) {
+  auto plans = enumerate_plans(1);
+  ASSERT_EQ(plans.size(), 1u);
+  EXPECT_EQ(plans[0].to_string(), "local");
+}
+
+TEST(Enumerate, SquareOnlyOptionFiltersRectangles) {
+  TuneOptions opts;
+  opts.square_2d_only = true;
+  opts.allow_1d = false;
+  opts.allow_3d = false;
+  auto plans = enumerate_plans(16, opts);
+  for (const Plan& p : plans) {
+    EXPECT_EQ(p.p2, p.p3);
+    EXPECT_EQ(p.p1, 1);
+  }
+  EXPECT_EQ(plans.size(), 3u);  // only 4x4 squares to 16; three variants
+}
+
+TEST(Enumerate, ShapeToggles) {
+  TuneOptions only3d;
+  only3d.allow_1d = false;
+  only3d.allow_2d = false;
+  for (const Plan& p : enumerate_plans(8, only3d)) {
+    EXPECT_TRUE(p.has_1d());
+    EXPECT_TRUE(p.has_2d());
+  }
+}
+
+TEST(Autotune, PicksMinimumModelCost) {
+  sim::MachineModel mm;
+  auto s = square_stats(1e6);
+  const Plan best = autotune(16, s, mm);
+  const double best_cost = model_cost(best, s, mm).total();
+  for (const Plan& p : enumerate_plans(16)) {
+    EXPECT_LE(best_cost, model_cost(p, s, mm).total() + 1e-12)
+        << "beaten by " << p.to_string();
+  }
+}
+
+TEST(Autotune, RespectsMemoryLimit) {
+  sim::MachineModel mm;
+  auto s = square_stats(1e6);
+  TuneOptions opts;
+  // Forbid any replication: limit to just above the flat per-rank share.
+  opts.memory_words_limit = 3.0 * (3.0 * 1e6 * 2.0) / 16.0;
+  const Plan plan = autotune(16, s, mm, opts);
+  EXPECT_LE(model_memory_words(plan, s), opts.memory_words_limit);
+}
+
+TEST(Autotune, ThrowsWhenNothingFits) {
+  sim::MachineModel mm;
+  auto s = square_stats(1e6);
+  TuneOptions opts;
+  opts.memory_words_limit = 1.0;  // nothing fits
+  EXPECT_THROW(autotune(16, s, mm, opts), Error);
+}
+
+TEST(Autotune, LatencyDominatedPrefersFewerSteps) {
+  // With enormous α and tiny β, plans whose 2D grid side is large pay
+  // α·max(p2,p3)·log(...) and lose; the winner keeps the grid side small
+  // (a 1D plan or a replication-heavy 3D plan, both at O(α log p)).
+  sim::MachineModel mm;
+  mm.alpha = 1.0;
+  mm.beta = 1e-15;
+  mm.seconds_per_op = 0;
+  auto s = square_stats(1e6);
+  const Plan plan = autotune(16, s, mm);
+  EXPECT_LE(std::max(plan.p2, plan.p3), 2) << plan.to_string();
+}
+
+TEST(Autotune, BandwidthDominatedUsesParallelDecomposition) {
+  // With α = 0, splitting communication beats replicating everything.
+  sim::MachineModel mm;
+  mm.alpha = 0;
+  mm.beta = 1.0;
+  mm.seconds_per_op = 0;
+  auto s = square_stats(1e6);
+  const Plan plan = autotune(64, s, mm);
+  EXPECT_TRUE(plan.has_2d()) << plan.to_string();
+}
+
+}  // namespace
+}  // namespace mfbc::dist

@@ -1,0 +1,185 @@
+// Tests for the distributed CTF facade: the same §6.1 expressions running
+// on the simulated machine with autotuned plans, checked against the
+// sequential facade / kernels.
+#include <gtest/gtest.h>
+
+#include "algebra/multpath.hpp"
+#include "algebra/tropical.hpp"
+#include "ctfx/ctfx_dist.hpp"
+#include "graph/generators.hpp"
+#include "mfbc/mfbc_seq.hpp"
+#include "support/rng.hpp"
+
+namespace mfbc::ctfx {
+namespace {
+
+using algebra::Multpath;
+using algebra::MultpathMonoid;
+using algebra::SumMonoid;
+using sparse::Coo;
+
+struct Times {
+  double operator()(double a, double b) const { return a * b; }
+};
+
+Csr<double> random_csr(sparse::vid_t m, sparse::vid_t n, double density,
+                       std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Coo<double> coo(m, n);
+  for (sparse::vid_t i = 0; i < m; ++i) {
+    for (sparse::vid_t j = 0; j < n; ++j) {
+      if (rng.uniform01() < density) {
+        coo.push(i, j, static_cast<double>(1 + rng.bounded(9)));
+      }
+    }
+  }
+  return Csr<double>::from_coo<SumMonoid>(std::move(coo));
+}
+
+class DWorldRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(DWorldRanks, ContractionMatchesSequential) {
+  sim::Sim sim(GetParam());
+  World world(sim);
+  auto a_csr = random_csr(14, 18, 0.4, 1);
+  auto b_csr = random_csr(18, 11, 0.4, 2);
+  auto a = DMatrix<double>::write<SumMonoid>(world, a_csr);
+  auto b = DMatrix<double>::write<SumMonoid>(world, b_csr);
+  DMatrix<double> c(world, 14, 11);
+  DKernel<SumMonoid, Times> mm;
+  c["ij"] = mm(a["ik"], b["kj"]);
+  EXPECT_EQ(c.read(), sparse::spgemm<SumMonoid>(a_csr, b_csr, Times{}));
+}
+
+TEST_P(DWorldRanks, TransposedOperand) {
+  sim::Sim sim(GetParam());
+  World world(sim);
+  auto a_csr = random_csr(18, 14, 0.4, 3);
+  auto b_csr = random_csr(18, 11, 0.4, 4);
+  auto a = DMatrix<double>::write<SumMonoid>(world, a_csr);
+  auto b = DMatrix<double>::write<SumMonoid>(world, b_csr);
+  DMatrix<double> c(world, 14, 11);
+  DKernel<SumMonoid, Times> mm;
+  c["ij"] = mm(a["ki"], b["kj"]);
+  EXPECT_EQ(c.read(), sparse::spgemm<SumMonoid>(sparse::transpose(a_csr),
+                                                b_csr, Times{}));
+}
+
+TEST_P(DWorldRanks, TransposedOutput) {
+  sim::Sim sim(GetParam());
+  World world(sim);
+  auto a_csr = random_csr(9, 12, 0.5, 5);
+  auto b_csr = random_csr(12, 7, 0.5, 6);
+  auto a = DMatrix<double>::write<SumMonoid>(world, a_csr);
+  auto b = DMatrix<double>::write<SumMonoid>(world, b_csr);
+  DMatrix<double> c(world, 7, 9);
+  DKernel<SumMonoid, Times> mm;
+  c["ji"] = mm(a["ik"], b["kj"]);
+  EXPECT_EQ(c.read(), sparse::transpose(sparse::spgemm<SumMonoid>(
+                          a_csr, b_csr, Times{})));
+}
+
+TEST_P(DWorldRanks, EwiseUnion) {
+  sim::Sim sim(GetParam());
+  World world(sim);
+  auto a_csr = random_csr(10, 10, 0.4, 7);
+  auto b_csr = random_csr(10, 10, 0.4, 8);
+  auto a = DMatrix<double>::write<SumMonoid>(world, a_csr);
+  auto b = DMatrix<double>::write<SumMonoid>(world, b_csr);
+  DMatrix<double> c(world, 10, 10);
+  c["ij"] = ewise<SumMonoid>(a["ij"], b["ij"]);
+  EXPECT_EQ(c.read(), sparse::ewise_union<SumMonoid>(a_csr, b_csr));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, DWorldRanks, ::testing::Values(1, 4, 6, 9));
+
+TEST(DWorld, PaperBellmanFordLoopDistributed) {
+  // The §6.1 snippet running distributed: iterate the BF kernel over a
+  // 6-rank world and compare final distances/multiplicities with the
+  // sequential MFBF.
+  struct BfBridge {
+    Multpath operator()(double w, const Multpath& z) const {
+      return Multpath{z.w + w, z.m};
+    }
+  };
+  graph::WeightSpec ws{true, 1, 5};
+  graph::Graph g = graph::erdos_renyi(40, 140, true, ws, 9);
+  sim::Sim sim(6);
+  World world(sim);
+  auto a = DMatrix<double>::write<SumMonoid>(world, g.adj());
+
+  sparse::Coo<Multpath> init(g.n(), 1);
+  init.push(0, 0, Multpath{0.0, 1.0});
+  auto init_csr = Csr<Multpath>::from_coo<MultpathMonoid>(std::move(init));
+  auto z0 = DMatrix<Multpath>::write<MultpathMonoid>(world, init_csr);
+  auto z = DMatrix<Multpath>::write<MultpathMonoid>(world, init_csr);
+
+  DKernel<MultpathMonoid, BfBridge> bf;
+  for (int iter = 0; iter < 40; ++iter) {
+    DMatrix<Multpath> next(world, g.n(), 1);
+    next["ij"] = bf(a["ki"], z["kj"]);
+    next["ij"] = ewise<MultpathMonoid>(next["ij"], z0["ij"]);
+    if (next.read() == z.read()) break;
+    z.assign(next.dist());
+  }
+  const graph::vid_t srcs[] = {0};
+  core::PathMatrix t = core::mfbf(g, srcs);
+  auto result = z.read();
+  for (graph::vid_t v = 1; v < g.n(); ++v) {
+    Multpath got{algebra::kInfWeight, 0.0};
+    auto cols = result.row_cols(v);
+    auto vals = result.row_vals(v);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      if (cols[i] == 0) got = vals[i];
+    }
+    if (t.d(0, v) == algebra::kInfWeight) {
+      EXPECT_EQ(got.w, algebra::kInfWeight) << "v=" << v;
+    } else {
+      EXPECT_EQ(got.w, t.d(0, v)) << "v=" << v;
+      EXPECT_EQ(got.m, t.m(0, v)) << "v=" << v;
+    }
+  }
+  // Communication was charged while the expressions ran.
+  EXPECT_GT(sim.ledger().critical().words, 0.0);
+}
+
+TEST(DWorld, DistributedFunctionMatchesSequentialMap) {
+  sim::Sim sim(6);
+  World world(sim);
+  auto a_csr = random_csr(12, 12, 0.4, 21);
+  auto a = DMatrix<double>::write<SumMonoid>(world, a_csr);
+  DMatrix<double> b(world, 12, 12);
+  auto inv = make_dfunction<double, double>([](double x) { return 1.0 / x; });
+  b["ij"] = inv(a["ij"]);
+  auto expect = sparse::map_values<double>(
+      a_csr, [](sparse::vid_t, sparse::vid_t, double v) { return 1.0 / v; });
+  EXPECT_EQ(b.read(), expect);
+}
+
+TEST(DWorld, DistributedFunctionWithTranspose) {
+  sim::Sim sim(4);
+  World world(sim);
+  auto a_csr = random_csr(8, 11, 0.5, 22);
+  auto a = DMatrix<double>::write<SumMonoid>(world, a_csr);
+  DMatrix<double> b(world, 11, 8);
+  auto neg = make_dfunction<double, double>([](double x) { return -x; });
+  b["ij"] = neg(a["ji"]);
+  auto expect = sparse::map_values<double>(
+      sparse::transpose(a_csr),
+      [](sparse::vid_t, sparse::vid_t, double v) { return -v; });
+  EXPECT_EQ(b.read(), expect);
+}
+
+TEST(DWorld, WriteReadRoundTripChargesTransfers) {
+  sim::Sim sim(4);
+  World world(sim);
+  auto a_csr = random_csr(16, 16, 0.3, 10);
+  auto a = DMatrix<double>::write<SumMonoid>(world, a_csr);
+  const double after_write = sim.ledger().critical().words;
+  EXPECT_GT(after_write, 0.0);
+  EXPECT_EQ(a.read(), a_csr);
+  EXPECT_GT(sim.ledger().critical().words, after_write);
+}
+
+}  // namespace
+}  // namespace mfbc::ctfx

@@ -1,0 +1,129 @@
+// Tests for the dense distributed matrix and the §6.2 redistribution
+// kernels (1) block-to-block and (2) dense-to-dense.
+#include <gtest/gtest.h>
+
+#include "dist/ddense.hpp"
+#include "support/rng.hpp"
+
+namespace mfbc::dist {
+namespace {
+
+DistDenseMatrix<double> random_dense(sim::Sim&, vid_t m, vid_t n, Layout l,
+                                     std::uint64_t seed) {
+  DistDenseMatrix<double> out(m, n, l);
+  Xoshiro256 rng(seed);
+  for (vid_t r = l.rows.lo; r < l.rows.hi; ++r) {
+    for (vid_t c = l.cols.lo; c < l.cols.hi; ++c) {
+      out.at(r, c) = static_cast<double>(rng.bounded(1000));
+    }
+  }
+  return out;
+}
+
+TEST(DistDense, FillAndAccess) {
+  sim::Sim sim(6);
+  Layout l{0, 2, 3, Range{0, 10}, Range{0, 9}, false};
+  DistDenseMatrix<double> m(10, 9, l, 7.5);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 7.5);
+  EXPECT_DOUBLE_EQ(m.at(9, 8), 7.5);
+  m.at(4, 5) = -1;
+  EXPECT_DOUBLE_EQ(m.at(4, 5), -1);
+}
+
+TEST(DistDense, GatherRowMajor) {
+  sim::Sim sim(4);
+  Layout l{0, 2, 2, Range{0, 6}, Range{0, 4}, false};
+  DistDenseMatrix<double> m(6, 4, l);
+  for (vid_t r = 0; r < 6; ++r) {
+    for (vid_t c = 0; c < 4; ++c) m.at(r, c) = static_cast<double>(10 * r + c);
+  }
+  auto flat = m.gather(sim);
+  for (vid_t r = 0; r < 6; ++r) {
+    for (vid_t c = 0; c < 4; ++c) {
+      EXPECT_DOUBLE_EQ(flat[static_cast<std::size_t>(r * 4 + c)],
+                       static_cast<double>(10 * r + c));
+    }
+  }
+  EXPECT_GT(sim.ledger().critical().words, 0.0);
+}
+
+TEST(DistDense, TransposedLayoutAccess) {
+  sim::Sim sim(6);
+  Layout l{0, 2, 3, Range{0, 9}, Range{0, 10}, true};
+  DistDenseMatrix<double> m(9, 10, l);
+  for (vid_t r = 0; r < 9; ++r) {
+    for (vid_t c = 0; c < 10; ++c) m.at(r, c) = static_cast<double>(r * 100 + c);
+  }
+  auto flat = m.gather(sim);
+  EXPECT_DOUBLE_EQ(flat[3 * 10 + 7], 307.0);
+}
+
+TEST(DistDense, BlockToBlockMovesWholeBlocks) {
+  sim::Sim sim(8);
+  Layout l{0, 2, 2, Range{0, 8}, Range{0, 8}, false};
+  auto m = random_dense(sim, 8, 8, l, 1);
+  sim.ledger().reset();
+  auto moved = redistribute_blocks(sim, m, /*new_rank0=*/4);
+  EXPECT_EQ(moved.layout().rank0, 4);
+  // One message per block (4 blocks), each 16 entries = 16 words.
+  EXPECT_DOUBLE_EQ(sim.ledger().critical().msgs, 1.0);
+  EXPECT_DOUBLE_EQ(sim.ledger().critical().words, 16.0);
+  // Content preserved.
+  sim::Sim sim2(8);
+  EXPECT_EQ(moved.gather(sim2), m.gather(sim2));
+}
+
+TEST(DistDense, BlockToBlockSamePlaceIsFree) {
+  sim::Sim sim(4);
+  Layout l{0, 2, 2, Range{0, 8}, Range{0, 8}, false};
+  auto m = random_dense(sim, 8, 8, l, 2);
+  sim.ledger().reset();
+  auto same = redistribute_blocks(sim, m, 0);
+  EXPECT_DOUBLE_EQ(sim.ledger().critical().words, 0.0);
+  EXPECT_EQ(same.layout(), l);
+}
+
+TEST(DistDense, BlockToBlockRangeChecked) {
+  sim::Sim sim(4);
+  Layout l{0, 2, 2, Range{0, 4}, Range{0, 4}, false};
+  DistDenseMatrix<double> m(4, 4, l);
+  EXPECT_THROW(redistribute_blocks(sim, m, 2), Error);  // 2+4 > 4 ranks
+}
+
+TEST(DistDense, DenseToDenseArbitraryLayouts) {
+  sim::Sim sim(12);
+  Layout src{0, 2, 2, Range{0, 12}, Range{0, 10}, false};
+  Layout dst{4, 4, 2, Range{0, 12}, Range{0, 10}, true};
+  auto m = random_dense(sim, 12, 10, src, 3);
+  auto moved = redistribute_dense(sim, m, dst);
+  sim::Sim sim2(12);
+  EXPECT_EQ(moved.gather(sim2), m.gather(sim2));
+}
+
+TEST(DistDense, DenseToDenseSameLayoutFree) {
+  sim::Sim sim(4);
+  Layout l{0, 2, 2, Range{0, 6}, Range{0, 6}, false};
+  auto m = random_dense(sim, 6, 6, l, 4);
+  sim.ledger().reset();
+  redistribute_dense(sim, m, l);
+  EXPECT_DOUBLE_EQ(sim.ledger().critical().words, 0.0);
+}
+
+TEST(DistDense, DenseToDenseRegionMismatchThrows) {
+  sim::Sim sim(4);
+  Layout l{0, 2, 2, Range{0, 6}, Range{0, 6}, false};
+  Layout other{0, 2, 2, Range{0, 6}, Range{0, 5}, false};
+  DistDenseMatrix<double> m(6, 6, l);
+  EXPECT_THROW(redistribute_dense(sim, m, other), Error);
+}
+
+TEST(DistDense, MaxBlockWordsReflectsFootprint) {
+  sim::Sim sim(4);
+  Layout l{0, 4, 1, Range{0, 10}, Range{0, 8}, false};
+  DistDenseMatrix<double> m(10, 8, l);
+  // 10 rows over 4 parts: the biggest part has 3 rows of 8 cols = 24 words.
+  EXPECT_DOUBLE_EQ(m.max_block_words(), 24.0);
+}
+
+}  // namespace
+}  // namespace mfbc::dist

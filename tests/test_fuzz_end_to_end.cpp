@@ -1,0 +1,133 @@
+// Randomized end-to-end sweeps: MFBC (sequential and distributed, both plan
+// modes) against serial Brandes over a randomized grid of graph families,
+// sizes, densities, directedness, weights, batch sizes, and rank counts.
+// These are the "shake the whole stack" tests; each case runs the complete
+// pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/brandes.hpp"
+#include "baseline/combblas_bc.hpp"
+#include "graph/generators.hpp"
+#include "graph/more_generators.hpp"
+#include "graph/prep.hpp"
+#include "mfbc/mfbc_dist.hpp"
+#include "mfbc/mfbc_seq.hpp"
+#include "sparse/ops.hpp"
+#include "support/rng.hpp"
+
+namespace mfbc::core {
+namespace {
+
+using baseline::brandes;
+using graph::Graph;
+
+Graph random_graph(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const int family = static_cast<int>(rng.bounded(4));
+  const bool directed = rng.bounded(2) == 0;
+  const bool weighted = rng.bounded(2) == 0;
+  graph::WeightSpec ws{weighted, 1, 1 + rng.bounded(30)};
+  switch (family) {
+    case 0: {  // Erdős–Rényi, varying density
+      const auto n = static_cast<graph::vid_t>(24 + rng.bounded(60));
+      const auto m = static_cast<graph::nnz_t>(
+          static_cast<std::uint64_t>(n) * (2 + rng.bounded(6)));
+      return graph::erdos_renyi(n, m, directed, ws, seed * 3 + 1);
+    }
+    case 1: {  // R-MAT power law
+      graph::RmatParams p;
+      p.scale = 5 + static_cast<int>(rng.bounded(2));
+      p.edge_factor = 3 + static_cast<double>(rng.bounded(5));
+      p.directed = directed;
+      p.weights = ws;
+      return graph::random_relabel(graph::rmat(p, seed * 5 + 2), seed);
+    }
+    case 2:  // small world
+      return graph::watts_strogatz(32 + static_cast<graph::vid_t>(rng.bounded(40)),
+                                   4, 0.2, ws, seed * 7 + 3);
+    default:  // torus (high diameter, regular)
+      return graph::grid_2d(5 + static_cast<graph::vid_t>(rng.bounded(3)),
+                            /*torus=*/true, ws, seed * 11 + 4);
+  }
+}
+
+class FuzzEndToEnd : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzEndToEnd, SequentialMatchesBrandes) {
+  const std::uint64_t seed = GetParam();
+  Graph g = random_graph(seed);
+  Xoshiro256 rng(seed ^ 0xF00D);
+  MfbcOptions opts;
+  opts.batch_size = static_cast<graph::vid_t>(1 + rng.bounded(24));
+  const auto ref = brandes(g);
+  const auto got = mfbc(g, opts);
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t v = 0; v < ref.size(); ++v) {
+    EXPECT_NEAR(got[v], ref[v], 1e-8 * (1.0 + ref[v]))
+        << "seed=" << seed << " v=" << v;
+  }
+}
+
+TEST_P(FuzzEndToEnd, DistributedMatchesBrandes) {
+  const std::uint64_t seed = GetParam();
+  Graph g = random_graph(seed ^ 0xD157);
+  Xoshiro256 rng(seed ^ 0xBEEF);
+  static constexpr int kRanks[] = {2, 3, 4, 5, 6, 8, 9, 12};
+  const int p = kRanks[rng.bounded(std::size(kRanks))];
+  sim::Sim sim(p);
+  DistMfbc engine(sim, g);
+  DistMfbcOptions opts;
+  opts.batch_size = static_cast<graph::vid_t>(2 + rng.bounded(16));
+  // Half the cases use the fixed CA grid when p admits one.
+  if (rng.bounded(2) == 0) {
+    for (int c : {4, 2, 1}) {
+      if (p % c != 0) continue;
+      const int rest = p / c;
+      const int s = static_cast<int>(std::lround(std::sqrt(rest)));
+      if (s * s == rest) {
+        opts.plan_mode = PlanMode::kFixedCa;
+        opts.replication_c = c;
+        break;
+      }
+    }
+  }
+  const auto ref = brandes(g);
+  const auto got = engine.run(opts);
+  for (std::size_t v = 0; v < ref.size(); ++v) {
+    EXPECT_NEAR(got[v], ref[v], 1e-8 * (1.0 + ref[v]))
+        << "seed=" << seed << " p=" << p << " v=" << v;
+  }
+}
+
+TEST_P(FuzzEndToEnd, CombblasBaselineMatchesBrandes) {
+  const std::uint64_t seed = GetParam();
+  Xoshiro256 rng(seed ^ 0xC0B1);
+  // The baseline needs square grids and unweighted graphs.
+  static constexpr int kRanks[] = {1, 4, 9, 16};
+  const int p = kRanks[rng.bounded(std::size(kRanks))];
+  Graph g = random_graph(seed ^ 0xC0B1A5);
+  if (g.weighted()) {
+    g = graph::graph_from_csr(
+        sparse::map_values<graph::Weight>(
+            g.adj(), [](graph::vid_t, graph::vid_t, double) { return 1.0; }),
+        g.directed(), /*weighted=*/false);
+  }
+  sim::Sim sim(p);
+  baseline::CombBlasBc engine(sim, g);
+  baseline::CombBlasOptions opts;
+  opts.batch_size = static_cast<graph::vid_t>(2 + rng.bounded(16));
+  const auto ref = brandes(g);
+  const auto got = engine.run(opts);
+  for (std::size_t v = 0; v < ref.size(); ++v) {
+    EXPECT_NEAR(got[v], ref[v], 1e-8 * (1.0 + ref[v]))
+        << "seed=" << seed << " p=" << p << " v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEndToEnd,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace mfbc::core

@@ -1,0 +1,114 @@
+// Tests for the algebraic Edmonds–Karp max-flow, including an exhaustive
+// max-flow = min-cut cross-check on random small networks.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "apps/maxflow.hpp"
+#include "graph/generators.hpp"
+#include "support/error.hpp"
+
+namespace mfbc::apps {
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+
+/// Brute-force min s-t cut by subset enumeration (n <= 20).
+double min_cut(const Graph& g, graph::vid_t s, graph::vid_t t) {
+  const auto n = static_cast<unsigned>(g.n());
+  double best = std::numeric_limits<double>::infinity();
+  for (unsigned mask = 0; mask < (1u << n); ++mask) {
+    if (!(mask & (1u << s)) || (mask & (1u << t))) continue;
+    double cut = 0;
+    for (graph::vid_t u = 0; u < g.n(); ++u) {
+      if (!(mask & (1u << u))) continue;
+      auto cols = g.adj().row_cols(u);
+      auto vals = g.adj().row_vals(u);
+      for (std::size_t i = 0; i < cols.size(); ++i) {
+        if (!(mask & (1u << cols[i]))) cut += vals[i];
+      }
+    }
+    best = std::min(best, cut);
+  }
+  return best;
+}
+
+TEST(MaxFlow, SingleEdge) {
+  Graph g = Graph::from_edges(2, {{0, 1, 7.0}}, true, true);
+  EXPECT_DOUBLE_EQ(max_flow(g, 0, 1), 7.0);
+  EXPECT_DOUBLE_EQ(max_flow(g, 1, 0), 0.0);  // no reverse arc
+}
+
+TEST(MaxFlow, PathBottleneck) {
+  Graph g = Graph::from_edges(4, {{0, 1, 9.0}, {1, 2, 2.0}, {2, 3, 5.0}},
+                              true, true);
+  EXPECT_DOUBLE_EQ(max_flow(g, 0, 3), 2.0);
+}
+
+TEST(MaxFlow, ParallelPathsSum) {
+  Graph g = Graph::from_edges(
+      4, {{0, 1, 3.0}, {1, 3, 3.0}, {0, 2, 4.0}, {2, 3, 4.0}}, true, true);
+  EXPECT_DOUBLE_EQ(max_flow(g, 0, 3), 7.0);
+}
+
+TEST(MaxFlow, ClassicTextbookNetwork) {
+  // CLRS figure 26.1: max flow 23.
+  Graph g = Graph::from_edges(6,
+                              {{0, 1, 16}, {0, 2, 13}, {1, 3, 12}, {2, 1, 4},
+                               {3, 2, 9}, {2, 4, 14}, {4, 3, 7}, {3, 5, 20},
+                               {4, 5, 4}},
+                              true, true);
+  MaxFlowStats stats;
+  EXPECT_DOUBLE_EQ(max_flow(g, 0, 5, &stats), 23.0);
+  EXPECT_GE(stats.augmenting_paths, 2);
+  EXPECT_GT(stats.bfs_products, 0);
+}
+
+TEST(MaxFlow, RequiresResidualBackEdges) {
+  // The zig-zag network where a greedy forward path must be partially
+  // undone through a residual back-edge.
+  Graph g = Graph::from_edges(
+      4, {{0, 1, 1}, {0, 2, 1}, {1, 2, 1}, {1, 3, 1}, {2, 3, 1}}, true, true);
+  EXPECT_DOUBLE_EQ(max_flow(g, 0, 3), 2.0);
+}
+
+TEST(MaxFlow, UnreachableSinkIsZero) {
+  Graph g = Graph::from_edges(4, {{0, 1}, {2, 3}}, true, false);
+  EXPECT_DOUBLE_EQ(max_flow(g, 0, 3), 0.0);
+}
+
+TEST(MaxFlow, UndirectedEdgesCarryFlowBothWays) {
+  Graph g = Graph::from_edges(3, {{0, 1, 5.0}, {1, 2, 5.0}}, false, true);
+  EXPECT_DOUBLE_EQ(max_flow(g, 0, 2), 5.0);
+  EXPECT_DOUBLE_EQ(max_flow(g, 2, 0), 5.0);
+}
+
+TEST(MaxFlow, UnweightedEdgesAreUnitCapacity) {
+  // Unit capacities: max flow = number of edge-disjoint paths.
+  Graph g = Graph::from_edges(
+      5, {{0, 1}, {1, 4}, {0, 2}, {2, 4}, {0, 3}, {3, 4}}, true, false);
+  EXPECT_DOUBLE_EQ(max_flow(g, 0, 4), 3.0);
+}
+
+TEST(MaxFlow, ValidatesArguments) {
+  Graph g = Graph::from_edges(2, {{0, 1}}, true, false);
+  EXPECT_THROW(max_flow(g, 0, 0), Error);
+  EXPECT_THROW(max_flow(g, 0, 5), Error);
+}
+
+class MaxFlowMinCut : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MaxFlowMinCut, EqualsBruteForceMinCut) {
+  graph::WeightSpec ws{true, 1, 9};
+  Graph g = graph::erdos_renyi(10, 30, /*directed=*/true, ws, GetParam());
+  const double flow = max_flow(g, 0, 9);
+  const double cut = min_cut(g, 0, 9);
+  EXPECT_DOUBLE_EQ(flow, cut);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxFlowMinCut,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace mfbc::apps

@@ -1,0 +1,146 @@
+// Tests for index-range splitting, grid factorizations, and layouts.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dist/procgrid.hpp"
+#include "support/error.hpp"
+
+namespace mfbc::dist {
+namespace {
+
+class SplitProperty
+    : public ::testing::TestWithParam<std::pair<vid_t, int>> {};
+
+TEST_P(SplitProperty, PartitionsWithoutGapsOrOverlap) {
+  auto [n, parts] = GetParam();
+  const Range r{100, 100 + n};
+  vid_t expect_lo = r.lo;
+  for (int i = 0; i < parts; ++i) {
+    const Range piece = split_range(r, parts, i);
+    EXPECT_EQ(piece.lo, expect_lo);
+    EXPECT_LE(piece.lo, piece.hi);
+    expect_lo = piece.hi;
+  }
+  EXPECT_EQ(expect_lo, r.hi);
+}
+
+TEST_P(SplitProperty, IsBalancedWithinOne) {
+  auto [n, parts] = GetParam();
+  const Range r{0, n};
+  for (int i = 0; i < parts; ++i) {
+    const vid_t sz = split_range(r, parts, i).size();
+    EXPECT_GE(sz, n / parts);
+    EXPECT_LE(sz, n / parts + 1);
+  }
+}
+
+TEST_P(SplitProperty, OwnerIsInverse) {
+  auto [n, parts] = GetParam();
+  const Range r{7, 7 + n};
+  for (vid_t idx = r.lo; idx < r.hi; ++idx) {
+    const int owner = split_owner(r, parts, idx);
+    EXPECT_TRUE(split_range(r, parts, owner).contains(idx))
+        << "idx=" << idx << " owner=" << owner;
+  }
+}
+
+TEST_P(SplitProperty, SlicesNestInCoarserSplits) {
+  // The SUMMA loops rely on: the L=lcm slices nest exactly inside both the
+  // pr-split and the pc-split (spgemm_dist.hpp).
+  auto [n, parts] = GetParam();
+  if (n < parts * 3) return;
+  const Range r{0, n};
+  const int fine = parts * 3;  // any multiple of `parts`
+  for (int l = 0; l < fine; ++l) {
+    const Range slice = split_range(r, fine, l);
+    const Range coarse = split_range(r, parts, l / (fine / parts));
+    EXPECT_GE(slice.lo, coarse.lo);
+    EXPECT_LE(slice.hi, coarse.hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SplitProperty,
+    ::testing::Values(std::pair<vid_t, int>{10, 3},
+                      std::pair<vid_t, int>{1, 4},
+                      std::pair<vid_t, int>{0, 2},
+                      std::pair<vid_t, int>{17, 5},
+                      std::pair<vid_t, int>{100, 7},
+                      std::pair<vid_t, int>{64, 8},
+                      std::pair<vid_t, int>{1000, 13}));
+
+TEST(Factorizations, CoverAllTriples) {
+  auto f12 = factorizations(12);
+  // 12 = p1·p2·p3: number of ordered triples = sum over divisors.
+  std::set<std::tuple<int, int, int>> seen;
+  for (const GridDims& d : f12) {
+    EXPECT_EQ(d.total(), 12);
+    seen.insert({d.p1, d.p2, d.p3});
+  }
+  EXPECT_EQ(seen.size(), f12.size());  // no duplicates
+  EXPECT_TRUE(seen.count({1, 3, 4}));
+  EXPECT_TRUE(seen.count({12, 1, 1}));
+  EXPECT_TRUE(seen.count({2, 2, 3}));
+  EXPECT_EQ(seen.size(), 18u);  // d(12)=6 divisors: Σ_{p1|12} d(12/p1) = 18
+}
+
+TEST(Factorizations, PairsCoverDivisors) {
+  auto f = factorizations2(16);
+  EXPECT_EQ(f.size(), 5u);  // 1,2,4,8,16
+  for (auto [a, b] : f) EXPECT_EQ(a * b, 16);
+}
+
+TEST(Layout, BlockOwnershipNormal) {
+  Layout l{0, 2, 3, Range{0, 10}, Range{0, 9}, false};
+  EXPECT_EQ(l.nranks(), 6);
+  EXPECT_EQ(l.block_rows(0, 0), (Range{0, 5}));
+  EXPECT_EQ(l.block_rows(1, 2), (Range{5, 10}));
+  EXPECT_EQ(l.block_cols(0, 1), (Range{3, 6}));
+  auto [i, j] = l.owner(7, 4);
+  EXPECT_EQ(i, 1);
+  EXPECT_EQ(j, 1);
+  EXPECT_EQ(l.rank_at(1, 1), 4);
+}
+
+TEST(Layout, BlockOwnershipTransposed) {
+  Layout l{0, 2, 3, Range{0, 9}, Range{0, 10}, true};
+  // rows split by pc=3, cols split by pr=2
+  EXPECT_EQ(l.block_rows(0, 1), (Range{3, 6}));
+  EXPECT_EQ(l.block_cols(1, 0), (Range{5, 10}));
+  auto [i, j] = l.owner(4, 2);  // row 4 -> row-split 1 -> grid col 1;
+                                // col 2 -> col-split 0 -> grid row 0
+  EXPECT_EQ(i, 0);
+  EXPECT_EQ(j, 1);
+}
+
+TEST(Layout, RankOffsetAndGroups) {
+  Layout l{6, 2, 2, Range{0, 4}, Range{0, 4}, false};
+  EXPECT_EQ(l.ranks(), (std::vector<int>{6, 7, 8, 9}));
+  EXPECT_EQ(l.row_group(1), (std::vector<int>{8, 9}));
+  EXPECT_EQ(l.col_group(0), (std::vector<int>{6, 8}));
+}
+
+TEST(Layout, BlocksTileTheRegion) {
+  // Every (r,c) in the region is owned by exactly one block, normal and
+  // transposed alike.
+  for (bool transposed : {false, true}) {
+    Layout l{0, 3, 4, Range{2, 31}, Range{5, 22}, transposed};
+    for (vid_t r = l.rows.lo; r < l.rows.hi; ++r) {
+      for (vid_t c = l.cols.lo; c < l.cols.hi; ++c) {
+        auto [i, j] = l.owner(r, c);
+        EXPECT_TRUE(l.block_rows(i, j).contains(r));
+        EXPECT_TRUE(l.block_cols(i, j).contains(c));
+      }
+    }
+  }
+}
+
+TEST(SplitRange, BadArgsThrow) {
+  EXPECT_THROW(split_range(Range{0, 10}, 0, 0), Error);
+  EXPECT_THROW(split_range(Range{0, 10}, 3, 3), Error);
+  EXPECT_THROW(split_range(Range{0, 10}, 3, -1), Error);
+}
+
+}  // namespace
+}  // namespace mfbc::dist

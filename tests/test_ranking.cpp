@@ -1,0 +1,55 @@
+// Tests for the ranking utilities.
+#include <gtest/gtest.h>
+
+#include "mfbc/ranking.hpp"
+#include "support/error.hpp"
+
+namespace mfbc::core {
+namespace {
+
+TEST(TopK, OrdersByScoreDescending) {
+  const std::vector<double> s{1.0, 5.0, 3.0, 4.0, 2.0};
+  auto r = top_k(s, 3);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0].vertex, 1u);
+  EXPECT_EQ(r[1].vertex, 3u);
+  EXPECT_EQ(r[2].vertex, 2u);
+}
+
+TEST(TopK, TiesBrokenByVertexId) {
+  const std::vector<double> s{2.0, 2.0, 2.0};
+  auto r = top_k(s, 2);
+  EXPECT_EQ(r[0].vertex, 0u);
+  EXPECT_EQ(r[1].vertex, 1u);
+}
+
+TEST(TopK, ClampsK) {
+  const std::vector<double> s{1.0, 2.0};
+  EXPECT_EQ(top_k(s, 10).size(), 2u);
+  EXPECT_TRUE(top_k({}, 3).empty());
+}
+
+TEST(TopKOverlap, IdenticalScoresGiveOne) {
+  const std::vector<double> s{3.0, 1.0, 4.0, 1.5, 9.0};
+  EXPECT_DOUBLE_EQ(top_k_overlap(s, s, 3), 1.0);
+}
+
+TEST(TopKOverlap, DisjointTopSetsGiveZero) {
+  const std::vector<double> a{9.0, 8.0, 0.0, 0.0};
+  const std::vector<double> b{0.0, 0.0, 9.0, 8.0};
+  EXPECT_DOUBLE_EQ(top_k_overlap(a, b, 2), 0.0);
+}
+
+TEST(TopKOverlap, PartialOverlap) {
+  const std::vector<double> a{9.0, 8.0, 7.0, 0.0};
+  const std::vector<double> b{9.0, 0.0, 8.0, 7.0};
+  EXPECT_DOUBLE_EQ(top_k_overlap(a, b, 2), 0.5);  // {0,1} vs {0,2}
+}
+
+TEST(TopKOverlap, Validates) {
+  EXPECT_THROW(top_k_overlap({1.0}, {1.0, 2.0}, 1), Error);
+  EXPECT_THROW(top_k_overlap({1.0}, {1.0}, 0), Error);
+}
+
+}  // namespace
+}  // namespace mfbc::core

@@ -1,0 +1,153 @@
+// Tests for the simulated machine: cost ledger critical-path algebra and the
+// collective cost closed forms of machine.hpp / §7.4.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "sim/comm.hpp"
+#include "sim/ledger.hpp"
+#include "sim/machine.hpp"
+#include "support/error.hpp"
+
+namespace mfbc::sim {
+namespace {
+
+TEST(Machine, Log2Ceil) {
+  EXPECT_EQ(log2_ceil(1), 0.0);
+  EXPECT_EQ(log2_ceil(2), 1.0);
+  EXPECT_EQ(log2_ceil(3), 2.0);
+  EXPECT_EQ(log2_ceil(4), 2.0);
+  EXPECT_EQ(log2_ceil(5), 3.0);
+  EXPECT_EQ(log2_ceil(1024), 10.0);
+}
+
+TEST(Machine, WordSizes) {
+  EXPECT_EQ(words_of<double>(), 1.0);
+  struct Two { double a, b; };
+  struct Three { double a, b, c; };
+  EXPECT_EQ(words_of<Two>(), 2.0);
+  EXPECT_EQ(sparse_entry_words<Two>(), 3.0);
+  EXPECT_EQ(sparse_entry_words<Three>(), 4.0);
+}
+
+TEST(Ledger, ComputeAccumulatesPerRank) {
+  CostLedger ledger(3);
+  ledger.compute(0, 100, 1.0);
+  ledger.compute(1, 50, 0.5);
+  ledger.compute(0, 10, 0.1);
+  const Cost c = ledger.critical();
+  EXPECT_DOUBLE_EQ(c.compute_seconds, 1.1);
+  EXPECT_DOUBLE_EQ(c.ops, 110);
+  EXPECT_DOUBLE_EQ(ledger.total_compute_seconds(), 1.6);
+}
+
+TEST(Ledger, CollectiveSynchronizesToGroupMax) {
+  // Rank 0 computes 1s, rank 1 computes 3s; a collective over {0,1} puts
+  // both at the max (3s) plus the collective's own cost; rank 2 untouched.
+  CostLedger ledger(3);
+  ledger.compute(0, 0, 1.0);
+  ledger.compute(1, 0, 3.0);
+  const std::array<int, 2> g01{0, 1};
+  ledger.collective(g01, /*words=*/10, /*msgs=*/2, /*seconds=*/0.5);
+  ledger.compute(0, 0, 1.0);  // rank 0 continues from the synchronized state
+  const Cost c = ledger.critical();
+  EXPECT_DOUBLE_EQ(c.compute_seconds, 4.0);  // 3 (sync) + 1 (after)
+  EXPECT_DOUBLE_EQ(c.words, 10);
+  EXPECT_DOUBLE_EQ(c.msgs, 2);
+  EXPECT_DOUBLE_EQ(c.comm_seconds, 0.5);
+}
+
+TEST(Ledger, DependentCollectivesChainAlongCriticalPath) {
+  // §7.4: "for each collective over a set of processors, we maximize the
+  // critical path costs incurred by those processors so far". Two disjoint
+  // collectives do not chain; overlapping ones do.
+  CostLedger ledger(4);
+  const std::array<int, 2> g01{0, 1}, g23{2, 3}, g12{1, 2};
+  ledger.collective(g01, 5, 1, 0.1);
+  ledger.collective(g23, 7, 1, 0.1);
+  // Ranks 1 and 2 both carry history; the max is rank 2's 7 words.
+  ledger.collective(g12, 3, 1, 0.1);
+  const Cost c = ledger.critical();
+  EXPECT_DOUBLE_EQ(c.words, 10);  // 7 + 3
+  EXPECT_DOUBLE_EQ(c.msgs, 2);
+}
+
+TEST(Ledger, ResetClears) {
+  CostLedger ledger(2);
+  ledger.compute(0, 5, 1.0);
+  ledger.reset();
+  EXPECT_DOUBLE_EQ(ledger.critical().compute_seconds, 0.0);
+}
+
+TEST(Sim, BcastCostClosedForm) {
+  // Broadcast of x words over p ranks costs 2x·β + 2·log2(p)·α (§7.4).
+  MachineModel mm;
+  mm.alpha = 1.0;
+  mm.beta = 0.001;
+  Sim sim(8, mm);
+  const std::array<int, 8> all{0, 1, 2, 3, 4, 5, 6, 7};
+  sim.charge_bcast(all, 1000);
+  const Cost c = sim.ledger().critical();
+  EXPECT_DOUBLE_EQ(c.words, 2000);
+  EXPECT_DOUBLE_EQ(c.msgs, 6);  // 2·log2(8)
+  EXPECT_DOUBLE_EQ(c.comm_seconds, 2000 * 0.001 + 6 * 1.0);
+}
+
+TEST(Sim, ReduceMatchesBcastModel) {
+  MachineModel mm;
+  Sim s1(4, mm), s2(4, mm);
+  const std::array<int, 4> all{0, 1, 2, 3};
+  s1.charge_bcast(all, 500);
+  s2.charge_reduce(all, 500);
+  EXPECT_DOUBLE_EQ(s1.ledger().critical().comm_seconds,
+                   s2.ledger().critical().comm_seconds);
+}
+
+TEST(Sim, ScatterIsHalfOfBcast) {
+  MachineModel mm;
+  Sim s1(16, mm), s2(16, mm);
+  std::array<int, 16> all{};
+  for (int i = 0; i < 16; ++i) all[static_cast<std::size_t>(i)] = i;
+  s1.charge_bcast(all, 800);
+  s2.charge_scatter(all, 800);
+  EXPECT_DOUBLE_EQ(s2.ledger().critical().words,
+                   s1.ledger().critical().words / 2);
+  EXPECT_DOUBLE_EQ(s2.ledger().critical().msgs,
+                   s1.ledger().critical().msgs / 2);
+}
+
+TEST(Sim, AlltoallMessages) {
+  // Bruck-style exchange: 2·log2(p) rounds (log-depth, as §5.1 models
+  // CTF's redistribution collectives).
+  MachineModel mm;
+  Sim sim(5, mm);
+  const std::array<int, 5> all{0, 1, 2, 3, 4};
+  sim.charge_alltoall(all, 100);
+  EXPECT_DOUBLE_EQ(sim.ledger().critical().msgs, 6);  // 2·ceil(log2 5)
+  EXPECT_DOUBLE_EQ(sim.ledger().critical().words, 100);
+}
+
+TEST(Sim, SingleRankGroupsAreFree) {
+  Sim sim(4);
+  const std::array<int, 1> solo{2};
+  sim.charge_bcast(solo, 1e9);
+  sim.charge_reduce(solo, 1e9);
+  sim.charge_alltoall(solo, 1e9);
+  EXPECT_DOUBLE_EQ(sim.ledger().critical().words, 0.0);
+}
+
+TEST(Sim, ComputeUsesModelRate) {
+  MachineModel mm;
+  mm.seconds_per_op = 1e-8;
+  Sim sim(2, mm);
+  sim.charge_compute(0, 1e6);
+  EXPECT_DOUBLE_EQ(sim.ledger().critical().compute_seconds, 0.01);
+}
+
+TEST(Sim, EmptyGroupThrows) {
+  Sim sim(2);
+  EXPECT_THROW(sim.charge_bcast({}, 1), ::mfbc::Error);
+}
+
+}  // namespace
+}  // namespace mfbc::sim

@@ -1,0 +1,91 @@
+// Tests for src/support: error macros, deterministic RNG, string helpers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/strutil.hpp"
+
+namespace mfbc {
+namespace {
+
+TEST(Error, CheckThrowsWithMessage) {
+  try {
+    MFBC_CHECK(1 == 2, "one is not two");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("one is not two"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckPassesSilently) {
+  EXPECT_NO_THROW(MFBC_CHECK(2 + 2 == 4, "arithmetic"));
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.bounded(17), 17u);
+  }
+}
+
+TEST(Rng, BoundedCoversRange) {
+  Xoshiro256 rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.bounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, WeightsAreIntegersInRange) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 500; ++i) {
+    const double w = rng.weight(1, 100);
+    EXPECT_GE(w, 1.0);
+    EXPECT_LE(w, 100.0);
+    EXPECT_EQ(w, static_cast<double>(static_cast<long long>(w)));
+  }
+}
+
+TEST(Rng, WeightRejectsZeroLow) {
+  Xoshiro256 rng(9);
+  EXPECT_THROW(rng.weight(0, 5), Error);
+}
+
+TEST(Strutil, HumanBytes) {
+  EXPECT_EQ(human_bytes(512), "512.0 B");
+  EXPECT_EQ(human_bytes(2048), "2.00 KB");
+}
+
+TEST(Strutil, HumanCount) {
+  EXPECT_EQ(human_count(737), "737");
+  EXPECT_EQ(human_count(65.6e6), "65.6M");
+  EXPECT_EQ(human_count(1.8e9), "1.8B");
+}
+
+TEST(Strutil, Fixed) { EXPECT_EQ(fixed(3.14159, 2), "3.14"); }
+
+}  // namespace
+}  // namespace mfbc

@@ -1,0 +1,112 @@
+// Tests for the masked-product triangle counting and the new
+// ewise_intersect kernel it rests on.
+#include <gtest/gtest.h>
+
+#include "apps/triangles.hpp"
+#include "graph/generators.hpp"
+#include "graph/more_generators.hpp"
+#include "sparse/ops.hpp"
+
+namespace mfbc::apps {
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+
+/// O(n³) brute force reference on the symmetrized graph.
+std::uint64_t brute_triangles(const Graph& g) {
+  std::vector<std::vector<char>> adj(
+      static_cast<std::size_t>(g.n()),
+      std::vector<char>(static_cast<std::size_t>(g.n()), 0));
+  for (graph::vid_t r = 0; r < g.n(); ++r) {
+    for (graph::vid_t c : g.adj().row_cols(r)) {
+      adj[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = 1;
+      adj[static_cast<std::size_t>(c)][static_cast<std::size_t>(r)] = 1;
+    }
+  }
+  std::uint64_t count = 0;
+  for (graph::vid_t a = 0; a < g.n(); ++a) {
+    for (graph::vid_t b = a + 1; b < g.n(); ++b) {
+      if (!adj[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)]) continue;
+      for (graph::vid_t c = b + 1; c < g.n(); ++c) {
+        count += adj[static_cast<std::size_t>(a)][static_cast<std::size_t>(c)] &&
+                 adj[static_cast<std::size_t>(b)][static_cast<std::size_t>(c)];
+      }
+    }
+  }
+  return count;
+}
+
+TEST(EwiseIntersect, KeepsOnlyCommonEntries) {
+  sparse::Coo<double> ca(2, 3), cb(2, 3);
+  ca.push(0, 0, 2.0);
+  ca.push(0, 2, 3.0);
+  cb.push(0, 2, 5.0);
+  cb.push(1, 1, 7.0);
+  auto a = sparse::Csr<double>::from_coo<algebra::SumMonoid>(std::move(ca));
+  auto b = sparse::Csr<double>::from_coo<algebra::SumMonoid>(std::move(cb));
+  auto c = sparse::ewise_intersect<double>(
+      a, b, [](double x, double y) { return x * y; });
+  ASSERT_EQ(c.nnz(), 1);
+  EXPECT_EQ(c.row_cols(0)[0], 2);
+  EXPECT_EQ(c.row_vals(0)[0], 15.0);
+}
+
+TEST(Triangles, SingleTriangle) {
+  Graph g = Graph::from_edges(3, {{0, 1}, {1, 2}, {2, 0}}, false, false);
+  EXPECT_EQ(count_triangles(g), 1u);
+  auto per = triangles_per_vertex(g);
+  EXPECT_EQ(per, (std::vector<std::uint64_t>{1, 1, 1}));
+  auto cc = clustering_coefficients(g);
+  for (double v : cc) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(Triangles, TriangleFreeGraphs) {
+  // Path, star, even cycle, torus: no triangles.
+  Graph path = Graph::from_edges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}}, false,
+                                 false);
+  EXPECT_EQ(count_triangles(path), 0u);
+  Graph torus = graph::grid_2d(4, true, {}, 1);
+  EXPECT_EQ(count_triangles(torus), 0u);
+  for (double v : clustering_coefficients(path)) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Triangles, CompleteGraphClosedForm) {
+  std::vector<Edge> edges;
+  const graph::vid_t n = 8;
+  for (graph::vid_t u = 0; u < n; ++u) {
+    for (graph::vid_t v = u + 1; v < n; ++v) edges.push_back({u, v});
+  }
+  Graph g = Graph::from_edges(n, edges, false, false);
+  EXPECT_EQ(count_triangles(g), 56u);  // C(8,3)
+  auto per = triangles_per_vertex(g);
+  for (auto t : per) EXPECT_EQ(t, 21u);  // C(7,2)
+  for (double v : clustering_coefficients(g)) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(Triangles, DirectedGraphUsesUndirectedClosure) {
+  // One-way cycle 0->1->2->0: a triangle when directions are ignored.
+  Graph g = Graph::from_edges(3, {{0, 1}, {1, 2}, {2, 0}}, true, false);
+  EXPECT_EQ(count_triangles(g), 1u);
+}
+
+class TrianglesRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrianglesRandom, MatchesBruteForce) {
+  Graph g = graph::erdos_renyi(40, 200, GetParam() % 2 == 0, {}, GetParam());
+  EXPECT_EQ(count_triangles(g), brute_triangles(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrianglesRandom,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(Triangles, PerVertexSumsToThreePerTriangle) {
+  Graph g = graph::watts_strogatz(60, 6, 0.2, {}, 9);
+  auto per = triangles_per_vertex(g);
+  std::uint64_t sum = 0;
+  for (auto t : per) sum += t;
+  EXPECT_EQ(sum, 3 * count_triangles(g));
+}
+
+}  // namespace
+}  // namespace mfbc::apps

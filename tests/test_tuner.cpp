@@ -1,0 +1,90 @@
+// Tests for the §6.2 model tuner and model persistence.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/tuner.hpp"
+#include "support/error.hpp"
+
+namespace mfbc::sim {
+namespace {
+
+TEST(Tuner, ProducesPositiveCalibration) {
+  TunerOptions opts;
+  opts.scale = 9;  // keep the calibration quick in tests
+  opts.repetitions = 1;
+  const TuneResult r = tune_machine(opts);
+  EXPECT_GT(r.measured_ops_per_second, 1e5);  // any real host does >>0.1 Mop/s
+  EXPECT_GT(r.model.seconds_per_op, 0);
+  EXPECT_LT(r.model.seconds_per_op, 1e-3);
+  EXPECT_GE(r.spread, 1.0);
+  // Network parameters are passed through, not measured.
+  EXPECT_DOUBLE_EQ(r.model.alpha, opts.alpha);
+  EXPECT_DOUBLE_EQ(r.model.beta, opts.beta);
+}
+
+TEST(Tuner, CustomNetworkParametersEmbedded) {
+  TunerOptions opts;
+  opts.scale = 8;
+  opts.repetitions = 1;
+  opts.alpha = 5e-6;
+  opts.beta = 1e-10;
+  const TuneResult r = tune_machine(opts);
+  EXPECT_DOUBLE_EQ(r.model.alpha, 5e-6);
+  EXPECT_DOUBLE_EQ(r.model.beta, 1e-10);
+}
+
+TEST(ModelIo, RoundTrip) {
+  MachineModel m;
+  m.alpha = 3.5e-6;
+  m.beta = 2.25e-9;
+  m.seconds_per_op = 7.125e-10;
+  m.memory_words = 1e8;
+  std::stringstream ss;
+  save_model(ss, m);
+  const MachineModel back = load_model(ss);
+  EXPECT_DOUBLE_EQ(back.alpha, m.alpha);
+  EXPECT_DOUBLE_EQ(back.beta, m.beta);
+  EXPECT_DOUBLE_EQ(back.seconds_per_op, m.seconds_per_op);
+  EXPECT_DOUBLE_EQ(back.memory_words, m.memory_words);
+}
+
+TEST(ModelIo, CommentsSkipped) {
+  std::stringstream ss(
+      "# tuned on host X\nalpha=1e-6\nbeta=2e-9\nseconds_per_op=3e-9\n"
+      "memory_words=1e9\n");
+  const MachineModel m = load_model(ss);
+  EXPECT_DOUBLE_EQ(m.alpha, 1e-6);
+}
+
+TEST(ModelIo, MissingKeyThrows) {
+  std::stringstream ss("alpha=1e-6\nbeta=2e-9\n");
+  EXPECT_THROW(load_model(ss), Error);
+}
+
+TEST(ModelIo, MalformedLineThrows) {
+  std::stringstream ss("alpha 1e-6\n");
+  EXPECT_THROW(load_model(ss), Error);
+}
+
+TEST(ModelIo, NonPositiveValuesRejected) {
+  std::stringstream ss(
+      "alpha=0\nbeta=2e-9\nseconds_per_op=3e-9\nmemory_words=1e9\n");
+  EXPECT_THROW(load_model(ss), Error);
+}
+
+TEST(ModelIo, FileRoundTrip) {
+  MachineModel m;
+  m.seconds_per_op = 4e-9;
+  const std::string path = ::testing::TempDir() + "/mfbc_model_test.txt";
+  save_model_file(path, m);
+  const MachineModel back = load_model_file(path);
+  EXPECT_DOUBLE_EQ(back.seconds_per_op, 4e-9);
+}
+
+TEST(ModelIo, MissingFileThrows) {
+  EXPECT_THROW(load_model_file("/nonexistent/dir/model.txt"), Error);
+}
+
+}  // namespace
+}  // namespace mfbc::sim

@@ -1,0 +1,340 @@
+// mfbc — command-line driver for the library.
+//
+// Computes betweenness centrality (exact or pivot-approximate), harmonic
+// closeness, or connected components for a graph read from an edge-list /
+// MatrixMarket file or produced by the built-in generators, optionally on
+// the simulated distributed machine (printing the critical-path
+// communication costs).
+//
+// Examples:
+//   mfbc --er 1000,4000 --top 5
+//   mfbc --rmat 12,8 --weighted --algo mfbc --batch 128 --top 10
+//   mfbc --input graph.txt --directed --approx 256 --ranks 16 --mode ca --c 4
+//   mfbc --snap ork --metric closeness --approx 64
+//   mfbc --er 500,600 --metric components
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/maxflow.hpp"
+#include "apps/pagerank.hpp"
+#include "apps/traversal.hpp"
+#include "apps/traversal_dist.hpp"
+#include "baseline/brandes.hpp"
+#include "baseline/combblas_bc.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/prep.hpp"
+#include "graph/snap_proxy.hpp"
+#include "mfbc/mfbc_dist.hpp"
+#include "mfbc/mfbc_seq.hpp"
+#include "mfbc/ranking.hpp"
+#include "sim/tuner.hpp"
+#include "support/error.hpp"
+#include "support/strutil.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace mfbc;
+
+struct Args {
+  std::string input;
+  std::string rmat;   // "scale,degree"
+  std::string er;     // "n,m"
+  std::string snap;   // frd|ork|ljm|cit
+  bool directed = false;
+  bool weighted = false;
+  bool one_indexed = false;
+  bool giant = false;  // restrict to the largest weakly connected component
+  std::string metric = "bc";  // bc | closeness | components | pagerank | maxflow
+  graph::vid_t source = 0;    // maxflow endpoints
+  graph::vid_t sink = -1;
+  std::string algo = "mfbc";  // mfbc | brandes | combblas
+  graph::vid_t batch = 128;
+  graph::vid_t approx = 0;  // 0 = exact (all sources)
+  int ranks = 0;            // 0 = sequential
+  std::string mode = "auto";  // auto | ca
+  int c = 1;
+  int top = 10;
+  std::uint64_t seed = 1;
+  std::string model_file;  // tuned machine model for simulated runs
+  std::string tune_file;   // run the model tuner, save here, exit
+  bool help = false;
+};
+
+void usage() {
+  std::puts(
+      "usage: mfbc [options]\n"
+      "graph source (choose one):\n"
+      "  --input FILE        whitespace edge list ('u v [w]'; # comments)\n"
+      "  --mm FILE           (via --input on .mtx files, auto-detected)\n"
+      "  --rmat S,E          R-MAT graph, 2^S vertices, avg degree E\n"
+      "  --er N,M            Erdos-Renyi graph with N vertices, M edges\n"
+      "  --snap ID           SNAP proxy: frd|ork|ljm|cit (Table 2 shapes)\n"
+      "graph flags:\n"
+      "  --directed --weighted --one-indexed\n"
+      "  --giant             restrict to the largest connected component\n"
+      "computation:\n"
+      "  --metric M          bc (default) | closeness | components |\n"
+      "                      pagerank | maxflow (with --source/--sink)\n"
+      "  --algo A            bc engine: mfbc (default) | brandes | combblas\n"
+      "  --batch NB          source batch size (default 128)\n"
+      "  --approx K          use K pivot sources instead of all n\n"
+      "  --ranks P           run on a P-rank simulated machine (mfbc only)\n"
+      "  --mode auto|ca      plan selection: CTF-MFBC or CA-MFBC (with --c)\n"
+      "  --c C               CA-MFBC replication factor\n"
+      "machine model (simulated runs):\n"
+      "  --model FILE        load a tuned machine model (see --tune)\n"
+      "  --tune FILE         run the section 6.2 model tuner, save to FILE\n"
+      "output:\n"
+      "  --top K             print the K highest-ranked vertices (default 10)\n"
+      "  --seed S            generator seed\n");
+}
+
+Args parse(int argc, char** argv) {
+  Args a;
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) throw Error(std::string("missing value for ") + argv[i]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string f = argv[i];
+    if (f == "--input") a.input = need(i);
+    else if (f == "--rmat") a.rmat = need(i);
+    else if (f == "--er") a.er = need(i);
+    else if (f == "--snap") a.snap = need(i);
+    else if (f == "--directed") a.directed = true;
+    else if (f == "--weighted") a.weighted = true;
+    else if (f == "--one-indexed") a.one_indexed = true;
+    else if (f == "--giant") a.giant = true;
+    else if (f == "--metric") a.metric = need(i);
+    else if (f == "--source") a.source = std::atol(need(i));
+    else if (f == "--sink") a.sink = std::atol(need(i));
+    else if (f == "--algo") a.algo = need(i);
+    else if (f == "--batch") a.batch = std::atol(need(i));
+    else if (f == "--approx") a.approx = std::atol(need(i));
+    else if (f == "--ranks") a.ranks = std::atoi(need(i));
+    else if (f == "--mode") a.mode = need(i);
+    else if (f == "--c") a.c = std::atoi(need(i));
+    else if (f == "--top") a.top = std::atoi(need(i));
+    else if (f == "--model") a.model_file = need(i);
+    else if (f == "--tune") a.tune_file = need(i);
+    else if (f == "--seed") a.seed = std::strtoull(need(i), nullptr, 10);
+    else if (f == "--help" || f == "-h") a.help = true;
+    else throw Error("unknown flag: " + f);
+  }
+  return a;
+}
+
+graph::Graph load_graph(const Args& a) {
+  if (!a.input.empty()) {
+    if (a.input.size() > 4 &&
+        a.input.compare(a.input.size() - 4, 4, ".mtx") == 0) {
+      std::ifstream in(a.input);
+      if (!in) throw Error("cannot open " + a.input);
+      return graph::read_matrix_market(in);
+    }
+    return graph::read_edge_list_file(
+        a.input, {.directed = a.directed, .weighted = a.weighted,
+                  .one_indexed = a.one_indexed});
+  }
+  if (!a.rmat.empty()) {
+    graph::RmatParams p;
+    if (std::sscanf(a.rmat.c_str(), "%d,%lf", &p.scale, &p.edge_factor) != 2) {
+      throw Error("--rmat expects S,E");
+    }
+    p.directed = a.directed;
+    p.weights = {a.weighted, 1, 100};
+    return graph::random_relabel(graph::remove_isolated(graph::rmat(p, a.seed)),
+                                 a.seed ^ 0xabc);
+  }
+  if (!a.er.empty()) {
+    long long n = 0, m = 0;
+    if (std::sscanf(a.er.c_str(), "%lld,%lld", &n, &m) != 2) {
+      throw Error("--er expects N,M");
+    }
+    return graph::erdos_renyi(n, m, a.directed, {a.weighted, 1, 100}, a.seed);
+  }
+  if (!a.snap.empty()) {
+    for (const auto& spec : graph::snap_specs()) {
+      if (spec.name == a.snap) return graph::snap_proxy(spec.id, 0, a.seed);
+    }
+    throw Error("unknown --snap id (use frd|ork|ljm|cit): " + a.snap);
+  }
+  throw Error("no graph source given (try --help)");
+}
+
+std::vector<graph::vid_t> pivot_sources(const graph::Graph& g,
+                                        graph::vid_t k) {
+  std::vector<graph::vid_t> out;
+  const graph::vid_t n = g.n();
+  for (graph::vid_t v = 0; v < std::min(k, n); ++v) out.push_back(v);
+  return out;
+}
+
+void print_top(const std::vector<double>& score, int k, const char* what) {
+  const auto ranked = core::top_k(score, static_cast<std::size_t>(k));
+  std::printf("top-%zu vertices by %s:\n", ranked.size(), what);
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    std::printf("  %3zu. v%-8zu %.6g\n", i + 1, ranked[i].vertex,
+                ranked[i].score);
+  }
+}
+
+int run(const Args& a) {
+  if (!a.tune_file.empty()) {
+    std::puts("running the model tuner (calibration kernels)...");
+    const sim::TuneResult r = sim::tune_machine();
+    sim::save_model_file(a.tune_file, r.model);
+    std::printf("measured %.1f Mops/s (kernel spread %.2fx); model written "
+                "to %s\n",
+                r.measured_ops_per_second / 1e6, r.spread,
+                a.tune_file.c_str());
+    return 0;
+  }
+  const sim::MachineModel machine =
+      a.model_file.empty() ? sim::MachineModel::blue_waters()
+                           : sim::load_model_file(a.model_file);
+  graph::Graph g = load_graph(a);
+  if (a.giant) g = graph::largest_component(g);
+  std::printf("graph: n=%lld m=%lld %s %s avg_degree=%.2f\n",
+              static_cast<long long>(g.n()), static_cast<long long>(g.m()),
+              g.directed() ? "directed" : "undirected",
+              g.weighted() ? "weighted" : "unweighted", g.avg_degree());
+
+  if (a.metric == "components") {
+    auto labels = apps::connected_component_labels(g);
+    std::map<graph::vid_t, graph::vid_t> sizes;
+    for (graph::vid_t l : labels) sizes[l]++;
+    std::printf("%zu connected components; largest sizes:", sizes.size());
+    std::vector<graph::vid_t> s;
+    for (auto& [l, count] : sizes) s.push_back(count);
+    std::sort(s.rbegin(), s.rend());
+    for (std::size_t i = 0; i < std::min<std::size_t>(5, s.size()); ++i) {
+      std::printf(" %lld", static_cast<long long>(s[i]));
+    }
+    std::puts("");
+    return 0;
+  }
+
+  if (a.metric == "pagerank") {
+    WallTimer pr_timer;
+    auto r = apps::pagerank(g);
+    std::printf("pagerank converged in %d iterations (residual %.1e, %.2fs)\n",
+                r.iterations, r.residual, pr_timer.seconds());
+    print_top(r.rank, a.top, "pagerank");
+    return 0;
+  }
+
+  if (a.metric == "maxflow") {
+    const graph::vid_t sink = a.sink >= 0 ? a.sink : g.n() - 1;
+    apps::MaxFlowStats stats;
+    const double flow = apps::max_flow(g, a.source, sink, &stats);
+    std::printf("max flow %lld -> %lld: %.6g  (%d augmenting paths, %d "
+                "algebraic BFS products)\n",
+                static_cast<long long>(a.source), static_cast<long long>(sink),
+                flow, stats.augmenting_paths, stats.bfs_products);
+    return 0;
+  }
+
+  WallTimer timer;
+  if (a.metric == "closeness") {
+    apps::ClosenessOptions opts;
+    opts.batch_size = a.batch;
+    if (a.approx > 0) opts.sources = pivot_sources(g, a.approx);
+    std::vector<double> h;
+    if (a.ranks > 0) {
+      sim::Sim sim(a.ranks, machine);
+      h = apps::harmonic_closeness_dist(sim, g, opts);
+      const auto cost = sim.ledger().critical();
+      std::printf("distributed closeness on %d ranks: critical path %s, "
+                  "%.0f msgs, modelled %.4fs\n",
+                  a.ranks, human_bytes(cost.words * 8).c_str(), cost.msgs,
+                  cost.total_seconds());
+    } else {
+      h = apps::harmonic_closeness(g, opts);
+    }
+    if (a.approx > 0) {
+      std::printf("harmonic closeness of %lld pivots in %.2fs\n",
+                  static_cast<long long>(a.approx), timer.seconds());
+      for (std::size_t i = 0; i < h.size(); ++i) {
+        std::printf("  v%-8lld %.6g\n",
+                    static_cast<long long>(opts.sources[i]), h[i]);
+      }
+    } else {
+      std::printf("computed in %.2fs\n", timer.seconds());
+      print_top(h, a.top, "harmonic closeness");
+    }
+    return 0;
+  }
+
+  MFBC_CHECK(a.metric == "bc", "unknown metric: " + a.metric);
+  std::vector<double> bc;
+  if (a.algo == "brandes") {
+    bc = a.approx > 0
+             ? baseline::brandes_partial(g, pivot_sources(g, a.approx))
+             : baseline::brandes(g);
+  } else if (a.algo == "combblas") {
+    sim::Sim sim(a.ranks > 0 ? a.ranks : 1, machine);
+    baseline::CombBlasBc engine(sim, g);
+    baseline::CombBlasOptions opts;
+    opts.batch_size = a.batch;
+    if (a.approx > 0) opts.sources = pivot_sources(g, a.approx);
+    bc = engine.run(opts);
+    const auto cost = sim.ledger().critical();
+    std::printf("combblas-style on %d ranks: critical path %s, %.0f msgs, "
+                "modelled %.4fs\n",
+                sim.nranks(), human_bytes(cost.words * 8).c_str(), cost.msgs,
+                cost.total_seconds());
+  } else if (a.algo == "mfbc" && a.ranks > 0) {
+    sim::Sim sim(a.ranks, machine);
+    core::DistMfbc engine(sim, g);
+    core::DistMfbcOptions opts;
+    opts.batch_size = a.batch;
+    opts.plan_mode =
+        a.mode == "ca" ? core::PlanMode::kFixedCa : core::PlanMode::kAuto;
+    opts.replication_c = a.c;
+    if (a.approx > 0) opts.sources = pivot_sources(g, a.approx);
+    core::DistMfbcStats stats;
+    bc = engine.run(opts, &stats);
+    const auto cost = sim.ledger().critical();
+    std::printf("mfbc on %d ranks (%s): critical path %s, %.0f msgs, "
+                "modelled %.4fs, plans:",
+                a.ranks, a.mode.c_str(), human_bytes(cost.words * 8).c_str(),
+                cost.msgs, cost.total_seconds());
+    for (const auto& p : stats.plans_used) std::printf(" %s", p.c_str());
+    std::puts("");
+  } else if (a.algo == "mfbc") {
+    core::MfbcOptions opts;
+    opts.batch_size = a.batch;
+    if (a.approx > 0) opts.sources = pivot_sources(g, a.approx);
+    bc = core::mfbc(g, opts);
+  } else {
+    throw Error("unknown --algo: " + a.algo);
+  }
+  std::printf("computed in %.2fs wall\n", timer.seconds());
+  print_top(bc, a.top, "betweenness centrality");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Args a = parse(argc, argv);
+    if (a.help || argc == 1) {
+      usage();
+      return 0;
+    }
+    return run(a);
+  } catch (const mfbc::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
