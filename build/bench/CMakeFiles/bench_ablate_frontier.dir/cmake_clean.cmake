@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_frontier.dir/bench_ablate_frontier.cpp.o"
+  "CMakeFiles/bench_ablate_frontier.dir/bench_ablate_frontier.cpp.o.d"
+  "bench_ablate_frontier"
+  "bench_ablate_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_machine.dir/bench_ablate_machine.cpp.o"
+  "CMakeFiles/bench_ablate_machine.dir/bench_ablate_machine.cpp.o.d"
+  "bench_ablate_machine"
+  "bench_ablate_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

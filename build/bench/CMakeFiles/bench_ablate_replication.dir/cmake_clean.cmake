@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_replication.dir/bench_ablate_replication.cpp.o"
+  "CMakeFiles/bench_ablate_replication.dir/bench_ablate_replication.cpp.o.d"
+  "bench_ablate_replication"
+  "bench_ablate_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

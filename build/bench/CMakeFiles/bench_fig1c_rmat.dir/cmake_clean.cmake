@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1c_rmat.dir/bench_fig1c_rmat.cpp.o"
+  "CMakeFiles/bench_fig1c_rmat.dir/bench_fig1c_rmat.cpp.o.d"
+  "bench_fig1c_rmat"
+  "bench_fig1c_rmat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1c_rmat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

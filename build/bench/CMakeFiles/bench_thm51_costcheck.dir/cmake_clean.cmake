@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm51_costcheck.dir/bench_thm51_costcheck.cpp.o"
+  "CMakeFiles/bench_thm51_costcheck.dir/bench_thm51_costcheck.cpp.o.d"
+  "bench_thm51_costcheck"
+  "bench_thm51_costcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm51_costcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_algebraic_kernels.dir/algebraic_kernels.cpp.o"
+  "CMakeFiles/example_algebraic_kernels.dir/algebraic_kernels.cpp.o.d"
+  "example_algebraic_kernels"
+  "example_algebraic_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_algebraic_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

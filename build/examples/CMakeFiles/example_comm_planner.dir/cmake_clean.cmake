@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_comm_planner.dir/comm_planner.cpp.o"
+  "CMakeFiles/example_comm_planner.dir/comm_planner.cpp.o.d"
+  "example_comm_planner"
+  "example_comm_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_comm_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

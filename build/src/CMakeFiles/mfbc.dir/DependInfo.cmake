@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/dijkstra_algebraic.cpp" "src/CMakeFiles/mfbc.dir/apps/dijkstra_algebraic.cpp.o" "gcc" "src/CMakeFiles/mfbc.dir/apps/dijkstra_algebraic.cpp.o.d"
+  "/root/repo/src/apps/maxflow.cpp" "src/CMakeFiles/mfbc.dir/apps/maxflow.cpp.o" "gcc" "src/CMakeFiles/mfbc.dir/apps/maxflow.cpp.o.d"
+  "/root/repo/src/apps/pagerank.cpp" "src/CMakeFiles/mfbc.dir/apps/pagerank.cpp.o" "gcc" "src/CMakeFiles/mfbc.dir/apps/pagerank.cpp.o.d"
+  "/root/repo/src/apps/traversal.cpp" "src/CMakeFiles/mfbc.dir/apps/traversal.cpp.o" "gcc" "src/CMakeFiles/mfbc.dir/apps/traversal.cpp.o.d"
+  "/root/repo/src/apps/traversal_dist.cpp" "src/CMakeFiles/mfbc.dir/apps/traversal_dist.cpp.o" "gcc" "src/CMakeFiles/mfbc.dir/apps/traversal_dist.cpp.o.d"
+  "/root/repo/src/apps/triangles.cpp" "src/CMakeFiles/mfbc.dir/apps/triangles.cpp.o" "gcc" "src/CMakeFiles/mfbc.dir/apps/triangles.cpp.o.d"
+  "/root/repo/src/baseline/brandes.cpp" "src/CMakeFiles/mfbc.dir/baseline/brandes.cpp.o" "gcc" "src/CMakeFiles/mfbc.dir/baseline/brandes.cpp.o.d"
+  "/root/repo/src/baseline/combblas_bc.cpp" "src/CMakeFiles/mfbc.dir/baseline/combblas_bc.cpp.o" "gcc" "src/CMakeFiles/mfbc.dir/baseline/combblas_bc.cpp.o.d"
+  "/root/repo/src/benchsupport/harness.cpp" "src/CMakeFiles/mfbc.dir/benchsupport/harness.cpp.o" "gcc" "src/CMakeFiles/mfbc.dir/benchsupport/harness.cpp.o.d"
+  "/root/repo/src/benchsupport/table.cpp" "src/CMakeFiles/mfbc.dir/benchsupport/table.cpp.o" "gcc" "src/CMakeFiles/mfbc.dir/benchsupport/table.cpp.o.d"
+  "/root/repo/src/dist/autotune.cpp" "src/CMakeFiles/mfbc.dir/dist/autotune.cpp.o" "gcc" "src/CMakeFiles/mfbc.dir/dist/autotune.cpp.o.d"
+  "/root/repo/src/dist/cost_model.cpp" "src/CMakeFiles/mfbc.dir/dist/cost_model.cpp.o" "gcc" "src/CMakeFiles/mfbc.dir/dist/cost_model.cpp.o.d"
+  "/root/repo/src/dist/procgrid.cpp" "src/CMakeFiles/mfbc.dir/dist/procgrid.cpp.o" "gcc" "src/CMakeFiles/mfbc.dir/dist/procgrid.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/mfbc.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/mfbc.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/mfbc.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/mfbc.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/mfbc.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/mfbc.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/metrics.cpp" "src/CMakeFiles/mfbc.dir/graph/metrics.cpp.o" "gcc" "src/CMakeFiles/mfbc.dir/graph/metrics.cpp.o.d"
+  "/root/repo/src/graph/more_generators.cpp" "src/CMakeFiles/mfbc.dir/graph/more_generators.cpp.o" "gcc" "src/CMakeFiles/mfbc.dir/graph/more_generators.cpp.o.d"
+  "/root/repo/src/graph/prep.cpp" "src/CMakeFiles/mfbc.dir/graph/prep.cpp.o" "gcc" "src/CMakeFiles/mfbc.dir/graph/prep.cpp.o.d"
+  "/root/repo/src/graph/snap_proxy.cpp" "src/CMakeFiles/mfbc.dir/graph/snap_proxy.cpp.o" "gcc" "src/CMakeFiles/mfbc.dir/graph/snap_proxy.cpp.o.d"
+  "/root/repo/src/mfbc/approx.cpp" "src/CMakeFiles/mfbc.dir/mfbc/approx.cpp.o" "gcc" "src/CMakeFiles/mfbc.dir/mfbc/approx.cpp.o.d"
+  "/root/repo/src/mfbc/mfbc_dist.cpp" "src/CMakeFiles/mfbc.dir/mfbc/mfbc_dist.cpp.o" "gcc" "src/CMakeFiles/mfbc.dir/mfbc/mfbc_dist.cpp.o.d"
+  "/root/repo/src/mfbc/mfbc_seq.cpp" "src/CMakeFiles/mfbc.dir/mfbc/mfbc_seq.cpp.o" "gcc" "src/CMakeFiles/mfbc.dir/mfbc/mfbc_seq.cpp.o.d"
+  "/root/repo/src/mfbc/ranking.cpp" "src/CMakeFiles/mfbc.dir/mfbc/ranking.cpp.o" "gcc" "src/CMakeFiles/mfbc.dir/mfbc/ranking.cpp.o.d"
+  "/root/repo/src/mfbc/teps.cpp" "src/CMakeFiles/mfbc.dir/mfbc/teps.cpp.o" "gcc" "src/CMakeFiles/mfbc.dir/mfbc/teps.cpp.o.d"
+  "/root/repo/src/sim/comm.cpp" "src/CMakeFiles/mfbc.dir/sim/comm.cpp.o" "gcc" "src/CMakeFiles/mfbc.dir/sim/comm.cpp.o.d"
+  "/root/repo/src/sim/ledger.cpp" "src/CMakeFiles/mfbc.dir/sim/ledger.cpp.o" "gcc" "src/CMakeFiles/mfbc.dir/sim/ledger.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/CMakeFiles/mfbc.dir/sim/machine.cpp.o" "gcc" "src/CMakeFiles/mfbc.dir/sim/machine.cpp.o.d"
+  "/root/repo/src/sim/tuner.cpp" "src/CMakeFiles/mfbc.dir/sim/tuner.cpp.o" "gcc" "src/CMakeFiles/mfbc.dir/sim/tuner.cpp.o.d"
+  "/root/repo/src/support/error.cpp" "src/CMakeFiles/mfbc.dir/support/error.cpp.o" "gcc" "src/CMakeFiles/mfbc.dir/support/error.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/CMakeFiles/mfbc.dir/support/rng.cpp.o" "gcc" "src/CMakeFiles/mfbc.dir/support/rng.cpp.o.d"
+  "/root/repo/src/support/strutil.cpp" "src/CMakeFiles/mfbc.dir/support/strutil.cpp.o" "gcc" "src/CMakeFiles/mfbc.dir/support/strutil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

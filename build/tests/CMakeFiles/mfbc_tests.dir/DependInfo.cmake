@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_algebra.cpp" "tests/CMakeFiles/mfbc_tests.dir/test_algebra.cpp.o" "gcc" "tests/CMakeFiles/mfbc_tests.dir/test_algebra.cpp.o.d"
+  "/root/repo/tests/test_approx.cpp" "tests/CMakeFiles/mfbc_tests.dir/test_approx.cpp.o" "gcc" "tests/CMakeFiles/mfbc_tests.dir/test_approx.cpp.o.d"
+  "/root/repo/tests/test_apps.cpp" "tests/CMakeFiles/mfbc_tests.dir/test_apps.cpp.o" "gcc" "tests/CMakeFiles/mfbc_tests.dir/test_apps.cpp.o.d"
+  "/root/repo/tests/test_autotune_quality.cpp" "tests/CMakeFiles/mfbc_tests.dir/test_autotune_quality.cpp.o" "gcc" "tests/CMakeFiles/mfbc_tests.dir/test_autotune_quality.cpp.o.d"
+  "/root/repo/tests/test_batch_state.cpp" "tests/CMakeFiles/mfbc_tests.dir/test_batch_state.cpp.o" "gcc" "tests/CMakeFiles/mfbc_tests.dir/test_batch_state.cpp.o.d"
+  "/root/repo/tests/test_benchsupport.cpp" "tests/CMakeFiles/mfbc_tests.dir/test_benchsupport.cpp.o" "gcc" "tests/CMakeFiles/mfbc_tests.dir/test_benchsupport.cpp.o.d"
+  "/root/repo/tests/test_brandes.cpp" "tests/CMakeFiles/mfbc_tests.dir/test_brandes.cpp.o" "gcc" "tests/CMakeFiles/mfbc_tests.dir/test_brandes.cpp.o.d"
+  "/root/repo/tests/test_combblas.cpp" "tests/CMakeFiles/mfbc_tests.dir/test_combblas.cpp.o" "gcc" "tests/CMakeFiles/mfbc_tests.dir/test_combblas.cpp.o.d"
+  "/root/repo/tests/test_cost_model.cpp" "tests/CMakeFiles/mfbc_tests.dir/test_cost_model.cpp.o" "gcc" "tests/CMakeFiles/mfbc_tests.dir/test_cost_model.cpp.o.d"
+  "/root/repo/tests/test_ctfx.cpp" "tests/CMakeFiles/mfbc_tests.dir/test_ctfx.cpp.o" "gcc" "tests/CMakeFiles/mfbc_tests.dir/test_ctfx.cpp.o.d"
+  "/root/repo/tests/test_ctfx_dist.cpp" "tests/CMakeFiles/mfbc_tests.dir/test_ctfx_dist.cpp.o" "gcc" "tests/CMakeFiles/mfbc_tests.dir/test_ctfx_dist.cpp.o.d"
+  "/root/repo/tests/test_ddense.cpp" "tests/CMakeFiles/mfbc_tests.dir/test_ddense.cpp.o" "gcc" "tests/CMakeFiles/mfbc_tests.dir/test_ddense.cpp.o.d"
+  "/root/repo/tests/test_dmatrix.cpp" "tests/CMakeFiles/mfbc_tests.dir/test_dmatrix.cpp.o" "gcc" "tests/CMakeFiles/mfbc_tests.dir/test_dmatrix.cpp.o.d"
+  "/root/repo/tests/test_fuzz_end_to_end.cpp" "tests/CMakeFiles/mfbc_tests.dir/test_fuzz_end_to_end.cpp.o" "gcc" "tests/CMakeFiles/mfbc_tests.dir/test_fuzz_end_to_end.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/mfbc_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/mfbc_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_io_fuzz.cpp" "tests/CMakeFiles/mfbc_tests.dir/test_io_fuzz.cpp.o" "gcc" "tests/CMakeFiles/mfbc_tests.dir/test_io_fuzz.cpp.o.d"
+  "/root/repo/tests/test_maxflow.cpp" "tests/CMakeFiles/mfbc_tests.dir/test_maxflow.cpp.o" "gcc" "tests/CMakeFiles/mfbc_tests.dir/test_maxflow.cpp.o.d"
+  "/root/repo/tests/test_mfbc_dist.cpp" "tests/CMakeFiles/mfbc_tests.dir/test_mfbc_dist.cpp.o" "gcc" "tests/CMakeFiles/mfbc_tests.dir/test_mfbc_dist.cpp.o.d"
+  "/root/repo/tests/test_mfbc_seq.cpp" "tests/CMakeFiles/mfbc_tests.dir/test_mfbc_seq.cpp.o" "gcc" "tests/CMakeFiles/mfbc_tests.dir/test_mfbc_seq.cpp.o.d"
+  "/root/repo/tests/test_more_generators.cpp" "tests/CMakeFiles/mfbc_tests.dir/test_more_generators.cpp.o" "gcc" "tests/CMakeFiles/mfbc_tests.dir/test_more_generators.cpp.o.d"
+  "/root/repo/tests/test_pagerank.cpp" "tests/CMakeFiles/mfbc_tests.dir/test_pagerank.cpp.o" "gcc" "tests/CMakeFiles/mfbc_tests.dir/test_pagerank.cpp.o.d"
+  "/root/repo/tests/test_procgrid.cpp" "tests/CMakeFiles/mfbc_tests.dir/test_procgrid.cpp.o" "gcc" "tests/CMakeFiles/mfbc_tests.dir/test_procgrid.cpp.o.d"
+  "/root/repo/tests/test_ranking.cpp" "tests/CMakeFiles/mfbc_tests.dir/test_ranking.cpp.o" "gcc" "tests/CMakeFiles/mfbc_tests.dir/test_ranking.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/mfbc_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/mfbc_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_sparse.cpp" "tests/CMakeFiles/mfbc_tests.dir/test_sparse.cpp.o" "gcc" "tests/CMakeFiles/mfbc_tests.dir/test_sparse.cpp.o.d"
+  "/root/repo/tests/test_spgemm_dist.cpp" "tests/CMakeFiles/mfbc_tests.dir/test_spgemm_dist.cpp.o" "gcc" "tests/CMakeFiles/mfbc_tests.dir/test_spgemm_dist.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/mfbc_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/mfbc_tests.dir/test_support.cpp.o.d"
+  "/root/repo/tests/test_triangles.cpp" "tests/CMakeFiles/mfbc_tests.dir/test_triangles.cpp.o" "gcc" "tests/CMakeFiles/mfbc_tests.dir/test_triangles.cpp.o.d"
+  "/root/repo/tests/test_tuner.cpp" "tests/CMakeFiles/mfbc_tests.dir/test_tuner.cpp.o" "gcc" "tests/CMakeFiles/mfbc_tests.dir/test_tuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mfbc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

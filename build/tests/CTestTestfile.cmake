@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/mfbc_tests[1]_include.cmake")
+add_test(cli_bc_sequential "/root/repo/build/tools/mfbc" "--er" "300,900" "--top" "3")
+set_tests_properties(cli_bc_sequential PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_bc_distributed_ca "/root/repo/build/tools/mfbc" "--rmat" "8,4" "--ranks" "4" "--mode" "ca" "--c" "4" "--approx" "32" "--top" "3")
+set_tests_properties(cli_bc_distributed_ca PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_bc_combblas "/root/repo/build/tools/mfbc" "--er" "200,800" "--algo" "combblas" "--ranks" "4" "--approx" "16")
+set_tests_properties(cli_bc_combblas PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;12;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_bc_brandes "/root/repo/build/tools/mfbc" "--er" "200,600" "--algo" "brandes" "--top" "5")
+set_tests_properties(cli_bc_brandes PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;14;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_weighted "/root/repo/build/tools/mfbc" "--rmat" "8,4" "--weighted" "--approx" "32" "--top" "3")
+set_tests_properties(cli_weighted PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;16;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_closeness "/root/repo/build/tools/mfbc" "--er" "200,800" "--metric" "closeness" "--top" "3")
+set_tests_properties(cli_closeness PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;18;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_components "/root/repo/build/tools/mfbc" "--er" "300,330" "--metric" "components")
+set_tests_properties(cli_components PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;20;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_pagerank "/root/repo/build/tools/mfbc" "--er" "300,1200" "--metric" "pagerank" "--top" "3")
+set_tests_properties(cli_pagerank PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;22;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_maxflow "/root/repo/build/tools/mfbc" "--er" "100,400" "--weighted" "--metric" "maxflow" "--sink" "99")
+set_tests_properties(cli_maxflow PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_rejects_unknown_flag "/root/repo/build/tools/mfbc" "--bogus")
+set_tests_properties(cli_rejects_unknown_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;26;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_trace_tool "/root/repo/build/tools/mfbc_trace" "--rmat" "8,4" "--weighted" "--batch" "4")
+set_tests_properties(cli_trace_tool PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;29;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_model_tuner "sh" "-c" "/root/repo/build/tools/mfbc --tune model_smoke.txt &&                         /root/repo/build/tools/mfbc --er 200,600 --ranks 4                           --model model_smoke.txt --approx 8 --top 2")
+set_tests_properties(cli_model_tuner PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;31;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfbc_cli.dir/mfbc_cli.cpp.o"
+  "CMakeFiles/mfbc_cli.dir/mfbc_cli.cpp.o.d"
+  "mfbc"
+  "mfbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfbc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

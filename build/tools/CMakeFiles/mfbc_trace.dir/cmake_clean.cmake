@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfbc_trace.dir/mfbc_trace.cpp.o"
+  "CMakeFiles/mfbc_trace.dir/mfbc_trace.cpp.o.d"
+  "mfbc_trace"
+  "mfbc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfbc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
