@@ -45,5 +45,6 @@ int main(int argc, char** argv) {
             "dominates memory — the paper's\n\"largest batch that fits\" "
             "heuristic.");
   bench::maybe_write_csv(args, "ablate_batch", tab);
+  bench::maybe_write_artifacts(args, "ablate_batch", {{"ablate_batch", &tab}});
   return 0;
 }

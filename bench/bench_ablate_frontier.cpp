@@ -8,6 +8,7 @@
 #include <string>
 
 #include "apps/dijkstra_algebraic.hpp"
+#include "benchsupport/harness.hpp"
 #include "benchsupport/table.hpp"
 #include "graph/generators.hpp"
 #include "support/strutil.hpp"
@@ -63,5 +64,7 @@ int main(int argc, char** argv) {
             "the maximal frontier needs only\namplified-diameter many — at "
             "the cost of a modest factor of repeated relaxations.");
   bench::maybe_write_csv(args, "ablate_frontier", tab);
+  bench::maybe_write_artifacts(args, "ablate_frontier",
+                               {{"ablate_frontier", &tab}});
   return 0;
 }

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "algebra/tropical.hpp"
+#include "benchsupport/harness.hpp"
 #include "benchsupport/table.hpp"
 #include "dist/spgemm_dist.hpp"
 #include "graph/generators.hpp"
@@ -76,5 +77,7 @@ int main(int argc, char** argv) {
             "operand-splitting 2D/3D grids — the §6.2\nmodel adapting the "
             "decomposition to the architecture.");
   bench::maybe_write_csv(args, "ablate_machine", tab);
+  bench::maybe_write_artifacts(args, "ablate_machine",
+                               {{"ablate_machine", &tab}});
   return 0;
 }

@@ -51,5 +51,7 @@ int main(int argc, char** argv) {
             "1/sqrt(c) term) at\nthe cost of replicated adjacency memory; "
             "the autotuned mode should match or\nbeat the best fixed grid.");
   bench::maybe_write_csv(args, "ablate_replication", tab);
+  bench::maybe_write_artifacts(args, "ablate_replication",
+                               {{"ablate_replication", &tab}});
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "baseline/brandes.hpp"
+#include "benchsupport/harness.hpp"
 #include "benchsupport/table.hpp"
 #include "graph/generators.hpp"
 #include "graph/prep.hpp"
@@ -67,5 +68,7 @@ int main(int argc, char** argv) {
             "10% of the\nexact work — the regime where a single MFBC batch "
             "already gives a usable ranking.");
   bench::maybe_write_csv(args, "approx_quality", tab);
+  bench::maybe_write_artifacts(args, "approx_quality",
+                               {{"approx_quality", &tab}});
   return 0;
 }

@@ -62,5 +62,7 @@ int main(int argc, char** argv) {
             "competitive mainly on the patents graph.");
   bench::maybe_write_csv(args, "fig1a", mfbc_tab);
   bench::maybe_write_csv(args, "fig1b", comb_tab);
+  bench::maybe_write_artifacts(args, "fig1_strong_real",
+                               {{"fig1a", &mfbc_tab}, {"fig1b", &comb_tab}});
   return 0;
 }

@@ -71,5 +71,6 @@ int main(int argc, char** argv) {
             "even at E=8;\nweighted MFBC slower than unweighted by more than "
             "the 2x multiplication-count factor.");
   bench::maybe_write_csv(args, "fig1c", tab);
+  bench::maybe_write_artifacts(args, "fig1c_rmat", {{"fig1c", &tab}});
   return 0;
 }

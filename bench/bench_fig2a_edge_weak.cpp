@@ -64,5 +64,6 @@ int main(int argc, char** argv) {
   std::puts("\nPaper shape: flat-to-rising per-node rates for MFBC (good "
             "edge weak scaling),\nhigher absolute rates on denser graphs.");
   bench::maybe_write_csv(args, "fig2a", tab);
+  bench::maybe_write_artifacts(args, "fig2a_edge_weak", {{"fig2a", &tab}});
   return 0;
 }

@@ -62,5 +62,6 @@ int main(int argc, char** argv) {
             "(predicted by the\ncost analysis); MFBC ahead at larger average "
             "degree.");
   bench::maybe_write_csv(args, "fig2b", tab);
+  bench::maybe_write_artifacts(args, "fig2b_vertex_weak", {{"fig2b", &tab}});
   return 0;
 }

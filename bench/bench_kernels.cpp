@@ -8,6 +8,7 @@
 #include "algebra/centpath.hpp"
 #include "algebra/multpath.hpp"
 #include "algebra/tropical.hpp"
+#include "benchsupport/harness.hpp"
 #include "graph/generators.hpp"
 #include "sparse/ops.hpp"
 #include "sparse/spgemm.hpp"
@@ -180,4 +181,16 @@ BENCHMARK(BM_SliceCols)->Arg(12)->Arg(14);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN(): the shared bench flags (--json, --chrome-trace)
+// are peeled off argv before google-benchmark parses the rest, and run
+// artifacts are written once the benchmarks finish.
+int main(int argc, char** argv) {
+  const mfbc::bench::BenchArgs args =
+      mfbc::bench::extract_bench_args(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  mfbc::bench::maybe_write_artifacts(args, "kernels");
+  return 0;
+}

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "algebra/multpath.hpp"
+#include "benchsupport/harness.hpp"
 #include "benchsupport/table.hpp"
 #include "dist/spgemm_dist.hpp"
 #include "graph/generators.hpp"
@@ -73,5 +74,7 @@ int main(int argc, char** argv) {
             "operand) pay the\nmost; the autotuned plan sits at or near the "
             "measured minimum.");
   bench::maybe_write_csv(args, "spgemm_variants", tab);
+  bench::maybe_write_artifacts(args, "spgemm_variants",
+                               {{"spgemm_variants", &tab}});
   return 0;
 }

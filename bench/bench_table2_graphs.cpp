@@ -4,6 +4,7 @@
 // proxies stand in for the SNAP datasets.
 #include <cstdio>
 
+#include "benchsupport/harness.hpp"
 #include "benchsupport/table.hpp"
 #include "graph/metrics.hpp"
 #include "graph/snap_proxy.hpp"
@@ -39,5 +40,6 @@ int main(int argc, char** argv) {
   std::puts("\nNote: proxy diameters are BFS lower bounds; proxies match the"
             "\noriginals' directedness, average degree, and diameter class.");
   bench::maybe_write_csv(args, "table2", table);
+  bench::maybe_write_artifacts(args, "table2_graphs", {{"table2", &table}});
   return 0;
 }

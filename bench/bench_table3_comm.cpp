@@ -76,5 +76,7 @@ int main(int argc, char** argv) {
              stdout);
   bench::maybe_write_csv(args, "table3_phases", phases);
   bench::maybe_write_csv(args, "table3", tab);
+  bench::maybe_write_artifacts(args, "table3_comm",
+                               {{"table3", &tab}, {"table3_phases", &phases}});
   return 0;
 }

@@ -8,6 +8,8 @@
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "benchsupport/harness.hpp"
 #include "benchsupport/table.hpp"
@@ -36,6 +38,9 @@ int main(int argc, char** argv) {
     return nd * nd / std::sqrt(static_cast<double>(c) * p) +
            static_cast<double>(c) * md / p;
   };
+  // The per-sweep tables live in block scopes below; keep copies for the
+  // end-of-run JSON artifact.
+  std::vector<std::pair<std::string, bench::Table>> artifact_tables;
 
   {
     bench::Table tab({"p", "c", "measured W (words)", "theory (normalized)",
@@ -55,6 +60,7 @@ int main(int argc, char** argv) {
                    .c_str(),
                stdout);
     bench::maybe_write_csv(args, "thm51_p_sweep", tab);
+    artifact_tables.emplace_back("thm51_p_sweep", tab);
   }
   std::puts("");
   {
@@ -75,6 +81,12 @@ int main(int argc, char** argv) {
                    .c_str(),
                stdout);
     bench::maybe_write_csv(args, "thm51_c_sweep", tab);
+    artifact_tables.emplace_back("thm51_c_sweep", tab);
+  }
+  {
+    std::vector<std::pair<std::string, const bench::Table*>> ptrs;
+    for (const auto& [name, tab] : artifact_tables) ptrs.emplace_back(name, &tab);
+    bench::maybe_write_artifacts(args, "thm51_costcheck", ptrs);
   }
   return 0;
 }

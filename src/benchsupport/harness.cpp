@@ -1,15 +1,50 @@
 #include "benchsupport/harness.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "baseline/combblas_bc.hpp"
 #include "mfbc/teps.hpp"
 #include "support/error.hpp"
 #include "support/strutil.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/ledger_sink.hpp"
+#include "telemetry/registry.hpp"
 
 namespace mfbc::bench {
 
 namespace {
+
+std::vector<SessionCell>& session_cells_mutable() {
+  static std::vector<SessionCell> cells;
+  return cells;
+}
+
+#if MFBC_TELEMETRY
+/// Registry counter values before a measured run, so the harness can report
+/// per-cell deltas (the registry accumulates across cells and warmup runs).
+struct PhaseBaseline {
+  double fwd_iters, bwd_iters, fwd_words, bwd_words;
+};
+
+PhaseBaseline phase_baseline() {
+  const telemetry::Registry& reg = telemetry::registry();
+  return PhaseBaseline{reg.value("mfbc.forward.iterations"),
+                       reg.value("mfbc.backward.iterations"),
+                       reg.value("mfbc.forward.words"),
+                       reg.value("mfbc.backward.words")};
+}
+
+void fill_phases_from_registry(CellResult& r, const PhaseBaseline& base) {
+  const telemetry::Registry& reg = telemetry::registry();
+  r.fwd_iterations = static_cast<int>(
+      reg.value("mfbc.forward.iterations") - base.fwd_iters);
+  r.bwd_iterations = static_cast<int>(
+      reg.value("mfbc.backward.iterations") - base.bwd_iters);
+  r.fwd_words = reg.value("mfbc.forward.words") - base.fwd_words;
+  r.bwd_words = reg.value("mfbc.backward.words") - base.bwd_words;
+}
+#endif
 
 std::vector<graph::vid_t> pick_sources(const graph::Graph& g,
                                        const CellConfig& cfg) {
@@ -42,6 +77,9 @@ CellResult run_mfbc_cell(const graph::Graph& g, const CellConfig& cfg) {
   r.nodes = cfg.nodes;
   try {
     sim::Sim sim(cfg.nodes, cfg.machine);
+    // Route every ledger charge of this cell into the active span and the
+    // metric registry for the duration of the run.
+    telemetry::ScopedLedgerSink sink(sim.ledger());
     core::DistMfbc engine(sim, g);
     core::DistMfbcOptions opts;
     opts.batch_size = cfg.batch_size;
@@ -60,17 +98,26 @@ CellResult run_mfbc_cell(const graph::Graph& g, const CellConfig& cfg) {
     }
     sim.ledger().reset();  // exclude one-time graph distribution, as §7 does
     core::DistMfbcStats stats;
+#if MFBC_TELEMETRY
+    // Phase iteration/word counts come off the telemetry registry (deltas
+    // over the measured run) rather than hand-threaded stats fields.
+    const PhaseBaseline base = phase_baseline();
+    engine.run(opts, &stats);
+    fill_phases_from_registry(r, base);
+#else
     engine.run(opts, &stats);
     r.fwd_iterations = stats.forward.iterations();
     r.bwd_iterations = stats.backward.iterations();
     r.fwd_words = stats.forward_cost.words;
     r.bwd_words = stats.backward_cost.words;
+#endif
     r.plans = stats.plans_used;
     fill_costs(r, sim, g, static_cast<double>(opts.sources.size()));
   } catch (const Error& e) {
     r.ok = false;
     r.error = e.what();
   }
+  session_cells_mutable().push_back({"mfbc", r});
   return r;
 }
 
@@ -79,6 +126,7 @@ CellResult run_combblas_cell(const graph::Graph& g, const CellConfig& cfg) {
   r.nodes = cfg.nodes;
   try {
     sim::Sim sim(cfg.nodes, cfg.machine);
+    telemetry::ScopedLedgerSink sink(sim.ledger());
     baseline::CombBlasBc engine(sim, g);
     sim.ledger().reset();
     baseline::CombBlasOptions opts;
@@ -86,6 +134,8 @@ CellResult run_combblas_cell(const graph::Graph& g, const CellConfig& cfg) {
     opts.sources = pick_sources(g, cfg);
     baseline::CombBlasStats stats;
     engine.run(opts, &stats);
+    // The baseline has no phase instrumentation; its stats fields stay the
+    // source of truth.
     r.fwd_iterations = stats.forward.iterations();
     r.bwd_iterations = stats.backward.iterations();
     fill_costs(r, sim, g, static_cast<double>(opts.sources.size()));
@@ -93,12 +143,81 @@ CellResult run_combblas_cell(const graph::Graph& g, const CellConfig& cfg) {
     r.ok = false;
     r.error = e.what();
   }
+  session_cells_mutable().push_back({"combblas", r});
   return r;
 }
 
 std::string cell_str(const CellResult& r) {
   if (!r.ok) return "fail";
   return fixed(r.mteps_per_node, 2);
+}
+
+telemetry::Json cell_json(const CellResult& r) {
+  telemetry::Json j = telemetry::Json::object();
+  j["nodes"] = telemetry::Json(r.nodes);
+  j["ok"] = telemetry::Json(r.ok);
+  if (!r.ok) {
+    j["error"] = telemetry::Json(r.error);
+    return j;
+  }
+  j["seconds"] = telemetry::Json(r.seconds);
+  j["comm_seconds"] = telemetry::Json(r.comm_seconds);
+  j["words"] = telemetry::Json(r.words);
+  j["msgs"] = telemetry::Json(r.msgs);
+  j["mteps_per_node"] = telemetry::Json(r.mteps_per_node);
+  j["fwd_iterations"] = telemetry::Json(r.fwd_iterations);
+  j["bwd_iterations"] = telemetry::Json(r.bwd_iterations);
+  j["fwd_words"] = telemetry::Json(r.fwd_words);
+  j["bwd_words"] = telemetry::Json(r.bwd_words);
+  telemetry::Json plans = telemetry::Json::array();
+  for (const std::string& p : r.plans) plans.push(telemetry::Json(p));
+  j["plans"] = std::move(plans);
+  return j;
+}
+
+telemetry::Json table_json(const Table& t) {
+  telemetry::Json j = telemetry::Json::object();
+  telemetry::Json headers = telemetry::Json::array();
+  for (const std::string& h : t.headers()) headers.push(telemetry::Json(h));
+  j["headers"] = std::move(headers);
+  telemetry::Json rows = telemetry::Json::array();
+  for (const auto& row : t.rows()) {
+    telemetry::Json cells = telemetry::Json::array();
+    for (const std::string& c : row) cells.push(telemetry::Json(c));
+    rows.push(std::move(cells));
+  }
+  j["rows"] = std::move(rows);
+  return j;
+}
+
+const std::vector<SessionCell>& session_cells() {
+  return session_cells_mutable();
+}
+
+void clear_session_cells() { session_cells_mutable().clear(); }
+
+void maybe_write_artifacts(
+    const BenchArgs& args, const std::string& bench,
+    const std::vector<std::pair<std::string, const Table*>>& tables) {
+  if (!args.json_path.empty()) {
+    telemetry::RunSummary summary(bench);
+    if (!tables.empty()) {
+      telemetry::Json tj = telemetry::Json::object();
+      for (const auto& [name, table] : tables) tj[name] = table_json(*table);
+      summary.set("tables", std::move(tj));
+    }
+    for (const SessionCell& cell : session_cells()) {
+      telemetry::Json j = cell_json(cell.result);
+      j["kind"] = telemetry::Json(cell.kind);
+      summary.add_cell(std::move(j));
+    }
+    summary.write(args.json_path);
+    std::printf("[json] wrote %s\n", args.json_path.c_str());
+  }
+  if (!args.chrome_trace_path.empty()) {
+    telemetry::write_chrome_trace(args.chrome_trace_path);
+    std::printf("[trace] wrote %s\n", args.chrome_trace_path.c_str());
+  }
 }
 
 }  // namespace mfbc::bench

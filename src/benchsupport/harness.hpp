@@ -8,11 +8,14 @@
 
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "benchsupport/table.hpp"
 #include "graph/graph.hpp"
 #include "mfbc/mfbc_dist.hpp"
 #include "sim/machine.hpp"
+#include "telemetry/json.hpp"
 
 namespace mfbc::bench {
 
@@ -57,5 +60,30 @@ CellResult run_combblas_cell(const graph::Graph& g, const CellConfig& cfg);
 
 /// Format helper: MTEPS/node or "fail".
 std::string cell_str(const CellResult& r);
+
+/// JSON record for one measured cell (field names mirror CellResult).
+telemetry::Json cell_json(const CellResult& r);
+
+/// Rows + headers of a printed table as {"headers": [...], "rows": [[...]]}.
+telemetry::Json table_json(const Table& t);
+
+/// Every run_*_cell call appends its result here, labelled by the code under
+/// test ("mfbc" / "combblas"), so maybe_write_artifacts can dump all cells
+/// of a bench run without each binary threading them through. Single-process
+/// benches only — the store is not synchronised across threads.
+struct SessionCell {
+  std::string kind;
+  CellResult result;
+};
+const std::vector<SessionCell>& session_cells();
+void clear_session_cells();
+
+/// Honor the shared artifact flags: when --json was given, write a
+/// run-summary document (schema mfbc.run.v1: tables, session cells, and the
+/// telemetry registry snapshot); when --chrome-trace was given, write the
+/// collected span trace. Does nothing for flags that were not passed.
+void maybe_write_artifacts(
+    const BenchArgs& args, const std::string& bench,
+    const std::vector<std::pair<std::string, const Table*>>& tables = {});
 
 }  // namespace mfbc::bench

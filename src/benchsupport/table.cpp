@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "support/error.hpp"
+#include "telemetry/span.hpp"
 
 namespace mfbc::bench {
 
@@ -80,19 +81,72 @@ void Table::write_csv(const std::string& path) const {
   out << to_csv();
 }
 
+namespace {
+
+/// Number of argv slots the shared flag at position `i` occupies, or 0 when
+/// argv[i] is not a shared bench flag.
+int consume_bench_flag(BenchArgs& args, int argc, char** argv, int i) {
+  const std::string f = argv[i];
+  if (f == "--small") {
+    args.small = true;
+    return 1;
+  }
+  if (f == "--csv") {
+    MFBC_CHECK(i + 1 < argc, "--csv requires a directory argument");
+    args.csv_dir = argv[i + 1];
+    return 2;
+  }
+  if (f == "--json") {
+    MFBC_CHECK(i + 1 < argc, "--json requires a file argument");
+    args.json_path = argv[i + 1];
+    return 2;
+  }
+  if (f == "--chrome-trace") {
+    MFBC_CHECK(i + 1 < argc, "--chrome-trace requires a file argument");
+    args.chrome_trace_path = argv[i + 1];
+    return 2;
+  }
+  return 0;
+}
+
+/// Span collection is off by default; a requested trace turns it on for the
+/// rest of the process so instrumented library code starts recording.
+void apply_telemetry_flags(const BenchArgs& args) {
+  if (!args.chrome_trace_path.empty()) {
+    telemetry::collector().set_enabled(true);
+  }
+}
+
+}  // namespace
+
 BenchArgs parse_bench_args(int argc, char** argv) {
   BenchArgs args;
-  for (int i = 1; i < argc; ++i) {
-    const std::string f = argv[i];
-    if (f == "--small") {
-      args.small = true;
-    } else if (f == "--csv") {
-      MFBC_CHECK(i + 1 < argc, "--csv requires a directory argument");
-      args.csv_dir = argv[++i];
+  for (int i = 1; i < argc;) {
+    const int used = consume_bench_flag(args, argc, argv, i);
+    if (used == 0) {
+      throw Error(std::string("unknown bench flag: ") + argv[i] +
+                  " (supported: --small, --csv DIR, --json PATH, "
+                  "--chrome-trace PATH)");
+    }
+    i += used;
+  }
+  apply_telemetry_flags(args);
+  return args;
+}
+
+BenchArgs extract_bench_args(int* argc, char** argv) {
+  BenchArgs args;
+  int out = 1;
+  for (int i = 1; i < *argc;) {
+    const int used = consume_bench_flag(args, *argc, argv, i);
+    if (used == 0) {
+      argv[out++] = argv[i++];
     } else {
-      throw Error("unknown bench flag: " + f + " (supported: --small, --csv DIR)");
+      i += used;
     }
   }
+  *argc = out;
+  apply_telemetry_flags(args);
   return args;
 }
 

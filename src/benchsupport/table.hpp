@@ -23,20 +23,34 @@ class Table {
   /// Write to_csv() to `path` (throws mfbc::Error on I/O failure).
   void write_csv(const std::string& path) const;
 
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };
 
 /// Shared option parsing for the bench binaries: every bench accepts
-/// `--small` (reduced problem sizes for smoke runs) and `--csv DIR`
-/// (write the printed tables as CSV files into DIR).
+/// `--small` (reduced problem sizes for smoke runs), `--csv DIR` (write the
+/// printed tables as CSV files into DIR), `--json PATH` (write a
+/// machine-readable run summary — tables, cells, telemetry counters), and
+/// `--chrome-trace PATH` (record spans and write a chrome://tracing /
+/// Perfetto trace).
 struct BenchArgs {
   bool small = false;
   std::string csv_dir;
+  std::string json_path;
+  std::string chrome_trace_path;
 };
 
 BenchArgs parse_bench_args(int argc, char** argv);
+
+/// Like parse_bench_args, but removes the flags it recognises from
+/// argc/argv in place and leaves everything else untouched, for binaries
+/// whose remaining arguments belong to another parser (bench_kernels hands
+/// the rest to google-benchmark).
+BenchArgs extract_bench_args(int* argc, char** argv);
 
 /// If args.csv_dir is set, write `table` to "<dir>/<name>.csv" and print a
 /// note; otherwise do nothing.

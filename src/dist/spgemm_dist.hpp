@@ -25,6 +25,8 @@
 #include "dist/cost_model.hpp"
 #include "dist/dmatrix.hpp"
 #include "sparse/spgemm.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/span.hpp"
 
 namespace mfbc::dist {
 
@@ -452,6 +454,30 @@ DistMatrix<typename M::value_type> spgemm(sim::Sim& sim, const Plan& plan,
   MFBC_CHECK(a.ncols() == b.nrows(), "spgemm inner dimension mismatch");
   MFBC_CHECK(plan.total_ranks() <= sim.nranks(),
              "plan uses more ranks than the simulated machine has");
+
+  // One telemetry span per distributed multiply: plan, operand/result nnz,
+  // and the ledger's critical-path delta over the multiply. The delta attrs
+  // are only computed when a trace is being recorded.
+  telemetry::Span tele_span("dist.spgemm");
+  telemetry::count("dist.spgemm.calls");
+  std::optional<sim::Cost> tele_before;
+  if (tele_span.active()) {
+    tele_span.attr("plan", plan.to_string());
+    tele_span.attr("nnz_a", static_cast<std::int64_t>(a.nnz()));
+    tele_span.attr("nnz_b", static_cast<std::int64_t>(b.nnz()));
+    tele_before = sim.ledger().critical();
+  }
+  auto tele_finish = [&](DistMatrix<TC> c) {
+    if (tele_before.has_value()) {
+      const sim::Cost now = sim.ledger().critical();
+      tele_span.attr("nnz_c", static_cast<std::int64_t>(c.nnz()));
+      tele_span.attr("crit_words_delta", now.words - tele_before->words);
+      tele_span.attr("crit_msgs_delta", now.msgs - tele_before->msgs);
+      tele_span.attr("crit_seconds_delta",
+                     now.total_seconds() - tele_before->total_seconds());
+    }
+    return c;
+  };
   const Range rm = a.layout().rows;
   const Range rk = a.layout().cols;
   const Range rn = b.layout().cols;
@@ -560,9 +586,11 @@ DistMatrix<typename M::value_type> spgemm(sim::Sim& sim, const Plan& plan,
       }
     }
     std::vector<DistMatrix<TC>> one{std::move(c0)};
-    return detail::merge_to<M>(sim, a.nrows(), b.ncols(), one, out_layout);
+    return tele_finish(
+        detail::merge_to<M>(sim, a.nrows(), b.ncols(), one, out_layout));
   }
-  return detail::merge_to<M>(sim, a.nrows(), b.ncols(), cs, out_layout);
+  return tele_finish(
+      detail::merge_to<M>(sim, a.nrows(), b.ncols(), cs, out_layout));
 }
 
 /// Convenience overload: autotune the plan (§6.2) from the §5.2 estimates,

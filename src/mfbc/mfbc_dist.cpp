@@ -6,6 +6,8 @@
 #include "dist/batch_state.hpp"
 #include "sparse/ops.hpp"
 #include "support/error.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/span.hpp"
 
 namespace mfbc::core {
 
@@ -132,6 +134,7 @@ std::vector<double> DistMfbc::run(const DistMfbcOptions& opts,
     return d;
   };
 
+  int batch_index = 0;
   for (std::size_t lo = 0; lo < sources.size();
        lo += static_cast<std::size_t>(opts.batch_size)) {
     const std::size_t hi = std::min(
@@ -141,7 +144,13 @@ std::vector<double> DistMfbc::run(const DistMfbcOptions& opts,
                 n, p);
     const Layout& sl = batch.layout();
 
+    telemetry::Span batch_span("mfbc.batch");
+    batch_span.attr("index", static_cast<std::int64_t>(batch_index));
+    batch_span.attr("nb", static_cast<std::int64_t>(batch.nb()));
+    ++batch_index;
+
     const sim::Cost before_forward = sim_.ledger().critical();
+    telemetry::Span forward_span("mfbc.forward");
 
     // ---- MFBF (Algorithm 1) ----
     // Initial frontier: row s of T is row sources[s] of A. The entries move
@@ -175,6 +184,9 @@ std::vector<double> DistMfbc::run(const DistMfbcOptions& opts,
     }
 
     while (frontier.nnz() > 0) {
+      telemetry::count("mfbc.forward.iterations");
+      telemetry::observe("mfbc.forward.frontier_nnz",
+                         static_cast<double>(frontier.nnz()));
       const dist::Plan plan =
           plan_for(opts, static_cast<double>(frontier.nnz()),
                    static_cast<double>(adj_.nnz()),
@@ -227,9 +239,20 @@ std::vector<double> DistMfbc::run(const DistMfbcOptions& opts,
     }
 
     const sim::Cost after_forward = sim_.ledger().critical();
-    if (stats != nullptr) {
-      stats->forward_cost += cost_delta(after_forward, before_forward);
+    const sim::Cost fwd_delta = cost_delta(after_forward, before_forward);
+    if (forward_span.active()) {
+      forward_span.attr("crit_words_delta", fwd_delta.words);
+      forward_span.attr("crit_msgs_delta", fwd_delta.msgs);
+      forward_span.attr("crit_seconds_delta", fwd_delta.total_seconds());
     }
+    forward_span.end();
+    telemetry::count("mfbc.forward.words", fwd_delta.words);
+    telemetry::count("mfbc.forward.msgs", fwd_delta.msgs);
+    telemetry::count("mfbc.forward.seconds", fwd_delta.total_seconds());
+    if (stats != nullptr) {
+      stats->forward_cost += fwd_delta;
+    }
+    telemetry::Span backward_span("mfbc.backward");
 
     // ---- MFBr (Algorithm 2) ----
     // Lines 1–2: successor counting via Z ⊗ (Z •⟨⊗,g⟩ Aᵀ) with
@@ -317,6 +340,9 @@ std::vector<double> DistMfbc::run(const DistMfbcOptions& opts,
 
     // Lines 5–12: back-propagation loop.
     while (cfrontier.nnz() > 0) {
+      telemetry::count("mfbc.backward.iterations");
+      telemetry::observe("mfbc.backward.frontier_nnz",
+                         static_cast<double>(cfrontier.nnz()));
       const dist::Plan plan =
           plan_for(opts, static_cast<double>(cfrontier.nnz()),
                    static_cast<double>(adj_t_.nnz()),
@@ -385,9 +411,20 @@ std::vector<double> DistMfbc::run(const DistMfbcOptions& opts,
                                 static_cast<double>(blk.cols.size()));
       }
     }
+    const sim::Cost bwd_delta =
+        cost_delta(sim_.ledger().critical(), after_forward);
+    if (backward_span.active()) {
+      backward_span.attr("crit_words_delta", bwd_delta.words);
+      backward_span.attr("crit_msgs_delta", bwd_delta.msgs);
+      backward_span.attr("crit_seconds_delta", bwd_delta.total_seconds());
+    }
+    backward_span.end();
+    telemetry::count("mfbc.backward.words", bwd_delta.words);
+    telemetry::count("mfbc.backward.msgs", bwd_delta.msgs);
+    telemetry::count("mfbc.backward.seconds", bwd_delta.total_seconds());
+    telemetry::count("mfbc.batches");
     if (stats != nullptr) {
-      stats->backward_cost +=
-          cost_delta(sim_.ledger().critical(), after_forward);
+      stats->backward_cost += bwd_delta;
       ++stats->batches;
     }
   }

@@ -5,6 +5,8 @@
 #include "sparse/ops.hpp"
 #include "sparse/spgemm.hpp"
 #include "support/error.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/span.hpp"
 
 namespace mfbc::core {
 
@@ -63,6 +65,8 @@ PathMatrix mfbf(const Graph& g, std::span<const vid_t> sources,
                 FrontierTrace* trace) {
   const vid_t n = g.n();
   const auto nb = static_cast<vid_t>(sources.size());
+  telemetry::Span phase_span("mfbc.mfbf");
+  phase_span.attr("nb", static_cast<std::int64_t>(nb));
   PathMatrix t;
   t.nb = nb;
   t.n = n;
@@ -88,6 +92,10 @@ PathMatrix mfbf(const Graph& g, std::span<const vid_t> sources,
 
   // Lines 3–7: relax the maximal frontier until no path information changes.
   while (frontier.nnz() > 0) {
+    telemetry::Span iter_span("mfbc.mfbf.multiply");
+    iter_span.attr("frontier_nnz", static_cast<std::int64_t>(frontier.nnz()));
+    telemetry::observe("mfbc.seq.forward.frontier_nnz",
+                       static_cast<double>(frontier.nnz()));
     sparse::SpgemmStats st;
     Csr<Multpath> product = sparse::spgemm<MultpathMonoid>(
         frontier, g.adj(), BellmanFordAction{}, &st);
@@ -132,6 +140,8 @@ FactorMatrix mfbr(const Graph& g, const sparse::Csr<Weight>& at,
   const vid_t nb = t.nb;
   MFBC_CHECK(at.nrows() == n && at.ncols() == n,
              "transpose adjacency has wrong shape");
+  telemetry::Span phase_span("mfbc.mfbr");
+  phase_span.attr("nb", static_cast<std::int64_t>(nb));
   FactorMatrix z;
   z.nb = nb;
   z.n = n;
@@ -177,6 +187,10 @@ FactorMatrix mfbr(const Graph& g, const sparse::Csr<Weight>& at,
   // Lines 5–12: back-propagate centrality factors along Aᵀ; a vertex joins
   // the frontier exactly once, when its last successor has reported.
   while (frontier.nnz() > 0) {
+    telemetry::Span iter_span("mfbc.mfbr.multiply");
+    iter_span.attr("frontier_nnz", static_cast<std::int64_t>(frontier.nnz()));
+    telemetry::observe("mfbc.seq.backward.frontier_nnz",
+                       static_cast<double>(frontier.nnz()));
     sparse::SpgemmStats st;
     Csr<Centpath> product = sparse::spgemm<CentpathMonoid>(
         frontier, at, BrandesAction{}, &st);
@@ -229,6 +243,8 @@ std::vector<double> mfbc(const Graph& g, const MfbcOptions& opts,
     const std::size_t hi =
         std::min(sources.size(), lo + static_cast<std::size_t>(opts.batch_size));
     std::span<const vid_t> batch(sources.data() + lo, hi - lo);
+    telemetry::Span batch_span("mfbc.batch");
+    batch_span.attr("nb", static_cast<std::int64_t>(hi - lo));
     FrontierTrace* fwd = stats != nullptr ? &stats->forward : nullptr;
     FrontierTrace* bwd = stats != nullptr ? &stats->backward : nullptr;
     PathMatrix t = mfbf(g, batch, fwd);

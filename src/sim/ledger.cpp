@@ -35,6 +35,9 @@ void CostLedger::collective(std::span<const int> ranks, double words,
   sync.msgs += msgs;
   sync.comm_seconds += seconds;
   for (int r : ranks) state_[static_cast<std::size_t>(r)] = sync;
+  if (sink_ != nullptr) {
+    sink_->on_collective(static_cast<int>(ranks.size()), words, msgs, seconds);
+  }
 }
 
 void CostLedger::compute(int rank, double ops, double seconds) {
@@ -42,6 +45,7 @@ void CostLedger::compute(int rank, double ops, double seconds) {
   Cost& c = state_[static_cast<std::size_t>(rank)];
   c.ops += ops;
   c.compute_seconds += seconds;
+  if (sink_ != nullptr) sink_->on_compute(rank, ops, seconds);
 }
 
 Cost CostLedger::critical() const {
@@ -64,6 +68,12 @@ double CostLedger::total_compute_seconds() const {
 
 void CostLedger::reset() {
   std::fill(state_.begin(), state_.end(), Cost{});
+}
+
+CostSink* CostLedger::set_sink(CostSink* sink) {
+  CostSink* prev = sink_;
+  sink_ = sink;
+  return prev;
 }
 
 }  // namespace mfbc::sim

@@ -30,6 +30,22 @@ struct Cost {
   friend Cost operator+(Cost a, const Cost& b) { return a += b; }
 };
 
+/// Observer for individual ledger charges. The telemetry subsystem installs
+/// one (telemetry::SpanCostSink) so every collective()/compute() charge also
+/// lands on the active telemetry span and the ledger.* counters; the ledger
+/// itself stays dependency-free. Events are the raw charges, not
+/// critical-path maxima.
+class CostSink {
+ public:
+  virtual ~CostSink() = default;
+  /// One collective over `nranks` participants charging (words, msgs,
+  /// seconds) after group synchronization.
+  virtual void on_collective(int nranks, double words, double msgs,
+                             double seconds) = 0;
+  /// Local computation charge on one rank.
+  virtual void on_compute(int rank, double ops, double seconds) = 0;
+};
+
 class CostLedger {
  public:
   explicit CostLedger(int nranks);
@@ -53,8 +69,16 @@ class CostLedger {
 
   void reset();
 
+  /// Install (or clear, with nullptr) the charge observer; returns the
+  /// previously installed sink so scoped installers can restore it. The sink
+  /// is not owned and must outlive its installation. reset() leaves the sink
+  /// in place.
+  CostSink* set_sink(CostSink* sink);
+  CostSink* sink() const { return sink_; }
+
  private:
   std::vector<Cost> state_;
+  CostSink* sink_ = nullptr;
 };
 
 }  // namespace mfbc::sim

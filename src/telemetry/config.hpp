@@ -1,0 +1,9 @@
+// Compile-time switch for the telemetry subsystem. The build defines
+// MFBC_TELEMETRY=0/1 (CMake option MFBC_TELEMETRY, default ON); when off,
+// Span construction, counter helpers, and the ledger sink compile to
+// nothing, so instrumented code paths carry zero overhead.
+#pragma once
+
+#ifndef MFBC_TELEMETRY
+#define MFBC_TELEMETRY 1
+#endif

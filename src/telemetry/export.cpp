@@ -1,0 +1,115 @@
+#include "telemetry/export.hpp"
+
+#include <fstream>
+
+#include "support/error.hpp"
+
+namespace mfbc::telemetry {
+
+namespace {
+
+Json attr_json(const AttrValue& v) {
+  if (const auto* i = std::get_if<std::int64_t>(&v)) {
+    return Json(static_cast<double>(*i));
+  }
+  if (const auto* d = std::get_if<double>(&v)) return Json(*d);
+  return Json(std::get<std::string>(v));
+}
+
+}  // namespace
+
+Json chrome_trace(const SpanCollector& c) {
+  Json doc = Json::object();
+  doc["displayTimeUnit"] = "ms";
+  Json& events = doc["traceEvents"];
+  events = Json::array();
+  for (const SpanRecord& r : c.finished()) {
+    Json e = Json::object();
+    e["name"] = r.name;
+    e["cat"] = "mfbc";
+    e["ph"] = "X";
+    e["ts"] = r.start_us;
+    e["dur"] = r.dur_us;
+    e["pid"] = 0;
+    e["tid"] = r.tid;
+    Json args = Json::object();
+    for (const auto& [k, v] : r.attrs) args[k] = attr_json(v);
+    if (r.cost.any()) {
+      args["ledger.words"] = r.cost.words;
+      args["ledger.msgs"] = r.cost.msgs;
+      args["ledger.comm_seconds"] = r.cost.comm_seconds;
+      args["ledger.compute_seconds"] = r.cost.compute_seconds;
+      args["ledger.ops"] = r.cost.ops;
+      args["ledger.events"] = r.cost.events;
+    }
+    if (args.size() > 0) e["args"] = std::move(args);
+    events.push(std::move(e));
+  }
+  return doc;
+}
+
+void write_chrome_trace(const std::string& path, const SpanCollector& c) {
+  write_json(path, chrome_trace(c));
+}
+
+Json registry_json(const Registry& r) {
+  Json counters = Json::object();
+  Json gauges = Json::object();
+  Json histograms = Json::object();
+  for (const auto& [name, m] : r.snapshot()) {
+    switch (m.kind) {
+      case MetricKind::kCounter: counters[name] = m.value; break;
+      case MetricKind::kGauge: gauges[name] = m.value; break;
+      case MetricKind::kHistogram: {
+        Json h = Json::object();
+        h["count"] = m.hist.count;
+        h["sum"] = m.hist.sum;
+        h["min"] = m.hist.count > 0 ? m.hist.min : 0.0;
+        h["max"] = m.hist.count > 0 ? m.hist.max : 0.0;
+        h["mean"] = m.hist.mean();
+        histograms[name] = std::move(h);
+        break;
+      }
+    }
+  }
+  Json out = Json::object();
+  out["counters"] = std::move(counters);
+  out["gauges"] = std::move(gauges);
+  out["histograms"] = std::move(histograms);
+  return out;
+}
+
+void write_json(const std::string& path, const Json& j) {
+  std::ofstream out(path);
+  if (!out.is_open()) throw Error("cannot write JSON file: " + path);
+  out << j.dump(2) << '\n';
+  out.flush();
+  if (!out) throw Error("short write on JSON file: " + path);
+}
+
+RunSummary::RunSummary(std::string name) : name_(std::move(name)) {}
+
+void RunSummary::set(std::string key, Json value) {
+  extra_.emplace_back(std::move(key), std::move(value));
+}
+
+void RunSummary::add_cell(Json cell) { cells_.push(std::move(cell)); }
+
+Json RunSummary::build(const Registry& reg) const {
+  Json doc = Json::object();
+  doc["schema"] = kRunSummarySchema;
+  doc["name"] = name_;
+  for (const auto& [k, v] : extra_) doc[k] = v;
+  if (cells_.size() > 0) doc["cells"] = cells_;
+  Json metrics = registry_json(reg);
+  doc["counters"] = metrics.at("counters");
+  doc["gauges"] = metrics.at("gauges");
+  doc["histograms"] = metrics.at("histograms");
+  return doc;
+}
+
+void RunSummary::write(const std::string& path, const Registry& reg) const {
+  write_json(path, build(reg));
+}
+
+}  // namespace mfbc::telemetry

@@ -1,0 +1,61 @@
+// Exporters: turn collected spans and registry metrics into machine-readable
+// artifacts.
+//
+//   * chrome_trace() — Chrome trace_event JSON ("X" complete events), loadable
+//     in chrome://tracing and Perfetto; span attributes and ledger cost
+//     totals appear under each event's "args".
+//   * RunSummary — the flat run-summary writer behind the BENCH_*.json
+//     artifacts: a schema-tagged object carrying the bench name, caller
+//     extras (tables, cells, config), and a registry snapshot split into
+//     counters / gauges / histograms.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/json.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/span.hpp"
+
+namespace mfbc::telemetry {
+
+/// Schema tag stamped into every run-summary artifact.
+inline constexpr const char* kRunSummarySchema = "mfbc.run.v1";
+
+/// Chrome trace_event document for the collector's completed spans.
+Json chrome_trace(const SpanCollector& c = collector());
+
+/// Write chrome_trace(c) to `path`; throws mfbc::Error on I/O failure.
+void write_chrome_trace(const std::string& path,
+                        const SpanCollector& c = collector());
+
+/// Registry snapshot as {"counters": {...}, "gauges": {...},
+/// "histograms": {name: {count,sum,min,max,mean}}}.
+Json registry_json(const Registry& r = registry());
+
+/// Serialize `j` to `path` (pretty-printed); throws mfbc::Error on failure.
+void write_json(const std::string& path, const Json& j);
+
+/// Builder for the flat run-summary artifact.
+class RunSummary {
+ public:
+  explicit RunSummary(std::string name);
+
+  /// Attach an arbitrary top-level field (config echo, tables, graph info).
+  void set(std::string key, Json value);
+  /// Append one measurement cell (the bench harness's per-cell record).
+  void add_cell(Json cell);
+
+  /// Assemble the document: schema, name, extras, cells (when any), and the
+  /// registry snapshot.
+  Json build(const Registry& reg = registry()) const;
+  void write(const std::string& path, const Registry& reg = registry()) const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, Json>> extra_;
+  Json cells_ = Json::array();
+};
+
+}  // namespace mfbc::telemetry

@@ -1,0 +1,80 @@
+// Minimal JSON value type for the telemetry exporters: enough of a DOM to
+// build Chrome trace_event files and run-summary artifacts, dump them with
+// stable key order, and parse them back (the tests and CI assert the emitted
+// artifacts round-trip). Deliberately tiny — no external dependency, no
+// streaming, insertion-ordered objects.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace mfbc::telemetry {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() : v_(nullptr) {}
+  Json(std::nullptr_t) : v_(nullptr) {}
+  Json(bool b) : v_(b) {}
+  Json(double d) : v_(d) {}
+  Json(int i) : v_(static_cast<double>(i)) {}
+  Json(std::int64_t i) : v_(static_cast<double>(i)) {}
+  Json(std::size_t i) : v_(static_cast<double>(i)) {}
+  Json(const char* s) : v_(std::string(s)) {}
+  Json(std::string s) : v_(std::move(s)) {}
+
+  static Json array() { Json j; j.v_ = Array{}; return j; }
+  static Json object() { Json j; j.v_ = Object{}; return j; }
+
+  Type type() const { return static_cast<Type>(v_.index()); }
+  bool is_null() const { return type() == Type::kNull; }
+  bool is_bool() const { return type() == Type::kBool; }
+  bool is_number() const { return type() == Type::kNumber; }
+  bool is_string() const { return type() == Type::kString; }
+  bool is_array() const { return type() == Type::kArray; }
+  bool is_object() const { return type() == Type::kObject; }
+
+  /// Typed accessors; throw mfbc::Error on a type mismatch.
+  bool as_bool() const;
+  double as_double() const;
+  const std::string& as_string() const;
+
+  /// Array/object size (0 for scalars).
+  std::size_t size() const;
+
+  /// Array: append an element (converts a null value into an empty array).
+  Json& push(Json v);
+  /// Array: element access; throws on out-of-range or non-array.
+  const Json& at(std::size_t i) const;
+
+  /// Object: insert-or-get by key (converts a null value into an empty
+  /// object); keys keep insertion order in dump().
+  Json& operator[](std::string_view key);
+  /// Object: lookup; nullptr when missing or not an object.
+  const Json* find(std::string_view key) const;
+  /// Object: lookup; throws when missing.
+  const Json& at(std::string_view key) const;
+  const Object& items() const;
+
+  /// Serialize; indent < 0 yields compact one-line output.
+  std::string dump(int indent = -1) const;
+
+  /// Parse a complete JSON document; throws mfbc::Error with the offending
+  /// byte offset on malformed input or trailing garbage.
+  static Json parse(std::string_view text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
+};
+
+}  // namespace mfbc::telemetry

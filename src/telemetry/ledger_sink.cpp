@@ -1,0 +1,49 @@
+#include "telemetry/ledger_sink.hpp"
+
+namespace mfbc::telemetry {
+
+SpanCostSink::SpanCostSink(SpanCollector* spans, Registry* reg)
+    : spans_(spans != nullptr ? spans : &collector()),
+      reg_(reg != nullptr ? reg : &registry()) {}
+
+#if MFBC_TELEMETRY
+
+void SpanCostSink::on_collective(int nranks, double words, double msgs,
+                                 double seconds) {
+  CostTotals d;
+  d.words = words;
+  d.msgs = msgs;
+  d.comm_seconds = seconds;
+  d.events = 1;
+  spans_->note_cost(d);
+  reg_->add("ledger.collectives");
+  reg_->add("ledger.words", words);
+  reg_->add("ledger.msgs", msgs);
+  reg_->add("ledger.comm_seconds", seconds);
+  reg_->observe("ledger.collective_ranks", static_cast<double>(nranks));
+}
+
+void SpanCostSink::on_compute(int, double ops, double seconds) {
+  CostTotals d;
+  d.compute_seconds = seconds;
+  d.ops = ops;
+  d.events = 1;
+  spans_->note_cost(d);
+  reg_->add("ledger.ops", ops);
+  reg_->add("ledger.compute_seconds", seconds);
+}
+
+#else
+
+void SpanCostSink::on_collective(int, double, double, double) {}
+void SpanCostSink::on_compute(int, double, double) {}
+
+#endif
+
+ScopedLedgerSink::ScopedLedgerSink(sim::CostLedger& ledger,
+                                   SpanCollector* spans, Registry* reg)
+    : ledger_(ledger), sink_(spans, reg), prev_(ledger.set_sink(&sink_)) {}
+
+ScopedLedgerSink::~ScopedLedgerSink() { ledger_.set_sink(prev_); }
+
+}  // namespace mfbc::telemetry

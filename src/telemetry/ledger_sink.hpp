@@ -1,0 +1,46 @@
+// Bridge from sim::CostLedger to the telemetry subsystem: a CostSink that
+// routes every collective()/compute() charge onto the innermost active span
+// (as summed CostTotals) and into the registry's ledger.* counters. The
+// bench harness and the CLI tools install one for the duration of a run via
+// ScopedLedgerSink. No-op (but still installable) when MFBC_TELEMETRY=0.
+#pragma once
+
+#include "sim/ledger.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/span.hpp"
+
+namespace mfbc::telemetry {
+
+class SpanCostSink final : public sim::CostSink {
+ public:
+  /// nullptr selects the global collector()/registry().
+  explicit SpanCostSink(SpanCollector* spans = nullptr,
+                        Registry* reg = nullptr);
+
+  void on_collective(int nranks, double words, double msgs,
+                     double seconds) override;
+  void on_compute(int rank, double ops, double seconds) override;
+
+ private:
+  SpanCollector* spans_;
+  Registry* reg_;
+};
+
+/// RAII installer: points `ledger` at an owned SpanCostSink and restores the
+/// previously installed sink on destruction.
+class ScopedLedgerSink {
+ public:
+  explicit ScopedLedgerSink(sim::CostLedger& ledger,
+                            SpanCollector* spans = nullptr,
+                            Registry* reg = nullptr);
+  ~ScopedLedgerSink();
+  ScopedLedgerSink(const ScopedLedgerSink&) = delete;
+  ScopedLedgerSink& operator=(const ScopedLedgerSink&) = delete;
+
+ private:
+  sim::CostLedger& ledger_;
+  SpanCostSink sink_;
+  sim::CostSink* prev_;
+};
+
+}  // namespace mfbc::telemetry

@@ -1,0 +1,71 @@
+#include "telemetry/registry.hpp"
+
+#include <algorithm>
+
+namespace mfbc::telemetry {
+
+namespace {
+
+Metric& lookup(std::map<std::string, Metric, std::less<>>& m,
+               std::string_view name, MetricKind kind) {
+  auto it = m.find(name);
+  if (it == m.end()) {
+    it = m.emplace(std::string(name), Metric{kind, 0, {}}).first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+void Registry::add(std::string_view name, double delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  lookup(metrics_, name, MetricKind::kCounter).value += delta;
+}
+
+void Registry::set(std::string_view name, double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  lookup(metrics_, name, MetricKind::kGauge).value = v;
+}
+
+void Registry::observe(std::string_view name, double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  HistStats& h = lookup(metrics_, name, MetricKind::kHistogram).hist;
+  h.count += 1;
+  h.sum += v;
+  h.min = std::min(h.min, v);
+  h.max = std::max(h.max, v);
+}
+
+double Registry::value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  return it == metrics_.end() ? 0 : it->second.value;
+}
+
+bool Registry::has(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return metrics_.find(name) != metrics_.end();
+}
+
+HistStats Registry::histogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  return it == metrics_.end() ? HistStats{} : it->second.hist;
+}
+
+std::map<std::string, Metric> Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {metrics_.begin(), metrics_.end()};
+}
+
+void Registry::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_.clear();
+}
+
+Registry& registry() {
+  static Registry g;
+  return g;
+}
+
+}  // namespace mfbc::telemetry

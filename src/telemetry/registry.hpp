@@ -1,0 +1,79 @@
+// Named counters, gauges, and histograms — the flat-metric half of the
+// telemetry subsystem. Unlike spans, the registry is always live (its writes
+// are one mutex-guarded map update at batch/phase granularity, never inside
+// kernels): the bench harness reads per-cell iteration and phase-cost
+// figures out of it, and the run-summary exporter snapshots it into
+// BENCH_*.json artifacts. The count()/gauge()/observe() free helpers write
+// to the global registry and compile to nothing when MFBC_TELEMETRY=0.
+#pragma once
+
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "telemetry/config.hpp"
+
+namespace mfbc::telemetry {
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+struct HistStats {
+  double count = 0;
+  double sum = 0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  double mean() const { return count > 0 ? sum / count : 0; }
+};
+
+struct Metric {
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0;  ///< counter / gauge
+  HistStats hist;    ///< histogram
+};
+
+class Registry {
+ public:
+  /// Counter: accumulate `delta` (default 1) under `name`.
+  void add(std::string_view name, double delta = 1);
+  /// Gauge: overwrite the value under `name`.
+  void set(std::string_view name, double v);
+  /// Histogram: record one observation under `name`.
+  void observe(std::string_view name, double v);
+
+  /// Counter/gauge value; 0 when the metric does not exist.
+  double value(std::string_view name) const;
+  bool has(std::string_view name) const;
+  /// Histogram aggregate; zero-count stats when the metric does not exist.
+  HistStats histogram(std::string_view name) const;
+
+  /// Name-ordered snapshot (stable JSON output).
+  std::map<std::string, Metric> snapshot() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Metric, std::less<>> metrics_;
+};
+
+/// The process-wide registry the instrumented library code records into.
+Registry& registry();
+
+#if MFBC_TELEMETRY
+inline void count(std::string_view name, double delta = 1) {
+  registry().add(name, delta);
+}
+inline void gauge(std::string_view name, double v) { registry().set(name, v); }
+inline void observe(std::string_view name, double v) {
+  registry().observe(name, v);
+}
+#else
+inline void count(std::string_view, double = 1) {}
+inline void gauge(std::string_view, double) {}
+inline void observe(std::string_view, double) {}
+#endif
+
+}  // namespace mfbc::telemetry

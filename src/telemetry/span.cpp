@@ -1,0 +1,117 @@
+#include "telemetry/span.hpp"
+
+#include <algorithm>
+
+namespace mfbc::telemetry {
+
+SpanCollector::SpanCollector() : epoch_(std::chrono::steady_clock::now()) {}
+
+double SpanCollector::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::vector<std::int64_t>& SpanCollector::stack_locked() {
+  return stacks_[std::this_thread::get_id()];
+}
+
+std::int64_t SpanCollector::begin(std::string_view name) {
+  if (!enabled()) return -1;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto tid_key = std::this_thread::get_id();
+  auto [it, inserted] = tids_.emplace(tid_key, static_cast<int>(tids_.size()));
+  auto& stack = stack_locked();
+  const std::int64_t id = next_id_++;
+  SpanRecord rec;
+  rec.id = id;
+  rec.parent = stack.empty() ? -1 : stack.back();
+  rec.depth = static_cast<int>(stack.size());
+  rec.tid = it->second;
+  rec.name = std::string(name);
+  rec.start_us = now_us();
+  stack.push_back(id);
+  open_.emplace(id, std::move(rec));
+  return id;
+}
+
+void SpanCollector::end(std::int64_t id) {
+  if (id < 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = open_.find(id);
+  if (it == open_.end()) return;  // already closed (defensive)
+  SpanRecord rec = std::move(it->second);
+  open_.erase(it);
+  rec.dur_us = now_us() - rec.start_us;
+  auto& stack = stack_locked();
+  // RAII guarantees LIFO per thread; pop defensively down to this id in case
+  // an exception unwound past intermediate spans on another collector.
+  while (!stack.empty()) {
+    const std::int64_t top = stack.back();
+    stack.pop_back();
+    if (top == id) break;
+  }
+  done_.push_back(std::move(rec));
+}
+
+void SpanCollector::attr(std::int64_t id, std::string_view key, AttrValue v) {
+  if (id < 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = open_.find(id);
+  if (it == open_.end()) return;
+  it->second.attrs.emplace_back(std::string(key), std::move(v));
+}
+
+void SpanCollector::note_cost(const CostTotals& delta) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& stack = stack_locked();
+  if (stack.empty()) return;
+  auto it = open_.find(stack.back());
+  if (it == open_.end()) return;
+  CostTotals& c = it->second.cost;
+  c.words += delta.words;
+  c.msgs += delta.msgs;
+  c.comm_seconds += delta.comm_seconds;
+  c.compute_seconds += delta.compute_seconds;
+  c.ops += delta.ops;
+  c.events += delta.events > 0 ? delta.events : 1;
+}
+
+std::int64_t SpanCollector::active_span() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = stacks_.find(std::this_thread::get_id());
+  if (it == stacks_.end() || it->second.empty()) return -1;
+  return it->second.back();
+}
+
+std::vector<SpanRecord> SpanCollector::finished() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+int SpanCollector::max_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int d = 0;
+  for (const SpanRecord& r : done_) d = std::max(d, r.depth + 1);
+  return d;
+}
+
+void SpanCollector::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  done_.clear();
+  for (auto it = stacks_.begin(); it != stacks_.end();) {
+    if (it->second.empty()) {
+      it = stacks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+SpanCollector& collector() {
+  static SpanCollector g;
+  return g;
+}
+
+}  // namespace mfbc::telemetry

@@ -1,0 +1,157 @@
+// RAII spans with nesting and thread-safe collection.
+//
+// A Span marks one timed region (a batch, a phase, one distributed multiply)
+// and records name, wall-clock interval, nesting depth/parent, and typed
+// attributes into a SpanCollector. Collection is off by default — begin()
+// is a single relaxed atomic load until an exporter turns it on — so
+// instrumented hot paths cost nothing in normal runs, and the whole
+// subsystem compiles away when MFBC_TELEMETRY=0.
+//
+// Nesting is tracked per thread: the innermost open span on the calling
+// thread becomes the parent of the next begin(), and note_cost() charges
+// (e.g. routed from sim::CostLedger through telemetry::SpanCostSink) land on
+// that innermost span.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "telemetry/config.hpp"
+
+namespace mfbc::telemetry {
+
+using AttrValue = std::variant<std::int64_t, double, std::string>;
+
+/// Cost charges accumulated while a span was the innermost open span.
+/// These are *summed charges* (every collective/compute event attributed to
+/// the span), not critical-path maxima — callers that want critical-path
+/// deltas attach them as attributes from the ledger directly.
+struct CostTotals {
+  double words = 0;
+  double msgs = 0;
+  double comm_seconds = 0;
+  double compute_seconds = 0;
+  double ops = 0;
+  int events = 0;
+
+  bool any() const { return events > 0; }
+};
+
+struct SpanRecord {
+  std::int64_t id = -1;
+  std::int64_t parent = -1;  ///< -1 for root spans
+  int depth = 0;             ///< 0 for root spans
+  int tid = 0;               ///< dense per-collector thread index
+  std::string name;
+  double start_us = 0;       ///< since the collector's epoch
+  double dur_us = 0;
+  std::vector<std::pair<std::string, AttrValue>> attrs;
+  CostTotals cost;
+};
+
+class SpanCollector {
+ public:
+  SpanCollector();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Open a span; returns its id, or -1 when collection is disabled (every
+  /// other call is a no-op for id -1).
+  std::int64_t begin(std::string_view name);
+  void end(std::int64_t id);
+  void attr(std::int64_t id, std::string_view key, AttrValue v);
+
+  /// Add cost charges to the innermost open span of the calling thread
+  /// (no-op when disabled or no span is open).
+  void note_cost(const CostTotals& delta);
+
+  /// Id of the calling thread's innermost open span, -1 if none.
+  std::int64_t active_span() const;
+
+  /// Snapshot of the completed spans, in completion order.
+  std::vector<SpanRecord> finished() const;
+
+  /// Deepest nesting level among completed spans, as a count of levels
+  /// (a root-only trace has depth 1); 0 when empty.
+  int max_depth() const;
+
+  /// Drop all completed spans and forget per-thread stacks of closed spans.
+  /// Open spans survive (they complete into the cleared store).
+  void clear();
+
+ private:
+  double now_us() const;
+  std::vector<std::int64_t>& stack_locked();
+
+  mutable std::mutex mu_;
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  std::int64_t next_id_ = 0;
+  std::map<std::int64_t, SpanRecord> open_;
+  std::vector<SpanRecord> done_;
+  std::map<std::thread::id, std::vector<std::int64_t>> stacks_;
+  std::map<std::thread::id, int> tids_;
+};
+
+/// The process-wide collector the instrumented library code records into.
+SpanCollector& collector();
+
+/// RAII handle: opens a span on construction, closes it on destruction.
+/// With telemetry compiled out this is an empty type and every call inlines
+/// to nothing.
+class Span {
+ public:
+  explicit Span(std::string_view name, SpanCollector* c = nullptr);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// True when the span is actually being recorded (telemetry compiled in,
+  /// collection enabled). Use to skip expensive attribute computation.
+  bool active() const;
+  void attr(std::string_view key, AttrValue v);
+  /// Close the span before scope exit (idempotent; destructor becomes a
+  /// no-op). For code whose phases are sequential within one scope.
+  void end();
+
+ private:
+#if MFBC_TELEMETRY
+  SpanCollector* c_ = nullptr;
+  std::int64_t id_ = -1;
+#endif
+};
+
+#if MFBC_TELEMETRY
+inline Span::Span(std::string_view name, SpanCollector* c)
+    : c_(c != nullptr ? c : &collector()), id_(c_->begin(name)) {}
+inline Span::~Span() {
+  if (id_ >= 0) c_->end(id_);
+}
+inline bool Span::active() const { return id_ >= 0; }
+inline void Span::attr(std::string_view key, AttrValue v) {
+  if (id_ >= 0) c_->attr(id_, key, std::move(v));
+}
+inline void Span::end() {
+  if (id_ >= 0) {
+    c_->end(id_);
+    id_ = -1;
+  }
+}
+#else
+inline Span::Span(std::string_view, SpanCollector*) {}
+inline Span::~Span() = default;
+inline bool Span::active() const { return false; }
+inline void Span::attr(std::string_view, AttrValue) {}
+inline void Span::end() {}
+#endif
+
+}  // namespace mfbc::telemetry

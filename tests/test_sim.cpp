@@ -79,6 +79,90 @@ TEST(Ledger, ResetClears) {
   EXPECT_DOUBLE_EQ(ledger.critical().compute_seconds, 0.0);
 }
 
+TEST(Ledger, ResetAllowsReuse) {
+  CostLedger ledger(2);
+  const std::array<int, 2> all{0, 1};
+  ledger.compute(0, 5, 1.0);
+  ledger.collective(all, 10, 1, 0.5);
+  ledger.reset();
+  // New charges accumulate from zero, with no residue of the old history.
+  ledger.compute(1, 7, 0.25);
+  ledger.collective(all, 4, 2, 0.125);
+  const Cost c = ledger.critical();
+  EXPECT_DOUBLE_EQ(c.ops, 7);
+  EXPECT_DOUBLE_EQ(c.words, 4);
+  EXPECT_DOUBLE_EQ(c.msgs, 2);
+  EXPECT_DOUBLE_EQ(c.compute_seconds, 0.25);
+  EXPECT_DOUBLE_EQ(c.comm_seconds, 0.125);
+}
+
+TEST(Ledger, SingleRankCollectiveChargesOnlyThatRank) {
+  CostLedger ledger(3);
+  const std::array<int, 1> solo{1};
+  ledger.collective(solo, 10, 1, 0.5);
+  EXPECT_DOUBLE_EQ(ledger.critical().words, 10);
+  // The other ranks carry no history: a later collective among {0,2} starts
+  // from zero and stays below rank 1's path.
+  const std::array<int, 2> g02{0, 2};
+  ledger.collective(g02, 3, 1, 0.1);
+  EXPECT_DOUBLE_EQ(ledger.critical().words, 10);
+}
+
+TEST(Ledger, InterleavedComputeAndCollectiveTakeCriticalMax) {
+  // Rank 0 computes 2s, rank 1 computes 0.5s; the collective synchronizes
+  // both to the componentwise max before adding its own cost, so the
+  // critical path is max-then-continue, not a sum over ranks.
+  CostLedger ledger(2);
+  ledger.compute(0, 100, 2.0);
+  ledger.compute(1, 10, 0.5);
+  const std::array<int, 2> all{0, 1};
+  ledger.collective(all, 8, 1, 0.25);
+  ledger.compute(1, 10, 0.5);
+  const Cost c = ledger.critical();
+  EXPECT_DOUBLE_EQ(c.compute_seconds, 2.5);  // max(2, 0.5) + 0.5
+  EXPECT_DOUBLE_EQ(c.ops, 110);              // max(100, 10) + 10
+  EXPECT_DOUBLE_EQ(c.words, 8);
+  EXPECT_DOUBLE_EQ(c.comm_seconds, 0.25);
+}
+
+namespace {
+struct RecordingSink final : CostSink {
+  int collectives = 0, computes = 0, last_nranks = 0, last_rank = -1;
+  double words = 0, ops = 0;
+  void on_collective(int nranks, double w, double, double) override {
+    ++collectives;
+    last_nranks = nranks;
+    words += w;
+  }
+  void on_compute(int rank, double o, double) override {
+    ++computes;
+    last_rank = rank;
+    ops += o;
+  }
+};
+}  // namespace
+
+TEST(Ledger, SinkObservesEveryChargeAndSurvivesReset) {
+  CostLedger ledger(2);
+  RecordingSink sink;
+  CostSink* prev = ledger.set_sink(&sink);
+  EXPECT_EQ(prev, nullptr);
+  const std::array<int, 2> all{0, 1};
+  ledger.compute(1, 42, 0.1);
+  ledger.collective(all, 10, 2, 0.5);
+  ledger.reset();  // clears costs but leaves the sink installed
+  ledger.compute(0, 8, 0.1);
+  EXPECT_EQ(sink.computes, 2);
+  EXPECT_EQ(sink.collectives, 1);
+  EXPECT_EQ(sink.last_nranks, 2);
+  EXPECT_EQ(sink.last_rank, 0);
+  EXPECT_DOUBLE_EQ(sink.ops, 50);
+  EXPECT_DOUBLE_EQ(sink.words, 10);
+  EXPECT_EQ(ledger.set_sink(prev), &sink);  // uninstall returns the old sink
+  ledger.compute(0, 1, 0.1);
+  EXPECT_EQ(sink.computes, 2);  // no longer observing
+}
+
 TEST(Sim, BcastCostClosedForm) {
   // Broadcast of x words over p ranks costs 2x·β + 2·log2(p)·α (§7.4).
   MachineModel mm;

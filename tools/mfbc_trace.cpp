@@ -9,6 +9,7 @@
 //   mfbc_trace --rmat 12,8 --batch 64
 //   mfbc_trace --rmat 12,8 --weighted --batch 64     # compare iterations
 //   mfbc_trace --er 4096,32768 --csv trace.csv
+//   mfbc_trace --rmat 12,8 --json trace.json --chrome-trace trace.trace.json
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,10 +23,25 @@
 #include "sparse/ops.hpp"
 #include "support/error.hpp"
 #include "support/strutil.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/span.hpp"
 
 namespace {
 
 using namespace mfbc;
+
+telemetry::Json phase_json(const core::FrontierTrace& trace) {
+  telemetry::Json j = telemetry::Json::object();
+  j["iterations"] = telemetry::Json(trace.iterations());
+  j["total_ops"] = telemetry::Json(static_cast<double>(trace.total_ops));
+  telemetry::Json f = telemetry::Json::array();
+  for (auto v : trace.frontier_nnz) f.push(telemetry::Json(static_cast<double>(v)));
+  j["frontier_nnz"] = std::move(f);
+  telemetry::Json g = telemetry::Json::array();
+  for (auto v : trace.product_nnz) g.push(telemetry::Json(static_cast<double>(v)));
+  j["product_nnz"] = std::move(g);
+  return j;
+}
 
 void print_phase(const char* name, const core::FrontierTrace& trace,
                  graph::nnz_t bound, std::ostream* csv) {
@@ -54,7 +70,7 @@ void print_phase(const char* name, const core::FrontierTrace& trace,
 
 int main(int argc, char** argv) {
   using namespace mfbc;
-  std::string rmat, er, csv_path;
+  std::string rmat, er, csv_path, json_path, chrome_path;
   bool weighted = false, directed = false;
   graph::vid_t batch = 64;
   std::uint64_t seed = 1;
@@ -74,6 +90,8 @@ int main(int argc, char** argv) {
     else if (f == "--batch") batch = std::atol(need());
     else if (f == "--seed") seed = std::strtoull(need(), nullptr, 10);
     else if (f == "--csv") csv_path = need();
+    else if (f == "--json") json_path = need();
+    else if (f == "--chrome-trace") chrome_path = need();
     else {
       std::fprintf(stderr, "unknown flag %s\n", f.c_str());
       return 2;
@@ -115,20 +133,46 @@ int main(int argc, char** argv) {
     std::ofstream csv;
     if (!csv_path.empty()) {
       csv.open(csv_path);
-      if (!csv) throw Error("cannot write " + csv_path);
+      if (!csv.is_open()) throw Error("cannot write " + csv_path);
       csv << "phase,iter,frontier_nnz,product_nnz\n";
     }
     std::ostream* csv_out = csv_path.empty() ? nullptr : &csv;
 
+    // Span collection is opt-in; a requested chrome trace turns it on so the
+    // batch → phase → multiply nesting below gets recorded.
+    if (!chrome_path.empty()) telemetry::collector().set_enabled(true);
+
     core::FrontierTrace fwd, bwd;
-    core::PathMatrix t = core::mfbf(g, sources, &fwd);
     const auto at = sparse::transpose(g.adj());
-    core::mfbr(g, at, t, &bwd);
+    {
+      telemetry::Span batch_span("mfbc.batch");
+      batch_span.attr("nb", static_cast<std::int64_t>(batch));
+      core::PathMatrix t = core::mfbf(g, sources, &fwd);
+      core::mfbr(g, at, t, &bwd);
+    }
     const graph::nnz_t bound = g.n() * batch;
     print_phase("MFBF (forward)", fwd, bound, csv_out);
     print_phase("MFBr (backward)", bwd, bound, csv_out);
     if (!csv_path.empty()) {
       std::printf("wrote %s\n", csv_path.c_str());
+    }
+    if (!json_path.empty()) {
+      telemetry::RunSummary summary("mfbc_trace");
+      telemetry::Json gj = telemetry::Json::object();
+      gj["n"] = telemetry::Json(static_cast<double>(g.n()));
+      gj["m"] = telemetry::Json(static_cast<double>(g.m()));
+      gj["directed"] = telemetry::Json(g.directed());
+      gj["weighted"] = telemetry::Json(g.weighted());
+      gj["batch"] = telemetry::Json(static_cast<double>(batch));
+      summary.set("graph", std::move(gj));
+      summary.set("forward", phase_json(fwd));
+      summary.set("backward", phase_json(bwd));
+      summary.write(json_path);
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+    if (!chrome_path.empty()) {
+      telemetry::write_chrome_trace(chrome_path);
+      std::printf("wrote %s\n", chrome_path.c_str());
     }
     return 0;
   } catch (const Error& e) {
