@@ -9,9 +9,11 @@
 #include "algebra/multpath.hpp"
 #include "algebra/tropical.hpp"
 #include "benchsupport/harness.hpp"
+#include "dist/spgemm_dist.hpp"
 #include "graph/generators.hpp"
 #include "sparse/ops.hpp"
 #include "sparse/spgemm.hpp"
+#include "support/parallel.hpp"
 
 namespace {
 
@@ -128,6 +130,60 @@ void BM_SpgemmTropical(benchmark::State& state) {
   set_ops_rate(state, ops);
 }
 BENCHMARK(BM_SpgemmTropical)->Arg(12);
+
+// Same multiply as BM_SpgemmMultpath but through a reused per-call
+// workspace: isolates the cost of the per-call dense accumulator
+// allocation the workspace removes.
+void BM_SpgemmMultpathWorkspace(benchmark::State& state) {
+  const auto g = make_graph(static_cast<int>(state.range(0)), 8);
+  const auto f = make_multpath_frontier(g, std::min<sparse::vid_t>(64, g.n()));
+  sparse::SpgemmWorkspace<Multpath> ws;
+  sparse::nnz_t ops = 0;
+  for (auto _ : state) {
+    sparse::SpgemmStats st;
+    auto c = sparse::spgemm<MultpathMonoid>(f, g.adj(), BellmanFordAction{},
+                                            &st, /*b_row_offset=*/0, &ws);
+    benchmark::DoNotOptimize(c);
+    ops = st.ops;
+  }
+  set_ops_rate(state, ops);
+}
+BENCHMARK(BM_SpgemmMultpathWorkspace)->Arg(10)->Arg(12)->Arg(14);
+
+// Distributed 2D multiply (16 virtual ranks) with the execution pool at
+// 1/2/4/8 threads: the per-rank block multiplies run concurrently, so
+// ns_per_op should drop with the thread count while the result (and every
+// ledger total) stays bit-identical.
+void BM_DistSpgemmThreads(benchmark::State& state) {
+  using dist::DistMatrix;
+  using dist::Layout;
+  using dist::Range;
+  const auto g = make_graph(12, 8);
+  const auto f = make_multpath_frontier(g, std::min<sparse::vid_t>(64, g.n()));
+  support::set_threads(static_cast<int>(state.range(0)));
+  const int p = 16;
+  dist::Plan plan;
+  plan.p2 = 4;
+  plan.p3 = 4;
+  plan.v2 = dist::Variant2D::kAC;
+  sim::Sim sim(p);
+  const Layout lf{0, 1, p, Range{0, f.nrows()}, Range{0, g.n()}, false};
+  const Layout la{0, 4, 4, Range{0, g.n()}, Range{0, g.n()}, false};
+  const auto df = DistMatrix<Multpath>::scatter<MultpathMonoid>(sim, f, lf);
+  const auto da = DistMatrix<double>::scatter<SumMonoid>(sim, g.adj(), la);
+  sparse::nnz_t ops = 0;
+  for (auto _ : state) {
+    dist::DistSpgemmStats dst;
+    auto c = dist::spgemm<MultpathMonoid>(sim, plan, df, da,
+                                          BellmanFordAction{}, lf, &dst);
+    benchmark::DoNotOptimize(c);
+    ops = static_cast<sparse::nnz_t>(dst.total_ops);
+  }
+  state.counters["threads"] = static_cast<double>(support::num_threads());
+  set_ops_rate(state, ops);
+  support::set_threads(1);
+}
+BENCHMARK(BM_DistSpgemmThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_EwiseUnion(benchmark::State& state) {
   const auto g = make_graph(static_cast<int>(state.range(0)), 8);

@@ -4,6 +4,7 @@
 // variant shape next to the §5.2 model prediction, and mark the plan the
 // §6.2 autotuner selects. This is the experiment behind the paper's claim
 // that no single decomposition dominates — which operand is heaviest decides.
+#include <chrono>
 #include <cstdio>
 #include <string>
 
@@ -12,8 +13,11 @@
 #include "benchsupport/table.hpp"
 #include "dist/spgemm_dist.hpp"
 #include "graph/generators.hpp"
+#include "mfbc/mfbc_dist.hpp"
 #include "sparse/ops.hpp"
+#include "support/parallel.hpp"
 #include "support/strutil.hpp"
+#include "telemetry/registry.hpp"
 
 int main(int argc, char** argv) {
   using namespace mfbc;
@@ -73,8 +77,63 @@ int main(int argc, char** argv) {
   std::puts("\nExpected: variants that communicate the adjacency (the heavy "
             "operand) pay the\nmost; the autotuned plan sits at or near the "
             "measured minimum.");
+
+  // ---- Shared-memory threads scaling ----
+  // The virtual-rank block multiplies run on the execution pool; wall clock
+  // of an end-to-end DistMfbc run at 1/2/4/8 pool threads measures how well
+  // the per-rank work parallelizes on real cores. Results are bit-identical
+  // across thread counts (the pool defers ledger charges to barriers), so
+  // only the wall-clock column moves.
+  bench::Table ts({"threads", "wall ms", "speedup", "ops/s"});
+  {
+    const graph::vid_t tn = small ? 256 : 512;
+    graph::Graph tg = graph::erdos_renyi(tn, tn * 8, false, {}, 9);
+    const int restore_threads = support::num_threads();
+    double base_ms = 0;
+    for (int t : {1, 2, 4, 8}) {
+      support::set_threads(t);
+      sim::Sim tsim(p);
+      core::DistMfbc engine(tsim, tg);
+      core::DistMfbcOptions opts;
+      opts.batch_size = small ? 32 : 64;
+      core::DistMfbcStats dstats;
+      const auto t0 = std::chrono::steady_clock::now();
+      auto lambda = engine.run(opts, &dstats);
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      if (t == 1) base_ms = ms;
+      const double total_ops = static_cast<double>(dstats.forward.total_ops) +
+                               static_cast<double>(dstats.backward.total_ops);
+      const double speedup = ms > 0 ? base_ms / ms : 0;
+      const double ops_per_s = ms > 0 ? total_ops / (ms / 1e3) : 0;
+      ts.add_row({std::to_string(t), fixed(ms, 2), fixed(speedup, 2) + "x",
+                  compact(ops_per_s, 4)});
+      const std::string prefix =
+          "spgemm_variants.threads." + std::to_string(t);
+      telemetry::gauge(prefix + ".wall_ms", ms);
+      telemetry::gauge(prefix + ".speedup", speedup);
+      telemetry::gauge(prefix + ".ops_per_s", ops_per_s);
+    }
+    support::set_threads(restore_threads);
+  }
+  std::fputs(ts.render("Threads scaling: end-to-end DistMfbc wall clock vs "
+                       "pool size (identical results)")
+                 .c_str(),
+             stdout);
+
+  // Frontier-size distributions from the runs above, tails included.
+  bench::Table ft = bench::histogram_table(
+      {"mfbc.forward.frontier_nnz", "mfbc.backward.frontier_nnz"});
+  std::fputs(ft.render("Frontier-size distributions (per iteration)").c_str(),
+             stdout);
+
   bench::maybe_write_csv(args, "spgemm_variants", tab);
+  bench::maybe_write_csv(args, "spgemm_variants_threads", ts);
+  bench::maybe_write_csv(args, "spgemm_variants_frontiers", ft);
   bench::maybe_write_artifacts(args, "spgemm_variants",
-                               {{"spgemm_variants", &tab}});
+                               {{"spgemm_variants", &tab},
+                                {"spgemm_variants_threads", &ts},
+                                {"spgemm_variants_frontiers", &ft}});
   return 0;
 }

@@ -6,6 +6,9 @@
 #include <sstream>
 
 #include "support/error.hpp"
+#include "support/parallel.hpp"
+#include "support/strutil.hpp"
+#include "telemetry/registry.hpp"
 #include "telemetry/span.hpp"
 
 namespace mfbc::bench {
@@ -106,15 +109,23 @@ int consume_bench_flag(BenchArgs& args, int argc, char** argv, int i) {
     args.chrome_trace_path = argv[i + 1];
     return 2;
   }
+  if (f == "--threads") {
+    MFBC_CHECK(i + 1 < argc, "--threads requires a count argument");
+    args.threads = std::stoi(argv[i + 1]);
+    MFBC_CHECK(args.threads >= 1, "--threads must be >= 1");
+    return 2;
+  }
   return 0;
 }
 
 /// Span collection is off by default; a requested trace turns it on for the
 /// rest of the process so instrumented library code starts recording.
+/// An explicit --threads resizes the shared pool before any kernel runs.
 void apply_telemetry_flags(const BenchArgs& args) {
   if (!args.chrome_trace_path.empty()) {
     telemetry::collector().set_enabled(true);
   }
+  if (args.threads > 0) support::set_threads(args.threads);
 }
 
 }  // namespace
@@ -126,7 +137,7 @@ BenchArgs parse_bench_args(int argc, char** argv) {
     if (used == 0) {
       throw Error(std::string("unknown bench flag: ") + argv[i] +
                   " (supported: --small, --csv DIR, --json PATH, "
-                  "--chrome-trace PATH)");
+                  "--chrome-trace PATH, --threads N)");
     }
     i += used;
   }
@@ -156,6 +167,18 @@ void maybe_write_csv(const BenchArgs& args, const std::string& name,
   const std::string path = args.csv_dir + "/" + name + ".csv";
   table.write_csv(path);
   std::printf("[csv] wrote %s\n", path.c_str());
+}
+
+Table histogram_table(const std::vector<std::string>& names) {
+  Table tab({"histogram", "count", "min", "p50", "mean", "p95", "max"});
+  for (const std::string& name : names) {
+    const telemetry::HistStats h = telemetry::registry().histogram(name);
+    const bool any = h.count > 0;
+    tab.add_row({name, fixed(h.count, 0), compact(any ? h.min : 0.0, 4),
+                 compact(h.percentile(50), 4), compact(h.mean(), 4),
+                 compact(h.percentile(95), 4), compact(any ? h.max : 0.0, 4)});
+  }
+  return tab;
 }
 
 }  // namespace mfbc::bench

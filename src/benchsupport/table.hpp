@@ -34,14 +34,16 @@ class Table {
 /// Shared option parsing for the bench binaries: every bench accepts
 /// `--small` (reduced problem sizes for smoke runs), `--csv DIR` (write the
 /// printed tables as CSV files into DIR), `--json PATH` (write a
-/// machine-readable run summary — tables, cells, telemetry counters), and
+/// machine-readable run summary — tables, cells, telemetry counters),
 /// `--chrome-trace PATH` (record spans and write a chrome://tracing /
-/// Perfetto trace).
+/// Perfetto trace), and `--threads N` (size the shared-memory execution
+/// pool; results are bit-identical for every N).
 struct BenchArgs {
   bool small = false;
   std::string csv_dir;
   std::string json_path;
   std::string chrome_trace_path;
+  int threads = 0;  ///< 0 = leave the pool at its MFBC_THREADS/default size
 };
 
 BenchArgs parse_bench_args(int argc, char** argv);
@@ -56,5 +58,11 @@ BenchArgs extract_bench_args(int* argc, char** argv);
 /// note; otherwise do nothing.
 void maybe_write_csv(const BenchArgs& args, const std::string& name,
                      const Table& table);
+
+/// One row per named registry histogram: count, min, p50, mean, p95, max.
+/// Names with no observations render as zero rows. Used by the benches to
+/// print frontier-size (and similar) distributions with their tails, not
+/// just the extremes.
+Table histogram_table(const std::vector<std::string>& names);
 
 }  // namespace mfbc::bench

@@ -2,6 +2,7 @@
 
 #include "dist/procgrid.hpp"
 #include "support/error.hpp"
+#include "telemetry/span.hpp"
 
 namespace mfbc::dist {
 
@@ -43,17 +44,32 @@ Plan autotune(int p, const MultiplyStats& stats, const sim::MachineModel& mm,
               const TuneOptions& opts) {
   const auto plans = enumerate_plans(p, opts);
   MFBC_CHECK(!plans.empty(), "no plan shapes permitted by TuneOptions");
+  telemetry::Span span("dist.autotune");
+  span.attr("p", static_cast<std::int64_t>(p));
+  span.attr("candidates", static_cast<std::int64_t>(plans.size()));
   const Plan* best = nullptr;
   double best_cost = std::numeric_limits<double>::infinity();
   for (const Plan& plan : plans) {
-    if (model_memory_words(plan, stats) > opts.memory_words_limit) continue;
+    const double mem = model_memory_words(plan, stats);
+    const bool fits = mem <= opts.memory_words_limit;
     const double cost = model_cost(plan, stats, mm).total();
+    if (span.active()) {
+      // One attribute per candidate keeps the whole evaluated space in the
+      // trace, so a surprising plan choice can be audited after the run.
+      const std::string key = "candidate." + plan.to_string();
+      span.attr(key + ".cost_sec", cost);
+      span.attr(key + ".mem_words", mem);
+      if (!fits) span.attr(key + ".rejected", std::string("memory"));
+    }
+    if (!fits) continue;
     if (cost < best_cost) {
       best_cost = cost;
       best = &plan;
     }
   }
   MFBC_CHECK(best != nullptr, "no plan fits in the per-rank memory limit");
+  span.attr("chosen", best->to_string());
+  span.attr("chosen.cost_sec", best_cost);
   return *best;
 }
 

@@ -24,7 +24,9 @@
 #include "dist/autotune.hpp"
 #include "dist/cost_model.hpp"
 #include "dist/dmatrix.hpp"
+#include "sim/charge_log.hpp"
 #include "sparse/spgemm.hpp"
+#include "support/parallel.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/span.hpp"
 
@@ -253,8 +255,18 @@ std::vector<DistMatrix<T>> replicate_layers(sim::Sim& sim,
 }
 
 /// One layer's 2D multiply: operands must already sit on homes_2d layouts.
-template <algebra::Monoid M, typename TA, typename TB, typename F>
-DistMatrix<typename M::value_type> spgemm_2d(sim::Sim& sim, Variant2D v2,
+///
+/// Charger is duck-typed over sim::Sim and sim::ChargeLog: the outer 3D
+/// driver runs layers concurrently, handing each layer a private ChargeLog
+/// that it replays into the real Sim in layer order at the barrier.
+///
+/// Within a layer the per-(i,j) block multiplies of each step run on the
+/// thread pool; charges and stats are deferred into per-index slots and
+/// applied in the serial iteration order after each region, so ledger state
+/// and stats sums are bit-identical to the serial schedule.
+template <algebra::Monoid M, typename Charger, typename TA, typename TB,
+          typename F>
+DistMatrix<typename M::value_type> spgemm_2d(Charger& sim, Variant2D v2,
                                              const DistMatrix<TA>& a,
                                              const DistMatrix<TB>& b, F f,
                                              DistSpgemmStats* st) {
@@ -285,7 +297,8 @@ DistMatrix<typename M::value_type> spgemm_2d(sim::Sim& sim, Variant2D v2,
     // Degenerate single-rank layer: one local Gustavson multiply.
     sparse::SpgemmStats s;
     c.block(0, 0) = sparse::spgemm<M>(a.block(0, 0), b.block(0, 0), f, &s,
-                                      /*b_row_offset=*/rk.lo);
+                                      /*b_row_offset=*/rk.lo,
+                                      &sparse::tls_spgemm_workspace<TC>());
     charge_multiply(rank0, s, 0);
     return c;
   }
@@ -300,34 +313,57 @@ DistMatrix<typename M::value_type> spgemm_2d(sim::Sim& sim, Variant2D v2,
         if (kr.size() == 0) continue;
         const int ja = step / (steps / p3);
         const int ib = step / (steps / p2);
-        std::vector<Csr<TA>> a_slice;
-        a_slice.reserve(static_cast<std::size_t>(p2));
+        // Slice construction is pure per grid row/column; the bcast charges
+        // depend only on the slice sizes, so they are applied afterwards in
+        // the serial order.
+        std::vector<Csr<TA>> a_slice(static_cast<std::size_t>(p2));
+        support::parallel_for(static_cast<std::size_t>(p2), [&](std::size_t i) {
+          a_slice[i] = sparse::slice_cols(a.block(static_cast<int>(i), ja),
+                                          kr.lo, kr.hi);
+        });
         for (int i = 0; i < p2; ++i) {
-          a_slice.push_back(sparse::slice_cols(a.block(i, ja), kr.lo, kr.hi));
           auto group = cl.row_group(i);
-          sim.charge_bcast(group, static_cast<double>(a_slice.back().nnz()) *
-                                      sim::sparse_entry_words<TA>());
+          sim.charge_bcast(group,
+                           static_cast<double>(
+                               a_slice[static_cast<std::size_t>(i)].nnz()) *
+                               sim::sparse_entry_words<TA>());
         }
-        std::vector<Csr<TB>> b_slice;
-        b_slice.reserve(static_cast<std::size_t>(p3));
+        std::vector<Csr<TB>> b_slice(static_cast<std::size_t>(p3));
         const Range b_rows = b.layout().block_rows(ib, 0);
+        support::parallel_for(static_cast<std::size_t>(p3), [&](std::size_t j) {
+          b_slice[j] = sparse::slice_rows(b.block(ib, static_cast<int>(j)),
+                                          kr.lo - b_rows.lo, kr.hi - b_rows.lo);
+        });
         for (int j = 0; j < p3; ++j) {
-          b_slice.push_back(sparse::slice_rows(b.block(ib, j),
-                                               kr.lo - b_rows.lo,
-                                               kr.hi - b_rows.lo));
           auto group = cl.col_group(j);
-          sim.charge_bcast(group, static_cast<double>(b_slice.back().nnz()) *
-                                      sim::sparse_entry_words<TB>());
+          sim.charge_bcast(group,
+                           static_cast<double>(
+                               b_slice[static_cast<std::size_t>(j)].nnz()) *
+                               sim::sparse_entry_words<TB>());
         }
+        // Every (i,j) multiply updates a distinct C block; charges replay in
+        // (i,j) lexicographic order — the serial schedule — at the barrier.
+        struct MulDeferred {
+          sparse::SpgemmStats s;
+          nnz_t touched = 0;
+        };
+        std::vector<MulDeferred> deferred(
+            static_cast<std::size_t>(p2 * p3));
+        support::parallel_for(
+            static_cast<std::size_t>(p2 * p3), [&](std::size_t t) {
+              const int i = static_cast<int>(t) / p3;
+              const int j = static_cast<int>(t) % p3;
+              auto partial = sparse::spgemm<M>(
+                  a_slice[static_cast<std::size_t>(i)],
+                  b_slice[static_cast<std::size_t>(j)], f, &deferred[t].s,
+                  /*b_row_offset=*/kr.lo, &sparse::tls_spgemm_workspace<TC>());
+              deferred[t].touched = partial.nnz() + c.block(i, j).nnz();
+              c.block(i, j) = sparse::ewise_union<M>(c.block(i, j), partial);
+            });
         for (int i = 0; i < p2; ++i) {
           for (int j = 0; j < p3; ++j) {
-            sparse::SpgemmStats s;
-            auto partial = sparse::spgemm<M>(a_slice[static_cast<std::size_t>(i)],
-                                             b_slice[static_cast<std::size_t>(j)],
-                                             f, &s, /*b_row_offset=*/kr.lo);
-            const nnz_t touched = partial.nnz() + c.block(i, j).nnz();
-            c.block(i, j) = sparse::ewise_union<M>(c.block(i, j), partial);
-            charge_multiply(cl.rank_at(i, j), s, touched);
+            const MulDeferred& d = deferred[static_cast<std::size_t>(i * p3 + j)];
+            charge_multiply(cl.rank_at(i, j), d.s, d.touched);
           }
         }
         break;
@@ -339,34 +375,61 @@ DistMatrix<typename M::value_type> spgemm_2d(sim::Sim& sim, Variant2D v2,
         if (mr.size() == 0) continue;
         const int ja = step / (steps / p3);  // A transposed: m split by p3
         const int ic = step / (steps / p2);  // C rows split by p2
-        std::vector<Csr<TA>> a_slice;
-        a_slice.reserve(static_cast<std::size_t>(p2));
+        std::vector<Csr<TA>> a_slice(static_cast<std::size_t>(p2));
         const Range a_rows = a.layout().block_rows(0, ja);
+        support::parallel_for(static_cast<std::size_t>(p2), [&](std::size_t i) {
+          a_slice[i] = sparse::slice_rows(a.block(static_cast<int>(i), ja),
+                                          mr.lo - a_rows.lo, mr.hi - a_rows.lo);
+        });
         for (int i = 0; i < p2; ++i) {
-          a_slice.push_back(sparse::slice_rows(a.block(i, ja),
-                                               mr.lo - a_rows.lo,
-                                               mr.hi - a_rows.lo));
           auto group = cl.row_group(i);
-          sim.charge_bcast(group, static_cast<double>(a_slice.back().nnz()) *
-                                      sim::sparse_entry_words<TA>());
+          sim.charge_bcast(group,
+                           static_cast<double>(
+                               a_slice[static_cast<std::size_t>(i)].nnz()) *
+                               sim::sparse_entry_words<TA>());
         }
+        // Parallel over grid columns; each column keeps its inner reduction
+        // serial in ascending i so the ⊕ order (and thus any floating-point
+        // sum) matches the serial schedule exactly. C blocks written per
+        // column are distinct (ic fixed, j varies).
+        struct ColDeferred {
+          std::vector<sparse::SpgemmStats> s;
+          std::vector<nnz_t> touched;
+          nnz_t reduced_nnz = 0;
+        };
+        std::vector<ColDeferred> deferred(static_cast<std::size_t>(p3));
+        support::parallel_for(
+            static_cast<std::size_t>(p3), [&](std::size_t jt) {
+              const int j = static_cast<int>(jt);
+              ColDeferred& d = deferred[jt];
+              d.s.resize(static_cast<std::size_t>(p2));
+              d.touched.resize(static_cast<std::size_t>(p2));
+              Csr<TC> reduced(mr.size(), b.ncols());
+              for (int i = 0; i < p2; ++i) {
+                const Range b_rows = b.layout().block_rows(i, j);
+                auto partial = sparse::spgemm<M>(
+                    a_slice[static_cast<std::size_t>(i)], b.block(i, j), f,
+                    &d.s[static_cast<std::size_t>(i)],
+                    /*b_row_offset=*/b_rows.lo,
+                    &sparse::tls_spgemm_workspace<TC>());
+                d.touched[static_cast<std::size_t>(i)] = partial.nnz();
+                reduced = sparse::ewise_union<M>(reduced, partial);
+              }
+              d.reduced_nnz = reduced.nnz();
+              const Range c_rows = cl.block_rows(ic, j);
+              auto embedded = sparse::embed_rows(reduced, c_rows.size(),
+                                                 mr.lo - c_rows.lo);
+              c.block(ic, j) = sparse::ewise_union<M>(c.block(ic, j), embedded);
+            });
         for (int j = 0; j < p3; ++j) {
-          Csr<TC> reduced(mr.size(), b.ncols());
+          const ColDeferred& d = deferred[static_cast<std::size_t>(j)];
           for (int i = 0; i < p2; ++i) {
-            sparse::SpgemmStats s;
-            const Range b_rows = b.layout().block_rows(i, j);
-            auto partial = sparse::spgemm<M>(a_slice[static_cast<std::size_t>(i)],
-                                             b.block(i, j), f, &s,
-                                             /*b_row_offset=*/b_rows.lo);
-            charge_multiply(cl.rank_at(i, j), s, partial.nnz());
-            reduced = sparse::ewise_union<M>(reduced, partial);
+            charge_multiply(cl.rank_at(i, j), d.s[static_cast<std::size_t>(i)],
+                            d.touched[static_cast<std::size_t>(i)]);
           }
-          sim.charge_reduce(cl.col_group(j), static_cast<double>(reduced.nnz()) *
-                                                 sim::sparse_entry_words<TC>());
-          const Range c_rows = cl.block_rows(ic, j);
-          auto embedded = sparse::embed_rows(reduced, c_rows.size(),
-                                             mr.lo - c_rows.lo);
-          c.block(ic, j) = sparse::ewise_union<M>(c.block(ic, j), embedded);
+          sim.charge_reduce(cl.col_group(j),
+                            static_cast<double>(d.reduced_nnz) *
+                                sim::sparse_entry_words<TC>());
         }
         break;
       }
@@ -377,29 +440,55 @@ DistMatrix<typename M::value_type> spgemm_2d(sim::Sim& sim, Variant2D v2,
         if (nr.size() == 0) continue;
         const int ib = step / (steps / p2);  // B transposed: n split by p2
         const int jc = step / (steps / p3);  // C cols split by p3
-        std::vector<Csr<TB>> b_slice;
-        b_slice.reserve(static_cast<std::size_t>(p3));
+        std::vector<Csr<TB>> b_slice(static_cast<std::size_t>(p3));
+        support::parallel_for(static_cast<std::size_t>(p3), [&](std::size_t j) {
+          b_slice[j] = sparse::slice_cols(b.block(ib, static_cast<int>(j)),
+                                          nr.lo, nr.hi);
+        });
         for (int j = 0; j < p3; ++j) {
-          b_slice.push_back(sparse::slice_cols(b.block(ib, j), nr.lo, nr.hi));
           auto group = cl.col_group(j);
-          sim.charge_bcast(group, static_cast<double>(b_slice.back().nnz()) *
-                                      sim::sparse_entry_words<TB>());
+          sim.charge_bcast(group,
+                           static_cast<double>(
+                               b_slice[static_cast<std::size_t>(j)].nnz()) *
+                               sim::sparse_entry_words<TB>());
         }
+        // Parallel over grid rows, mirroring kAC: serial inner j reduction
+        // per row, distinct C blocks (i varies, jc fixed).
+        struct RowDeferred {
+          std::vector<sparse::SpgemmStats> s;
+          std::vector<nnz_t> touched;
+          nnz_t reduced_nnz = 0;
+        };
+        std::vector<RowDeferred> deferred(static_cast<std::size_t>(p2));
+        support::parallel_for(
+            static_cast<std::size_t>(p2), [&](std::size_t it) {
+              const int i = static_cast<int>(it);
+              RowDeferred& d = deferred[it];
+              d.s.resize(static_cast<std::size_t>(p3));
+              d.touched.resize(static_cast<std::size_t>(p3));
+              Csr<TC> reduced(cl.block_rows(i, 0).size(), b.ncols());
+              for (int j = 0; j < p3; ++j) {
+                const Range b_rows = b.layout().block_rows(ib, j);
+                auto partial = sparse::spgemm<M>(
+                    a.block(i, j), b_slice[static_cast<std::size_t>(j)], f,
+                    &d.s[static_cast<std::size_t>(j)],
+                    /*b_row_offset=*/b_rows.lo,
+                    &sparse::tls_spgemm_workspace<TC>());
+                d.touched[static_cast<std::size_t>(j)] = partial.nnz();
+                reduced = sparse::ewise_union<M>(reduced, partial);
+              }
+              d.reduced_nnz = reduced.nnz();
+              c.block(i, jc) = sparse::ewise_union<M>(c.block(i, jc), reduced);
+            });
         for (int i = 0; i < p2; ++i) {
-          Csr<TC> reduced(cl.block_rows(i, 0).size(), b.ncols());
+          const RowDeferred& d = deferred[static_cast<std::size_t>(i)];
           for (int j = 0; j < p3; ++j) {
-            sparse::SpgemmStats s;
-            const Range b_rows = b.layout().block_rows(ib, j);
-            auto partial = sparse::spgemm<M>(a.block(i, j),
-                                             b_slice[static_cast<std::size_t>(j)],
-                                             f, &s,
-                                             /*b_row_offset=*/b_rows.lo);
-            charge_multiply(cl.rank_at(i, j), s, partial.nnz());
-            reduced = sparse::ewise_union<M>(reduced, partial);
+            charge_multiply(cl.rank_at(i, j), d.s[static_cast<std::size_t>(j)],
+                            d.touched[static_cast<std::size_t>(j)]);
           }
-          sim.charge_reduce(cl.row_group(i), static_cast<double>(reduced.nnz()) *
-                                                 sim::sparse_entry_words<TC>());
-          c.block(i, jc) = sparse::ewise_union<M>(c.block(i, jc), reduced);
+          sim.charge_reduce(cl.row_group(i),
+                            static_cast<double>(d.reduced_nnz) *
+                                sim::sparse_entry_words<TC>());
         }
         break;
       }
@@ -548,11 +637,23 @@ DistMatrix<typename M::value_type> spgemm(sim::Sim& sim, const Plan& plan,
     as = detail::split_to<KeepFirst<TA>>(sim, a, a_homes);
   }
 
-  std::vector<DistMatrix<TC>> cs;
-  cs.reserve(static_cast<std::size_t>(p1));
-  for (int l = 0; l < p1; ++l) {
-    cs.push_back(detail::spgemm_2d<M>(sim, plan.v2, as[static_cast<std::size_t>(l)],
-                                      bs[static_cast<std::size_t>(l)], f, st));
+  // Layers are independent rank groups; run them concurrently, each charging
+  // into a private ChargeLog replayed into the Sim in layer order at the
+  // barrier (per-layer stats merge in the same order). Nested regions inside
+  // spgemm_2d run inline on the layer's worker thread.
+  std::vector<DistMatrix<TC>> cs(static_cast<std::size_t>(p1));
+  std::vector<sim::ChargeLog> layer_logs(static_cast<std::size_t>(p1));
+  std::vector<DistSpgemmStats> layer_stats(static_cast<std::size_t>(p1));
+  support::parallel_for(static_cast<std::size_t>(p1), [&](std::size_t l) {
+    cs[l] = detail::spgemm_2d<M>(layer_logs[l], plan.v2, as[l], bs[l], f,
+                                 st != nullptr ? &layer_stats[l] : nullptr);
+  });
+  for (std::size_t l = 0; l < static_cast<std::size_t>(p1); ++l) {
+    layer_logs[l].replay(sim);
+    if (st != nullptr) {
+      st->total_ops += layer_stats[l].total_ops;
+      st->max_rank_ops = std::max(st->max_rank_ops, layer_stats[l].max_rank_ops);
+    }
   }
 
   if (st != nullptr) {

@@ -6,6 +6,7 @@
 #include "dist/batch_state.hpp"
 #include "sparse/ops.hpp"
 #include "support/error.hpp"
+#include "support/parallel.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/span.hpp"
 
@@ -203,34 +204,43 @@ std::vector<double> DistMfbc::run(const DistMfbcOptions& opts,
       }
       // Local accumulate-and-filter (lines 5–6): T ⊕= G, next frontier keeps
       // entries whose path information improved or tied with new paths.
+      // Each (i,j) task touches only its own batch block and bin; compute
+      // charges depend only on the product block sizes, so they are issued
+      // serially after the barrier in the serial (i,j) order.
       auto bins = dist::empty_bins<Multpath>(sl, n);
-      for (int i = 0; i < sl.pr; ++i) {
-        for (int j = 0; j < sl.pc; ++j) {
-          auto& blk = batch.at(i, j);
-          const auto& gb = product.block(i, j);
-          auto& bin = bins[static_cast<std::size_t>(i * sl.pc + j)];
-          for (vid_t lr = 0; lr < gb.nrows(); ++lr) {
-            const vid_t s = blk.rows.lo + lr;
-            const vid_t src = batch.source(s);
-            auto cols = gb.row_cols(lr);
-            auto vals = gb.row_vals(lr);
-            for (std::size_t x = 0; x < cols.size(); ++x) {
-              const vid_t v = cols[x];
-              if (v == src) continue;
-              const Multpath& mp = vals[x];
-              const std::size_t at = blk.at(s, v);
-              if (mp.w < blk.dist[at]) {
-                blk.dist[at] = mp.w;
-                blk.mult[at] = mp.m;
-                bin.push(lr, v, mp);
-              } else if (mp.w == blk.dist[at]) {
-                blk.mult[at] += mp.m;
-                bin.push(lr, v, Multpath{mp.w, mp.m});
+      support::parallel_for(
+          static_cast<std::size_t>(sl.pr) * static_cast<std::size_t>(sl.pc),
+          [&](std::size_t t) {
+            const int i = static_cast<int>(t) / sl.pc;
+            const int j = static_cast<int>(t) % sl.pc;
+            auto& blk = batch.at(i, j);
+            const auto& gb = product.block(i, j);
+            auto& bin = bins[t];
+            for (vid_t lr = 0; lr < gb.nrows(); ++lr) {
+              const vid_t s = blk.rows.lo + lr;
+              const vid_t src = batch.source(s);
+              auto cols = gb.row_cols(lr);
+              auto vals = gb.row_vals(lr);
+              for (std::size_t x = 0; x < cols.size(); ++x) {
+                const vid_t v = cols[x];
+                if (v == src) continue;
+                const Multpath& mp = vals[x];
+                const std::size_t at = blk.at(s, v);
+                if (mp.w < blk.dist[at]) {
+                  blk.dist[at] = mp.w;
+                  blk.mult[at] = mp.m;
+                  bin.push(lr, v, mp);
+                } else if (mp.w == blk.dist[at]) {
+                  blk.mult[at] += mp.m;
+                  bin.push(lr, v, Multpath{mp.w, mp.m});
+                }
               }
             }
-          }
+          });
+      for (int i = 0; i < sl.pr; ++i) {
+        for (int j = 0; j < sl.pc; ++j) {
           sim_.charge_compute(sl.rank_at(i, j),
-                              static_cast<double>(gb.nnz()));
+                              static_cast<double>(product.block(i, j).nnz()));
         }
       }
       frontier = dist::from_blocks<Keep<Multpath>>(batch.nb(), n, sl, std::move(bins));
@@ -259,17 +269,24 @@ std::vector<double> DistMfbc::run(const DistMfbcOptions& opts,
     // Z(s,v) = (τ(s,v), 0, 1) on every reachable pair.
     {
       auto bins = dist::empty_bins<Centpath>(sl, n);
+      support::parallel_for(
+          static_cast<std::size_t>(sl.pr) * static_cast<std::size_t>(sl.pc),
+          [&](std::size_t t) {
+            const int i = static_cast<int>(t) / sl.pc;
+            const int j = static_cast<int>(t) % sl.pc;
+            auto& blk = batch.at(i, j);
+            auto& bin = bins[t];
+            for (vid_t s = blk.rows.lo; s < blk.rows.hi; ++s) {
+              for (vid_t v = blk.cols.lo; v < blk.cols.hi; ++v) {
+                const std::size_t at = blk.at(s, v);
+                if (blk.dist[at] == kInfWeight) continue;
+                bin.push(s - blk.rows.lo, v, Centpath{blk.dist[at], 0.0, 1.0});
+              }
+            }
+          });
       for (int i = 0; i < sl.pr; ++i) {
         for (int j = 0; j < sl.pc; ++j) {
           auto& blk = batch.at(i, j);
-          auto& bin = bins[static_cast<std::size_t>(i * sl.pc + j)];
-          for (vid_t s = blk.rows.lo; s < blk.rows.hi; ++s) {
-            for (vid_t v = blk.cols.lo; v < blk.cols.hi; ++v) {
-              const std::size_t at = blk.at(s, v);
-              if (blk.dist[at] == kInfWeight) continue;
-              bin.push(s - blk.rows.lo, v, Centpath{blk.dist[at], 0.0, 1.0});
-            }
-          }
           sim_.charge_compute(sl.rank_at(i, j),
                               static_cast<double>(blk.rows.size()) *
                                   static_cast<double>(blk.cols.size()));
@@ -288,23 +305,29 @@ std::vector<double> DistMfbc::run(const DistMfbcOptions& opts,
       if (stats != nullptr) {
         stats->backward.total_ops += static_cast<nnz_t>(dst.total_ops);
       }
-      for (int i = 0; i < sl.pr; ++i) {
-        for (int j = 0; j < sl.pc; ++j) {
-          auto& blk = batch.at(i, j);
-          const auto& pb = pred.block(i, j);
-          for (vid_t lr = 0; lr < pb.nrows(); ++lr) {
-            const vid_t s = blk.rows.lo + lr;
-            auto cols = pb.row_cols(lr);
-            auto vals = pb.row_vals(lr);
-            for (std::size_t x = 0; x < cols.size(); ++x) {
-              const std::size_t at = blk.at(s, cols[x]);
-              if (blk.dist[at] != kInfWeight && vals[x].w == blk.dist[at]) {
-                blk.counter[at] = vals[x].c;
+      support::parallel_for(
+          static_cast<std::size_t>(sl.pr) * static_cast<std::size_t>(sl.pc),
+          [&](std::size_t t) {
+            const int i = static_cast<int>(t) / sl.pc;
+            const int j = static_cast<int>(t) % sl.pc;
+            auto& blk = batch.at(i, j);
+            const auto& pb = pred.block(i, j);
+            for (vid_t lr = 0; lr < pb.nrows(); ++lr) {
+              const vid_t s = blk.rows.lo + lr;
+              auto cols = pb.row_cols(lr);
+              auto vals = pb.row_vals(lr);
+              for (std::size_t x = 0; x < cols.size(); ++x) {
+                const std::size_t at = blk.at(s, cols[x]);
+                if (blk.dist[at] != kInfWeight && vals[x].w == blk.dist[at]) {
+                  blk.counter[at] = vals[x].c;
+                }
               }
             }
-          }
+          });
+      for (int i = 0; i < sl.pr; ++i) {
+        for (int j = 0; j < sl.pc; ++j) {
           sim_.charge_compute(sl.rank_at(i, j),
-                              static_cast<double>(pb.nnz()));
+                              static_cast<double>(pred.block(i, j).nnz()));
         }
       }
     }
@@ -313,28 +336,30 @@ std::vector<double> DistMfbc::run(const DistMfbcOptions& opts,
     DistMatrix<Centpath> cfrontier;
     {
       auto bins = dist::empty_bins<Centpath>(sl, n);
-      for (int i = 0; i < sl.pr; ++i) {
-        for (int j = 0; j < sl.pc; ++j) {
-          auto& blk = batch.at(i, j);
-          auto& bin = bins[static_cast<std::size_t>(i * sl.pc + j)];
-          for (vid_t s = blk.rows.lo; s < blk.rows.hi; ++s) {
-            const vid_t src = batch.source(s);
-            for (vid_t v = blk.cols.lo; v < blk.cols.hi; ++v) {
-              const std::size_t at = blk.at(s, v);
-              if (v == src) {
-                blk.done[at] = 1;  // the root never joins a frontier
-                continue;
-              }
-              if (blk.dist[at] == kInfWeight) continue;
-              if (blk.counter[at] == 0.0) {
-                blk.done[at] = 1;
-                bin.push(s - blk.rows.lo, v,
-                         Centpath{blk.dist[at], 1.0 / blk.mult[at], -1.0});
+      support::parallel_for(
+          static_cast<std::size_t>(sl.pr) * static_cast<std::size_t>(sl.pc),
+          [&](std::size_t t) {
+            const int i = static_cast<int>(t) / sl.pc;
+            const int j = static_cast<int>(t) % sl.pc;
+            auto& blk = batch.at(i, j);
+            auto& bin = bins[t];
+            for (vid_t s = blk.rows.lo; s < blk.rows.hi; ++s) {
+              const vid_t src = batch.source(s);
+              for (vid_t v = blk.cols.lo; v < blk.cols.hi; ++v) {
+                const std::size_t at = blk.at(s, v);
+                if (v == src) {
+                  blk.done[at] = 1;  // the root never joins a frontier
+                  continue;
+                }
+                if (blk.dist[at] == kInfWeight) continue;
+                if (blk.counter[at] == 0.0) {
+                  blk.done[at] = 1;
+                  bin.push(s - blk.rows.lo, v,
+                           Centpath{blk.dist[at], 1.0 / blk.mult[at], -1.0});
+                }
               }
             }
-          }
-        }
-      }
+          });
       cfrontier = dist::from_blocks<Keep<Centpath>>(batch.nb(), n, sl, std::move(bins));
     }
 
@@ -358,35 +383,41 @@ std::vector<double> DistMfbc::run(const DistMfbcOptions& opts,
         stats->backward.total_ops += static_cast<nnz_t>(dst.total_ops);
       }
       auto bins = dist::empty_bins<Centpath>(sl, n);
-      for (int i = 0; i < sl.pr; ++i) {
-        for (int j = 0; j < sl.pc; ++j) {
-          auto& blk = batch.at(i, j);
-          const auto& ub = product.block(i, j);
-          auto& bin = bins[static_cast<std::size_t>(i * sl.pc + j)];
-          for (vid_t lr = 0; lr < ub.nrows(); ++lr) {
-            const vid_t s = blk.rows.lo + lr;
-            const vid_t src = batch.source(s);
-            auto cols = ub.row_cols(lr);
-            auto vals = ub.row_vals(lr);
-            for (std::size_t x = 0; x < cols.size(); ++x) {
-              const vid_t v = cols[x];
-              const Centpath& cp = vals[x];
-              const std::size_t at = blk.at(s, v);
-              if (blk.dist[at] == kInfWeight || cp.w != blk.dist[at]) continue;
-              blk.zeta[at] += cp.p;
-              blk.counter[at] += cp.c;
-              if (!blk.done[at] && blk.counter[at] == 0.0) {
-                blk.done[at] = 1;
-                if (v != src) {
-                  bin.push(lr, v,
-                           Centpath{blk.dist[at],
-                                    1.0 / blk.mult[at] + blk.zeta[at], -1.0});
+      support::parallel_for(
+          static_cast<std::size_t>(sl.pr) * static_cast<std::size_t>(sl.pc),
+          [&](std::size_t t) {
+            const int i = static_cast<int>(t) / sl.pc;
+            const int j = static_cast<int>(t) % sl.pc;
+            auto& blk = batch.at(i, j);
+            const auto& ub = product.block(i, j);
+            auto& bin = bins[t];
+            for (vid_t lr = 0; lr < ub.nrows(); ++lr) {
+              const vid_t s = blk.rows.lo + lr;
+              const vid_t src = batch.source(s);
+              auto cols = ub.row_cols(lr);
+              auto vals = ub.row_vals(lr);
+              for (std::size_t x = 0; x < cols.size(); ++x) {
+                const vid_t v = cols[x];
+                const Centpath& cp = vals[x];
+                const std::size_t at = blk.at(s, v);
+                if (blk.dist[at] == kInfWeight || cp.w != blk.dist[at]) continue;
+                blk.zeta[at] += cp.p;
+                blk.counter[at] += cp.c;
+                if (!blk.done[at] && blk.counter[at] == 0.0) {
+                  blk.done[at] = 1;
+                  if (v != src) {
+                    bin.push(lr, v,
+                             Centpath{blk.dist[at],
+                                      1.0 / blk.mult[at] + blk.zeta[at], -1.0});
+                  }
                 }
               }
             }
-          }
+          });
+      for (int i = 0; i < sl.pr; ++i) {
+        for (int j = 0; j < sl.pc; ++j) {
           sim_.charge_compute(sl.rank_at(i, j),
-                              static_cast<double>(ub.nnz()));
+                              static_cast<double>(product.block(i, j).nnz()));
         }
       }
       cfrontier = dist::from_blocks<Keep<Centpath>>(batch.nb(), n, sl, std::move(bins));
@@ -394,18 +425,29 @@ std::vector<double> DistMfbc::run(const DistMfbcOptions& opts,
     }
 
     // Line 5 of Algorithm 3: λ(v) += Σ_s ζ(s,v)·σ̄(s,v), local partials.
+    // Grid columns own disjoint λ ranges, so the parallel axis is j only;
+    // the inner i loop stays serial and ascending so each λ(v) accumulates
+    // its contributions in the serial floating-point order.
+    support::parallel_for(
+        static_cast<std::size_t>(sl.pc), [&](std::size_t jt) {
+          const int j = static_cast<int>(jt);
+          for (int i = 0; i < sl.pr; ++i) {
+            auto& blk = batch.at(i, j);
+            for (vid_t s = blk.rows.lo; s < blk.rows.hi; ++s) {
+              const vid_t src = batch.source(s);
+              for (vid_t v = blk.cols.lo; v < blk.cols.hi; ++v) {
+                if (v == src) continue;
+                const std::size_t at = blk.at(s, v);
+                if (blk.dist[at] == kInfWeight) continue;
+                lambda[static_cast<std::size_t>(v)] +=
+                    blk.zeta[at] * blk.mult[at];
+              }
+            }
+          }
+        });
     for (int i = 0; i < sl.pr; ++i) {
       for (int j = 0; j < sl.pc; ++j) {
         auto& blk = batch.at(i, j);
-        for (vid_t s = blk.rows.lo; s < blk.rows.hi; ++s) {
-          const vid_t src = batch.source(s);
-          for (vid_t v = blk.cols.lo; v < blk.cols.hi; ++v) {
-            if (v == src) continue;
-            const std::size_t at = blk.at(s, v);
-            if (blk.dist[at] == kInfWeight) continue;
-            lambda[static_cast<std::size_t>(v)] += blk.zeta[at] * blk.mult[at];
-          }
-        }
         sim_.charge_compute(sl.rank_at(i, j),
                             static_cast<double>(blk.rows.size()) *
                                 static_cast<double>(blk.cols.size()));

@@ -1,0 +1,102 @@
+// Shared-memory parallel execution engine for the virtual-rank kernels.
+//
+// The simulated machine in src/sim charges an α–β *model* of a distributed
+// run, but until now every virtual rank's local multiply executed serially
+// on one OS thread — wall-clock measured loop order, not kernel quality
+// (the paper assumes the per-rank work runs on p processors at once, §5.1).
+// This pool runs those independent per-rank block kernels on real threads.
+//
+// Design constraints, in priority order:
+//
+//  1. **Determinism.** parallel_for uses a fixed static partition of the
+//     index range (no work stealing), and callers defer all side effects
+//     that must be ordered (ledger charges, stats sums) into per-index
+//     slots that the calling thread replays in index order after the
+//     barrier. Results are bit-identical for every thread count.
+//  2. **Serial fidelity.** With 1 thread (pool size 1, MFBC_THREADS=1, or a
+//     nested region) parallel_for degenerates to a plain loop on the
+//     calling thread — exactly the pre-pool behaviour.
+//  3. **No nested pools.** A parallel_for issued from inside another
+//     parallel_for region (e.g. a per-layer task that itself reaches a
+//     per-block loop) runs inline serially on that worker.
+//
+// The global pool is sized by the MFBC_THREADS environment variable, or by
+// set_threads() (the CLI/bench `--threads` flag), defaulting to
+// hardware_concurrency.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mfbc::support {
+
+/// Fixed-size pool of worker threads executing statically partitioned index
+/// ranges. The calling thread participates as chunk 0, so a pool of size n
+/// spawns n-1 OS threads. Thread-safe for use from one submitting thread at
+/// a time (the library funnels all regions through the calling algorithm).
+class ThreadPool {
+ public:
+  /// `threads` >= 1 is the total parallelism including the calling thread.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Run fn(i) for every i in [0, n), partitioned contiguously over the
+  /// pool's threads, and block until all complete. fn must be safe to call
+  /// concurrently for distinct i; any ordered side effects must be deferred
+  /// by the caller into per-index slots and applied after this returns.
+  /// The first exception (lowest chunk index) is rethrown on the caller.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// True while the calling thread is inside a parallel_for of any pool
+  /// (worker or caller); further regions on this thread run inline.
+  static bool in_parallel_region();
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    std::int64_t parent_span = -1;  ///< telemetry parent for worker spans
+  };
+
+  void worker_loop(int chunk);
+  void run_chunk(const Job& job, int chunk, std::exception_ptr& error);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  Job job_;
+  std::uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+  std::vector<std::exception_ptr> errors_;  ///< one slot per chunk
+};
+
+/// The process-wide pool used by the dist/mfbc kernels. First use sizes it
+/// from MFBC_THREADS (default: hardware_concurrency).
+ThreadPool& pool();
+
+/// Resize the global pool (the `--threads` knob). n >= 1; n == 1 restores
+/// exact serial execution. Must not be called from inside a parallel region.
+void set_threads(int n);
+
+/// Current global pool size (total threads including the caller).
+int num_threads();
+
+/// Convenience wrapper: pool().parallel_for(n, fn).
+inline void parallel_for(std::size_t n,
+                         const std::function<void(std::size_t)>& fn) {
+  pool().parallel_for(n, fn);
+}
+
+}  // namespace mfbc::support

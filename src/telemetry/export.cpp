@@ -67,6 +67,8 @@ Json registry_json(const Registry& r) {
         h["min"] = m.hist.count > 0 ? m.hist.min : 0.0;
         h["max"] = m.hist.count > 0 ? m.hist.max : 0.0;
         h["mean"] = m.hist.mean();
+        h["p50"] = m.hist.percentile(50);
+        h["p95"] = m.hist.percentile(95);
         histograms[name] = std::move(h);
         break;
       }

@@ -1,6 +1,7 @@
 #include "telemetry/registry.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace mfbc::telemetry {
 
@@ -17,6 +18,18 @@ Metric& lookup(std::map<std::string, Metric, std::less<>>& m,
 
 }  // namespace
 
+double HistStats::percentile(double p) const {
+  if (samples.empty()) return 0;
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank: the smallest sample with at least p% of the mass at or
+  // below it.
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[rank > 0 ? rank - 1 : 0];
+}
+
 void Registry::add(std::string_view name, double delta) {
   std::lock_guard<std::mutex> lock(mu_);
   lookup(metrics_, name, MetricKind::kCounter).value += delta;
@@ -30,6 +43,19 @@ void Registry::set(std::string_view name, double v) {
 void Registry::observe(std::string_view name, double v) {
   std::lock_guard<std::mutex> lock(mu_);
   HistStats& h = lookup(metrics_, name, MetricKind::kHistogram).hist;
+  // count doubles as the observation index for the sample decimation: the
+  // pre-increment value says whether this observation lands on the stride.
+  if (static_cast<std::int64_t>(h.count) % h.stride == 0) {
+    h.samples.push_back(v);
+    if (h.samples.size() > HistStats::kMaxSamples) {
+      std::size_t kept = 0;
+      for (std::size_t i = 0; i < h.samples.size(); i += 2) {
+        h.samples[kept++] = h.samples[i];
+      }
+      h.samples.resize(kept);
+      h.stride *= 2;
+    }
+  }
   h.count += 1;
   h.sum += v;
   h.min = std::min(h.min, v);

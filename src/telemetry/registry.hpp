@@ -7,11 +7,13 @@
 // to the global registry and compile to nothing when MFBC_TELEMETRY=0.
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <map>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "telemetry/config.hpp"
 
@@ -20,12 +22,25 @@ namespace mfbc::telemetry {
 enum class MetricKind { kCounter, kGauge, kHistogram };
 
 struct HistStats {
+  /// Retained-sample cap. When the store fills, every second sample is
+  /// dropped and the keep stride doubles — a deterministic decimation that
+  /// keeps percentile estimates unbiased for smoothly varying streams while
+  /// bounding memory per histogram.
+  static constexpr std::size_t kMaxSamples = 4096;
+
   double count = 0;
   double sum = 0;
   double min = std::numeric_limits<double>::infinity();
   double max = -std::numeric_limits<double>::infinity();
+  std::vector<double> samples;  ///< every `stride`-th observation, in order
+  std::int64_t stride = 1;
 
   double mean() const { return count > 0 ? sum / count : 0; }
+
+  /// Nearest-rank percentile over the retained samples; p in [0, 100].
+  /// Returns 0 for an empty histogram. Exact while count <= kMaxSamples,
+  /// an estimate from the decimated stream beyond.
+  double percentile(double p) const;
 };
 
 struct Metric {

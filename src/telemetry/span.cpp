@@ -27,6 +27,16 @@ std::int64_t SpanCollector::begin(std::string_view name) {
   rec.id = id;
   rec.parent = stack.empty() ? -1 : stack.back();
   rec.depth = static_cast<int>(stack.size());
+  if (stack.empty()) {
+    // Pool workers adopt the enqueuing thread's innermost span as parent so
+    // spans from parallel regions keep their logical nesting.
+    auto ad = adopted_.find(tid_key);
+    if (ad != adopted_.end() && ad->second >= 0) {
+      rec.parent = ad->second;
+      auto parent_it = open_.find(ad->second);
+      rec.depth = parent_it != open_.end() ? parent_it->second.depth + 1 : 1;
+    }
+  }
   rec.tid = it->second;
   rec.name = std::string(name);
   rec.start_us = now_us();
@@ -76,6 +86,14 @@ void SpanCollector::note_cost(const CostTotals& delta) {
   c.compute_seconds += delta.compute_seconds;
   c.ops += delta.ops;
   c.events += delta.events > 0 ? delta.events : 1;
+}
+
+std::int64_t SpanCollector::set_thread_parent(std::int64_t parent) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = adopted_.emplace(std::this_thread::get_id(), -1);
+  const std::int64_t prev = it->second;
+  it->second = parent;
+  return prev;
 }
 
 std::int64_t SpanCollector::active_span() const {

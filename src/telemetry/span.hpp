@@ -77,6 +77,14 @@ class SpanCollector {
   /// Id of the calling thread's innermost open span, -1 if none.
   std::int64_t active_span() const;
 
+  /// Adopt `parent` as the parent of spans begun on the calling thread while
+  /// its own span stack is empty. The thread pool sets this on workers so
+  /// spans opened inside a parallel region attach under the span that was
+  /// innermost on the enqueuing thread (trace nesting survives the thread
+  /// hop). Returns the previously adopted parent (-1 when none) so callers
+  /// can restore it; -1 clears the adoption.
+  std::int64_t set_thread_parent(std::int64_t parent);
+
   /// Snapshot of the completed spans, in completion order.
   std::vector<SpanRecord> finished() const;
 
@@ -100,6 +108,7 @@ class SpanCollector {
   std::vector<SpanRecord> done_;
   std::map<std::thread::id, std::vector<std::int64_t>> stacks_;
   std::map<std::thread::id, int> tids_;
+  std::map<std::thread::id, std::int64_t> adopted_;
 };
 
 /// The process-wide collector the instrumented library code records into.

@@ -145,6 +145,40 @@ TEST(Registry, CountersGaugesHistogramsAggregate) {
   EXPECT_FALSE(r.has("calls"));
 }
 
+TEST(Registry, PercentilesExactWhileUnderTheSampleCap) {
+  Registry r;
+  // 1..100 in a scrambled-ish order: percentile sorts, order is irrelevant.
+  for (int v = 100; v >= 1; --v) r.observe("x", v);
+  const HistStats h = r.histogram("x");
+  EXPECT_DOUBLE_EQ(h.percentile(50), 50);   // nearest rank: ceil(0.50*100)
+  EXPECT_DOUBLE_EQ(h.percentile(95), 95);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 100);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 1);     // clamped to the smallest sample
+  EXPECT_DOUBLE_EQ(h.percentile(-5), 1);    // out-of-range p is clamped
+  EXPECT_DOUBLE_EQ(h.percentile(200), 100);
+}
+
+TEST(Registry, PercentileOfEmptyHistogramIsZero) {
+  Registry r;
+  EXPECT_DOUBLE_EQ(r.histogram("missing").percentile(50), 0);
+}
+
+TEST(Registry, DecimationBoundsSamplesAndKeepsEstimatesClose) {
+  Registry r;
+  const int n = 50000;  // well past kMaxSamples: several stride doublings
+  for (int v = 0; v < n; ++v) r.observe("big", v);
+  const HistStats h = r.histogram("big");
+  EXPECT_DOUBLE_EQ(h.count, n);
+  EXPECT_LE(h.samples.size(), HistStats::kMaxSamples + 1);
+  EXPECT_GT(h.stride, 1);
+  EXPECT_DOUBLE_EQ(h.min, 0);
+  EXPECT_DOUBLE_EQ(h.max, n - 1);
+  // The decimated stream is uniform, so percentile estimates stay within a
+  // stride of the exact answer.
+  EXPECT_NEAR(h.percentile(50), 0.50 * n, 2.0 * static_cast<double>(h.stride));
+  EXPECT_NEAR(h.percentile(95), 0.95 * n, 2.0 * static_cast<double>(h.stride));
+}
+
 TEST(LedgerSink, RoutesChargesToSpansAndRegistry) {
   SpanCollector c;
   c.set_enabled(true);

@@ -36,6 +36,7 @@
 #include "mfbc/ranking.hpp"
 #include "sim/tuner.hpp"
 #include "support/error.hpp"
+#include "support/parallel.hpp"
 #include "support/strutil.hpp"
 #include "support/timer.hpp"
 
@@ -59,6 +60,7 @@ struct Args {
   graph::vid_t batch = 128;
   graph::vid_t approx = 0;  // 0 = exact (all sources)
   int ranks = 0;            // 0 = sequential
+  int threads = 0;          // 0 = MFBC_THREADS / hardware default
   std::string mode = "auto";  // auto | ca
   int c = 1;
   int top = 10;
@@ -87,6 +89,9 @@ void usage() {
       "  --batch NB          source batch size (default 128)\n"
       "  --approx K          use K pivot sources instead of all n\n"
       "  --ranks P           run on a P-rank simulated machine (mfbc only)\n"
+      "  --threads N         execution-pool threads for the per-rank kernels\n"
+      "                      (default: MFBC_THREADS or all cores; results\n"
+      "                      are identical for every N)\n"
       "  --mode auto|ca      plan selection: CTF-MFBC or CA-MFBC (with --c)\n"
       "  --c C               CA-MFBC replication factor\n"
       "machine model (simulated runs):\n"
@@ -120,6 +125,7 @@ Args parse(int argc, char** argv) {
     else if (f == "--batch") a.batch = std::atol(need(i));
     else if (f == "--approx") a.approx = std::atol(need(i));
     else if (f == "--ranks") a.ranks = std::atoi(need(i));
+    else if (f == "--threads") a.threads = std::atoi(need(i));
     else if (f == "--mode") a.mode = need(i);
     else if (f == "--c") a.c = std::atoi(need(i));
     else if (f == "--top") a.top = std::atoi(need(i));
@@ -188,6 +194,7 @@ void print_top(const std::vector<double>& score, int k, const char* what) {
 }
 
 int run(const Args& a) {
+  if (a.threads > 0) support::set_threads(a.threads);
   if (!a.tune_file.empty()) {
     std::puts("running the model tuner (calibration kernels)...");
     const sim::TuneResult r = sim::tune_machine();
