@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
                           graph::vid_t{256}}) {
     if (nb > total_sources) break;
     bench::CellConfig cfg;
+    bench::apply_fault_flags(args, cfg);
     cfg.nodes = 16;
     cfg.batch_size = nb;
     cfg.num_sources = total_sources;  // fixed total work, varying batching

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
                     "msgs"});
   {
     bench::CellConfig cfg;
+    bench::apply_fault_flags(args, cfg);
     cfg.nodes = p;
     cfg.batch_size = small ? 16 : 64;
     cfg.warmup = true;
@@ -33,6 +34,7 @@ int main(int argc, char** argv) {
   }
   for (int c : {1, 4, 16}) {
     bench::CellConfig cfg;
+    bench::apply_fault_flags(args, cfg);
     cfg.nodes = p;
     cfg.batch_size = small ? 16 : 64;
     cfg.plan_mode = core::PlanMode::kFixedCa;

@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
     int fwd_m = 0, fwd_c = 0;
     for (int p : nodes) {
       bench::CellConfig cfg;
+      bench::apply_fault_flags(args, cfg);
       cfg.nodes = p;
       cfg.batch_size = small ? 16 : 32;
       auto rm = bench::run_mfbc_cell(g, cfg);

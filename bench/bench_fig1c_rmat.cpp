@@ -53,6 +53,7 @@ int main(int argc, char** argv) {
     int iters = 0;
     for (int p : nodes) {
       bench::CellConfig cfg;
+      bench::apply_fault_flags(args, cfg);
       cfg.nodes = p;
       cfg.batch_size = small ? 16 : 32;
       auto r = s.combblas ? bench::run_combblas_cell(g, cfg)

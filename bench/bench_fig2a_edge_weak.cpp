@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
                    static_cast<long long>(g.n()),
                    static_cast<long long>(g.m()));
       bench::CellConfig cfg;
+      bench::apply_fault_flags(args, cfg);
       cfg.nodes = p;
       cfg.batch_size = small ? 16 : 32;
       auto r = s.combblas ? bench::run_combblas_cell(g, cfg)

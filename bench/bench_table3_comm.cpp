@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "[table3] %s: n=%lld m=%lld\n", spec.name.c_str(),
                  static_cast<long long>(g.n()), static_cast<long long>(g.m()));
     bench::CellConfig cfg;
+    bench::apply_fault_flags(args, cfg);
     cfg.nodes = p;
     cfg.batch_size = batch;
     cfg.num_sources = batch;  // a single batch, as in the paper's Table 3

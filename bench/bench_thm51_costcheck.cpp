@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
 
   auto measure = [&](int p, int c) {
     bench::CellConfig cfg;
+    bench::apply_fault_flags(args, cfg);
     cfg.nodes = p;
     cfg.batch_size = small ? 16 : 32;
     cfg.plan_mode = core::PlanMode::kFixedCa;

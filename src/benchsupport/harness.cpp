@@ -6,6 +6,7 @@
 #include "baseline/combblas_bc.hpp"
 #include "mfbc/teps.hpp"
 #include "support/error.hpp"
+#include "support/parallel.hpp"
 #include "support/strutil.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/ledger_sink.hpp"
@@ -70,7 +71,28 @@ void fill_costs(CellResult& r, const sim::Sim& sim, const graph::Graph& g,
       core::edge_traversals(g, nsources), r.seconds, r.nodes);
 }
 
+/// Copy the injector's outcome into the cell record after a measured run.
+void fill_fault_outcome(CellResult& r, const sim::Sim& sim,
+                        const core::DistMfbcStats& stats) {
+  const sim::FaultInjector* fi = sim.faults();
+  if (fi == nullptr) return;
+  const sim::FaultCounters& c = fi->counters();
+  r.faults_injected = c.injected;
+  r.faults_detected = c.detected;
+  r.faults_recovered = c.recovered;
+  r.faults_aborted = c.aborted;
+  r.batch_retries = stats.batch_retries;
+  const sim::FaultOverhead& o = fi->overhead();
+  r.overhead_words = o.words;
+  r.overhead_seconds = o.comm_seconds + o.compute_seconds;
+}
+
 }  // namespace
+
+void apply_fault_flags(const BenchArgs& args, CellConfig& cfg) {
+  cfg.fault_spec = args.faults;
+  cfg.fault_seed = args.fault_seed;
+}
 
 CellResult run_mfbc_cell(const graph::Graph& g, const CellConfig& cfg) {
   CellResult r;
@@ -81,6 +103,12 @@ CellResult run_mfbc_cell(const graph::Graph& g, const CellConfig& cfg) {
     // metric registry for the duration of the run.
     telemetry::ScopedLedgerSink sink(sim.ledger());
     core::DistMfbc engine(sim, g);
+    if (!cfg.fault_spec.empty()) {
+      // Enable after construction so the one-time adjacency distribution
+      // (excluded from measurement by the ledger reset below) does not
+      // consume charge indices — fault schedules stay comparable per batch.
+      sim.enable_faults(sim::FaultSpec::parse(cfg.fault_spec, cfg.fault_seed));
+    }
     core::DistMfbcOptions opts;
     opts.batch_size = cfg.batch_size;
     opts.plan_mode = cfg.plan_mode;
@@ -113,6 +141,7 @@ CellResult run_mfbc_cell(const graph::Graph& g, const CellConfig& cfg) {
 #endif
     r.plans = stats.plans_used;
     fill_costs(r, sim, g, static_cast<double>(opts.sources.size()));
+    fill_fault_outcome(r, sim, stats);
   } catch (const Error& e) {
     r.ok = false;
     r.error = e.what();
@@ -172,6 +201,17 @@ telemetry::Json cell_json(const CellResult& r) {
   telemetry::Json plans = telemetry::Json::array();
   for (const std::string& p : r.plans) plans.push(telemetry::Json(p));
   j["plans"] = std::move(plans);
+  if (r.faults_injected > 0 || r.faults_detected > 0) {
+    telemetry::Json f = telemetry::Json::object();
+    f["injected"] = telemetry::Json(static_cast<double>(r.faults_injected));
+    f["detected"] = telemetry::Json(static_cast<double>(r.faults_detected));
+    f["recovered"] = telemetry::Json(static_cast<double>(r.faults_recovered));
+    f["aborted"] = telemetry::Json(static_cast<double>(r.faults_aborted));
+    f["batch_retries"] = telemetry::Json(r.batch_retries);
+    f["overhead_words"] = telemetry::Json(r.overhead_words);
+    f["overhead_seconds"] = telemetry::Json(r.overhead_seconds);
+    j["faults"] = std::move(f);
+  }
   return j;
 }
 
@@ -200,6 +240,9 @@ void maybe_write_artifacts(
     const BenchArgs& args, const std::string& bench,
     const std::vector<std::pair<std::string, const Table*>>& tables) {
   if (!args.json_path.empty()) {
+    // Snapshot the pool's busy/wait split into gauges so the run summary's
+    // registry section carries per-thread utilization alongside the cells.
+    support::export_pool_utilization();
     telemetry::RunSummary summary(bench);
     if (!tables.empty()) {
       telemetry::Json tj = telemetry::Json::object();

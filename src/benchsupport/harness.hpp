@@ -6,6 +6,7 @@
 // traversals/second/node. run_mfbc_cell / run_combblas_cell package that.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <utility>
@@ -14,6 +15,7 @@
 #include "benchsupport/table.hpp"
 #include "graph/graph.hpp"
 #include "mfbc/mfbc_dist.hpp"
+#include "sim/faults.hpp"
 #include "sim/machine.hpp"
 #include "telemetry/json.hpp"
 
@@ -33,6 +35,16 @@ struct CellResult {
   double fwd_words = 0;
   double bwd_words = 0;
   std::vector<std::string> plans;
+  /// Fault-injection outcome (all zero on fault-free runs): counter totals
+  /// from the injector, batch rollbacks performed, and the plain-sum
+  /// recovery overhead booked against the ledger.
+  std::uint64_t faults_injected = 0;
+  std::uint64_t faults_detected = 0;
+  std::uint64_t faults_recovered = 0;
+  std::uint64_t faults_aborted = 0;
+  int batch_retries = 0;
+  double overhead_words = 0;
+  double overhead_seconds = 0;
   bool ok = true;            ///< false when the code refused the configuration
   std::string error;
 };
@@ -48,7 +60,15 @@ struct CellConfig {
   /// amortized (the regime Theorem 5.1's replication argument describes).
   bool warmup = false;
   sim::MachineModel machine = sim::MachineModel::blue_waters();
+  /// Fault spec text (sim::FaultSpec::parse grammar); empty = no injector
+  /// attached, the zero-overhead fault-free path.
+  std::string fault_spec;
+  std::uint64_t fault_seed = 1;
 };
+
+/// Copy the shared --faults/--fault-seed flags into a cell config, so every
+/// bench cell honors them uniformly.
+void apply_fault_flags(const BenchArgs& args, CellConfig& cfg);
 
 /// One CTF-MFBC (or CA-MFBC) measurement.
 CellResult run_mfbc_cell(const graph::Graph& g, const CellConfig& cfg);

@@ -115,6 +115,16 @@ int consume_bench_flag(BenchArgs& args, int argc, char** argv, int i) {
     MFBC_CHECK(args.threads >= 1, "--threads must be >= 1");
     return 2;
   }
+  if (f == "--faults") {
+    MFBC_CHECK(i + 1 < argc, "--faults requires a spec argument");
+    args.faults = argv[i + 1];
+    return 2;
+  }
+  if (f == "--fault-seed") {
+    MFBC_CHECK(i + 1 < argc, "--fault-seed requires a seed argument");
+    args.fault_seed = std::stoull(argv[i + 1]);
+    return 2;
+  }
   return 0;
 }
 
@@ -137,7 +147,8 @@ BenchArgs parse_bench_args(int argc, char** argv) {
     if (used == 0) {
       throw Error(std::string("unknown bench flag: ") + argv[i] +
                   " (supported: --small, --csv DIR, --json PATH, "
-                  "--chrome-trace PATH, --threads N)");
+                  "--chrome-trace PATH, --threads N, --faults SPEC, "
+                  "--fault-seed S)");
     }
     i += used;
   }

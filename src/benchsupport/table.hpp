@@ -3,6 +3,7 @@
 // reports (Table 3 columns, Figure 1/2 MTEPS-per-node series).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -36,14 +37,18 @@ class Table {
 /// printed tables as CSV files into DIR), `--json PATH` (write a
 /// machine-readable run summary — tables, cells, telemetry counters),
 /// `--chrome-trace PATH` (record spans and write a chrome://tracing /
-/// Perfetto trace), and `--threads N` (size the shared-memory execution
-/// pool; results are bit-identical for every N).
+/// Perfetto trace), `--threads N` (size the shared-memory execution
+/// pool; results are bit-identical for every N), `--faults SPEC` (inject
+/// deterministic faults into the simulated machine; grammar in
+/// sim::FaultSpec::parse), and `--fault-seed S` (fault-schedule seed).
 struct BenchArgs {
   bool small = false;
   std::string csv_dir;
   std::string json_path;
   std::string chrome_trace_path;
   int threads = 0;  ///< 0 = leave the pool at its MFBC_THREADS/default size
+  std::string faults;  ///< empty = fault-free (no injector attached at all)
+  std::uint64_t fault_seed = 1;
 };
 
 BenchArgs parse_bench_args(int argc, char** argv);

@@ -21,10 +21,13 @@
 #include <optional>
 #include <vector>
 
+#include "algebra/centpath.hpp"
+#include "algebra/multpath.hpp"
 #include "dist/autotune.hpp"
 #include "dist/cost_model.hpp"
 #include "dist/dmatrix.hpp"
 #include "sim/charge_log.hpp"
+#include "sim/faults.hpp"
 #include "sparse/spgemm.hpp"
 #include "support/parallel.hpp"
 #include "telemetry/registry.hpp"
@@ -37,6 +40,73 @@ struct DistSpgemmStats {
   double total_ops = 0;     ///< Σ over ranks of nonzero products
   double max_rank_ops = 0;  ///< load imbalance indicator
 };
+
+/// ABFT checksum contribution of one result entry (docs/fault_tolerance.md).
+/// The sum of these values over a distributed product is invariant under the
+/// communication schedule, so recomputing it after delivery exposes corrupted
+/// payloads: multiplicities add on ties for multpath (multiplicity-sum),
+/// centrality factors add for centpath (factor-sum); other monoids fall back
+/// to counting entries.
+template <typename M>
+struct AbftChecksum {
+  static double value(const typename M::value_type&) { return 1.0; }
+};
+template <>
+struct AbftChecksum<algebra::MultpathMonoid> {
+  static double value(const algebra::Multpath& x) { return x.m; }
+};
+template <>
+struct AbftChecksum<algebra::CentpathMonoid> {
+  static double value(const algebra::Centpath& x) { return x.p; }
+};
+
+/// Repair every transfer the injector has flagged dirty since the last
+/// check: re-issue the corrupted collective (a fresh charge point — the
+/// repair can itself fault) and redo the dependent merge work, one op per
+/// re-sent word spread over the group. All cost books as fault overhead.
+inline void abft_repair_pending(sim::Sim& sim) {
+  sim::FaultInjector* fi = sim.faults();
+  if (fi == nullptr || !fi->corruption_pending()) return;
+  auto rs = sim.recovery_scope();
+  for (const auto& cor : fi->drain_corruptions()) {
+    telemetry::Span fix("recovery.retransfer");
+    fi->count_detected(sim::FaultKind::kCorruption);
+    sim.charge_retransfer(cor.group, cor.words, cor.msgs);
+    const double ops =
+        cor.words / static_cast<double>(std::max<std::size_t>(
+                        cor.group.size(), 1));
+    for (int r : cor.group) sim.charge_compute(r, ops);
+    fi->count_recovered(sim::FaultKind::kCorruption);
+  }
+}
+
+/// ABFT pass over a delivered product: each holding rank folds its block's
+/// checksum (charged compute), the per-rank partials combine in a one-word
+/// allreduce, and any corruption flagged since the last check is repaired.
+/// A no-op unless fault injection is enabled with a spec that can corrupt.
+template <algebra::Monoid M, typename T>
+void abft_verify(sim::Sim& sim, const DistMatrix<T>& c) {
+  sim::FaultInjector* fi = sim.faults();
+  if (fi == nullptr || !fi->abft_enabled()) return;
+  telemetry::Span span("recovery.abft");
+  telemetry::count("faults.abft.checks");
+  {
+    auto rs = sim.recovery_scope();
+    const Layout& l = c.layout();
+    double checksum = 0;
+    for (int i = 0; i < l.pr; ++i) {
+      for (int j = 0; j < l.pc; ++j) {
+        const auto& blk = c.block(i, j);
+        for (const T& v : blk.val()) checksum += AbftChecksum<M>::value(v);
+        sim.charge_compute(l.rank_at(i, j), static_cast<double>(blk.nnz()));
+      }
+    }
+    const std::vector<int> ranks = l.ranks();
+    sim.charge_allreduce(ranks, 1.0);
+    if (span.active()) span.attr("checksum", checksum);
+  }
+  abft_repair_pending(sim);
+}
 
 namespace detail {
 
@@ -557,6 +627,7 @@ DistMatrix<typename M::value_type> spgemm(sim::Sim& sim, const Plan& plan,
     tele_before = sim.ledger().critical();
   }
   auto tele_finish = [&](DistMatrix<TC> c) {
+    abft_verify<M>(sim, c);
     if (tele_before.has_value()) {
       const sim::Cost now = sim.ledger().critical();
       tele_span.attr("nnz_c", static_cast<std::int64_t>(c.nnz()));

@@ -1,6 +1,12 @@
 // Graph I/O: whitespace edge lists (the SNAP distribution format) and
 // MatrixMarket coordinate files, so real datasets can replace the synthetic
 // proxies when available.
+//
+// The loaders are hardened against malformed input: truncated files,
+// negative / overflowing vertex ids, and non-numeric tokens throw
+// mfbc::Error carrying the source name and 1-based line number (e.g.
+// "graph.txt:17: non-numeric vertex id 'x'") instead of producing garbage
+// graphs. tests/test_io_fuzz.cpp holds the corpora.
 #pragma once
 
 #include <iosfwd>
@@ -17,15 +23,18 @@ struct EdgeListOptions {
 };
 
 /// Parse "u v [w]" lines; '#' and '%' start comment lines. Vertex ids are
-/// compacted to 0..n-1 preserving first-appearance order.
-Graph read_edge_list(std::istream& in, const EdgeListOptions& opts);
+/// compacted to 0..n-1 preserving first-appearance order. `source` names the
+/// stream in error messages (the file loader passes its path).
+Graph read_edge_list(std::istream& in, const EdgeListOptions& opts,
+                     const std::string& source = "<edge list>");
 Graph read_edge_list_file(const std::string& path, const EdgeListOptions& opts);
 
 /// Write "u v w" lines (one stored direction per undirected edge).
 void write_edge_list(std::ostream& out, const Graph& g);
 
 /// MatrixMarket coordinate format ("%%MatrixMarket matrix coordinate ...").
-Graph read_matrix_market(std::istream& in);
+Graph read_matrix_market(std::istream& in,
+                         const std::string& source = "<matrix market>");
 void write_matrix_market(std::ostream& out, const Graph& g);
 
 }  // namespace mfbc::graph

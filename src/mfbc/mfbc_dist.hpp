@@ -19,6 +19,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -37,7 +38,9 @@ struct DistMfbcOptions {
   /// Replication factor c for CA-MFBC; p/c must be a perfect square.
   int replication_c = 1;
   dist::TuneOptions tune;
-  /// If non-empty, accumulate partial BC from these sources only.
+  /// If non-empty, accumulate partial BC from these sources only. Ids must
+  /// be in [0, n) and duplicate-free; run() throws mfbc::Error otherwise,
+  /// before any distribution work starts.
   std::vector<vid_t> sources;
 };
 
@@ -45,6 +48,7 @@ struct DistMfbcStats {
   FrontierTrace forward;
   FrontierTrace backward;
   int batches = 0;
+  int batch_retries = 0;  ///< batches re-run after a rank failure
   std::vector<std::string> plans_used;  ///< distinct plan names, in order seen
   /// Critical-path cost deltas per phase (summed over batches): how much of
   /// the run's W/S/time the forward (MFBF) and backward (MFBr) phases each
@@ -64,6 +68,12 @@ class DistMfbc {
 
   /// Run batched BC; centrality scores are gathered to the caller at the
   /// end (one reduction, charged).
+  ///
+  /// Under fault injection (sim().enable_faults) the batch loop checkpoints
+  /// the accumulated λ at batch boundaries and rolls the current batch back
+  /// on rank failure; results stay bit-identical to the fault-free run for
+  /// every recoverable schedule (docs/fault_tolerance.md). Unrecoverable
+  /// schedules throw sim::FaultError.
   std::vector<double> run(const DistMfbcOptions& opts,
                           DistMfbcStats* stats = nullptr);
 
@@ -75,6 +85,23 @@ class DistMfbc {
 
   dist::Plan plan_for(const DistMfbcOptions& opts, double frontier_nnz,
                       double b_nnz, double out_words) const;
+
+  /// One full MFBF + MFBr pass over `batch_sources`, accumulating into
+  /// `lambda`. Throws sim::FaultError out of the charging layer on rank
+  /// failure; run()'s retry loop owns rollback.
+  void run_batch(const DistMfbcOptions& opts,
+                 const std::vector<vid_t>& batch_sources,
+                 std::vector<double>& lambda, DistMfbcStats* stats,
+                 std::span<const int> all_ranks, int batch_index);
+
+  /// Batch-level rank-failure recovery: verify every base-grid row still has
+  /// a live λ-checkpoint replica (throws an unrecoverable FaultError
+  /// otherwise), re-map dead virtual ranks onto survivors, charge the λ
+  /// restore and adjacency re-fetch, and roll λ back to `checkpoint`.
+  void recover_from_rank_failure(std::vector<double>& lambda,
+                                 const std::vector<double>& checkpoint,
+                                 std::span<const int> all_ranks,
+                                 int batch_index);
 
   sim::Sim& sim_;
   const graph::Graph& g_;

@@ -1,6 +1,10 @@
 #include "sim/comm.hpp"
 
+#include <cmath>
+#include <string>
+
 #include "support/error.hpp"
+#include "telemetry/span.hpp"
 
 namespace mfbc::sim {
 
@@ -17,19 +21,13 @@ int group_size(std::span<const int> group) {
 void Sim::charge_bcast(std::span<const int> group, double payload_words) {
   const int p = group_size(group);
   if (p == 1) return;  // no communication within a single rank
-  const double msgs = 2.0 * log2_ceil(p);
-  const double words = 2.0 * payload_words;
-  ledger_.collective(group, words, msgs,
-                     words * model_.beta + msgs * model_.alpha);
+  charge_collective(group, 2.0 * payload_words, 2.0 * log2_ceil(p));
 }
 
 void Sim::charge_reduce(std::span<const int> group, double result_words) {
   const int p = group_size(group);
   if (p == 1) return;
-  const double msgs = 2.0 * log2_ceil(p);
-  const double words = 2.0 * result_words;
-  ledger_.collective(group, words, msgs,
-                     words * model_.beta + msgs * model_.alpha);
+  charge_collective(group, 2.0 * result_words, 2.0 * log2_ceil(p));
 }
 
 void Sim::charge_allreduce(std::span<const int> group, double result_words) {
@@ -39,9 +37,7 @@ void Sim::charge_allreduce(std::span<const int> group, double result_words) {
 void Sim::charge_scatter(std::span<const int> group, double max_rank_words) {
   const int p = group_size(group);
   if (p == 1) return;
-  const double msgs = log2_ceil(p);
-  ledger_.collective(group, max_rank_words, msgs,
-                     max_rank_words * model_.beta + msgs * model_.alpha);
+  charge_collective(group, max_rank_words, log2_ceil(p));
 }
 
 void Sim::charge_gather(std::span<const int> group, double max_rank_words) {
@@ -58,13 +54,124 @@ void Sim::charge_alltoall(std::span<const int> group, double max_rank_words) {
   // Bruck-style personalized exchange: 2·log2(p) rounds. CTF's sparse
   // redistribution kernels are log-depth collectives in the §5.1 model
   // (same α term as the sparse reduction bound O(β·x + α·log p)).
-  const double msgs = 2.0 * log2_ceil(p);
-  ledger_.collective(group, max_rank_words, msgs,
-                     max_rank_words * model_.beta + msgs * model_.alpha);
+  charge_collective(group, max_rank_words, 2.0 * log2_ceil(p));
 }
 
 void Sim::charge_compute(int rank, double ops) {
-  ledger_.compute(rank, ops, ops * model_.seconds_per_op);
+  const double seconds = ops * model_.seconds_per_op;
+  if (faults_ != nullptr) {
+    if (recovery_depth_ > 0) {
+      FaultOverhead& ov = faults_->overhead();
+      ov.compute_seconds += seconds;
+      ov.ops += ops;
+    }
+    if (!faults_->identity_map()) rank = faults_->physical(rank);
+  }
+  ledger_.compute(rank, ops, seconds);
+}
+
+void Sim::enable_faults(const FaultSpec& spec) {
+  faults_ = std::make_unique<FaultInjector>(spec, nranks());
+}
+
+void Sim::disable_faults() { faults_.reset(); }
+
+void Sim::charge_retransfer(std::span<const int> group, double words,
+                            double msgs) {
+  MFBC_CHECK(faults_ != nullptr, "charge_retransfer without fault injection");
+  RecoveryScope rs(*this);
+  charge_collective(group, words, msgs);
+}
+
+void Sim::charge_collective(std::span<const int> group, double words,
+                            double msgs) {
+  if (faults_ == nullptr) {
+    ledger_.collective(group, words, msgs,
+                       words * model_.beta + msgs * model_.alpha);
+    return;
+  }
+  charge_faulty(group, words, msgs);
+}
+
+void Sim::ledger_collective(std::span<const int> group, double words,
+                            double msgs, double seconds, bool overhead) {
+  if (faults_ != nullptr && (overhead || recovery_depth_ > 0)) {
+    FaultOverhead& ov = faults_->overhead();
+    ov.words += words;
+    ov.msgs += msgs;
+    ov.comm_seconds += seconds;
+  }
+  if (faults_ == nullptr || faults_->identity_map()) {
+    ledger_.collective(group, words, msgs, seconds);
+  } else {
+    const std::vector<int> phys = faults_->physical_group(group);
+    ledger_.collective(phys, words, msgs, seconds);
+  }
+}
+
+void Sim::charge_faulty(std::span<const int> group, double words,
+                        double msgs) {
+  FaultInjector& fi = *faults_;
+  const double seconds = words * model_.beta + msgs * model_.alpha;
+  int failed_attempts = 0;
+  for (;;) {
+    const FaultInjector::Decision d = fi.next(group);
+    switch (d.kind) {
+      case FaultKind::kNone: {
+        ledger_collective(group, words, msgs, seconds, false);
+        if (failed_attempts > 0) {
+          fi.count_recovered(FaultKind::kTransient,
+                             static_cast<std::uint64_t>(failed_attempts));
+        }
+        return;
+      }
+      case FaultKind::kCorruption: {
+        // The payload moves (and is charged) but arrives dirty; the ABFT
+        // checksum after the enclosing multiply detects and repairs it.
+        ledger_collective(group, words, msgs, seconds, false);
+        fi.record_corruption({d.index, words, msgs,
+                              std::vector<int>(group.begin(), group.end())});
+        fi.count_injected(FaultKind::kCorruption);
+        return;
+      }
+      case FaultKind::kTransient: {
+        // The group pays for the full exchange before the timeout is
+        // declared, then an exponentially growing backoff before retrying.
+        telemetry::Span span("recovery.retry");
+        fi.count_injected(FaultKind::kTransient);
+        fi.count_detected(FaultKind::kTransient);
+        ledger_collective(group, words, msgs, seconds, true);
+        ++failed_attempts;
+        if (failed_attempts > fi.spec().max_retries) {
+          fi.count_aborted(FaultKind::kTransient);
+          throw FaultError(
+              FaultKind::kTransient, d.index, -1, false,
+              "transient collective fault persisted after " +
+                  std::to_string(fi.spec().max_retries) +
+                  " retries at charge point " + std::to_string(d.index));
+        }
+        const double backoff =
+            model_.alpha * std::ldexp(1.0, failed_attempts - 1);
+        ledger_collective(group, 0.0, 1.0, backoff + model_.alpha, true);
+        if (span.active()) span.attr("attempt", std::int64_t{failed_attempts});
+        break;  // retry: the next loop iteration is a fresh charge point
+      }
+      case FaultKind::kRankFailure: {
+        // The collective stalls until the death is detected: the attempt is
+        // charged in full, then the failure surfaces for batch rollback.
+        ledger_collective(group, words, msgs, seconds, true);
+        fi.count_injected(FaultKind::kRankFailure);
+        fi.count_detected(FaultKind::kRankFailure);
+        const int phys = fi.physical(d.victim);
+        fi.kill(phys);
+        throw FaultError(
+            FaultKind::kRankFailure, d.index, d.victim, true,
+            "virtual rank " + std::to_string(d.victim) + " (physical rank " +
+                std::to_string(phys) + ") failed at charge point " +
+                std::to_string(d.index));
+      }
+    }
+  }
 }
 
 }  // namespace mfbc::sim

@@ -6,10 +6,20 @@
 // implements one collective's α–β cost from machine.hpp's conventions; the
 // adjacent code in the dist layer performs the matching data movement, and
 // the test suite cross-checks charged words against the bytes actually moved.
+//
+// When a FaultInjector is installed (enable_faults), every multi-rank
+// collective charge becomes a fault charge point: transient faults retry
+// with backoff here, corruption is flagged for downstream ABFT checks, and
+// rank failures throw FaultError for batch-level recovery. Virtual ranks are
+// then translated through the injector's virtual→physical map so a degraded
+// machine accrues cost honestly while the logical grid — and therefore the
+// data path — never changes.
 #pragma once
 
+#include <memory>
 #include <span>
 
+#include "sim/faults.hpp"
 #include "sim/ledger.hpp"
 #include "sim/machine.hpp"
 
@@ -19,6 +29,8 @@ class Sim {
  public:
   explicit Sim(int nranks, MachineModel model = MachineModel::blue_waters());
 
+  /// Virtual rank count: fixed for the lifetime of the Sim, even after rank
+  /// failures (dead ranks are re-mapped onto survivors, not removed).
   int nranks() const { return ledger_.nranks(); }
   const MachineModel& model() const { return model_; }
   CostLedger& ledger() { return ledger_; }
@@ -46,9 +58,55 @@ class Sim {
   /// Local sparse-kernel work on one rank (ops = nonzero products).
   void charge_compute(int rank, double ops);
 
+  // --- fault injection ----------------------------------------------------
+
+  /// Install a FaultInjector driven by `spec` (replacing any previous one).
+  /// With no injector installed the charge path is exactly the fault-free
+  /// one — a single null check and nothing else.
+  void enable_faults(const FaultSpec& spec);
+  void disable_faults();
+  bool faults_enabled() const { return faults_ != nullptr; }
+  FaultInjector* faults() { return faults_.get(); }
+  const FaultInjector* faults() const { return faults_.get(); }
+
+  /// Re-issue a corrupted transfer from its recorded raw (words, msgs), as
+  /// part of ABFT repair. This is a fresh charge point — the repair itself
+  /// can fault — and its cost books as fault overhead.
+  void charge_retransfer(std::span<const int> group, double words,
+                         double msgs);
+
+  /// While a RecoveryScope is alive every charge on this Sim is additionally
+  /// booked into FaultInjector::overhead() — used by ABFT checks, checkpoint
+  /// replication, and batch-rollback restores so recovery cost is separable
+  /// from base cost in the ledger totals.
+  class RecoveryScope {
+   public:
+    explicit RecoveryScope(Sim& s) : s_(&s) { ++s_->recovery_depth_; }
+    ~RecoveryScope() { --s_->recovery_depth_; }
+    RecoveryScope(const RecoveryScope&) = delete;
+    RecoveryScope& operator=(const RecoveryScope&) = delete;
+
+   private:
+    Sim* s_;
+  };
+  RecoveryScope recovery_scope() { return RecoveryScope(*this); }
+
  private:
+  /// Common charge path for every collective, post cost expansion.
+  void charge_collective(std::span<const int> group, double words,
+                         double msgs);
+  /// Fault-aware slow path: decides the fault at this charge point, retries
+  /// transients, records corruption, kills ranks.
+  void charge_faulty(std::span<const int> group, double words, double msgs);
+  /// Land one charge on the ledger, translating virtual ranks to physical
+  /// hosts and booking overhead when flagged (or inside a RecoveryScope).
+  void ledger_collective(std::span<const int> group, double words, double msgs,
+                         double seconds, bool overhead);
+
   MachineModel model_;
   CostLedger ledger_;
+  std::unique_ptr<FaultInjector> faults_;
+  int recovery_depth_ = 0;
 };
 
 }  // namespace mfbc::sim

@@ -1,0 +1,273 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/rng.hpp"
+#include "telemetry/registry.hpp"
+
+namespace mfbc::sim {
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kTransient:
+      return "transient";
+    case FaultKind::kRankFailure:
+      return "rank";
+    case FaultKind::kCorruption:
+      return "corrupt";
+  }
+  return "?";
+}
+
+FaultError::FaultError(FaultKind kind, std::uint64_t charge_index, int rank,
+                       bool recoverable, const std::string& what)
+    : ::mfbc::Error(what),
+      kind_(kind),
+      charge_index_(charge_index),
+      rank_(rank),
+      recoverable_(recoverable) {}
+
+bool FaultSpec::any_rank_faults() const {
+  if (rank_failure_rate > 0) return true;
+  for (const Scheduled& s : scheduled)
+    if (s.kind == FaultKind::kRankFailure) return true;
+  return false;
+}
+
+bool FaultSpec::any_corruption() const {
+  if (corruption_rate > 0) return true;
+  for (const Scheduled& s : scheduled)
+    if (s.kind == FaultKind::kCorruption) return true;
+  return false;
+}
+
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& item, const char* why) {
+  throw ::mfbc::Error("bad --faults item '" + item + "': " + why);
+}
+
+double parse_rate(const std::string& item, const std::string& text) {
+  char* end = nullptr;
+  const double r = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') bad_spec(item, "expected a number");
+  if (!(r >= 0.0 && r <= 1.0)) bad_spec(item, "rate must be in [0, 1]");
+  return r;
+}
+
+std::int64_t parse_int(const std::string& item, const std::string& text) {
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') bad_spec(item, "expected an integer");
+  if (v < 0) bad_spec(item, "value must be non-negative");
+  return v;
+}
+
+FaultKind kind_of(const std::string& name) {
+  if (name == "transient") return FaultKind::kTransient;
+  if (name == "corrupt" || name == "corruption") return FaultKind::kCorruption;
+  if (name == "rank") return FaultKind::kRankFailure;
+  return FaultKind::kNone;
+}
+
+}  // namespace
+
+FaultSpec FaultSpec::parse(const std::string& text, std::uint64_t seed) {
+  FaultSpec spec;
+  spec.seed = seed;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string item = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    if (item == "trace") {
+      spec.record_trace = true;
+      continue;
+    }
+    const std::size_t at = item.find('@');
+    const std::size_t colon = item.find(':');
+    if (at != std::string::npos && (colon == std::string::npos || at < colon)) {
+      // name@index[:victim] — an explicitly scheduled fault.
+      Scheduled s;
+      s.kind = kind_of(item.substr(0, at));
+      if (s.kind == FaultKind::kNone) bad_spec(item, "unknown fault kind");
+      std::string rest = item.substr(at + 1);
+      const std::size_t vcolon = rest.find(':');
+      if (vcolon != std::string::npos) {
+        if (s.kind != FaultKind::kRankFailure)
+          bad_spec(item, "only rank@I:V takes a victim");
+        s.victim = static_cast<int>(parse_int(item, rest.substr(vcolon + 1)));
+        rest = rest.substr(0, vcolon);
+      }
+      s.charge_index = static_cast<std::uint64_t>(parse_int(item, rest));
+      spec.scheduled.push_back(s);
+      continue;
+    }
+    if (colon == std::string::npos) bad_spec(item, "expected name:value");
+    const std::string name = item.substr(0, colon);
+    const std::string value = item.substr(colon + 1);
+    if (name == "retries") {
+      spec.max_retries = static_cast<int>(parse_int(item, value));
+    } else if (name == "batch-retries") {
+      spec.max_batch_retries = static_cast<int>(parse_int(item, value));
+    } else if (name == "seed") {
+      spec.seed = static_cast<std::uint64_t>(parse_int(item, value));
+    } else if (kind_of(name) == FaultKind::kTransient) {
+      spec.transient_rate = parse_rate(item, value);
+    } else if (kind_of(name) == FaultKind::kCorruption) {
+      spec.corruption_rate = parse_rate(item, value);
+    } else if (kind_of(name) == FaultKind::kRankFailure) {
+      spec.rank_failure_rate = parse_rate(item, value);
+    } else {
+      bad_spec(item, "unknown item");
+    }
+  }
+  return spec;
+}
+
+FaultInjector::FaultInjector(FaultSpec spec, int nranks)
+    : spec_(std::move(spec)), map_(nranks), dead_(nranks, 0), alive_(nranks) {
+  MFBC_CHECK(nranks > 0, "fault injector needs at least one rank");
+  for (int r = 0; r < nranks; ++r) map_[r] = r;
+  for (const FaultSpec::Scheduled& s : spec_.scheduled) {
+    MFBC_CHECK(s.victim < nranks, "scheduled fault victim out of range");
+  }
+}
+
+double FaultInjector::draw(std::uint64_t index, std::uint64_t stream) const {
+  // SplitMix64 over a mixed key: consecutive indices give independent,
+  // platform-stable streams, so the schedule is a pure function of
+  // (seed, charge index) — the determinism contract tests rely on.
+  SplitMix64 mix(spec_.seed ^ (index * 0x9E3779B97F4A7C15ull) ^
+                 (stream * 0xBF58476D1CE4E5B9ull));
+  mix.next();
+  return static_cast<double>(mix.next() >> 11) * 0x1.0p-53;
+}
+
+FaultInjector::Decision FaultInjector::next(std::span<const int> group) {
+  Decision d;
+  d.index = next_index_++;
+  for (const FaultSpec::Scheduled& s : spec_.scheduled) {
+    if (s.charge_index == d.index) {
+      d.kind = s.kind;
+      d.victim = s.victim;
+      break;
+    }
+  }
+  if (d.kind == FaultKind::kNone) {
+    const double u = draw(d.index, 0);
+    if (u < spec_.transient_rate) {
+      d.kind = FaultKind::kTransient;
+    } else if (u < spec_.transient_rate + spec_.corruption_rate) {
+      d.kind = FaultKind::kCorruption;
+    } else if (u < spec_.transient_rate + spec_.corruption_rate +
+                       spec_.rank_failure_rate) {
+      d.kind = FaultKind::kRankFailure;
+    }
+  }
+  if (d.kind == FaultKind::kRankFailure && d.victim < 0) {
+    const auto i = static_cast<std::size_t>(
+        draw(d.index, 1) * static_cast<double>(group.size()));
+    d.victim = group[std::min(i, group.size() - 1)];
+  }
+  if (spec_.record_trace) {
+    trace_.push_back(
+        {d.index, static_cast<int>(group.size()), d.kind, d.victim});
+  }
+  return d;
+}
+
+std::vector<int> FaultInjector::physical_group(
+    std::span<const int> group) const {
+  std::vector<int> phys;
+  phys.reserve(group.size());
+  for (int v : group) phys.push_back(map_[v]);
+  std::sort(phys.begin(), phys.end());
+  phys.erase(std::unique(phys.begin(), phys.end()), phys.end());
+  return phys;
+}
+
+void FaultInjector::kill(int physical) {
+  MFBC_CHECK(physical >= 0 && physical < nranks(), "kill: rank out of range");
+  if (dead_[physical]) return;
+  dead_[physical] = 1;
+  --alive_;
+}
+
+void FaultInjector::remap() {
+  if (alive_ == 0) {
+    throw FaultError(FaultKind::kRankFailure, next_index_, -1, false,
+                     "unrecoverable: every physical rank is dead");
+  }
+  std::vector<int> alive;
+  alive.reserve(static_cast<std::size_t>(alive_));
+  for (int r = 0; r < nranks(); ++r)
+    if (!dead_[r]) alive.push_back(r);
+  identity_ = alive_ == nranks();
+  for (int v = 0; v < nranks(); ++v) {
+    if (dead_[map_[v]]) {
+      map_[v] = alive[static_cast<std::size_t>(v) % alive.size()];
+      identity_ = false;
+    }
+  }
+}
+
+void FaultInjector::record_corruption(Corruption c) {
+  pending_.push_back(std::move(c));
+}
+
+std::vector<FaultInjector::Corruption> FaultInjector::drain_corruptions() {
+  std::vector<Corruption> out;
+  out.swap(pending_);
+  return out;
+}
+
+namespace {
+void mirror(const char* event, FaultKind k, std::uint64_t n) {
+  telemetry::count(std::string("faults.") + event, static_cast<double>(n));
+  if (k != FaultKind::kNone) {
+    telemetry::count(std::string("faults.") + event + "." + fault_kind_name(k),
+                     static_cast<double>(n));
+  }
+}
+}  // namespace
+
+void FaultInjector::count_injected(FaultKind k) {
+  ++counters_.injected;
+  switch (k) {
+    case FaultKind::kTransient:
+      ++counters_.injected_transient;
+      break;
+    case FaultKind::kRankFailure:
+      ++counters_.injected_rank;
+      break;
+    case FaultKind::kCorruption:
+      ++counters_.injected_corruption;
+      break;
+    case FaultKind::kNone:
+      break;
+  }
+  mirror("injected", k, 1);
+}
+
+void FaultInjector::count_detected(FaultKind k, std::uint64_t n) {
+  counters_.detected += n;
+  mirror("detected", k, n);
+}
+
+void FaultInjector::count_recovered(FaultKind k, std::uint64_t n) {
+  counters_.recovered += n;
+  mirror("recovered", k, n);
+}
+
+void FaultInjector::count_aborted(FaultKind k) {
+  ++counters_.aborted;
+  mirror("aborted", k, 1);
+}
+
+}  // namespace mfbc::sim

@@ -1,0 +1,220 @@
+// Deterministic fault injection for the simulated machine.
+//
+// A FaultInjector, owned by sim::Sim, fires faults at *charge points*: every
+// multi-rank collective charged on the Sim consumes one monotonically
+// increasing charge index, and the fault (if any) at that index is a pure
+// function of (seed, charge index). Because deferred charges recorded in
+// sim::ChargeLog are replayed into the Sim in serial task order at region
+// barriers, the sequence of charge points — and therefore the fault
+// schedule — is identical at every thread count (docs/fault_tolerance.md).
+//
+// Three fault classes are modeled:
+//  - kTransient:   a collective times out and must be retried (the failed
+//                  attempt and an exponentially growing backoff are charged);
+//  - kRankFailure: a virtual rank's physical host dies for the rest of the
+//                  run; recovery re-maps the rank onto a survivor;
+//  - kCorruption:  the payload of a collective arrives bit-flipped; the
+//                  words are flagged dirty here and caught downstream by the
+//                  ABFT checksum over each distributed SpGEMM.
+//
+// The injector never perturbs the actual data path — payloads always move
+// correctly and corruption is tracked as metadata — so a recovered run
+// produces bit-identical results to the fault-free run while the ledger
+// honestly accumulates the recovery cost.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace mfbc::sim {
+
+enum class FaultKind { kNone, kTransient, kRankFailure, kCorruption };
+
+const char* fault_kind_name(FaultKind k);
+
+/// Structured error carrying the fault that could not be absorbed at the
+/// charging layer. Rank failures are thrown with recoverable() == true and
+/// caught by DistMfbc's batch rollback; exhausted transient retries and
+/// unrecoverable topologies (every replica of a checkpoint segment dead)
+/// are thrown with recoverable() == false and surface to the caller.
+class FaultError : public ::mfbc::Error {
+ public:
+  FaultError(FaultKind kind, std::uint64_t charge_index, int rank,
+             bool recoverable, const std::string& what);
+
+  FaultKind kind() const { return kind_; }
+  std::uint64_t charge_index() const { return charge_index_; }
+  /// Virtual rank that died (kRankFailure); -1 otherwise.
+  int rank() const { return rank_; }
+  bool recoverable() const { return recoverable_; }
+
+ private:
+  FaultKind kind_;
+  std::uint64_t charge_index_;
+  int rank_;
+  bool recoverable_;
+};
+
+/// What to inject and how hard to try recovering. Parsed from the
+/// `--faults=` CLI/bench flag; see parse() for the grammar.
+struct FaultSpec {
+  std::uint64_t seed = 1;
+
+  // Independent per-charge-point probabilities (cascaded on one draw).
+  double transient_rate = 0;
+  double corruption_rate = 0;
+  double rank_failure_rate = 0;
+
+  /// Explicitly scheduled faults, by charge index. `victim` pins the dying
+  /// virtual rank for kRankFailure (-1 draws it from the faulting group).
+  struct Scheduled {
+    FaultKind kind = FaultKind::kNone;
+    std::uint64_t charge_index = 0;
+    int victim = -1;
+  };
+  std::vector<Scheduled> scheduled;
+
+  /// Transient policy: a collective is retried up to max_retries times with
+  /// backoff alpha * 2^(attempt-1) before the run aborts.
+  int max_retries = 3;
+  /// Rank-failure policy: a batch is re-run at most this many times.
+  int max_batch_retries = 4;
+  /// Record one TracePoint per charge point (tests assert schedule
+  /// determinism across thread counts against this).
+  bool record_trace = false;
+
+  bool any_rank_faults() const;
+  bool any_corruption() const;
+
+  /// Parse a comma-separated spec, e.g.
+  ///   "transient:0.01,corrupt:0.002,rank:0.0005,retries:5"
+  ///   "transient@12,corrupt@40,rank@88:3,trace"
+  /// Items: `transient:R` `corrupt:R` `rank:R` (rates in [0,1]);
+  /// `transient@I` `corrupt@I` `rank@I` `rank@I:V` (explicit charge index I,
+  /// victim rank V); `retries:N`; `batch-retries:N`; `trace`.
+  /// Throws mfbc::Error on malformed input.
+  static FaultSpec parse(const std::string& text, std::uint64_t seed = 1);
+};
+
+struct FaultCounters {
+  std::uint64_t injected = 0;
+  std::uint64_t injected_transient = 0;
+  std::uint64_t injected_rank = 0;
+  std::uint64_t injected_corruption = 0;
+  std::uint64_t detected = 0;   ///< timeouts observed + ABFT mismatches
+  std::uint64_t recovered = 0;  ///< faults fully absorbed by a policy
+  std::uint64_t aborted = 0;    ///< faults that escaped every policy
+};
+
+/// Plain sums (not critical-path maxima) of every charge attributable to
+/// faults: failed attempts, backoffs, ABFT checks, re-transfers, checkpoint
+/// replication and restores. When all fault sites span all-ranks groups the
+/// ledger's critical-path words/msgs/comm_seconds grow by exactly these
+/// sums — the property tests in tests/test_faults.cpp rely on that.
+struct FaultOverhead {
+  double words = 0;
+  double msgs = 0;
+  double comm_seconds = 0;
+  double compute_seconds = 0;
+  double ops = 0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(FaultSpec spec, int nranks);
+
+  const FaultSpec& spec() const { return spec_; }
+  int nranks() const { return static_cast<int>(map_.size()); }
+
+  /// Charge points consumed so far (== the next index to be assigned).
+  std::uint64_t charge_points() const { return next_index_; }
+
+  struct Decision {
+    std::uint64_t index = 0;
+    FaultKind kind = FaultKind::kNone;
+    int victim = -1;  ///< virtual rank, kRankFailure only
+  };
+
+  /// Consume the next charge point for a collective over `group` (virtual
+  /// ranks) and decide which fault, if any, fires there.
+  Decision next(std::span<const int> group);
+
+  // --- degraded machine: virtual -> physical rank map -------------------
+  bool identity_map() const { return identity_; }
+  bool dead(int physical) const { return dead_[physical] != 0; }
+  int alive_count() const { return alive_; }
+  /// Physical rank currently hosting `virtual_rank`.
+  int physical(int virtual_rank) const { return map_[virtual_rank]; }
+  /// Translate a virtual group to the sorted, deduplicated physical ranks
+  /// hosting it.
+  std::vector<int> physical_group(std::span<const int> group) const;
+  /// Mark a physical rank dead. Charges keep flowing through the stale map
+  /// until remap() — callers throw immediately after kill(), so no charge
+  /// lands in between.
+  void kill(int physical);
+  /// Deterministically re-home every virtual rank whose host died onto a
+  /// surviving physical rank (virtual v -> alive[v mod alive_count]).
+  /// Throws FaultError(recoverable=false) when no rank survives.
+  void remap();
+
+  // --- corruption bookkeeping -------------------------------------------
+  struct Corruption {
+    std::uint64_t index = 0;
+    double words = 0;  ///< raw charged words of the corrupted collective
+    double msgs = 0;
+    std::vector<int> group;  ///< virtual ranks of the collective
+  };
+  void record_corruption(Corruption c);
+  bool corruption_pending() const { return !pending_.empty(); }
+  std::vector<Corruption> drain_corruptions();
+
+  /// ABFT checks run after every distributed SpGEMM iff the spec can corrupt.
+  bool abft_enabled() const { return spec_.any_corruption(); }
+  /// λ checkpoints are replicated at batch boundaries iff ranks can die.
+  bool checkpoint_enabled() const { return spec_.any_rank_faults(); }
+
+  // --- accounting --------------------------------------------------------
+  const FaultCounters& counters() const { return counters_; }
+  FaultOverhead& overhead() { return overhead_; }
+  const FaultOverhead& overhead() const { return overhead_; }
+
+  /// Counter bumps, mirrored into the telemetry registry as
+  /// faults.{injected,detected,recovered,aborted}[.kind] counters.
+  void count_injected(FaultKind k);
+  void count_detected(FaultKind k, std::uint64_t n = 1);
+  void count_recovered(FaultKind k, std::uint64_t n = 1);
+  void count_aborted(FaultKind k);
+
+  /// One entry per charge point when spec().record_trace is set.
+  struct TracePoint {
+    std::uint64_t index = 0;
+    int group_size = 0;
+    FaultKind fired = FaultKind::kNone;
+    int victim = -1;
+
+    friend bool operator==(const TracePoint&, const TracePoint&) = default;
+  };
+  const std::vector<TracePoint>& trace() const { return trace_; }
+
+ private:
+  /// Uniform [0,1) draw, a pure function of (spec seed, charge index,
+  /// stream); stream 0 selects the fault kind, stream 1 the victim.
+  double draw(std::uint64_t index, std::uint64_t stream) const;
+
+  FaultSpec spec_;
+  std::uint64_t next_index_ = 0;
+  std::vector<int> map_;       ///< virtual rank -> physical rank
+  std::vector<char> dead_;     ///< per physical rank
+  int alive_ = 0;
+  bool identity_ = true;
+  std::vector<Corruption> pending_;
+  FaultCounters counters_;
+  FaultOverhead overhead_;
+  std::vector<TracePoint> trace_;
+};
+
+}  // namespace mfbc::sim

@@ -2,8 +2,10 @@
 
 #include <cstdlib>
 #include <memory>
+#include <string>
 
 #include "support/error.hpp"
+#include "telemetry/registry.hpp"
 #include "telemetry/span.hpp"
 
 namespace mfbc::support {
@@ -39,6 +41,9 @@ ThreadPool::ThreadPool(int threads) {
   MFBC_CHECK(threads >= 1 && threads <= 512,
              "thread pool size must be in [1, 512]");
   errors_.resize(static_cast<std::size_t>(threads));
+  util_.resize(static_cast<std::size_t>(threads));
+  scratch_busy_ns_.resize(static_cast<std::size_t>(threads), -1.0);
+  scratch_finish_.resize(static_cast<std::size_t>(threads));
   workers_.reserve(static_cast<std::size_t>(threads - 1));
   for (int chunk = 1; chunk < threads; ++chunk) {
     workers_.emplace_back([this, chunk] { worker_loop(chunk); });
@@ -62,6 +67,7 @@ void ThreadPool::run_chunk(const Job& job, int chunk,
   const std::size_t begin = job.n * static_cast<std::size_t>(chunk) / t;
   const std::size_t end = job.n * (static_cast<std::size_t>(chunk) + 1) / t;
   if (begin == end) return;
+  const auto busy_start = std::chrono::steady_clock::now();
 #if MFBC_TELEMETRY
   // Spans opened by the task body on this worker attach under the span that
   // was innermost on the enqueuing thread, so traces keep their nesting.
@@ -88,6 +94,10 @@ void ThreadPool::run_chunk(const Job& job, int chunk,
 #if MFBC_TELEMETRY
   if (adopt) telemetry::collector().set_thread_parent(prev_parent);
 #endif
+  const auto busy_end = std::chrono::steady_clock::now();
+  scratch_finish_[static_cast<std::size_t>(chunk)] = busy_end;
+  scratch_busy_ns_[static_cast<std::size_t>(chunk)] =
+      std::chrono::duration<double, std::nano>(busy_end - busy_start).count();
 }
 
 void ThreadPool::worker_loop(int chunk) {
@@ -115,8 +125,21 @@ void ThreadPool::parallel_for(std::size_t n,
   if (size() == 1 || n == 1 || tl_in_parallel_region) {
     // Serial fallback: nested regions and single-thread pools run inline on
     // the calling thread, in index order — the exact pre-pool behaviour.
-    RegionGuard guard;
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    // Nested regions are inside the enclosing chunk's busy time already, so
+    // only top-level serial regions accrue utilization (on chunk 0).
+    const bool track = !tl_in_parallel_region;
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+      RegionGuard guard;
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+    }
+    if (track) {
+      const auto t1 = std::chrono::steady_clock::now();
+      std::lock_guard<std::mutex> lock(mu_);
+      util_[0].busy_ns +=
+          std::chrono::duration<double, std::nano>(t1 - t0).count();
+      ++util_[0].regions;
+    }
     return;
   }
   Job job;
@@ -128,6 +151,7 @@ void ThreadPool::parallel_for(std::size_t n,
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (std::exception_ptr& e : errors_) e = nullptr;
+    for (double& b : scratch_busy_ns_) b = -1.0;
     job_ = job;
     pending_ = static_cast<int>(workers_.size());
     ++generation_;
@@ -137,11 +161,33 @@ void ThreadPool::parallel_for(std::size_t n,
   {
     std::unique_lock<std::mutex> lock(mu_);
     done_cv_.wait(lock, [&] { return pending_ == 0; });
+    // Fold this region's scratch into the running utilization: each chunk
+    // that ran was busy for its measured span and then waited from its
+    // finish until the barrier released (now).
+    const auto barrier = std::chrono::steady_clock::now();
+    for (std::size_t c = 0; c < scratch_busy_ns_.size(); ++c) {
+      if (scratch_busy_ns_[c] < 0) continue;
+      util_[c].busy_ns += scratch_busy_ns_[c];
+      util_[c].wait_ns +=
+          std::chrono::duration<double, std::nano>(barrier - scratch_finish_[c])
+              .count();
+      ++util_[c].regions;
+    }
   }
   // Deterministic error propagation: the lowest-index failing chunk wins.
   for (const std::exception_ptr& e : errors_) {
     if (e != nullptr) std::rethrow_exception(e);
   }
+}
+
+std::vector<ChunkUtilization> ThreadPool::utilization() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return util_;
+}
+
+void ThreadPool::reset_utilization() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (ChunkUtilization& u : util_) u = {};
 }
 
 namespace {
@@ -167,5 +213,24 @@ void set_threads(int n) {
 }
 
 int num_threads() { return pool().size(); }
+
+void export_pool_utilization() {
+#if MFBC_TELEMETRY
+  const std::vector<ChunkUtilization> util = pool().utilization();
+  double busy = 0, wait = 0;
+  for (std::size_t c = 0; c < util.size(); ++c) {
+    const std::string prefix =
+        "parallel.pool.chunk" + std::to_string(c) + ".";
+    telemetry::gauge(prefix + "busy_ns", util[c].busy_ns);
+    telemetry::gauge(prefix + "wait_ns", util[c].wait_ns);
+    telemetry::gauge(prefix + "regions",
+                     static_cast<double>(util[c].regions));
+    busy += util[c].busy_ns;
+    wait += util[c].wait_ns;
+  }
+  telemetry::gauge("parallel.pool.busy_ns", busy);
+  telemetry::gauge("parallel.pool.wait_ns", wait);
+#endif
+}
 
 }  // namespace mfbc::support

@@ -25,6 +25,7 @@
 // hardware_concurrency.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -35,6 +36,19 @@
 #include <vector>
 
 namespace mfbc::support {
+
+/// Per-chunk utilization of the pool, accumulated across top-level regions:
+/// how long each chunk spent executing task bodies (busy) versus waiting at
+/// the region barrier for the slowest chunk (wait). The busy/wait split is
+/// what lets the threads-scaling benches attribute sublinear speedups to
+/// load imbalance rather than kernel cost.
+struct ChunkUtilization {
+  double busy_ns = 0;        ///< executing fn(i) calls
+  double wait_ns = 0;        ///< finished, waiting for the region barrier
+  std::uint64_t regions = 0; ///< top-level regions in which this chunk ran
+
+  double total_ns() const { return busy_ns + wait_ns; }
+};
 
 /// Fixed-size pool of worker threads executing statically partitioned index
 /// ranges. The calling thread participates as chunk 0, so a pool of size n
@@ -61,6 +75,12 @@ class ThreadPool {
   /// (worker or caller); further regions on this thread run inline.
   static bool in_parallel_region();
 
+  /// Per-chunk busy/wait accumulation since construction (or the last
+  /// reset); index 0 is the calling thread. Nested inline regions are not
+  /// tracked separately — their time is part of the enclosing chunk's busy.
+  std::vector<ChunkUtilization> utilization() const;
+  void reset_utilization();
+
  private:
   struct Job {
     const std::function<void(std::size_t)>* fn = nullptr;
@@ -72,7 +92,7 @@ class ThreadPool {
   void run_chunk(const Job& job, int chunk, std::exception_ptr& error);
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
   Job job_;
@@ -80,6 +100,13 @@ class ThreadPool {
   int pending_ = 0;
   bool stop_ = false;
   std::vector<std::exception_ptr> errors_;  ///< one slot per chunk
+
+  // Utilization bookkeeping: workers write their per-region scratch slot
+  // before the barrier decrement; the submitting thread folds the scratch
+  // into util_ under mu_ after the barrier, so no slot is ever shared.
+  std::vector<ChunkUtilization> util_;
+  std::vector<double> scratch_busy_ns_;  ///< -1 = chunk had no work
+  std::vector<std::chrono::steady_clock::time_point> scratch_finish_;
 };
 
 /// The process-wide pool used by the dist/mfbc kernels. First use sizes it
@@ -92,6 +119,12 @@ void set_threads(int n);
 
 /// Current global pool size (total threads including the caller).
 int num_threads();
+
+/// Snapshot the global pool's per-chunk utilization into telemetry gauges:
+/// parallel.pool.chunk<k>.{busy_ns,wait_ns,regions} per chunk plus
+/// parallel.pool.{busy_ns,wait_ns} totals. Called by the bench harness and
+/// the CLI before writing run artifacts; a no-op with telemetry off.
+void export_pool_utilization();
 
 /// Convenience wrapper: pool().parallel_for(n, fn).
 inline void parallel_for(std::size_t n,

@@ -1,0 +1,428 @@
+// Deterministic fault injection and recovery (docs/fault_tolerance.md).
+//
+// The contract under test, in order of importance:
+//  1. The fault schedule is a pure function of (seed, charge index) and the
+//     charge-index sequence is thread-count invariant, so the same spec
+//     produces the same faults — and the same recovered run — at every
+//     thread count.
+//  2. Recoverable schedules produce bit-identical centrality to the
+//     fault-free run; only the ledger grows, and for faults injected at
+//     all-ranks charge points it grows by exactly the injector's overhead
+//     sums.
+//  3. Unrecoverable schedules (every replica of a λ-checkpoint row dead,
+//     retry budgets exhausted) surface as structured FaultErrors.
+//  4. With no injector — or an injector whose spec never fires — the charge
+//     path is unchanged: zero overhead, identical ledger.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "mfbc/mfbc_dist.hpp"
+#include "sim/charge_log.hpp"
+#include "sim/comm.hpp"
+#include "sim/faults.hpp"
+#include "support/error.hpp"
+#include "support/parallel.hpp"
+#include "telemetry/registry.hpp"
+
+namespace mfbc::core {
+namespace {
+
+using graph::Graph;
+using graph::vid_t;
+
+/// Restores the global pool size on scope exit.
+struct PoolSizeGuard {
+  int saved = support::num_threads();
+  ~PoolSizeGuard() { support::set_threads(saved); }
+};
+
+struct FaultRun {
+  std::vector<double> lambda;
+  sim::Cost crit;
+  sim::FaultCounters counters;
+  sim::FaultOverhead overhead;
+  std::vector<sim::FaultInjector::TracePoint> trace;
+  std::uint64_t charge_points = 0;
+  int batch_retries = 0;
+};
+
+/// One distributed run with `spec` ("" = no injector). Faults are enabled
+/// after construction so the one-time graph distribution consumes no charge
+/// indices and schedules address the algorithm itself.
+FaultRun run_dist(const Graph& g, int p, const std::string& spec,
+                  vid_t batch = 8) {
+  sim::Sim sim(p);
+  DistMfbc engine(sim, g);
+  if (!spec.empty()) sim.enable_faults(sim::FaultSpec::parse(spec));
+  DistMfbcOptions opts;
+  opts.batch_size = batch;
+  DistMfbcStats st;
+  FaultRun out;
+  out.lambda = engine.run(opts, &st);
+  out.crit = sim.ledger().critical();
+  if (const sim::FaultInjector* fi = sim.faults()) {
+    out.counters = fi->counters();
+    out.overhead = fi->overhead();
+    out.trace = fi->trace();
+    out.charge_points = fi->charge_points();
+  }
+  out.batch_retries = st.batch_retries;
+  return out;
+}
+
+void expect_bit_identical(const std::vector<double>& got,
+                          const std::vector<double>& ref) {
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t v = 0; v < ref.size(); ++v) {
+    ASSERT_EQ(got[v], ref[v]) << "vertex " << v;
+  }
+}
+
+Graph test_graph() {
+  return graph::erdos_renyi(40, 160, /*directed=*/false, {}, 99);
+}
+
+// ---------------------------------------------------------------------------
+// Spec parsing
+
+TEST(FaultSpec, ParsesRatesPoliciesAndSchedules) {
+  const sim::FaultSpec s = sim::FaultSpec::parse(
+      "transient:0.01,corrupt:0.002,rank:0.0005,retries:5,batch-retries:7,"
+      "transient@12,corrupt@40,rank@88:3,seed:42,trace");
+  EXPECT_DOUBLE_EQ(s.transient_rate, 0.01);
+  EXPECT_DOUBLE_EQ(s.corruption_rate, 0.002);
+  EXPECT_DOUBLE_EQ(s.rank_failure_rate, 0.0005);
+  EXPECT_EQ(s.max_retries, 5);
+  EXPECT_EQ(s.max_batch_retries, 7);
+  EXPECT_EQ(s.seed, 42u);
+  EXPECT_TRUE(s.record_trace);
+  ASSERT_EQ(s.scheduled.size(), 3u);
+  EXPECT_EQ(s.scheduled[0].kind, sim::FaultKind::kTransient);
+  EXPECT_EQ(s.scheduled[0].charge_index, 12u);
+  EXPECT_EQ(s.scheduled[0].victim, -1);
+  EXPECT_EQ(s.scheduled[2].kind, sim::FaultKind::kRankFailure);
+  EXPECT_EQ(s.scheduled[2].charge_index, 88u);
+  EXPECT_EQ(s.scheduled[2].victim, 3);
+  EXPECT_TRUE(s.any_rank_faults());
+  EXPECT_TRUE(s.any_corruption());
+}
+
+TEST(FaultSpec, EmptySpecIsInert) {
+  const sim::FaultSpec s = sim::FaultSpec::parse("");
+  EXPECT_FALSE(s.any_rank_faults());
+  EXPECT_FALSE(s.any_corruption());
+  EXPECT_TRUE(s.scheduled.empty());
+}
+
+TEST(FaultSpec, RejectsMalformedItems) {
+  EXPECT_THROW(sim::FaultSpec::parse("bogus:0.1"), Error);
+  EXPECT_THROW(sim::FaultSpec::parse("transient:1.5"), Error);
+  EXPECT_THROW(sim::FaultSpec::parse("transient:x"), Error);
+  EXPECT_THROW(sim::FaultSpec::parse("transient"), Error);
+  EXPECT_THROW(sim::FaultSpec::parse("transient@12:3"), Error);  // victim
+  EXPECT_THROW(sim::FaultSpec::parse("retries:-1"), Error);
+  EXPECT_THROW(sim::FaultSpec::parse("nope@7"), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Schedule determinism
+
+TEST(FaultSchedule, IdenticalAtEveryThreadCount) {
+  PoolSizeGuard guard;
+  const Graph g = test_graph();
+  const std::string spec = "transient:0.03,corrupt:0.01,rank:0.001,trace";
+  support::set_threads(1);
+  const FaultRun serial = run_dist(g, 16, spec);
+  support::set_threads(4);
+  const FaultRun parallel = run_dist(g, 16, spec);
+
+  ASSERT_GT(serial.trace.size(), 0u);
+  EXPECT_EQ(parallel.trace, serial.trace);
+  EXPECT_EQ(parallel.charge_points, serial.charge_points);
+  EXPECT_GT(serial.counters.injected, 0u)
+      << "schedule fired nothing; the determinism check is vacuous";
+  EXPECT_EQ(parallel.counters.injected, serial.counters.injected);
+  expect_bit_identical(parallel.lambda, serial.lambda);
+  EXPECT_EQ(parallel.crit.words, serial.crit.words);
+  EXPECT_EQ(parallel.crit.msgs, serial.crit.msgs);
+  EXPECT_EQ(parallel.crit.comm_seconds, serial.crit.comm_seconds);
+  EXPECT_EQ(parallel.crit.compute_seconds, serial.crit.compute_seconds);
+}
+
+TEST(FaultSchedule, DifferentSeedsDiverge) {
+  const Graph g = test_graph();
+  const FaultRun a = run_dist(g, 16, "transient:0.05,seed:1,trace");
+  const FaultRun b = run_dist(g, 16, "transient:0.05,seed:2,trace");
+  EXPECT_NE(a.trace, b.trace);
+  // Both recover everything they inject, so results still agree.
+  expect_bit_identical(b.lambda, a.lambda);
+}
+
+// ---------------------------------------------------------------------------
+// Zero overhead when nothing can fire
+
+TEST(FaultFree, InertInjectorChargesExactlyLikeNoInjector) {
+  const Graph g = test_graph();
+  const FaultRun clean = run_dist(g, 16, "");
+  const FaultRun traced = run_dist(g, 16, "trace");
+  ASSERT_GT(traced.charge_points, 0u);
+  expect_bit_identical(traced.lambda, clean.lambda);
+  EXPECT_EQ(traced.crit.words, clean.crit.words);
+  EXPECT_EQ(traced.crit.msgs, clean.crit.msgs);
+  EXPECT_EQ(traced.crit.comm_seconds, clean.crit.comm_seconds);
+  EXPECT_EQ(traced.crit.compute_seconds, clean.crit.compute_seconds);
+  EXPECT_EQ(traced.overhead.words, 0.0);
+  EXPECT_EQ(traced.overhead.msgs, 0.0);
+  EXPECT_EQ(traced.overhead.comm_seconds, 0.0);
+  EXPECT_EQ(traced.overhead.compute_seconds, 0.0);
+  EXPECT_EQ(traced.counters.injected, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Transient recovery: bit-identical results, exact ledger accounting
+
+TEST(TransientRecovery, BitIdenticalAndLedgerGrowsByExactlyTheOverhead) {
+  const Graph g = test_graph();
+  const int p = 16;
+  const FaultRun clean = run_dist(g, p, "");
+
+  // Two-pass index selection: fault sites must be all-ranks collectives so
+  // the uniform extra charges shift every rank's total equally and the
+  // critical-path delta equals the overhead sum exactly. The second index
+  // is picked from a trace that already contains the first fault, because
+  // each retry consumes an extra charge index and shifts the tail.
+  const FaultRun pass1 = run_dist(g, p, "trace");
+  std::uint64_t i1 = 0;
+  for (const auto& t : pass1.trace) {
+    if (t.group_size == p && t.index > 5) {
+      i1 = t.index;
+      break;
+    }
+  }
+  ASSERT_GT(i1, 0u) << "no all-ranks charge point found";
+  const FaultRun pass2 =
+      run_dist(g, p, "transient@" + std::to_string(i1) + ",trace");
+  std::uint64_t i2 = 0;
+  for (const auto& t : pass2.trace) {
+    if (t.group_size == p && t.index > i1 + 1) {
+      i2 = t.index;
+      break;
+    }
+  }
+  ASSERT_GT(i2, i1);
+
+  const FaultRun faulty = run_dist(g, p,
+                                   "transient@" + std::to_string(i1) +
+                                       ",transient@" + std::to_string(i2));
+  expect_bit_identical(faulty.lambda, clean.lambda);
+  EXPECT_EQ(faulty.counters.injected, 2u);
+  EXPECT_EQ(faulty.counters.injected_transient, 2u);
+  EXPECT_EQ(faulty.counters.detected, 2u);
+  EXPECT_EQ(faulty.counters.recovered, 2u);
+  EXPECT_EQ(faulty.counters.aborted, 0u);
+
+  // Exactness: the failed attempts and backoffs are the only extra charges,
+  // all landing on all-ranks groups. Words and messages are integer-valued
+  // doubles; seconds tolerate relative rounding from the changed summation
+  // order.
+  EXPECT_GT(faulty.overhead.words, 0.0);
+  EXPECT_DOUBLE_EQ(faulty.crit.words, clean.crit.words + faulty.overhead.words);
+  EXPECT_DOUBLE_EQ(faulty.crit.msgs, clean.crit.msgs + faulty.overhead.msgs);
+  EXPECT_NEAR(faulty.crit.comm_seconds,
+              clean.crit.comm_seconds + faulty.overhead.comm_seconds,
+              1e-12 * (1.0 + clean.crit.comm_seconds));
+  EXPECT_DOUBLE_EQ(faulty.crit.compute_seconds, clean.crit.compute_seconds);
+}
+
+TEST(TransientRecovery, ExhaustedRetriesAbortWithStructuredError) {
+  const Graph g = test_graph();
+  sim::Sim sim(16);
+  DistMfbc engine(sim, g);
+  // Rate 1: every charge point (including every retry) times out.
+  sim.enable_faults(sim::FaultSpec::parse("transient:1,retries:2"));
+  DistMfbcOptions opts;
+  opts.batch_size = 8;
+  try {
+    engine.run(opts);
+    FAIL() << "expected the transient fault to exhaust its retries";
+  } catch (const sim::FaultError& e) {
+    EXPECT_EQ(e.kind(), sim::FaultKind::kTransient);
+    EXPECT_FALSE(e.recoverable());
+    EXPECT_NE(std::string(e.what()).find("retries"), std::string::npos);
+    EXPECT_EQ(sim.faults()->counters().aborted, 1u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Corruption recovery (ABFT)
+
+TEST(CorruptionRecovery, BitIdenticalWithAbftRepairCharged) {
+  const Graph g = test_graph();
+  const int p = 16;
+  const FaultRun clean = run_dist(g, p, "");
+  const FaultRun pass1 = run_dist(g, p, "trace");
+  // Corrupt an arbitrary mid-run collective (whatever collective holds this
+  // index once the ABFT allreduces shift the schedule — either way it must
+  // be caught and repaired).
+  const std::uint64_t mid = pass1.trace[pass1.trace.size() / 2].index;
+  const FaultRun faulty =
+      run_dist(g, p, "corrupt@" + std::to_string(mid));
+  expect_bit_identical(faulty.lambda, clean.lambda);
+  EXPECT_EQ(faulty.counters.injected_corruption, 1u);
+  EXPECT_EQ(faulty.counters.detected, 1u);
+  EXPECT_EQ(faulty.counters.recovered, 1u);
+  EXPECT_EQ(faulty.counters.aborted, 0u);
+  // The ABFT checks and the block re-transfer are charged as overhead.
+  EXPECT_GT(faulty.overhead.words, 0.0);
+  EXPECT_GE(faulty.crit.words, clean.crit.words);
+}
+
+TEST(CorruptionRecovery, RateBasedCorruptionStillBitIdentical) {
+  const Graph g = test_graph();
+  const FaultRun clean = run_dist(g, 16, "");
+#if MFBC_TELEMETRY
+  const double injected_before =
+      telemetry::registry().value("faults.injected.corrupt");
+#endif
+  const FaultRun faulty = run_dist(g, 16, "corrupt:0.03,seed:5");
+  ASSERT_GT(faulty.counters.injected_corruption, 0u)
+      << "rate produced no corruption; pick a different seed";
+  expect_bit_identical(faulty.lambda, clean.lambda);
+  EXPECT_EQ(faulty.counters.recovered, faulty.counters.injected);
+#if MFBC_TELEMETRY
+  EXPECT_GT(telemetry::registry().value("faults.injected.corrupt"),
+            injected_before);
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Rank failure: checkpoint/rollback on the degraded machine
+
+TEST(RankFailureRecovery, BitIdenticalAtEveryThreadCount) {
+  PoolSizeGuard guard;
+  const Graph g = graph::erdos_renyi(36, 120, false, {}, 77);
+  const int p = 4;  // 2x2 base grid
+  const FaultRun clean = run_dist(g, p, "");
+  // Index selection against a checkpointing schedule: the huge never-firing
+  // scheduled fault switches λ-checkpoint charging on without perturbing
+  // anything else.
+  const FaultRun pass1 = run_dist(g, p, "rank@1000000000,trace");
+  ASSERT_GT(pass1.trace.size(), 20u);
+  const std::uint64_t mid = pass1.trace[pass1.trace.size() / 2].index;
+  const std::string spec = "rank@" + std::to_string(mid) + ":1";
+
+  for (int threads : {1, 4}) {
+    support::set_threads(threads);
+    const FaultRun faulty = run_dist(g, p, spec);
+    expect_bit_identical(faulty.lambda, clean.lambda);
+    EXPECT_EQ(faulty.counters.injected_rank, 1u) << "threads=" << threads;
+    EXPECT_EQ(faulty.counters.recovered, 1u);
+    EXPECT_EQ(faulty.counters.aborted, 0u);
+    EXPECT_EQ(faulty.batch_retries, 1);
+    // Checkpoint replication alone guarantees overhead even before the
+    // rollback; the restore and re-run add more.
+    EXPECT_GT(faulty.overhead.words, 0.0);
+    EXPECT_GT(faulty.crit.words, clean.crit.words);
+  }
+}
+
+TEST(RankFailureRecovery, DeadRowOfCheckpointReplicasIsUnrecoverable) {
+  const Graph g = graph::erdos_renyi(36, 120, false, {}, 77);
+  const int p = 4;  // 2x2 base grid: row 1 hosts virtual ranks {2, 3}
+  const FaultRun pass1 = run_dist(g, p, "rank@1000000000,trace");
+  const std::uint64_t i1 = pass1.trace[pass1.trace.size() / 3].index;
+  // After the first failure kills physical 2, virtual 2 re-homes onto
+  // physical 3 (v -> alive[v mod 3] over {0,1,3}). The second failure —
+  // fired during the batch re-run — then kills physical 3, leaving every
+  // host of grid row 1 dead: the λ checkpoint for that row is gone.
+  const std::string spec = "rank@" + std::to_string(i1) + ":2,rank@" +
+                           std::to_string(i1 + 12) + ":3";
+  sim::Sim sim(p);
+  DistMfbc engine(sim, g);
+  sim.enable_faults(sim::FaultSpec::parse(spec));
+  DistMfbcOptions opts;
+  opts.batch_size = 8;
+  try {
+    engine.run(opts);
+    FAIL() << "expected an unrecoverable rank failure";
+  } catch (const sim::FaultError& e) {
+    EXPECT_EQ(e.kind(), sim::FaultKind::kRankFailure);
+    EXPECT_FALSE(e.recoverable());
+    EXPECT_NE(std::string(e.what()).find("grid row"), std::string::npos)
+        << e.what();
+    EXPECT_GE(sim.faults()->counters().aborted, 1u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Charge-index stability through ChargeLog composition (nested regions
+// record into logs that replay log -> log -> Sim at the barriers).
+
+TEST(ChargeLogReplay, NestedLogCompositionPreservesChargeIndices) {
+  const std::vector<int> all{0, 1, 2, 3};
+  const std::vector<int> row{0, 1};
+  const std::vector<int> one{2};
+
+  sim::Sim direct(4);
+  direct.enable_faults(sim::FaultSpec::parse("trace"));
+  direct.charge_bcast(all, 64);
+  direct.charge_allreduce(row, 8);
+  direct.charge_compute(1, 100);
+  direct.charge_bcast(one, 32);  // single rank: free, NOT a charge point
+  direct.charge_gather(all, 32);
+  direct.charge_alltoall(row, 16);
+
+  // The same sequence, but the middle charges are recorded into an inner
+  // log, composed into an outer log, and replayed into the Sim — exactly
+  // how nested parallel regions defer their charges.
+  sim::Sim nested(4);
+  nested.enable_faults(sim::FaultSpec::parse("trace"));
+  sim::ChargeLog outer;
+  sim::ChargeLog inner;
+  outer.charge_bcast(all, 64);
+  inner.charge_allreduce(row, 8);
+  inner.charge_compute(1, 100);
+  inner.charge_bcast(one, 32);
+  inner.replay(outer);  // log -> log
+  outer.charge_gather(all, 32);
+  outer.replay(nested);  // log -> Sim
+  nested.charge_alltoall(row, 16);
+
+  EXPECT_EQ(nested.faults()->charge_points(), 4u);
+  EXPECT_EQ(nested.faults()->trace(), direct.faults()->trace());
+  const sim::Cost a = direct.ledger().critical();
+  const sim::Cost b = nested.ledger().critical();
+  EXPECT_EQ(b.words, a.words);
+  EXPECT_EQ(b.msgs, a.msgs);
+  EXPECT_EQ(b.comm_seconds, a.comm_seconds);
+  EXPECT_EQ(b.compute_seconds, a.compute_seconds);
+}
+
+TEST(ChargeLogReplay, ScheduledFaultFiresAtTheSameIndexEitherWay) {
+  const std::vector<int> all{0, 1, 2, 3};
+  // Fault at charge index 1: the second multi-rank collective, whether
+  // charged directly or replayed out of a log.
+  sim::Sim direct(4);
+  direct.enable_faults(sim::FaultSpec::parse("transient@1,trace"));
+  direct.charge_bcast(all, 64);
+  direct.charge_reduce(all, 8);
+
+  sim::Sim replayed(4);
+  replayed.enable_faults(sim::FaultSpec::parse("transient@1,trace"));
+  sim::ChargeLog log;
+  log.charge_bcast(all, 64);
+  log.charge_reduce(all, 8);
+  log.replay(replayed);
+
+  EXPECT_EQ(replayed.faults()->trace(), direct.faults()->trace());
+  EXPECT_EQ(direct.faults()->counters().injected_transient, 1u);
+  EXPECT_EQ(replayed.faults()->counters().injected_transient, 1u);
+  EXPECT_EQ(replayed.ledger().critical().msgs,
+            direct.ledger().critical().msgs);
+}
+
+}  // namespace
+}  // namespace mfbc::core

@@ -101,6 +101,86 @@ TEST(IoErrors, MissingFile) {
   EXPECT_THROW(read_edge_list_file("/nonexistent/graph.txt", {}), Error);
 }
 
+/// Runs `fn`, expecting an mfbc::Error, and returns its message.
+template <typename Fn>
+std::string error_message(Fn&& fn) {
+  try {
+    fn();
+  } catch (const Error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected an mfbc::Error";
+  return {};
+}
+
+TEST(IoErrors, MessagesCarrySourceAndLineContext) {
+  std::stringstream ss("1 2\n3 x\n");
+  const std::string msg =
+      error_message([&] { read_edge_list(ss, {}, "edges.txt"); });
+  // The bad token is on line 2 of the named stream.
+  EXPECT_NE(msg.find("edges.txt:2:"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("non-numeric vertex id 'x'"), std::string::npos) << msg;
+}
+
+TEST(IoErrors, EdgeListTruncatedLine) {
+  std::stringstream ss("1 2\n3\n");
+  const std::string msg = error_message([&] { read_edge_list(ss, {}); });
+  EXPECT_NE(msg.find("truncated edge"), std::string::npos) << msg;
+  EXPECT_NE(msg.find(":2:"), std::string::npos) << msg;
+}
+
+TEST(IoErrors, EdgeListOverflowingId) {
+  std::stringstream ss("1 99999999999999999999999\n");
+  const std::string msg = error_message([&] { read_edge_list(ss, {}); });
+  EXPECT_NE(msg.find("overflowing vertex id"), std::string::npos) << msg;
+}
+
+TEST(IoErrors, EdgeListBadWeights) {
+  std::stringstream bad_tok("1 2 abc\n");
+  EXPECT_NE(error_message([&] { read_edge_list(bad_tok, {.weighted = true}); })
+                .find("non-numeric edge weight 'abc'"),
+            std::string::npos);
+  std::stringstream negative("1 2 -3.5\n");
+  EXPECT_NE(error_message([&] { read_edge_list(negative, {.weighted = true}); })
+                .find("negative edge weight"),
+            std::string::npos);
+  std::stringstream inf("1 2 inf\n");
+  EXPECT_NE(error_message([&] { read_edge_list(inf, {.weighted = true}); })
+                .find("non-finite edge weight"),
+            std::string::npos);
+}
+
+TEST(IoErrors, EdgeListZeroIdWhenOneIndexed) {
+  std::stringstream ss("0 2\n");
+  const std::string msg =
+      error_message([&] { read_edge_list(ss, {.one_indexed = true}); });
+  EXPECT_NE(msg.find("ids are 1-based here"), std::string::npos) << msg;
+}
+
+TEST(IoErrors, MatrixMarketIdOutOfRange) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate pattern general\n3 3 1\n1 7\n");
+  const std::string msg =
+      error_message([&] { read_matrix_market(ss, "graph.mtx"); });
+  EXPECT_NE(msg.find("graph.mtx:3:"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("out of range [1, 3]"), std::string::npos) << msg;
+}
+
+TEST(IoErrors, MatrixMarketTruncationReportsCounts) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate pattern general\n3 3 5\n1 2\n2 3\n");
+  const std::string msg = error_message([&] { read_matrix_market(ss); });
+  EXPECT_NE(msg.find("expected 5 entries, got 2"), std::string::npos) << msg;
+}
+
+TEST(IoErrors, MatrixMarketNonNumericSizeLine) {
+  std::stringstream ss("%%MatrixMarket matrix coordinate pattern general\n"
+                       "3 3 five\n");
+  const std::string msg = error_message([&] { read_matrix_market(ss); });
+  EXPECT_NE(msg.find("non-numeric entry count 'five'"), std::string::npos)
+      << msg;
+}
+
 TEST(Prep, InducedSubgraphBasics) {
   Graph g = Graph::from_edges(
       6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}}, false, false);

@@ -237,6 +237,34 @@ TEST(DistMfbc, ImpossibleMemoryLimitThrows) {
   EXPECT_THROW(engine.run(opts), Error);
 }
 
+TEST(DistMfbc, RejectsInvalidSourcesBeforeAnyDistributionWork) {
+  Graph g = graph::erdos_renyi(20, 60, false, {}, 11);
+  sim::Sim sim(4);
+  DistMfbc engine(sim, g);
+  // Construction distributes the adjacency; everything charged after this
+  // point would belong to the (invalid) run.
+  const double words_before = sim.ledger().critical().words;
+  const double ops_before = sim.ledger().critical().ops;
+
+  DistMfbcOptions opts;
+  opts.batch_size = 4;
+  opts.sources = {0, 25};  // 25 >= n
+  EXPECT_THROW(engine.run(opts), Error);
+  opts.sources = {-1, 2};
+  EXPECT_THROW(engine.run(opts), Error);
+  opts.sources = {3, 5, 3};  // duplicate
+  EXPECT_THROW(engine.run(opts), Error);
+
+  // Validation happens before any batch is formed or collective charged.
+  EXPECT_EQ(sim.ledger().critical().words, words_before);
+  EXPECT_EQ(sim.ledger().critical().ops, ops_before);
+
+  // And the same option set with the bad entries fixed runs fine.
+  opts.sources = {3, 5, 0, 19};
+  auto lambda = engine.run(opts);
+  EXPECT_EQ(lambda.size(), static_cast<std::size_t>(g.n()));
+}
+
 TEST(DistMfbc, DisconnectedGraphAcrossRanks) {
   std::vector<graph::Edge> edges{{0, 1}, {1, 2}, {4, 5}, {5, 6}, {6, 4}};
   Graph g = Graph::from_edges(8, edges, false, false);

@@ -159,6 +159,52 @@ TEST(ThreadPool, SetThreadsResizesTheGlobalPool) {
   for (auto& h : hits) EXPECT_EQ(h.load(), 2);
 }
 
+TEST(ThreadPool, UtilizationTracksBusyTimeAndRegions) {
+  ThreadPool pool(3);
+  ASSERT_EQ(pool.utilization().size(), 3u);
+
+  // Enough work per index that busy_ns is comfortably above clock
+  // resolution on every chunk.
+  pool.parallel_for(300, [&](std::size_t i) {
+    volatile double x = 0;
+    for (int k = 0; k < 2000; ++k) x = x + static_cast<double>(k ^ i) * 0.5;
+    // Nested regions run inline; they must not count as separate regions.
+    pool.parallel_for(2, [](std::size_t) {});
+  });
+
+  const std::vector<ChunkUtilization> u = pool.utilization();
+  std::uint64_t regions = 0;
+  double busy = 0;
+  for (const ChunkUtilization& c : u) {
+    regions += c.regions;
+    busy += c.busy_ns;
+    EXPECT_GE(c.wait_ns, 0.0);
+    EXPECT_EQ(c.total_ns(), c.busy_ns + c.wait_ns);
+  }
+  EXPECT_EQ(regions, 3u);  // one top-level region, every chunk had work
+  EXPECT_GT(busy, 0.0);
+
+  pool.reset_utilization();
+  for (const ChunkUtilization& c : pool.utilization()) {
+    EXPECT_EQ(c.busy_ns, 0.0);
+    EXPECT_EQ(c.wait_ns, 0.0);
+    EXPECT_EQ(c.regions, 0u);
+  }
+}
+
+TEST(ThreadPool, SerialPoolAccruesUtilizationOnChunkZero) {
+  ThreadPool pool(1);
+  pool.parallel_for(64, [](std::size_t i) {
+    volatile double x = 0;
+    for (int k = 0; k < 500; ++k) x = x + static_cast<double>(k + i);
+  });
+  const std::vector<ChunkUtilization> u = pool.utilization();
+  ASSERT_EQ(u.size(), 1u);
+  EXPECT_EQ(u[0].regions, 1u);
+  EXPECT_GT(u[0].busy_ns, 0.0);
+  EXPECT_EQ(u[0].wait_ns, 0.0);  // nothing to wait for without workers
+}
+
 TEST(SpgemmWorkspace, ReuseAcrossCallsMatchesFreshAccumulators) {
   sparse::SpgemmWorkspace<Multpath> ws;
   for (std::uint64_t seed : {11, 12, 13}) {

@@ -13,6 +13,7 @@
 //   mfbc --snap ork --metric closeness --approx 64
 //   mfbc --er 500,600 --metric components
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,11 +35,14 @@
 #include "mfbc/mfbc_dist.hpp"
 #include "mfbc/mfbc_seq.hpp"
 #include "mfbc/ranking.hpp"
+#include "sim/faults.hpp"
 #include "sim/tuner.hpp"
 #include "support/error.hpp"
 #include "support/parallel.hpp"
 #include "support/strutil.hpp"
 #include "support/timer.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/ledger_sink.hpp"
 
 namespace {
 
@@ -67,6 +71,9 @@ struct Args {
   std::uint64_t seed = 1;
   std::string model_file;  // tuned machine model for simulated runs
   std::string tune_file;   // run the model tuner, save here, exit
+  std::string faults;      // fault-injection spec (simulated runs)
+  std::uint64_t fault_seed = 1;
+  std::string json_file;   // write a run-summary artifact here
   bool help = false;
 };
 
@@ -97,9 +104,18 @@ void usage() {
       "machine model (simulated runs):\n"
       "  --model FILE        load a tuned machine model (see --tune)\n"
       "  --tune FILE         run the section 6.2 model tuner, save to FILE\n"
+      "fault injection (simulated mfbc runs; see docs/fault_tolerance.md):\n"
+      "  --faults SPEC       deterministic fault schedule, e.g.\n"
+      "                      'transient:0.01,corrupt:0.002,rank:0.0005' or\n"
+      "                      'rank@25:3,retries:5'; recovered runs produce\n"
+      "                      bit-identical centrality, the ledger pays the\n"
+      "                      recovery cost\n"
+      "  --fault-seed S      seed of the fault schedule (default 1)\n"
       "output:\n"
       "  --top K             print the K highest-ranked vertices (default 10)\n"
-      "  --seed S            generator seed\n");
+      "  --seed S            generator seed\n"
+      "  --json FILE         write a machine-readable run summary (metric\n"
+      "                      scores, ledger costs, faults.* counters)\n");
 }
 
 Args parse(int argc, char** argv) {
@@ -131,6 +147,10 @@ Args parse(int argc, char** argv) {
     else if (f == "--top") a.top = std::atoi(need(i));
     else if (f == "--model") a.model_file = need(i);
     else if (f == "--tune") a.tune_file = need(i);
+    else if (f == "--faults") a.faults = need(i);
+    else if (f == "--fault-seed")
+      a.fault_seed = std::strtoull(need(i), nullptr, 10);
+    else if (f == "--json") a.json_file = need(i);
     else if (f == "--seed") a.seed = std::strtoull(need(i), nullptr, 10);
     else if (f == "--help" || f == "-h") a.help = true;
     else throw Error("unknown flag: " + f);
@@ -282,6 +302,10 @@ int run(const Args& a) {
   }
 
   MFBC_CHECK(a.metric == "bc", "unknown metric: " + a.metric);
+  MFBC_CHECK(a.faults.empty() || (a.algo == "mfbc" && a.ranks > 0),
+             "--faults needs a simulated mfbc run (--algo mfbc --ranks P)");
+  telemetry::Json cost_json;    // ledger cost of the simulated run, if any
+  telemetry::Json faults_json;  // fault-injection outcome, if enabled
   std::vector<double> bc;
   if (a.algo == "brandes") {
     bc = a.approx > 0
@@ -301,7 +325,15 @@ int run(const Args& a) {
                 cost.total_seconds());
   } else if (a.algo == "mfbc" && a.ranks > 0) {
     sim::Sim sim(a.ranks, machine);
+    // Route ledger charges into the telemetry registry so the --json
+    // artifact carries sim.* totals alongside the faults.* counters.
+    telemetry::ScopedLedgerSink sink(sim.ledger());
     core::DistMfbc engine(sim, g);
+    if (!a.faults.empty()) {
+      // After construction: the one-time graph distribution does not
+      // consume charge indices, so schedules address the algorithm itself.
+      sim.enable_faults(sim::FaultSpec::parse(a.faults, a.fault_seed));
+    }
     core::DistMfbcOptions opts;
     opts.batch_size = a.batch;
     opts.plan_mode =
@@ -317,6 +349,36 @@ int run(const Args& a) {
                 cost.msgs, cost.total_seconds());
     for (const auto& p : stats.plans_used) std::printf(" %s", p.c_str());
     std::puts("");
+    cost_json = telemetry::Json::object();
+    cost_json["words"] = telemetry::Json(cost.words);
+    cost_json["msgs"] = telemetry::Json(cost.msgs);
+    cost_json["comm_seconds"] = telemetry::Json(cost.comm_seconds);
+    cost_json["total_seconds"] = telemetry::Json(cost.total_seconds());
+    if (const sim::FaultInjector* fi = sim.faults()) {
+      const sim::FaultCounters& c = fi->counters();
+      const sim::FaultOverhead& o = fi->overhead();
+      std::printf("faults: %llu injected, %llu detected, %llu recovered, "
+                  "%llu aborted, %d batch retries; recovery overhead %s, "
+                  "%.4fs\n",
+                  static_cast<unsigned long long>(c.injected),
+                  static_cast<unsigned long long>(c.detected),
+                  static_cast<unsigned long long>(c.recovered),
+                  static_cast<unsigned long long>(c.aborted),
+                  stats.batch_retries, human_bytes(o.words * 8).c_str(),
+                  o.comm_seconds + o.compute_seconds);
+      faults_json = telemetry::Json::object();
+      faults_json["injected"] =
+          telemetry::Json(static_cast<double>(c.injected));
+      faults_json["detected"] =
+          telemetry::Json(static_cast<double>(c.detected));
+      faults_json["recovered"] =
+          telemetry::Json(static_cast<double>(c.recovered));
+      faults_json["aborted"] = telemetry::Json(static_cast<double>(c.aborted));
+      faults_json["batch_retries"] = telemetry::Json(stats.batch_retries);
+      faults_json["overhead_words"] = telemetry::Json(o.words);
+      faults_json["overhead_seconds"] =
+          telemetry::Json(o.comm_seconds + o.compute_seconds);
+    }
   } else if (a.algo == "mfbc") {
     core::MfbcOptions opts;
     opts.batch_size = a.batch;
@@ -327,6 +389,34 @@ int run(const Args& a) {
   }
   std::printf("computed in %.2fs wall\n", timer.seconds());
   print_top(bc, a.top, "betweenness centrality");
+  if (!a.json_file.empty()) {
+    support::export_pool_utilization();
+    telemetry::RunSummary summary("mfbc_cli");
+    telemetry::Json config = telemetry::Json::object();
+    config["metric"] = telemetry::Json(a.metric);
+    config["algo"] = telemetry::Json(a.algo);
+    config["ranks"] = telemetry::Json(a.ranks);
+    config["batch"] = telemetry::Json(static_cast<std::int64_t>(a.batch));
+    config["seed"] = telemetry::Json(static_cast<double>(a.seed));
+    if (!a.faults.empty()) {
+      config["faults"] = telemetry::Json(a.faults);
+      config["fault_seed"] =
+          telemetry::Json(static_cast<double>(a.fault_seed));
+    }
+    summary.set("config", std::move(config));
+    if (!cost_json.is_null()) summary.set("cost", std::move(cost_json));
+    if (!faults_json.is_null()) summary.set("faults", std::move(faults_json));
+    telemetry::Json top = telemetry::Json::array();
+    for (const auto& rv : core::top_k(bc, static_cast<std::size_t>(a.top))) {
+      telemetry::Json e = telemetry::Json::object();
+      e["vertex"] = telemetry::Json(static_cast<std::int64_t>(rv.vertex));
+      e["score"] = telemetry::Json(rv.score);
+      top.push(std::move(e));
+    }
+    summary.set("top", std::move(top));
+    summary.write(a.json_file);
+    std::printf("[json] wrote %s\n", a.json_file.c_str());
+  }
   return 0;
 }
 
