@@ -6,7 +6,9 @@
 // that no single decomposition dominates — which operand is heaviest decides.
 #include <chrono>
 #include <cstdio>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "algebra/multpath.hpp"
 #include "benchsupport/harness.hpp"
@@ -18,6 +20,7 @@
 #include "support/parallel.hpp"
 #include "support/strutil.hpp"
 #include "telemetry/registry.hpp"
+#include "tune/calibrate.hpp"
 
 int main(int argc, char** argv) {
   using namespace mfbc;
@@ -78,6 +81,102 @@ int main(int argc, char** argv) {
             "operand) pay the\nmost; the autotuned plan sits at or near the "
             "measured minimum.");
 
+  // ---- Online re-planning vs a static plan (docs/autotuning.md) ----
+  // Frontier-size trajectories shaped like BFS phases: the static planner
+  // autotunes once on the first multiply's stats and reuses that plan; the
+  // adaptive tuner re-plans each step from the measured frontier, switching
+  // only when the modelled win clears the modelled re-mapping cost
+  // (hysteresis). Charged cost of the multiplies is compared directly —
+  // adaptive should never lose, and should win when the frontier varies.
+  bench::Table rt({"scenario", "static (s)", "adaptive (s)", "ratio",
+                   "re-plans", "switches", "holds"});
+  {
+    struct Scenario {
+      const char* name;
+      std::vector<graph::vid_t> rows;
+    };
+    const graph::vid_t big = small ? 512 : 2048;
+    const std::vector<Scenario> scenarios = {
+        {"constant", {nb, nb, nb, nb, nb, nb}},
+        {"growing", {4, 16, 64, 256, big}},
+        {"shrinking", {big, 256, 64, 16, 4}},
+        {"spike", {32, 32, big, 32, 32}},
+    };
+    auto frontier_rows = [&](graph::vid_t k) {
+      sparse::Coo<Multpath> c(k, n);
+      for (graph::vid_t s = 0; s < k; ++s) {
+        auto cols = g.adj().row_cols(s);
+        auto vals = g.adj().row_vals(s);
+        for (std::size_t i = 0; i < cols.size(); ++i) {
+          c.push(s, cols[i], Multpath{vals[i], 1.0});
+        }
+      }
+      return sparse::Csr<Multpath>::from_coo<MultpathMonoid>(std::move(c));
+    };
+    // Charged seconds of the multiply sequence (scatters excluded).
+    auto run_seq = [&](const std::vector<graph::vid_t>& rows,
+                       tune::Tuner* tuner) {
+      sim::Sim sim(p, mm);
+      Layout la{0, 4, 4, Range{0, n}, Range{0, n}, false};
+      auto da = DistMatrix<double>::scatter<SumMonoid>(sim, g.adj(), la);
+      dist::HomeCache<double> bcache;
+      std::optional<tune::ScopedObserver> obs;
+      if (tuner != nullptr) obs.emplace(&tuner->observer());
+      dist::Plan static_plan;
+      bool have_static = false;
+      double total = 0;
+      for (graph::vid_t k : rows) {
+        auto f = frontier_rows(k);
+        Layout lf{0, 1, p, Range{0, k}, Range{0, n}, false};
+        auto df = DistMatrix<Multpath>::scatter<MultpathMonoid>(sim, f, lf);
+        auto st = dist::MultiplyStats::estimated(
+            k, n, n, static_cast<double>(f.nnz()),
+            static_cast<double>(g.adj().nnz()),
+            sim::sparse_entry_words<Multpath>(),
+            sim::sparse_entry_words<double>(),
+            sim::sparse_entry_words<Multpath>());
+        dist::Plan plan;
+        if (tuner != nullptr) {
+          tune::PlanRequest req;
+          req.stream = "bench";
+          req.monoid = "multpath";
+          req.ranks = p;
+          req.stats = st;
+          req.machine = mm;
+          plan = tuner->plan(req);
+        } else {
+          if (!have_static) {
+            static_plan = dist::autotune(p, st, mm);
+            have_static = true;
+          }
+          plan = static_plan;
+        }
+        const double before = sim.ledger().critical().total_seconds();
+        dist::spgemm<MultpathMonoid>(sim, plan, df, da, BellmanFordAction{},
+                                     lf, nullptr, &bcache);
+        total += sim.ledger().critical().total_seconds() - before;
+      }
+      return total;
+    };
+    for (const Scenario& sc : scenarios) {
+      const double stat = run_seq(sc.rows, nullptr);
+      tune::Tuner tuner;  // uncalibrated, default hysteresis
+      const double adapt = run_seq(sc.rows, &tuner);
+      const double ratio = stat > 0 ? adapt / stat : 1.0;
+      rt.add_row({sc.name, compact(stat, 4), compact(adapt, 4),
+                  fixed(ratio, 3),
+                  std::to_string(tuner.replans()),
+                  std::to_string(tuner.plan_switches()),
+                  std::to_string(tuner.hysteresis_holds())});
+      telemetry::gauge(std::string("tune.scenario.") + sc.name + ".ratio",
+                       ratio);
+    }
+  }
+  std::fputs(rt.render("Online re-planning vs static autotune: charged "
+                       "multiply cost over frontier trajectories")
+                 .c_str(),
+             stdout);
+
   // ---- Shared-memory threads scaling ----
   // The virtual-rank block multiplies run on the execution pool; wall clock
   // of an end-to-end DistMfbc run at 1/2/4/8 pool threads measures how well
@@ -129,10 +228,12 @@ int main(int argc, char** argv) {
              stdout);
 
   bench::maybe_write_csv(args, "spgemm_variants", tab);
+  bench::maybe_write_csv(args, "spgemm_variants_replanning", rt);
   bench::maybe_write_csv(args, "spgemm_variants_threads", ts);
   bench::maybe_write_csv(args, "spgemm_variants_frontiers", ft);
   bench::maybe_write_artifacts(args, "spgemm_variants",
                                {{"spgemm_variants", &tab},
+                                {"spgemm_variants_replanning", &rt},
                                 {"spgemm_variants_threads", &ts},
                                 {"spgemm_variants_frontiers", &ft}});
   return 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 
 #include "baseline/combblas_bc.hpp"
 #include "mfbc/teps.hpp"
@@ -19,6 +20,16 @@ namespace {
 std::vector<SessionCell>& session_cells_mutable() {
   static std::vector<SessionCell> cells;
   return cells;
+}
+
+std::unique_ptr<tune::Tuner>& session_tuner_slot() {
+  static std::unique_ptr<tune::Tuner> tuner;
+  return tuner;
+}
+
+std::string& session_tuner_path() {
+  static std::string path;
+  return path;
 }
 
 #if MFBC_TELEMETRY
@@ -94,6 +105,31 @@ void apply_fault_flags(const BenchArgs& args, CellConfig& cfg) {
   cfg.fault_seed = args.fault_seed;
 }
 
+tune::Tuner* session_tuner() { return session_tuner_slot().get(); }
+
+void init_session_tuner(const BenchArgs& args) {
+  session_tuner_slot().reset();
+  session_tuner_path() = args.tune_profile;
+  if (args.tune_profile.empty()) return;
+  // Missing or invalid profiles degrade to an uncalibrated, empty-cache
+  // tuner (try_load_profile already warned); the run still adapts online
+  // and save_session_tuner writes what it learned to the same path.
+  tune::Profile profile;
+  profile.machine = sim::MachineModel::blue_waters();
+  if (auto loaded =
+          tune::try_load_profile(args.tune_profile, profile.machine)) {
+    profile = std::move(*loaded);
+  }
+  session_tuner_slot() =
+      std::make_unique<tune::Tuner>(std::move(profile), tune::TunerOptions{});
+}
+
+void save_session_tuner() {
+  if (session_tuner_slot() == nullptr || session_tuner_path().empty()) return;
+  session_tuner_slot()->save(session_tuner_path());
+  std::printf("[tune] wrote %s\n", session_tuner_path().c_str());
+}
+
 CellResult run_mfbc_cell(const graph::Graph& g, const CellConfig& cfg) {
   CellResult r;
   r.nodes = cfg.nodes;
@@ -113,6 +149,7 @@ CellResult run_mfbc_cell(const graph::Graph& g, const CellConfig& cfg) {
     opts.batch_size = cfg.batch_size;
     opts.plan_mode = cfg.plan_mode;
     opts.replication_c = cfg.replication_c;
+    opts.tuner = session_tuner();
     opts.sources = pick_sources(g, cfg);
     if (cfg.warmup) {
       core::DistMfbcOptions warm = opts;
@@ -254,6 +291,9 @@ void maybe_write_artifacts(
       j["kind"] = telemetry::Json(cell.kind);
       summary.add_cell(std::move(j));
     }
+    if (tune::Tuner* tuner = session_tuner()) {
+      summary.set("tune", tuner->json());
+    }
     summary.write(args.json_path);
     std::printf("[json] wrote %s\n", args.json_path.c_str());
   }
@@ -261,6 +301,7 @@ void maybe_write_artifacts(
     telemetry::write_chrome_trace(args.chrome_trace_path);
     std::printf("[trace] wrote %s\n", args.chrome_trace_path.c_str());
   }
+  save_session_tuner();
 }
 
 }  // namespace mfbc::bench

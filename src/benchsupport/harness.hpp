@@ -98,6 +98,18 @@ struct SessionCell {
 const std::vector<SessionCell>& session_cells();
 void clear_session_cells();
 
+/// Session-wide adaptive tuner behind --tune-profile (docs/autotuning.md).
+/// init_session_tuner (called by the BenchArgs parsers) creates it from the
+/// profile at args.tune_profile — loading calibration and cached plans when
+/// the file exists and validates, falling back to an uncalibrated tuner
+/// otherwise. run_mfbc_cell attaches it to every MFBC run; nullptr (no
+/// --tune-profile) keeps the static per-multiply autotuner.
+tune::Tuner* session_tuner();
+void init_session_tuner(const BenchArgs& args);
+/// Persist the tuner's profile (calibration + learned plans) back to the
+/// --tune-profile path; no-op without an active tuner.
+void save_session_tuner();
+
 /// Honor the shared artifact flags: when --json was given, write a
 /// run-summary document (schema mfbc.run.v1: tables, session cells, and the
 /// telemetry registry snapshot); when --chrome-trace was given, write the

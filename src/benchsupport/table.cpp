@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "benchsupport/harness.hpp"
 #include "support/error.hpp"
 #include "support/parallel.hpp"
 #include "support/strutil.hpp"
@@ -125,6 +126,11 @@ int consume_bench_flag(BenchArgs& args, int argc, char** argv, int i) {
     args.fault_seed = std::stoull(argv[i + 1]);
     return 2;
   }
+  if (f == "--tune-profile") {
+    MFBC_CHECK(i + 1 < argc, "--tune-profile requires a file argument");
+    args.tune_profile = argv[i + 1];
+    return 2;
+  }
   return 0;
 }
 
@@ -148,11 +154,12 @@ BenchArgs parse_bench_args(int argc, char** argv) {
       throw Error(std::string("unknown bench flag: ") + argv[i] +
                   " (supported: --small, --csv DIR, --json PATH, "
                   "--chrome-trace PATH, --threads N, --faults SPEC, "
-                  "--fault-seed S)");
+                  "--fault-seed S, --tune-profile FILE)");
     }
     i += used;
   }
   apply_telemetry_flags(args);
+  init_session_tuner(args);
   return args;
 }
 
@@ -169,6 +176,7 @@ BenchArgs extract_bench_args(int* argc, char** argv) {
   }
   *argc = out;
   apply_telemetry_flags(args);
+  init_session_tuner(args);
   return args;
 }
 

@@ -40,7 +40,9 @@ class Table {
 /// Perfetto trace), `--threads N` (size the shared-memory execution
 /// pool; results are bit-identical for every N), `--faults SPEC` (inject
 /// deterministic faults into the simulated machine; grammar in
-/// sim::FaultSpec::parse), and `--fault-seed S` (fault-schedule seed).
+/// sim::FaultSpec::parse), `--fault-seed S` (fault-schedule seed), and
+/// `--tune-profile FILE` (attach the adaptive plan tuner, loading/saving
+/// the persistent profile at FILE — docs/autotuning.md).
 struct BenchArgs {
   bool small = false;
   std::string csv_dir;
@@ -49,6 +51,7 @@ struct BenchArgs {
   int threads = 0;  ///< 0 = leave the pool at its MFBC_THREADS/default size
   std::string faults;  ///< empty = fault-free (no injector attached at all)
   std::uint64_t fault_seed = 1;
+  std::string tune_profile;  ///< empty = no tuner (static autotuning)
 };
 
 BenchArgs parse_bench_args(int argc, char** argv);

@@ -38,6 +38,8 @@ struct Plan {
   bool has_2d() const { return p2 * p3 > 1; }
 
   std::string to_string() const;
+
+  friend bool operator==(const Plan&, const Plan&) = default;
 };
 
 /// Problem statistics the model needs. nnz_c and ops may be exact (measured

@@ -11,6 +11,7 @@
 // critical-path ledger exactly where the bytes move.
 #pragma once
 
+#include <cstddef>
 #include <utility>
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "sparse/coo.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/ops.hpp"
+#include "support/parallel.hpp"
 
 namespace mfbc::dist {
 
@@ -59,22 +61,45 @@ class DistMatrix {
         part = Coo<T>(layout.block_rows(i, j).size(), global.ncols());
       }
     }
-    for (vid_t r = 0; r < global.nrows(); ++r) {
-      auto cols = global.row_cols(r);
-      auto vals = global.row_vals(r);
-      for (std::size_t x = 0; x < cols.size(); ++x) {
-        if (!layout.rows.contains(r) || !layout.cols.contains(cols[x])) {
-          continue;  // entries outside the layout region are not represented
+    // Bin the entries per owner block. A row stripe's entries land only in
+    // that stripe's bins, so the stripes pack in parallel without sharing a
+    // bin; within each bin the (row asc, col asc) push order matches the
+    // serial pass exactly — bit-identical at every thread count.
+    const int stripes = layout.row_splits();
+    const bool serial = support::ThreadPool::in_parallel_region() ||
+                        support::num_threads() <= 1 || stripes <= 1 ||
+                        static_cast<std::size_t>(global.nnz()) < (1u << 15);
+    auto pack_stripe = [&](std::size_t s) {
+      const Range sr = split_range(layout.rows, stripes, static_cast<int>(s));
+      for (vid_t r = sr.lo; r < sr.hi; ++r) {
+        auto cols = global.row_cols(r);
+        auto vals = global.row_vals(r);
+        for (std::size_t x = 0; x < cols.size(); ++x) {
+          if (!layout.cols.contains(cols[x])) {
+            continue;  // entries outside the layout region are not represented
+          }
+          auto [bi, bj] = layout.owner(r, cols[x]);
+          const Range rr = layout.block_rows(bi, bj);
+          parts[static_cast<std::size_t>(bi * layout.pc + bj)].push(
+              r - rr.lo, cols[x], vals[x]);
         }
-        auto [bi, bj] = layout.owner(r, cols[x]);
-        const Range rr = layout.block_rows(bi, bj);
-        parts[static_cast<std::size_t>(bi * layout.pc + bj)].push(
-            r - rr.lo, cols[x], vals[x]);
       }
+    };
+    if (serial) {
+      for (std::size_t s = 0; s < static_cast<std::size_t>(stripes); ++s) {
+        pack_stripe(s);
+      }
+    } else {
+      support::parallel_for(static_cast<std::size_t>(stripes), pack_stripe);
     }
-    for (int b = 0; b < layout.nranks(); ++b) {
-      out.blocks_[static_cast<std::size_t>(b)] = Csr<T>::template from_coo<M>(
-          std::move(parts[static_cast<std::size_t>(b)]));
+    auto build_block = [&](std::size_t b) {
+      out.blocks_[b] =
+          Csr<T>::template from_coo<M>(std::move(parts[b]));
+    };
+    if (serial) {
+      for (std::size_t b = 0; b < parts.size(); ++b) build_block(b);
+    } else {
+      support::parallel_for(parts.size(), build_block);
     }
     sim.charge_scatter(layout.ranks(), static_cast<double>(global.nnz()) *
                                            sim::sparse_entry_words<T>());
@@ -85,19 +110,34 @@ class DistMatrix {
   /// with the full matrix as payload.
   Csr<T> gather(sim::Sim& sim) const {
     Coo<T> coo(nrows_, ncols_);
-    coo.reserve(nnz());
-    for (int i = 0; i < layout_.pr; ++i) {
-      for (int j = 0; j < layout_.pc; ++j) {
-        const Range rr = layout_.block_rows(i, j);
-        const auto& b = block(i, j);
-        for (vid_t r = 0; r < b.nrows(); ++r) {
-          auto cols = b.row_cols(r);
-          auto vals = b.row_vals(r);
-          for (std::size_t x = 0; x < cols.size(); ++x) {
-            coo.push(rr.lo + r, cols[x], vals[x]);
-          }
+    // Unpack the blocks into one COO in block-major order. Per-block prefix
+    // offsets pre-size the entry vector, so blocks fill disjoint slices in
+    // parallel and land exactly where the serial append would put them.
+    std::vector<std::size_t> offset(blocks_.size() + 1, 0);
+    for (std::size_t b = 0; b < blocks_.size(); ++b) {
+      offset[b + 1] = offset[b] + static_cast<std::size_t>(blocks_[b].nnz());
+    }
+    coo.entries().resize(offset.back());
+    auto fill_block = [&](std::size_t t) {
+      const int i = static_cast<int>(t) / layout_.pc;
+      const int j = static_cast<int>(t) % layout_.pc;
+      const Range rr = layout_.block_rows(i, j);
+      const auto& b = block(i, j);
+      std::size_t at = offset[t];
+      for (vid_t r = 0; r < b.nrows(); ++r) {
+        auto cols = b.row_cols(r);
+        auto vals = b.row_vals(r);
+        for (std::size_t x = 0; x < cols.size(); ++x) {
+          coo.entries()[at++] = {rr.lo + r, cols[x], vals[x]};
         }
       }
+    };
+    if (support::ThreadPool::in_parallel_region() ||
+        support::num_threads() <= 1 || blocks_.size() <= 1 ||
+        offset.back() < (1u << 15)) {
+      for (std::size_t t = 0; t < blocks_.size(); ++t) fill_block(t);
+    } else {
+      support::parallel_for(blocks_.size(), fill_block);
     }
     sim.charge_gather(layout_.ranks(),
                       static_cast<double>(nnz()) * sim::sparse_entry_words<T>());

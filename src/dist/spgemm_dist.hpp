@@ -32,6 +32,7 @@
 #include "support/parallel.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/span.hpp"
+#include "tune/observer.hpp"
 
 namespace mfbc::dist {
 
@@ -626,6 +627,19 @@ DistMatrix<typename M::value_type> spgemm(sim::Sim& sim, const Plan& plan,
     tele_span.attr("nnz_b", static_cast<std::int64_t>(b.nnz()));
     tele_before = sim.ledger().critical();
   }
+  // Observation hook (tune/observer.hpp): while an observer is installed,
+  // every multiply records its plan, the §5.2 prediction on the *actual*
+  // operand nnz, and the measured critical-path delta. Measured ops need the
+  // stats struct even when the caller didn't ask for one.
+  tune::Observer* obs = tune::active_observer();
+  std::optional<sim::Cost> obs_before;
+  DistSpgemmStats obs_stats_storage;
+  double obs_ops_before = 0;
+  if (obs != nullptr) {
+    obs_before = sim.ledger().critical();
+    if (st == nullptr) st = &obs_stats_storage;
+    obs_ops_before = st->total_ops;
+  }
   auto tele_finish = [&](DistMatrix<TC> c) {
     abft_verify<M>(sim, c);
     if (tele_before.has_value()) {
@@ -635,6 +649,29 @@ DistMatrix<typename M::value_type> spgemm(sim::Sim& sim, const Plan& plan,
       tele_span.attr("crit_msgs_delta", now.msgs - tele_before->msgs);
       tele_span.attr("crit_seconds_delta",
                      now.total_seconds() - tele_before->total_seconds());
+    }
+    if (obs != nullptr && obs_before.has_value()) {
+      const sim::Cost now = sim.ledger().critical();
+      tune::Observation o;
+      o.plan = plan;
+      o.nnz_a = static_cast<double>(a.nnz());
+      o.nnz_b = static_cast<double>(b.nnz());
+      o.nnz_c = static_cast<double>(c.nnz());
+      o.ops = st->total_ops - obs_ops_before;
+      const auto est = MultiplyStats::estimated(
+          a.nrows(), a.ncols(), b.ncols(), o.nnz_a, o.nnz_b,
+          sim::sparse_entry_words<TA>(), sim::sparse_entry_words<TB>(),
+          sim::sparse_entry_words<TC>());
+      o.est_ops = est.ops;
+      o.est_nnz_c = est.nnz_c;
+      o.predicted = model_cost(plan, est, sim.model());
+      o.measured.words = now.words - obs_before->words;
+      o.measured.msgs = now.msgs - obs_before->msgs;
+      o.measured.comm_seconds = now.comm_seconds - obs_before->comm_seconds;
+      o.measured.compute_seconds =
+          now.compute_seconds - obs_before->compute_seconds;
+      o.measured.ops = now.ops - obs_before->ops;
+      obs->record(std::move(o));
     }
     return c;
   };

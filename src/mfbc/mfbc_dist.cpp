@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "dist/batch_state.hpp"
 #include "sparse/ops.hpp"
@@ -88,7 +89,8 @@ DistMfbc::DistMfbc(sim::Sim& sim, const graph::Graph& g)
       sim, sparse::transpose(g.adj()), base_);
 }
 
-dist::Plan DistMfbc::plan_for(const DistMfbcOptions& opts, double frontier_nnz,
+dist::Plan DistMfbc::plan_for(const DistMfbcOptions& opts, const char* stream,
+                              const char* monoid, double frontier_nnz,
                               double b_nnz, double out_words) const {
   if (opts.plan_mode == PlanMode::kFixedCa) {
     return ca_plan(sim_.nranks(), opts.replication_c);
@@ -97,6 +99,16 @@ dist::Plan DistMfbc::plan_for(const DistMfbcOptions& opts, double frontier_nnz,
       /*m=*/opts.batch_size, /*k=*/g_.n(), /*n=*/g_.n(), frontier_nnz, b_nnz,
       /*words_a=*/sim::sparse_entry_words<Multpath>(),
       /*words_b=*/sim::sparse_entry_words<Weight>(), out_words);
+  if (opts.tuner != nullptr) {
+    tune::PlanRequest req;
+    req.stream = stream;
+    req.monoid = monoid;
+    req.ranks = sim_.nranks();
+    req.stats = stats;
+    req.machine = sim_.model();
+    req.opts = opts.tune;
+    return opts.tuner->plan(req);
+  }
   return dist::autotune(sim_.nranks(), stats, sim_.model(), opts.tune);
 }
 
@@ -141,6 +153,12 @@ std::vector<double> DistMfbc::run(const DistMfbcOptions& opts,
   for (int r = 0; r < p; ++r) all_ranks[static_cast<std::size_t>(r)] = r;
 
   std::vector<double> lambda(static_cast<std::size_t>(n), 0.0);
+
+  // With a tuner attached, install its observer for the whole run: every
+  // distributed multiply below records (plan, prediction, measured cost),
+  // which is what the per-iteration re-planning feeds on.
+  std::optional<tune::ScopedObserver> observe;
+  if (opts.tuner != nullptr) observe.emplace(&opts.tuner->observer());
 
   sim::FaultInjector* fi = sim_.faults();
   const bool checkpointing = fi != nullptr && fi->checkpoint_enabled();
@@ -341,7 +359,8 @@ void DistMfbc::run_batch(const DistMfbcOptions& opts,
       telemetry::observe("mfbc.forward.frontier_nnz",
                          static_cast<double>(frontier.nnz()));
       const dist::Plan plan =
-          plan_for(opts, static_cast<double>(frontier.nnz()),
+          plan_for(opts, "forward", "multpath",
+                   static_cast<double>(frontier.nnz()),
                    static_cast<double>(adj_.nnz()),
                    sim::sparse_entry_words<Multpath>());
       note_plan(plan);
@@ -447,7 +466,8 @@ void DistMfbc::run_batch(const DistMfbcOptions& opts,
       DistMatrix<Centpath> z0 =
           dist::from_blocks<Keep<Centpath>>(batch.nb(), n, sl, std::move(bins));
       const dist::Plan plan =
-          plan_for(opts, static_cast<double>(z0.nnz()),
+          plan_for(opts, "backward.count", "centpath",
+                   static_cast<double>(z0.nnz()),
                    static_cast<double>(adj_t_.nnz()),
                    sim::sparse_entry_words<Centpath>());
       note_plan(plan);
@@ -521,7 +541,8 @@ void DistMfbc::run_batch(const DistMfbcOptions& opts,
       telemetry::observe("mfbc.backward.frontier_nnz",
                          static_cast<double>(cfrontier.nnz()));
       const dist::Plan plan =
-          plan_for(opts, static_cast<double>(cfrontier.nnz()),
+          plan_for(opts, "backward", "centpath",
+                   static_cast<double>(cfrontier.nnz()),
                    static_cast<double>(adj_t_.nnz()),
                    sim::sparse_entry_words<Centpath>());
       note_plan(plan);

@@ -27,6 +27,7 @@
 #include "graph/graph.hpp"
 #include "mfbc/mfbc_seq.hpp"
 #include "sim/comm.hpp"
+#include "tune/calibrate.hpp"
 
 namespace mfbc::core {
 
@@ -38,6 +39,12 @@ struct DistMfbcOptions {
   /// Replication factor c for CA-MFBC; p/c must be a perfect square.
   int replication_c = 1;
   dist::TuneOptions tune;
+  /// Optional adaptive tuner (tune/calibrate.hpp). When set and plan_mode is
+  /// kAuto, every iteration re-plans through it: the calibrated model, the
+  /// stream's measured frontier ratios, the persistent plan cache, and the
+  /// switch hysteresis all apply. Plans may change; results never do. Not
+  /// owned; must outlive run().
+  tune::Tuner* tuner = nullptr;
   /// If non-empty, accumulate partial BC from these sources only. Ids must
   /// be in [0, n) and duplicate-free; run() throws mfbc::Error otherwise,
   /// before any distribution work starts.
@@ -83,8 +90,9 @@ class DistMfbc {
  private:
   struct Batch;  // per-batch dense state blocks (defined in the .cpp)
 
-  dist::Plan plan_for(const DistMfbcOptions& opts, double frontier_nnz,
-                      double b_nnz, double out_words) const;
+  dist::Plan plan_for(const DistMfbcOptions& opts, const char* stream,
+                      const char* monoid, double frontier_nnz, double b_nnz,
+                      double out_words) const;
 
   /// One full MFBF + MFBr pass over `batch_sources`, accumulating into
   /// `lambda`. Throws sim::FaultError out of the charging layer on rank

@@ -7,11 +7,13 @@
 #pragma once
 
 #include <algorithm>
+#include <cstddef>
 #include <vector>
 
 #include "algebra/concepts.hpp"
 #include "sparse/types.hpp"
 #include "support/error.hpp"
+#include "support/parallel.hpp"
 
 namespace mfbc::sparse {
 
@@ -49,12 +51,47 @@ class Coo {
 
   /// Sort entries into row-major order and merge duplicates through the
   /// monoid M. Entries that merge to the monoid identity are dropped.
+  ///
+  /// The sort is stable, so duplicates combine in insertion order; large
+  /// inputs sort chunk-parallel (stable chunk sorts + stable pairwise
+  /// merges), which yields the exact permutation of a global stable sort
+  /// and therefore bit-identical output at every thread count.
   template <algebra::Monoid M>
   void sort_and_combine() {
-    std::sort(entries_.begin(), entries_.end(),
-              [](const CooEntry<T>& a, const CooEntry<T>& b) {
-                return a.row != b.row ? a.row < b.row : a.col < b.col;
-              });
+    const auto less = [](const CooEntry<T>& a, const CooEntry<T>& b) {
+      return a.row != b.row ? a.row < b.row : a.col < b.col;
+    };
+    const std::size_t n = entries_.size();
+    const int nt = support::num_threads();
+    if (support::ThreadPool::in_parallel_region() || nt <= 1 ||
+        n < kParallelSortThreshold) {
+      std::stable_sort(entries_.begin(), entries_.end(), less);
+    } else {
+      const std::size_t chunks = static_cast<std::size_t>(nt);
+      std::vector<std::size_t> bounds(chunks + 1);
+      for (std::size_t c = 0; c <= chunks; ++c) bounds[c] = n * c / chunks;
+      support::parallel_for(chunks, [&](std::size_t c) {
+        std::stable_sort(entries_.begin() + static_cast<std::ptrdiff_t>(
+                                                bounds[c]),
+                         entries_.begin() + static_cast<std::ptrdiff_t>(
+                                                bounds[c + 1]),
+                         less);
+      });
+      for (std::size_t width = 1; width < chunks; width *= 2) {
+        const std::size_t pairs = chunks / (2 * width) +
+                                  (chunks % (2 * width) > width ? 1 : 0);
+        support::parallel_for(pairs, [&](std::size_t p) {
+          const std::size_t lo = 2 * width * p;
+          const std::size_t mid = lo + width;
+          const std::size_t hi = std::min(lo + 2 * width, chunks);
+          std::inplace_merge(
+              entries_.begin() + static_cast<std::ptrdiff_t>(bounds[lo]),
+              entries_.begin() + static_cast<std::ptrdiff_t>(bounds[mid]),
+              entries_.begin() + static_cast<std::ptrdiff_t>(bounds[hi]),
+              less);
+        });
+      }
+    }
     std::size_t out = 0;
     for (std::size_t i = 0; i < entries_.size();) {
       std::size_t j = i + 1;
@@ -74,6 +111,9 @@ class Coo {
   }
 
  private:
+  /// Below this the chunk-merge machinery costs more than it saves.
+  static constexpr std::size_t kParallelSortThreshold = 1u << 14;
+
   vid_t nrows_ = 0;
   vid_t ncols_ = 0;
   std::vector<CooEntry<T>> entries_;

@@ -7,10 +7,12 @@
 //   Tensor::slice() -> slice_rows()/slice_cols()
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "algebra/concepts.hpp"
 #include "sparse/csr.hpp"
+#include "support/parallel.hpp"
 
 namespace mfbc::sparse {
 
@@ -132,23 +134,73 @@ Csr<U> map_values(const Csr<T>& a, Fn fn) {
 }
 
 /// Aᵀ. Column indices of the result are sorted (bucket pass by column).
+///
+/// Large inputs run the bucket pass chunk-parallel over source-row stripes:
+/// per-stripe column counts plus a serial prefix give every (stripe, column)
+/// a disjoint output range in serial row order, so the parallel writes land
+/// exactly where the serial pass would put them — bit-identical output at
+/// every thread count.
 template <typename T>
 Csr<T> transpose(const Csr<T>& a) {
   std::vector<nnz_t> rowptr(static_cast<std::size_t>(a.ncols()) + 1, 0);
-  for (vid_t c : a.col()) rowptr[static_cast<std::size_t>(c) + 1]++;
-  for (std::size_t i = 1; i < rowptr.size(); ++i) rowptr[i] += rowptr[i - 1];
   std::vector<vid_t> col(static_cast<std::size_t>(a.nnz()));
   std::vector<T> val(static_cast<std::size_t>(a.nnz()));
-  std::vector<nnz_t> cursor(rowptr.begin(), rowptr.end() - 1);
-  for (vid_t r = 0; r < a.nrows(); ++r) {
-    auto ac = a.row_cols(r);
-    auto av = a.row_vals(r);
-    for (std::size_t i = 0; i < ac.size(); ++i) {
-      nnz_t at = cursor[static_cast<std::size_t>(ac[i])]++;
-      col[static_cast<std::size_t>(at)] = r;
-      val[static_cast<std::size_t>(at)] = av[i];
+  const int nt = support::num_threads();
+  if (support::ThreadPool::in_parallel_region() || nt <= 1 ||
+      static_cast<std::size_t>(a.nnz()) < (1u << 15)) {
+    for (vid_t c : a.col()) rowptr[static_cast<std::size_t>(c) + 1]++;
+    for (std::size_t i = 1; i < rowptr.size(); ++i) rowptr[i] += rowptr[i - 1];
+    std::vector<nnz_t> cursor(rowptr.begin(), rowptr.end() - 1);
+    for (vid_t r = 0; r < a.nrows(); ++r) {
+      auto ac = a.row_cols(r);
+      auto av = a.row_vals(r);
+      for (std::size_t i = 0; i < ac.size(); ++i) {
+        nnz_t at = cursor[static_cast<std::size_t>(ac[i])]++;
+        col[static_cast<std::size_t>(at)] = r;
+        val[static_cast<std::size_t>(at)] = av[i];
+      }
+    }
+    return Csr<T>(a.ncols(), a.nrows(), std::move(rowptr), std::move(col),
+                  std::move(val));
+  }
+  const std::size_t chunks = static_cast<std::size_t>(nt);
+  const std::size_t nr = static_cast<std::size_t>(a.nrows());
+  std::vector<vid_t> bounds(chunks + 1);
+  for (std::size_t c = 0; c <= chunks; ++c) {
+    bounds[c] = static_cast<vid_t>(nr * c / chunks);
+  }
+  std::vector<std::vector<nnz_t>> cursor(chunks);
+  support::parallel_for(chunks, [&](std::size_t c) {
+    std::vector<nnz_t> local(static_cast<std::size_t>(a.ncols()), 0);
+    for (vid_t r = bounds[c]; r < bounds[c + 1]; ++r) {
+      for (vid_t cc : a.row_cols(r)) local[static_cast<std::size_t>(cc)]++;
+    }
+    cursor[c] = std::move(local);
+  });
+  // Serial prefix in (column, stripe) order: turns the per-stripe counts
+  // into each stripe's starting write position per column and fills rowptr.
+  nnz_t base = 0;
+  for (std::size_t j = 0; j < static_cast<std::size_t>(a.ncols()); ++j) {
+    rowptr[j] = base;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const nnz_t count = cursor[c][j];
+      cursor[c][j] = base;
+      base += count;
     }
   }
+  rowptr[static_cast<std::size_t>(a.ncols())] = base;
+  support::parallel_for(chunks, [&](std::size_t c) {
+    auto& cur = cursor[c];
+    for (vid_t r = bounds[c]; r < bounds[c + 1]; ++r) {
+      auto ac = a.row_cols(r);
+      auto av = a.row_vals(r);
+      for (std::size_t i = 0; i < ac.size(); ++i) {
+        nnz_t at = cur[static_cast<std::size_t>(ac[i])]++;
+        col[static_cast<std::size_t>(at)] = r;
+        val[static_cast<std::size_t>(at)] = av[i];
+      }
+    }
+  });
   return Csr<T>(a.ncols(), a.nrows(), std::move(rowptr), std::move(col),
                 std::move(val));
 }

@@ -1,0 +1,163 @@
+// Runtime observation of distributed SpGEMM executions.
+//
+// The §5.2 cost model predicts what a multiply *should* cost; the simulated
+// machine's ledger records what it *did* cost. An Observer sits between the
+// two: every dist::spgemm executed while one is installed records the plan,
+// the model's prediction (evaluated on the actual operand nnz with the §5.2
+// uniform estimates for ops/nnz(C)), and the measured critical-path delta.
+// The tuner (tune/calibrate.hpp) uses the per-stream history to re-plan the
+// next multiply from measured quantities instead of a-priori guesses, and
+// the per-variant error statistics feed the `tune` block of the --json run
+// artifacts.
+//
+// Installation is ambient (set_active_observer / ScopedObserver) so the
+// recording hook in dist::spgemm needs no signature change; the library
+// funnels all multiplies through one submitting thread, and record() takes a
+// mutex besides, so concurrent submitters are safe too.
+#pragma once
+
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dist/cost_model.hpp"
+#include "sim/ledger.hpp"
+
+namespace mfbc::tune {
+
+/// One observed distributed multiply.
+struct Observation {
+  dist::Plan plan;
+  std::string stream;        ///< caller tag ("forward", "backward", ...)
+  dist::ModelCost predicted; ///< §5.2 model on the actual operand nnz
+  sim::Cost measured;        ///< ledger critical-path delta over the multiply
+  double nnz_a = 0, nnz_b = 0, nnz_c = 0;
+  double ops = 0;            ///< measured nonzero products (sum over ranks)
+  double est_ops = 0;        ///< the uniform estimates the prediction used,
+  double est_nnz_c = 0;      ///< kept so the tuner can form correction ratios
+
+  /// |predicted − measured| / measured on total modelled seconds.
+  double abs_rel_error() const {
+    const double meas = measured.total_seconds();
+    if (!(meas > 0)) return 0;
+    return std::abs(predicted.total() - meas) / meas;
+  }
+};
+
+/// Prediction-error accumulator (per plan variant and overall).
+struct ErrorStats {
+  std::int64_t count = 0;
+  double sum_abs_rel = 0;
+  double worst = 0;
+
+  double mean_abs_rel() const {
+    return count > 0 ? sum_abs_rel / static_cast<double>(count) : 0.0;
+  }
+  void add(double abs_rel) {
+    ++count;
+    sum_abs_rel += abs_rel;
+    if (abs_rel > worst) worst = abs_rel;
+  }
+};
+
+class Observer {
+ public:
+  /// Tag subsequent observations with a stream name (the tuner sets this to
+  /// the re-planning context before each multiply).
+  void set_stream(std::string stream) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stream_ = std::move(stream);
+  }
+  std::string stream() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stream_;
+  }
+
+  void record(Observation o) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (o.stream.empty()) o.stream = stream_;
+    const double err = o.abs_rel_error();
+    overall_.add(err);
+    by_variant_[o.plan.to_string()].add(err);
+    last_by_stream_[o.stream] = o;
+    observations_.push_back(std::move(o));
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return observations_.size();
+  }
+
+  std::vector<Observation> all() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return observations_;
+  }
+
+  /// Most recent observation tagged with `stream`, if any.
+  std::optional<Observation> last(const std::string& stream) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = last_by_stream_.find(stream);
+    if (it == last_by_stream_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  ErrorStats overall() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return overall_;
+  }
+
+  std::map<std::string, ErrorStats> per_variant() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return by_variant_;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    observations_.clear();
+    last_by_stream_.clear();
+    by_variant_.clear();
+    overall_ = ErrorStats{};
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::string stream_;
+  std::vector<Observation> observations_;
+  std::map<std::string, Observation> last_by_stream_;
+  std::map<std::string, ErrorStats> by_variant_;
+  ErrorStats overall_;
+};
+
+namespace detail {
+inline Observer*& active_observer_slot() {
+  static Observer* active = nullptr;
+  return active;
+}
+}  // namespace detail
+
+/// The ambiently installed observer, or nullptr (recording disabled).
+inline Observer* active_observer() { return detail::active_observer_slot(); }
+
+/// Install `obs` (nullptr disables recording); returns the previous one.
+inline Observer* set_active_observer(Observer* obs) {
+  Observer* prev = detail::active_observer_slot();
+  detail::active_observer_slot() = obs;
+  return prev;
+}
+
+/// RAII installer restoring the previous observer on scope exit.
+class ScopedObserver {
+ public:
+  explicit ScopedObserver(Observer* obs) : prev_(set_active_observer(obs)) {}
+  ~ScopedObserver() { set_active_observer(prev_); }
+  ScopedObserver(const ScopedObserver&) = delete;
+  ScopedObserver& operator=(const ScopedObserver&) = delete;
+
+ private:
+  Observer* prev_;
+};
+
+}  // namespace mfbc::tune

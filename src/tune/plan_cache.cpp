@@ -1,0 +1,190 @@
+#include "tune/plan_cache.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace mfbc::tune {
+
+namespace {
+
+const char* v1_name(dist::Variant1D v) {
+  switch (v) {
+    case dist::Variant1D::kA: return "A";
+    case dist::Variant1D::kB: return "B";
+    case dist::Variant1D::kC: return "C";
+  }
+  return "?";
+}
+
+const char* v2_name(dist::Variant2D v) {
+  switch (v) {
+    case dist::Variant2D::kAB: return "AB";
+    case dist::Variant2D::kAC: return "AC";
+    case dist::Variant2D::kBC: return "BC";
+  }
+  return "?";
+}
+
+dist::Variant1D v1_of(const std::string& s) {
+  if (s == "A") return dist::Variant1D::kA;
+  if (s == "B") return dist::Variant1D::kB;
+  if (s == "C") return dist::Variant1D::kC;
+  throw Error("tune profile: unknown 1D variant letter: " + s);
+}
+
+dist::Variant2D v2_of(const std::string& s) {
+  if (s == "AB") return dist::Variant2D::kAB;
+  if (s == "AC") return dist::Variant2D::kAC;
+  if (s == "BC") return dist::Variant2D::kBC;
+  throw Error("tune profile: unknown 2D variant pair: " + s);
+}
+
+double num_field(const telemetry::Json& j, const char* key) {
+  const telemetry::Json* f = j.find(key);
+  MFBC_CHECK(f != nullptr && f->is_number(),
+             std::string("tune profile: missing or non-numeric field: ") + key);
+  return f->as_double();
+}
+
+std::string str_field(const telemetry::Json& j, const char* key) {
+  const telemetry::Json* f = j.find(key);
+  MFBC_CHECK(f != nullptr && f->is_string(),
+             std::string("tune profile: missing or non-string field: ") + key);
+  return f->as_string();
+}
+
+}  // namespace
+
+int PlanKey::nnz_band(double nnz) {
+  if (!(nnz > 0)) return -1;
+  return static_cast<int>(std::floor(std::log2(nnz)));
+}
+
+std::string PlanKey::to_string() const {
+  std::ostringstream os;
+  os << monoid << ":" << m << "x" << k << "x" << n << ":a" << band_a << ":b"
+     << band_b << ":p" << ranks << ":t" << threads;
+  return os.str();
+}
+
+telemetry::Json plan_to_json(const dist::Plan& plan) {
+  telemetry::Json j = telemetry::Json::object();
+  j["p1"] = telemetry::Json(plan.p1);
+  j["p2"] = telemetry::Json(plan.p2);
+  j["p3"] = telemetry::Json(plan.p3);
+  j["v1"] = telemetry::Json(v1_name(plan.v1));
+  j["v2"] = telemetry::Json(v2_name(plan.v2));
+  return j;
+}
+
+dist::Plan plan_from_json(const telemetry::Json& j) {
+  MFBC_CHECK(j.is_object(), "tune profile: plan must be an object");
+  dist::Plan plan;
+  plan.p1 = static_cast<int>(num_field(j, "p1"));
+  plan.p2 = static_cast<int>(num_field(j, "p2"));
+  plan.p3 = static_cast<int>(num_field(j, "p3"));
+  MFBC_CHECK(plan.p1 >= 1 && plan.p2 >= 1 && plan.p3 >= 1,
+             "tune profile: plan factors must be positive");
+  plan.v1 = v1_of(str_field(j, "v1"));
+  plan.v2 = v2_of(str_field(j, "v2"));
+  return plan;
+}
+
+std::optional<dist::Plan> PlanCache::find(const PlanKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void PlanCache::insert(const PlanKey& key, const dist::Plan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[key] = plan;
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::uint64_t PlanCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t PlanCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+double PlanCache::hit_rate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t total = hits_ + misses_;
+  return total > 0 ? static_cast<double>(hits_) / static_cast<double>(total)
+                   : 0.0;
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+void PlanCache::reset_counters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  hits_ = 0;
+  misses_ = 0;
+}
+
+telemetry::Json PlanCache::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  telemetry::Json arr = telemetry::Json::array();
+  for (const auto& [key, plan] : entries_) {
+    telemetry::Json e = telemetry::Json::object();
+    e["monoid"] = telemetry::Json(key.monoid);
+    e["m"] = telemetry::Json(static_cast<std::int64_t>(key.m));
+    e["k"] = telemetry::Json(static_cast<std::int64_t>(key.k));
+    e["n"] = telemetry::Json(static_cast<std::int64_t>(key.n));
+    e["band_a"] = telemetry::Json(key.band_a);
+    e["band_b"] = telemetry::Json(key.band_b);
+    e["ranks"] = telemetry::Json(key.ranks);
+    e["threads"] = telemetry::Json(key.threads);
+    e["plan"] = plan_to_json(plan);
+    arr.push(std::move(e));
+  }
+  return arr;
+}
+
+void PlanCache::load_json(const telemetry::Json& plans) {
+  MFBC_CHECK(plans.is_array(), "tune profile: \"plans\" must be an array");
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    const telemetry::Json& e = plans.at(i);
+    MFBC_CHECK(e.is_object(), "tune profile: plan entry must be an object");
+    PlanKey key;
+    key.monoid = str_field(e, "monoid");
+    key.m = static_cast<sparse::vid_t>(num_field(e, "m"));
+    key.k = static_cast<sparse::vid_t>(num_field(e, "k"));
+    key.n = static_cast<sparse::vid_t>(num_field(e, "n"));
+    key.band_a = static_cast<int>(num_field(e, "band_a"));
+    key.band_b = static_cast<int>(num_field(e, "band_b"));
+    key.ranks = static_cast<int>(num_field(e, "ranks"));
+    key.threads = static_cast<int>(num_field(e, "threads"));
+    MFBC_CHECK(key.ranks >= 1, "tune profile: plan entry needs ranks >= 1");
+    const telemetry::Json* p = e.find("plan");
+    MFBC_CHECK(p != nullptr, "tune profile: plan entry missing \"plan\"");
+    const dist::Plan plan = plan_from_json(*p);
+    MFBC_CHECK(plan.total_ranks() <= key.ranks,
+               "tune profile: plan uses more ranks than its key allows");
+    entries_[key] = plan;
+  }
+}
+
+}  // namespace mfbc::tune

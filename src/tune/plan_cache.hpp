@@ -1,0 +1,89 @@
+// Persistent cache of winning SpGEMM plans.
+//
+// Repeated workloads (every MFBC batch multiplies a frontier of a similar
+// size against the same adjacency) should not re-enumerate the §5.2 plan
+// space on every iteration. The cache keys a chosen plan by the operation
+// shape — monoid tag, matrix dims, log2 nnz bands of both operands, rank
+// count, and (optionally) pool thread count — and round-trips through the
+// versioned JSON profile file (tune/calibrate.hpp), so the plans a run
+// learned survive into the next run.
+//
+// The nnz band quantizes the operand sizes: two frontiers within the same
+// power-of-two band share an entry, which is what makes the cache hit at all
+// as the frontier breathes between iterations.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <tuple>
+
+#include "dist/cost_model.hpp"
+#include "telemetry/json.hpp"
+
+namespace mfbc::tune {
+
+struct PlanKey {
+  std::string monoid;  ///< operation tag ("multpath", "centpath", ...)
+  sparse::vid_t m = 0, k = 0, n = 0;
+  int band_a = 0;  ///< floor(log2(nnz_a)), -1 for an empty operand
+  int band_b = 0;
+  int ranks = 0;
+  /// Pool thread count, or 0 for thread-count-invariant entries (the
+  /// default: plan choices must not depend on pool size, or results would
+  /// stop being bit-identical across thread counts — docs/autotuning.md).
+  int threads = 0;
+
+  /// floor(log2(nnz)) band, -1 for nnz <= 0.
+  static int nnz_band(double nnz);
+
+  std::string to_string() const;
+
+  friend bool operator==(const PlanKey&, const PlanKey&) = default;
+  friend bool operator<(const PlanKey& a, const PlanKey& b) {
+    auto tie = [](const PlanKey& x) {
+      return std::tie(x.monoid, x.m, x.k, x.n, x.band_a, x.band_b, x.ranks,
+                      x.threads);
+    };
+    return tie(a) < tie(b);
+  }
+};
+
+/// Serialize a plan as {"p1","p2","p3","v1","v2"}; from_json throws
+/// mfbc::Error on malformed shapes or unknown variant letters.
+telemetry::Json plan_to_json(const dist::Plan& plan);
+dist::Plan plan_from_json(const telemetry::Json& j);
+
+class PlanCache {
+ public:
+  /// Look up a plan; counts a hit or a miss.
+  std::optional<dist::Plan> find(const PlanKey& key);
+
+  /// Insert or overwrite the plan for `key`.
+  void insert(const PlanKey& key, const dist::Plan& plan);
+
+  std::size_t size() const;
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  /// hits / (hits + misses), 0 when never queried.
+  double hit_rate() const;
+  void clear();
+  /// Zero the hit/miss counters (entries stay).
+  void reset_counters();
+
+  /// Entries as the profile file's "plans" array.
+  telemetry::Json to_json() const;
+  /// Merge entries from a "plans" array; throws mfbc::Error on malformed
+  /// entries (missing fields, bad plan shapes).
+  void load_json(const telemetry::Json& plans);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<PlanKey, dist::Plan> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace mfbc::tune

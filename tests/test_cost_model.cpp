@@ -131,6 +131,108 @@ TEST(Enumerate, ShapeToggles) {
   }
 }
 
+// ---- §5.2 closed forms pinned against hand-computed values ----
+// One fixture: α = β = seconds_per_op = 1, and operand sizes chosen so every
+// term is a distinct round number. Wire words: A = 100·2 = 200,
+// B = 200·3 = 600, C = 50·2 = 100; total 900; ops = 1000.
+MultiplyStats pinned_stats() {
+  MultiplyStats s;
+  s.m = 100;
+  s.k = 100;
+  s.n = 100;
+  s.nnz_a = 100;
+  s.nnz_b = 200;
+  s.nnz_c = 50;
+  s.ops = 1000;
+  s.words_a = 2;
+  s.words_b = 3;
+  s.words_c = 2;
+  return s;
+}
+
+sim::MachineModel unit_machine() {
+  sim::MachineModel mm;
+  mm.alpha = 1;
+  mm.beta = 1;
+  mm.seconds_per_op = 1;
+  return mm;
+}
+
+TEST(CostModelPinned, OneDClosedForm) {
+  // W_B(p=4): bandwidth 2·β·nnz(B)·words = 1200, latency 2·α·log₂4 = 4,
+  // compute ops/4 = 250, remap 900/4·β + 2·log₂4·α = 229.
+  const auto c = model_cost(Plan{4, 1, 1, Variant1D::kB, Variant2D::kAB},
+                            pinned_stats(), unit_machine());
+  EXPECT_DOUBLE_EQ(c.bandwidth, 1200.0);
+  EXPECT_DOUBLE_EQ(c.latency, 4.0);
+  EXPECT_DOUBLE_EQ(c.compute, 250.0);
+  EXPECT_DOUBLE_EQ(c.remap, 229.0);
+}
+
+TEST(CostModelPinned, TwoDClosedForm) {
+  // W_BC(2×3): bandwidth 2·(600/2 + 100/3), latency 2·max(2,3)·⌈log₂3⌉ = 12,
+  // compute 1000/6, remap 900/6 + 2·⌈log₂6⌉ = 156.
+  const auto c = model_cost(Plan{1, 2, 3, Variant1D::kA, Variant2D::kBC},
+                            pinned_stats(), unit_machine());
+  EXPECT_DOUBLE_EQ(c.bandwidth, 2.0 * (300.0 + 100.0 / 3.0));
+  EXPECT_DOUBLE_EQ(c.latency, 12.0);
+  EXPECT_DOUBLE_EQ(c.compute, 1000.0 / 6.0);
+  EXPECT_DOUBLE_EQ(c.remap, 156.0);
+}
+
+TEST(CostModelPinned, ThreeDClosedForm) {
+  // W_C,AB(2×2×2): the 1D level moves C's layer share 100/4 twice (50); the
+  // 2D level moves A and B blocked by p1: 2·(100/2 + 300/2) = 400; latency
+  // 2·log₂2 + 2·max(2,2)·log₂2 = 6; compute 1000/8; remap 900/8 + 2·3.
+  const auto c = model_cost(Plan{2, 2, 2, Variant1D::kC, Variant2D::kAB},
+                            pinned_stats(), unit_machine());
+  EXPECT_DOUBLE_EQ(c.bandwidth, 450.0);
+  EXPECT_DOUBLE_EQ(c.latency, 6.0);
+  EXPECT_DOUBLE_EQ(c.compute, 125.0);
+  EXPECT_DOUBLE_EQ(c.remap, 118.5);
+}
+
+TEST(CostModelPinned, MemoryClosedForm) {
+  // M_X,YZ for 3D-C,AB[2x2x2]: replicated C words ·p1/p = 100·2/8 = 25 plus
+  // all operands /p = 900/8 = 112.5.
+  EXPECT_DOUBLE_EQ(model_memory_words(
+                       Plan{2, 2, 2, Variant1D::kC, Variant2D::kAB},
+                       pinned_stats()),
+                   137.5);
+}
+
+TEST(CostModelPinned, ThreeDWithUnitP1DegeneratesTo2D) {
+  // p1 = 1 disables the 1D level entirely: cost must equal the pure 2D form
+  // componentwise, whatever v1 claims to replicate.
+  const auto s = pinned_stats();
+  const auto mm = unit_machine();
+  for (Variant1D v1 : {Variant1D::kA, Variant1D::kB, Variant1D::kC}) {
+    const auto c3 = model_cost(Plan{1, 2, 3, v1, Variant2D::kBC}, s, mm);
+    const auto c2 =
+        model_cost(Plan{1, 2, 3, Variant1D::kA, Variant2D::kBC}, s, mm);
+    EXPECT_DOUBLE_EQ(c3.latency, c2.latency);
+    EXPECT_DOUBLE_EQ(c3.bandwidth, c2.bandwidth);
+    EXPECT_DOUBLE_EQ(c3.compute, c2.compute);
+    EXPECT_DOUBLE_EQ(c3.remap, c2.remap);
+  }
+}
+
+TEST(CostModelPinned, ThreeDWithUnitGridDegeneratesTo1D) {
+  // p2 = p3 = 1 disables the 2D level: cost must equal the pure 1D form,
+  // whatever v2 claims to communicate.
+  const auto s = pinned_stats();
+  const auto mm = unit_machine();
+  const auto c1 =
+      model_cost(Plan{4, 1, 1, Variant1D::kB, Variant2D::kAB}, s, mm);
+  for (Variant2D v2 : {Variant2D::kAB, Variant2D::kAC, Variant2D::kBC}) {
+    const auto c = model_cost(Plan{4, 1, 1, Variant1D::kB, v2}, s, mm);
+    EXPECT_DOUBLE_EQ(c.latency, c1.latency);
+    EXPECT_DOUBLE_EQ(c.bandwidth, c1.bandwidth);
+    EXPECT_DOUBLE_EQ(c.compute, c1.compute);
+    EXPECT_DOUBLE_EQ(c.remap, c1.remap);
+  }
+}
+
 TEST(Autotune, PicksMinimumModelCost) {
   sim::MachineModel mm;
   auto s = square_stats(1e6);

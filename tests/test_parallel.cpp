@@ -385,6 +385,82 @@ TEST(Determinism, DistMfbcBitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(Determinism, TransposeBitIdenticalAcrossThreadCounts) {
+  PoolSizeGuard guard;
+  // Over the parallel threshold (nnz >= 2^15) so the striped bucket pass
+  // actually runs; the serial result is the reference.
+  const Csr<double> a = random_csr(300, 400, 0.4, 91);
+  ASSERT_GE(a.nnz(), static_cast<nnz_t>(1 << 15));
+  set_threads(1);
+  const Csr<double> serial = sparse::transpose(a);
+  for (int t : {2, 4, 8}) {
+    set_threads(t);
+    EXPECT_EQ(sparse::transpose(a), serial) << t << " threads";
+  }
+}
+
+TEST(Determinism, CooSortAndCombineBitIdenticalAcrossThreadCounts) {
+  PoolSizeGuard guard;
+  // Duplicate-heavy COO over the parallel-sort threshold: the stable sort
+  // must leave duplicates in insertion order at every thread count, so the
+  // floating-point left-folds combine in exactly the same order.
+  auto build = [] {
+    Xoshiro256 rng(17);
+    Coo<double> coo(64, 64);
+    for (int i = 0; i < (1 << 15); ++i) {
+      coo.push(static_cast<vid_t>(rng.bounded(64)),
+               static_cast<vid_t>(rng.bounded(64)), rng.uniform01() - 0.5);
+    }
+    return coo;
+  };
+  set_threads(1);
+  Coo<double> serial = build();
+  serial.sort_and_combine<SumMonoid>();
+  for (int t : {2, 4, 8}) {
+    set_threads(t);
+    Coo<double> par = build();
+    par.sort_and_combine<SumMonoid>();
+    EXPECT_EQ(par.entries(), serial.entries()) << t << " threads";
+  }
+}
+
+TEST(Determinism, ScatterGatherBitIdenticalAcrossThreadCounts) {
+  PoolSizeGuard guard;
+  const Csr<double> a = random_csr(300, 400, 0.4, 92);
+  ASSERT_GE(a.nnz(), static_cast<nnz_t>(1 << 15));
+  // Both grid orientations: the stripe decomposition follows row_splits().
+  const std::vector<dist::Layout> layouts = {
+      {0, 3, 4, dist::Range{0, 300}, dist::Range{0, 400}, false},
+      {0, 3, 4, dist::Range{0, 300}, dist::Range{0, 400}, true},
+  };
+  for (const dist::Layout& l : layouts) {
+    struct Run {
+      dist::DistMatrix<double> d;
+      Csr<double> back;
+      sim::Cost crit;
+    };
+    auto run = [&](int threads) {
+      set_threads(threads);
+      sim::Sim sim(12);
+      Run r;
+      r.d = dist::DistMatrix<double>::scatter<SumMonoid>(sim, a, l);
+      r.back = r.d.gather(sim);
+      r.crit = sim.ledger().critical();
+      return r;
+    };
+    const Run serial = run(1);
+    EXPECT_EQ(serial.back, a);  // scatter/gather round-trips the matrix
+    for (int t : {2, 4, 8}) {
+      const Run par = run(t);
+      EXPECT_TRUE(par.d == serial.d) << t << " threads";
+      EXPECT_EQ(par.back, serial.back) << t << " threads";
+      EXPECT_EQ(par.crit.words, serial.crit.words);
+      EXPECT_EQ(par.crit.msgs, serial.crit.msgs);
+      EXPECT_EQ(par.crit.comm_seconds, serial.crit.comm_seconds);
+    }
+  }
+}
+
 #if MFBC_TELEMETRY
 
 TEST(ThreadPool, WorkerSpansNestUnderTheEnqueuingSpan) {

@@ -19,6 +19,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,7 @@
 #include "apps/traversal_dist.hpp"
 #include "baseline/brandes.hpp"
 #include "baseline/combblas_bc.hpp"
+#include "benchsupport/table.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/prep.hpp"
@@ -43,6 +45,7 @@
 #include "support/timer.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/ledger_sink.hpp"
+#include "tune/calibrate.hpp"
 
 namespace {
 
@@ -71,6 +74,9 @@ struct Args {
   std::uint64_t seed = 1;
   std::string model_file;  // tuned machine model for simulated runs
   std::string tune_file;   // run the model tuner, save here, exit
+  std::string tune_profile;    // adaptive plan tuner profile (load + save)
+  std::string calibrate_file;  // run tune::calibrate, save here, exit
+  bool explain_plan = false;   // print the candidate-plan table, don't run
   std::string faults;      // fault-injection spec (simulated runs)
   std::uint64_t fault_seed = 1;
   std::string json_file;   // write a run-summary artifact here
@@ -104,6 +110,16 @@ void usage() {
       "machine model (simulated runs):\n"
       "  --model FILE        load a tuned machine model (see --tune)\n"
       "  --tune FILE         run the section 6.2 model tuner, save to FILE\n"
+      "plan tuning (simulated mfbc runs; see docs/autotuning.md):\n"
+      "  --tune-profile FILE attach the adaptive plan tuner: calibrated\n"
+      "                      model, per-iteration re-planning with\n"
+      "                      hysteresis, persistent plan cache in FILE\n"
+      "                      (loaded if present, learned plans written back)\n"
+      "  --calibrate FILE    fit section 5.2 model correction factors on a\n"
+      "                      microbenchmark grid, save the profile, exit\n"
+      "  --explain-plan      print the full candidate-plan table (model\n"
+      "                      cost terms, memory fit, chosen marker) for the\n"
+      "                      run's first multiply without executing it\n"
       "fault injection (simulated mfbc runs; see docs/fault_tolerance.md):\n"
       "  --faults SPEC       deterministic fault schedule, e.g.\n"
       "                      'transient:0.01,corrupt:0.002,rank:0.0005' or\n"
@@ -147,6 +163,9 @@ Args parse(int argc, char** argv) {
     else if (f == "--top") a.top = std::atoi(need(i));
     else if (f == "--model") a.model_file = need(i);
     else if (f == "--tune") a.tune_file = need(i);
+    else if (f == "--tune-profile") a.tune_profile = need(i);
+    else if (f == "--calibrate") a.calibrate_file = need(i);
+    else if (f == "--explain-plan") a.explain_plan = true;
     else if (f == "--faults") a.faults = need(i);
     else if (f == "--fault-seed")
       a.fault_seed = std::strtoull(need(i), nullptr, 10);
@@ -228,12 +247,69 @@ int run(const Args& a) {
   const sim::MachineModel machine =
       a.model_file.empty() ? sim::MachineModel::blue_waters()
                            : sim::load_model_file(a.model_file);
+  if (!a.calibrate_file.empty()) {
+    std::puts("calibrating the section 5.2 planning model "
+              "(microbenchmark plan grid)...");
+    tune::CalibrateOptions copts;
+    copts.machine = machine;
+    copts.measure_flop_rate = true;
+    const tune::Profile prof = tune::calibrate(copts);
+    prof.save(a.calibrate_file);
+    const tune::Calibration& c = prof.calibration;
+    std::printf("fit over %d samples: alpha x%.3g, beta x%.3g, compute "
+                "x%.3g; mean |rel err| %.3f -> %.3f\n",
+                c.samples, c.alpha_scale, c.beta_scale, c.compute_scale,
+                c.err_before, c.err_after);
+    std::printf("[tune] wrote %s\n", a.calibrate_file.c_str());
+    return 0;
+  }
   graph::Graph g = load_graph(a);
   if (a.giant) g = graph::largest_component(g);
   std::printf("graph: n=%lld m=%lld %s %s avg_degree=%.2f\n",
               static_cast<long long>(g.n()), static_cast<long long>(g.m()),
               g.directed() ? "directed" : "undirected",
               g.weighted() ? "weighted" : "unweighted", g.avg_degree());
+
+  if (a.explain_plan) {
+    MFBC_CHECK(a.ranks > 0, "--explain-plan needs --ranks P");
+    // Model the run's first structurally interesting forward multiply:
+    // the frontier holds the first batch's adjacency rows (the shape every
+    // later iteration resembles), B is the full adjacency.
+    const graph::vid_t total =
+        a.approx > 0 ? std::min<graph::vid_t>(a.approx, g.n()) : g.n();
+    const graph::vid_t nb = std::min<graph::vid_t>(a.batch, total);
+    double frontier_nnz = 0, adj_nnz = 0;
+    for (graph::vid_t v = 0; v < g.n(); ++v) {
+      const double d = static_cast<double>(g.out_degree(v));
+      if (v < nb) frontier_nnz += d;
+      adj_nnz += d;
+    }
+    const dist::MultiplyStats stats = dist::MultiplyStats::estimated(
+        nb, g.n(), g.n(), frontier_nnz, adj_nnz,
+        sim::sparse_entry_words<algebra::Multpath>(),
+        sim::sparse_entry_words<graph::Weight>(),
+        sim::sparse_entry_words<algebra::Multpath>());
+    const dist::TuneOptions topts;
+    const dist::Plan best = dist::autotune(a.ranks, stats, machine, topts);
+    bench::Table tab({"plan", "latency(s)", "bandwidth(s)", "compute(s)",
+                      "remap(s)", "total(s)", "mem(words)", "fits", ""});
+    for (const dist::Plan& plan : dist::enumerate_plans(a.ranks, topts)) {
+      const dist::ModelCost mc = dist::model_cost(plan, stats, machine);
+      const double mem = dist::model_memory_words(plan, stats);
+      tab.add_row({plan.to_string(), compact(mc.latency, 4),
+                   compact(mc.bandwidth, 4), compact(mc.compute, 4),
+                   compact(mc.remap, 4), compact(mc.total(), 4),
+                   compact(mem, 4),
+                   mem <= topts.memory_words_limit ? "yes" : "no",
+                   plan == best ? "<== chosen" : ""});
+    }
+    std::printf("candidate plans for the first forward multiply "
+                "(m=%lld k=n=%lld nnz(A)=%.0f nnz(B)=%.0f) on %d ranks:\n",
+                static_cast<long long>(nb), static_cast<long long>(g.n()),
+                frontier_nnz, adj_nnz, a.ranks);
+    std::fputs(tab.render().c_str(), stdout);
+    return 0;
+  }
 
   if (a.metric == "components") {
     auto labels = apps::connected_component_labels(g);
@@ -304,8 +380,12 @@ int run(const Args& a) {
   MFBC_CHECK(a.metric == "bc", "unknown metric: " + a.metric);
   MFBC_CHECK(a.faults.empty() || (a.algo == "mfbc" && a.ranks > 0),
              "--faults needs a simulated mfbc run (--algo mfbc --ranks P)");
+  MFBC_CHECK(a.tune_profile.empty() || (a.algo == "mfbc" && a.ranks > 0),
+             "--tune-profile needs a simulated mfbc run "
+             "(--algo mfbc --ranks P)");
   telemetry::Json cost_json;    // ledger cost of the simulated run, if any
   telemetry::Json faults_json;  // fault-injection outcome, if enabled
+  telemetry::Json tune_json;    // adaptive-tuner summary, if attached
   std::vector<double> bc;
   if (a.algo == "brandes") {
     bc = a.approx > 0
@@ -340,6 +420,16 @@ int run(const Args& a) {
         a.mode == "ca" ? core::PlanMode::kFixedCa : core::PlanMode::kAuto;
     opts.replication_c = a.c;
     if (a.approx > 0) opts.sources = pivot_sources(g, a.approx);
+    std::unique_ptr<tune::Tuner> tuner;
+    if (!a.tune_profile.empty()) {
+      tune::Profile prof;
+      prof.machine = machine;
+      if (auto loaded = tune::try_load_profile(a.tune_profile, machine)) {
+        prof = std::move(*loaded);
+      }
+      tuner = std::make_unique<tune::Tuner>(std::move(prof));
+      opts.tuner = tuner.get();
+    }
     core::DistMfbcStats stats;
     bc = engine.run(opts, &stats);
     const auto cost = sim.ledger().critical();
@@ -349,6 +439,17 @@ int run(const Args& a) {
                 cost.msgs, cost.total_seconds());
     for (const auto& p : stats.plans_used) std::printf(" %s", p.c_str());
     std::puts("");
+    if (tuner) {
+      std::printf("tune: %llu re-plans, %llu plan switches, %llu hysteresis "
+                  "holds, cache hit rate %.2f, mean |pred err| %.3f\n",
+                  static_cast<unsigned long long>(tuner->replans()),
+                  static_cast<unsigned long long>(tuner->plan_switches()),
+                  static_cast<unsigned long long>(tuner->hysteresis_holds()),
+                  tuner->cache().hit_rate(), tuner->prediction_error());
+      tune_json = tuner->json();
+      tuner->save(a.tune_profile);
+      std::printf("[tune] wrote %s\n", a.tune_profile.c_str());
+    }
     cost_json = telemetry::Json::object();
     cost_json["words"] = telemetry::Json(cost.words);
     cost_json["msgs"] = telemetry::Json(cost.msgs);
@@ -406,6 +507,7 @@ int run(const Args& a) {
     summary.set("config", std::move(config));
     if (!cost_json.is_null()) summary.set("cost", std::move(cost_json));
     if (!faults_json.is_null()) summary.set("faults", std::move(faults_json));
+    if (!tune_json.is_null()) summary.set("tune", std::move(tune_json));
     telemetry::Json top = telemetry::Json::array();
     for (const auto& rv : core::top_k(bc, static_cast<std::size_t>(a.top))) {
       telemetry::Json e = telemetry::Json::object();
