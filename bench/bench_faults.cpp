@@ -1,14 +1,17 @@
 // Fault-tolerance overhead: modelled cost of the recovery policies as the
 // injected fault rate rises (docs/fault_tolerance.md).
 //
-// Every cell runs the same distributed MFBC problem on the same simulated
-// machine; only the fault schedule differs. Because recovery never perturbs
-// the data path, every recovered cell computes bit-identical centrality to
-// the fault-free baseline — what changes is the ledger: failed attempts,
-// backoffs, ABFT checksums, λ checkpoints and batch re-runs are all charged
-// at the machine's α–β rates. The table reports that overhead as absolute
-// cost and as a slowdown against the fault-free run, which by construction
-// pays zero (no injector is attached at rate 0).
+// Every cell runs the same distributed BC problem on the same simulated
+// machine; only the engine and the fault schedule differ. Both engines —
+// MFBC and the CombBLAS-style baseline — run the shared batch driver, so the
+// same recovery policies apply to each and the table reports them side by
+// side. Because recovery never perturbs the data path, every recovered cell
+// computes bit-identical centrality to its engine's fault-free run — what
+// changes is the ledger: failed attempts, backoffs, ABFT checksums, λ
+// checkpoints and batch re-runs are all charged at the machine's α–β rates.
+// The table reports that overhead as absolute cost and as a slowdown against
+// the engine's fault-free run, which by construction pays zero (no injector
+// is attached at rate 0).
 #include <cstdio>
 #include <string>
 
@@ -22,7 +25,7 @@ int main(int argc, char** argv) {
   using namespace mfbc;
   const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   const bool small = args.small;
-  const int p = small ? 16 : 64;
+  const int p = small ? 16 : 64;  // square: the baseline engine runs too
   const graph::vid_t n = small ? 600 : 4000;
   const graph::nnz_t m = small ? 3000 : 24000;
   const graph::vid_t batch = small ? 32 : 64;
@@ -39,31 +42,41 @@ int main(int argc, char** argv) {
   base.batch_size = batch;
   base.num_sources = batch * 2;  // two batches: checkpoint/rollback engages
   base.fault_seed = args.fault_seed;
-  const bench::CellResult clean = bench::run_mfbc_cell(g, base);
-  MFBC_CHECK(clean.ok, "fault-free baseline failed: " + clean.error);
+  const bench::CellResult clean_mfbc = bench::run_mfbc_cell(g, base);
+  MFBC_CHECK(clean_mfbc.ok, "fault-free mfbc run failed: " + clean_mfbc.error);
+  const bench::CellResult clean_comb = bench::run_combblas_cell(g, base);
+  MFBC_CHECK(clean_comb.ok,
+             "fault-free combblas run failed: " + clean_comb.error);
 
-  bench::Table tab({"faults", "inj", "rec", "abort", "batch retries",
-                    "overhead W", "overhead (sec)", "total (sec)",
-                    "slowdown"});
-  auto row = [&](const std::string& spec) {
+  bench::Table tab({"faults", "engine", "inj", "rec", "abort",
+                    "batch retries", "overhead W", "overhead (sec)",
+                    "total (sec)", "slowdown"});
+  auto engine_row = [&](const std::string& spec, const char* engine,
+                        const bench::CellResult& clean) {
     bench::CellConfig cfg = base;
     cfg.fault_spec = spec;
     const bench::CellResult r =
-        spec.empty() ? clean : bench::run_mfbc_cell(g, cfg);
+        spec.empty() ? clean
+        : engine == std::string("mfbc") ? bench::run_mfbc_cell(g, cfg)
+                                        : bench::run_combblas_cell(g, cfg);
     const std::string label = spec.empty() ? "(none)" : spec;
     if (!r.ok) {
-      tab.add_row({label, "-", "-", "-", "-", "-", "-", "fail", "-"});
-      std::fprintf(stderr, "[faults] %s: %s\n", label.c_str(),
+      tab.add_row({label, engine, "-", "-", "-", "-", "-", "-", "fail", "-"});
+      std::fprintf(stderr, "[faults] %s (%s): %s\n", label.c_str(), engine,
                    r.error.c_str());
       return;
     }
-    tab.add_row({label, fixed(static_cast<double>(r.faults_injected), 0),
+    tab.add_row({label, engine, fixed(static_cast<double>(r.faults_injected), 0),
                  fixed(static_cast<double>(r.faults_recovered), 0),
                  fixed(static_cast<double>(r.faults_aborted), 0),
                  fixed(r.batch_retries, 0),
                  human_bytes(r.overhead_words * 8),
                  fixed(r.overhead_seconds, 4), fixed(r.seconds, 4),
                  fixed(r.seconds / clean.seconds, 3) + "x"});
+  };
+  auto row = [&](const std::string& spec) {
+    engine_row(spec, "mfbc", clean_mfbc);
+    engine_row(spec, "combblas", clean_comb);
   };
   row("");
   row("transient:0.001");
@@ -76,16 +89,20 @@ int main(int argc, char** argv) {
   row("transient:0.01,corrupt:0.005,rank:0.0005");
 
   std::fputs(tab.render("Fault-injection overhead on a " + std::to_string(p) +
-                        "-node simulated machine (same centrality in every "
-                        "recovered cell)")
+                        "-node simulated machine, both engines on the shared "
+                        "batch driver (same centrality in every recovered "
+                        "cell)")
                  .c_str(),
              stdout);
   std::puts("\nTransient retries price the re-charged collective plus an "
             "exponential backoff;\ncorruption pays a per-SpGEMM ABFT "
             "allreduce plus block re-transfers; rank\nfailures pay λ "
             "checkpoint replication at every batch boundary plus the\n"
-            "rollback re-run. The fault-free row pays none of this — the "
-            "injector is\nabsent, not merely quiet.");
+            "rollback re-run. The fault-free rows pay none of this — the "
+            "injector is\nabsent, not merely quiet. The combblas rows run "
+            "the identical recovery\npolicies through the shared driver; "
+            "their overhead differs only through the\nengine's own traffic "
+            "pattern (BFS frontiers vs multipath waves).");
   bench::maybe_write_csv(args, "faults_overhead", tab);
   bench::maybe_write_artifacts(args, "faults", {{"faults_overhead", &tab}});
   return 0;

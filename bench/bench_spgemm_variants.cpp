@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "algebra/multpath.hpp"
+#include "baseline/combblas_bc.hpp"
 #include "benchsupport/harness.hpp"
 #include "benchsupport/table.hpp"
 #include "dist/spgemm_dist.hpp"
@@ -177,6 +178,49 @@ int main(int argc, char** argv) {
                  .c_str(),
              stdout);
 
+  // ---- Baseline engine: tuned vs untuned (baseline parity) ----
+  // The CombBLAS-style engine runs the shared batch driver and, with a tuner
+  // attached, re-plans every multiply over its square-grid 2D space
+  // (streams baseline.forward / baseline.backward). The fixed SUMMA plan
+  // seeds each stream's hysteresis, so the tuned run departs from the
+  // untuned behavior only for a modelled win that clears the re-homing
+  // cost — charged cost must never exceed the untuned run.
+  bench::Table bt({"engine", "untuned (s)", "tuned (s)", "ratio", "re-plans",
+                   "switches", "holds", "plans"});
+  {
+    auto run_baseline = [&](tune::Tuner* tuner,
+                            baseline::CombBlasStats* stats) {
+      sim::Sim sim(p, mm);
+      baseline::CombBlasBc engine(sim, g);
+      sim.ledger().reset();
+      baseline::CombBlasOptions opts;
+      opts.batch_size = nb;
+      opts.tuner = tuner;
+      for (graph::vid_t v = 0; v < 2 * nb; ++v) opts.sources.push_back(v);
+      engine.run(opts, stats);
+      return sim.ledger().critical().total_seconds();
+    };
+    baseline::CombBlasStats us, ts_;
+    const double untuned = run_baseline(nullptr, &us);
+    tune::Tuner tuner;  // uncalibrated, default hysteresis
+    const double tuned = run_baseline(&tuner, &ts_);
+    const double ratio = untuned > 0 ? tuned / untuned : 1.0;
+    std::string plans;
+    for (const std::string& pl : ts_.plans_used) {
+      plans += (plans.empty() ? "" : " ") + pl;
+    }
+    bt.add_row({"combblas", compact(untuned, 4), compact(tuned, 4),
+                fixed(ratio, 3), std::to_string(tuner.replans()),
+                std::to_string(tuner.plan_switches()),
+                std::to_string(tuner.hysteresis_holds()), plans});
+    telemetry::gauge("tune.baseline.ratio", ratio);
+  }
+  std::fputs(bt.render("Baseline engine, tuned vs untuned: charged cost with "
+                       "the fixed SUMMA plan seeding hysteresis (tuned must "
+                       "never exceed 1.000)")
+                 .c_str(),
+             stdout);
+
   // ---- Shared-memory threads scaling ----
   // The virtual-rank block multiplies run on the execution pool; wall clock
   // of an end-to-end DistMfbc run at 1/2/4/8 pool threads measures how well
@@ -229,11 +273,13 @@ int main(int argc, char** argv) {
 
   bench::maybe_write_csv(args, "spgemm_variants", tab);
   bench::maybe_write_csv(args, "spgemm_variants_replanning", rt);
+  bench::maybe_write_csv(args, "spgemm_variants_baseline", bt);
   bench::maybe_write_csv(args, "spgemm_variants_threads", ts);
   bench::maybe_write_csv(args, "spgemm_variants_frontiers", ft);
   bench::maybe_write_artifacts(args, "spgemm_variants",
                                {{"spgemm_variants", &tab},
                                 {"spgemm_variants_replanning", &rt},
+                                {"spgemm_variants_baseline", &bt},
                                 {"spgemm_variants_threads", &ts},
                                 {"spgemm_variants_frontiers", &ft}});
   return 0;

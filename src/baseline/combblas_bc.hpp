@@ -12,6 +12,14 @@
 //     rank counts, mirroring "CombBLAS requires square processor grids"
 //     (§7.1), and rejects weighted graphs, mirroring that prior algebraic BC
 //     codes "have largely been limited to unweighted graphs" (§2.4).
+//
+// Since the baseline-parity refactor the engine runs on the shared batched-BC
+// driver (core/batch_driver.hpp): it gains λ-checkpoint/rollback recovery
+// under fault injection (bit-identical results for every recoverable
+// schedule, at every thread count) and, with a tune::Tuner attached,
+// per-multiply calibrated re-planning — restricted to the square-grid 2D
+// plan space the CombBLAS design permits, with its own plan-cache key space
+// (streams baseline.forward / baseline.backward, monoids count / dep).
 #pragma once
 
 #include <vector>
@@ -20,6 +28,7 @@
 #include "graph/graph.hpp"
 #include "mfbc/mfbc_seq.hpp"
 #include "sim/comm.hpp"
+#include "tune/calibrate.hpp"
 
 namespace mfbc::baseline {
 
@@ -29,12 +38,25 @@ using graph::Weight;
 struct CombBlasOptions {
   graph::vid_t batch_size = 64;
   std::vector<graph::vid_t> sources;  ///< empty = all vertices
+  dist::TuneOptions tune;
+  /// Optional adaptive tuner (tune/calibrate.hpp). When set, every multiply
+  /// re-plans through it over the square-grid 2D plan space; the fixed SUMMA
+  /// plan seeds each stream's hysteresis, so the tuned run switches away
+  /// only for a modelled win that clears the re-homing cost. Plans may
+  /// change; results never do. Not owned; must outlive run().
+  tune::Tuner* tuner = nullptr;
 };
 
 struct CombBlasStats {
   FrontierTrace forward;
   FrontierTrace backward;
   int batches = 0;
+  int batch_retries = 0;  ///< batches re-run after a rank failure
+  std::vector<std::string> plans_used;  ///< distinct plan names, in order seen
+  /// Critical-path cost deltas per phase (summed over batches), mirroring
+  /// DistMfbcStats so bench tables can report both engines side by side.
+  sim::Cost forward_cost;
+  sim::Cost backward_cost;
 };
 
 class CombBlasBc {
@@ -42,15 +64,38 @@ class CombBlasBc {
   /// Throws unless sim's rank count is a perfect square and g is unweighted.
   CombBlasBc(sim::Sim& sim, const graph::Graph& g);
 
+  /// Run batched BC on the shared driver. Under fault injection
+  /// (sim().enable_faults) the driver checkpoints λ at batch boundaries and
+  /// rolls the current batch back on rank failure; results stay
+  /// bit-identical to the fault-free run for every recoverable schedule
+  /// (docs/fault_tolerance.md). Unrecoverable schedules throw
+  /// sim::FaultError.
   std::vector<double> run(const CombBlasOptions& opts,
                           CombBlasStats* stats = nullptr);
+
+  sim::Sim& sim() { return sim_; }
 
  private:
   struct Batch;
 
+  /// Per-multiply plan selection: the fixed SUMMA plan without a tuner, the
+  /// tuner's choice over the square-grid 2D candidates with one.
+  dist::Plan plan_for(const CombBlasOptions& opts, const char* stream,
+                      const char* monoid, double frontier_nnz,
+                      double b_nnz) const;
+
+  /// One forward BFS + level-synchronized backward pass over
+  /// `batch_sources`, accumulating into `lambda`. The shared driver owns
+  /// checkpointing and rollback.
+  void run_batch(const CombBlasOptions& opts,
+                 const std::vector<graph::vid_t>& batch_sources,
+                 std::vector<double>& lambda, CombBlasStats* stats,
+                 std::span<const int> all_ranks, int batch_index);
+
   sim::Sim& sim_;
   const graph::Graph& g_;
-  dist::Plan plan_;  ///< fixed 2D SUMMA on the square grid
+  dist::Plan plan_;    ///< fixed 2D SUMMA on the square grid
+  dist::Layout base_;  ///< the √p×√p base grid (λ-checkpoint rows)
   dist::DistMatrix<Weight> adj_;
   dist::DistMatrix<Weight> adj_t_;
   dist::HomeCache<Weight> adj_cache_;

@@ -83,8 +83,10 @@ void fill_costs(CellResult& r, const sim::Sim& sim, const graph::Graph& g,
 }
 
 /// Copy the injector's outcome into the cell record after a measured run.
+/// Engine-agnostic: both engines run the shared batch driver, so a plain
+/// batch-retry count is the only engine-side input.
 void fill_fault_outcome(CellResult& r, const sim::Sim& sim,
-                        const core::DistMfbcStats& stats) {
+                        int batch_retries) {
   const sim::FaultInjector* fi = sim.faults();
   if (fi == nullptr) return;
   const sim::FaultCounters& c = fi->counters();
@@ -92,7 +94,7 @@ void fill_fault_outcome(CellResult& r, const sim::Sim& sim,
   r.faults_detected = c.detected;
   r.faults_recovered = c.recovered;
   r.faults_aborted = c.aborted;
-  r.batch_retries = stats.batch_retries;
+  r.batch_retries = batch_retries;
   const sim::FaultOverhead& o = fi->overhead();
   r.overhead_words = o.words;
   r.overhead_seconds = o.comm_seconds + o.compute_seconds;
@@ -178,7 +180,7 @@ CellResult run_mfbc_cell(const graph::Graph& g, const CellConfig& cfg) {
 #endif
     r.plans = stats.plans_used;
     fill_costs(r, sim, g, static_cast<double>(opts.sources.size()));
-    fill_fault_outcome(r, sim, stats);
+    fill_fault_outcome(r, sim, stats.batch_retries);
   } catch (const Error& e) {
     r.ok = false;
     r.error = e.what();
@@ -194,17 +196,35 @@ CellResult run_combblas_cell(const graph::Graph& g, const CellConfig& cfg) {
     sim::Sim sim(cfg.nodes, cfg.machine);
     telemetry::ScopedLedgerSink sink(sim.ledger());
     baseline::CombBlasBc engine(sim, g);
-    sim.ledger().reset();
+    if (!cfg.fault_spec.empty()) {
+      // Same discipline as run_mfbc_cell: enable after construction so the
+      // one-time distribution does not consume charge indices.
+      sim.enable_faults(sim::FaultSpec::parse(cfg.fault_spec, cfg.fault_seed));
+    }
     baseline::CombBlasOptions opts;
     opts.batch_size = cfg.batch_size;
     opts.sources = pick_sources(g, cfg);
+    opts.tuner = session_tuner();
+    if (cfg.warmup) {
+      baseline::CombBlasOptions warm = opts;
+      warm.sources.assign(
+          opts.sources.begin(),
+          opts.sources.begin() +
+              std::min<std::ptrdiff_t>(
+                  static_cast<std::ptrdiff_t>(opts.sources.size()),
+                  static_cast<std::ptrdiff_t>(cfg.batch_size)));
+      engine.run(warm);
+    }
+    sim.ledger().reset();
     baseline::CombBlasStats stats;
     engine.run(opts, &stats);
-    // The baseline has no phase instrumentation; its stats fields stay the
-    // source of truth.
     r.fwd_iterations = stats.forward.iterations();
     r.bwd_iterations = stats.backward.iterations();
+    r.fwd_words = stats.forward_cost.words;
+    r.bwd_words = stats.backward_cost.words;
+    r.plans = stats.plans_used;
     fill_costs(r, sim, g, static_cast<double>(opts.sources.size()));
+    fill_fault_outcome(r, sim, stats.batch_retries);
   } catch (const Error& e) {
     r.ok = false;
     r.error = e.what();

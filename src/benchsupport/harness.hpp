@@ -30,8 +30,8 @@ struct CellResult {
   double mteps_per_node = 0;
   int fwd_iterations = 0;
   int bwd_iterations = 0;
-  /// MFBC phase split of the critical-path words (forward MFBF vs backward
-  /// MFBr); zero for the baseline, which has no phase instrumentation.
+  /// Phase split of the critical-path words (forward vs backward), off each
+  /// engine's per-phase cost deltas.
   double fwd_words = 0;
   double bwd_words = 0;
   std::vector<std::string> plans;

@@ -1,0 +1,192 @@
+#include "core/batch_driver.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "dist/spgemm_dist.hpp"
+#include "sim/faults.hpp"
+#include "support/error.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/span.hpp"
+
+namespace mfbc::core {
+
+namespace {
+
+using graph::vid_t;
+
+/// Batch-level rank-failure recovery: verify every base-grid row still has a
+/// live λ-checkpoint replica (throws an unrecoverable FaultError otherwise),
+/// re-map dead virtual ranks onto survivors, charge the λ restore and the
+/// stationary-operand re-fetch, and roll λ back to `checkpoint`.
+void recover_from_rank_failure(sim::Sim& sim, const dist::Layout& base,
+                               vid_t n, const BatchHooks& hooks,
+                               std::vector<double>& lambda,
+                               const std::vector<double>& checkpoint,
+                               std::span<const int> all_ranks,
+                               int batch_index) {
+  sim::FaultInjector* fi = sim.faults();
+  MFBC_CHECK(fi != nullptr, "rank-failure recovery without fault injection");
+  MFBC_CHECK(checkpoint.size() == lambda.size(),
+             "rank-failure recovery without a λ checkpoint");
+  telemetry::Span span("recovery.batch_rollback");
+  span.attr("batch", static_cast<std::int64_t>(batch_index));
+  telemetry::count("faults.batch_rollbacks");
+
+  // Viability: every base-grid row must retain at least one live replica of
+  // its λ-checkpoint segment (evaluated through the pre-remap map — the
+  // hosts that held the row when the checkpoint was written).
+  for (int i = 0; i < base.pr; ++i) {
+    bool row_alive = false;
+    for (int j = 0; j < base.pc && !row_alive; ++j) {
+      row_alive = !fi->dead(fi->physical(base.rank_at(i, j)));
+    }
+    if (!row_alive) {
+      fi->count_aborted(sim::FaultKind::kRankFailure);
+      throw sim::FaultError(
+          sim::FaultKind::kRankFailure, fi->charge_points(), -1, false,
+          "unrecoverable rank failure: every rank of grid row " +
+              std::to_string(i) + " is dead, λ checkpoint replicas lost");
+    }
+  }
+
+  // Re-home dead virtual ranks onto survivors. The logical grid — and with
+  // it every layout, schedule, and floating-point summation order — is
+  // unchanged, so the recovered run stays bit-identical; the degraded
+  // machine accrues cost honestly through the new virtual→physical map.
+  fi->remap();
+
+  {
+    auto rs = sim.recovery_scope();
+    // Restore λ from the surviving replica in each row.
+    for (int i = 0; i < base.pr; ++i) {
+      sim.charge_bcast(base.row_group(i), static_cast<double>(n) / base.pr);
+    }
+    // Re-fetch the stationary-operand blocks the dead hosts carried
+    // (checkpoint restart from the input): one scatter sized by the largest
+    // lost block.
+    double lost_words = 0;
+    for (int i = 0; i < base.pr; ++i) {
+      for (int j = 0; j < base.pc; ++j) {
+        if (!fi->dead(base.rank_at(i, j))) continue;
+        lost_words = std::max(lost_words, hooks.lost_block_words(i, j));
+      }
+    }
+    if (lost_words > 0) sim.charge_scatter(all_ranks, lost_words);
+  }
+
+  hooks.invalidate_caches();
+
+  lambda = checkpoint;
+  fi->count_recovered(sim::FaultKind::kRankFailure);
+}
+
+}  // namespace
+
+std::vector<vid_t> resolve_sources(vid_t n,
+                                   const std::vector<vid_t>& requested) {
+  if (requested.empty()) {
+    std::vector<vid_t> all(static_cast<std::size_t>(n));
+    for (vid_t v = 0; v < n; ++v) all[static_cast<std::size_t>(v)] = v;
+    return all;
+  }
+  // Validate before any distribution work: bad source lists must not cost a
+  // single charge.
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
+  for (vid_t s : requested) {
+    MFBC_CHECK(s >= 0 && s < n,
+               "source id out of range [0, n): " + std::to_string(s));
+    MFBC_CHECK(seen[static_cast<std::size_t>(s)] == 0,
+               "duplicate source id: " + std::to_string(s));
+    seen[static_cast<std::size_t>(s)] = 1;
+  }
+  return requested;
+}
+
+std::vector<double> run_batched_bc(sim::Sim& sim, const dist::Layout& base,
+                                   vid_t n,
+                                   const std::vector<vid_t>& sources,
+                                   vid_t batch_size, const BatchHooks& hooks,
+                                   BatchDriverStats* stats) {
+  MFBC_CHECK(batch_size >= 1, "batch size must be positive");
+  MFBC_CHECK(hooks.run_batch && hooks.lost_block_words &&
+                 hooks.invalidate_caches,
+             "run_batched_bc: every BatchHooks callback must be set");
+  const std::vector<vid_t> all_sources = resolve_sources(n, sources);
+  const int p = sim.nranks();
+  std::vector<int> all_ranks(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) all_ranks[static_cast<std::size_t>(r)] = r;
+
+  std::vector<double> lambda(static_cast<std::size_t>(n), 0.0);
+
+  sim::FaultInjector* fi = sim.faults();
+  const bool checkpointing = fi != nullptr && fi->checkpoint_enabled();
+
+  int batch_index = 0;
+  for (std::size_t lo = 0; lo < all_sources.size();
+       lo += static_cast<std::size_t>(batch_size)) {
+    const std::size_t hi = std::min(
+        all_sources.size(), lo + static_cast<std::size_t>(batch_size));
+    const std::vector<vid_t> batch_sources(
+        all_sources.begin() + static_cast<std::ptrdiff_t>(lo),
+        all_sources.begin() + static_cast<std::ptrdiff_t>(hi));
+
+    std::vector<double> lambda_ckpt;
+    int attempts = 0;
+    bool need_recover = false;
+    for (;;) {
+      try {
+        // Recovery runs at the top of the retry iteration (not in the catch
+        // handler) so a rank that dies *during* recovery's own restore
+        // charges re-enters this same policy instead of escaping.
+        if (need_recover) {
+          recover_from_rank_failure(sim, base, n, hooks, lambda, lambda_ckpt,
+                                    all_ranks, batch_index);
+          need_recover = false;
+        }
+        // Checkpoint λ at the batch boundary: each base-grid row replicates
+        // its segment across the row (one allgather per row), so any single
+        // survivor of a row can restore it after a rank failure. Re-charged
+        // after a failed attempt — the remapped machine re-replicates the
+        // restored segments.
+        if (checkpointing) {
+          telemetry::Span ckpt_span("recovery.checkpoint");
+          lambda_ckpt = lambda;
+          auto rs = sim.recovery_scope();
+          for (int i = 0; i < base.pr; ++i) {
+            sim.charge_allgather(base.row_group(i),
+                                 static_cast<double>(n) / base.pr);
+          }
+        }
+        hooks.run_batch(batch_sources, lambda, all_ranks, batch_index);
+        // Nothing dirty may outlive a batch: repair corruption from frontier
+        // exchanges that no ABFT pass covered.
+        dist::abft_repair_pending(sim);
+        break;
+      } catch (const sim::FaultError& e) {
+        if (e.kind() != sim::FaultKind::kRankFailure || !e.recoverable()) {
+          throw;
+        }
+        MFBC_CHECK(checkpointing, "rank failure without checkpointing");
+        ++attempts;
+        if (stats != nullptr) ++stats->batch_retries;
+        if (attempts > fi->spec().max_batch_retries) {
+          fi->count_aborted(sim::FaultKind::kRankFailure);
+          throw sim::FaultError(
+              e.kind(), e.charge_index(), e.rank(), false,
+              std::string(e.what()) + " (batch retry limit of " +
+                  std::to_string(fi->spec().max_batch_retries) +
+                  " exceeded)");
+        }
+        need_recover = true;
+      }
+    }
+    ++batch_index;
+  }
+
+  // The per-rank λ partials are summed with one reduction over all ranks.
+  sim.charge_reduce(all_ranks, static_cast<double>(n));
+  return lambda;
+}
+
+}  // namespace mfbc::core

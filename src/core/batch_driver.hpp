@@ -1,0 +1,63 @@
+// Shared batched-BC execution driver (docs/fault_tolerance.md).
+//
+// Both distributed BC engines — core::DistMfbc and baseline::CombBlasBc —
+// process sources in batches and accumulate a per-vertex λ vector. Batching,
+// λ-checkpointing at batch boundaries, the rank-failure retry/rollback loop,
+// the post-batch ABFT repair sweep, and the final λ reduction are identical
+// policy; only the per-batch algorithm differs. run_batched_bc owns the
+// shared policy and calls back into the engine through BatchHooks, so every
+// recovery guarantee (bit-identical λ for every recoverable schedule, at
+// every thread count) holds for both engines by construction.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "dist/procgrid.hpp"
+#include "graph/graph.hpp"
+#include "sim/comm.hpp"
+
+namespace mfbc::core {
+
+/// Engine-specific callbacks consumed by run_batched_bc. All three must be
+/// set; the driver checks and throws mfbc::Error otherwise.
+struct BatchHooks {
+  /// One full forward + backward pass over `batch_sources`, accumulating
+  /// partial centrality into `lambda`. May throw sim::FaultError out of the
+  /// charging layer; the driver owns rollback and re-runs the batch.
+  std::function<void(const std::vector<graph::vid_t>& batch_sources,
+                     std::vector<double>& lambda,
+                     std::span<const int> all_ranks, int batch_index)>
+      run_batch;
+  /// Wire words of the stationary operand data (adjacency + transpose) that
+  /// die with base-grid block (i, j) — sizes the post-failure re-fetch.
+  std::function<double(int i, int j)> lost_block_words;
+  /// Drop plan-home operand caches after a remap: replicas on dead ranks are
+  /// gone, the next multiply must re-map (and re-charge) them.
+  std::function<void()> invalidate_caches;
+};
+
+struct BatchDriverStats {
+  int batch_retries = 0;  ///< batches re-run after a rank failure
+};
+
+/// Validate a requested source list (ids in [0, n), duplicate-free; throws
+/// mfbc::Error before any distribution work otherwise) or default it to all
+/// n vertices when empty.
+std::vector<graph::vid_t> resolve_sources(
+    graph::vid_t n, const std::vector<graph::vid_t>& requested);
+
+/// Drive batched BC over `sources` on `sim`, calling hooks.run_batch once
+/// per batch (re-running it after recoverable rank failures) and charging
+/// the final λ reduction over all ranks. `base` is the engine's base grid —
+/// the layout whose rows replicate the λ checkpoint. Returns the accumulated
+/// λ vector. Unrecoverable schedules throw sim::FaultError.
+std::vector<double> run_batched_bc(sim::Sim& sim, const dist::Layout& base,
+                                   graph::vid_t n,
+                                   const std::vector<graph::vid_t>& sources,
+                                   graph::vid_t batch_size,
+                                   const BatchHooks& hooks,
+                                   BatchDriverStats* stats = nullptr);
+
+}  // namespace mfbc::core

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <optional>
 
+#include "core/batch_driver.hpp"
 #include "dist/batch_state.hpp"
 #include "sparse/ops.hpp"
 #include "support/error.hpp"
@@ -129,171 +130,37 @@ sim::Cost cost_delta(const sim::Cost& now, const sim::Cost& then) {
 
 std::vector<double> DistMfbc::run(const DistMfbcOptions& opts,
                                   DistMfbcStats* stats) {
-  MFBC_CHECK(opts.batch_size >= 1, "batch size must be positive");
-  const vid_t n = g_.n();
-  const int p = sim_.nranks();
-  if (!opts.sources.empty()) {
-    // Validate before any distribution work: bad source lists must not cost
-    // a single charge.
-    std::vector<char> seen(static_cast<std::size_t>(n), 0);
-    for (vid_t s : opts.sources) {
-      MFBC_CHECK(s >= 0 && s < n,
-                 "source id out of range [0, n): " + std::to_string(s));
-      MFBC_CHECK(seen[static_cast<std::size_t>(s)] == 0,
-                 "duplicate source id: " + std::to_string(s));
-      seen[static_cast<std::size_t>(s)] = 1;
-    }
-  }
-  std::vector<vid_t> sources = opts.sources;
-  if (sources.empty()) {
-    sources.resize(static_cast<std::size_t>(n));
-    for (vid_t v = 0; v < n; ++v) sources[static_cast<std::size_t>(v)] = v;
-  }
-  std::vector<int> all_ranks(static_cast<std::size_t>(p));
-  for (int r = 0; r < p; ++r) all_ranks[static_cast<std::size_t>(r)] = r;
-
-  std::vector<double> lambda(static_cast<std::size_t>(n), 0.0);
-
   // With a tuner attached, install its observer for the whole run: every
   // distributed multiply below records (plan, prediction, measured cost),
   // which is what the per-iteration re-planning feeds on.
   std::optional<tune::ScopedObserver> observe;
   if (opts.tuner != nullptr) observe.emplace(&opts.tuner->observer());
 
-  sim::FaultInjector* fi = sim_.faults();
-  const bool checkpointing = fi != nullptr && fi->checkpoint_enabled();
-
-  int batch_index = 0;
-  for (std::size_t lo = 0; lo < sources.size();
-       lo += static_cast<std::size_t>(opts.batch_size)) {
-    const std::size_t hi = std::min(
-        sources.size(), lo + static_cast<std::size_t>(opts.batch_size));
-    const std::vector<vid_t> batch_sources(
-        sources.begin() + static_cast<std::ptrdiff_t>(lo),
-        sources.begin() + static_cast<std::ptrdiff_t>(hi));
-
-    std::vector<double> lambda_ckpt;
-    int attempts = 0;
-    bool need_recover = false;
-    for (;;) {
-      try {
-        // Recovery runs at the top of the retry iteration (not in the catch
-        // handler) so a rank that dies *during* recovery's own restore
-        // charges re-enters this same policy instead of escaping run().
-        if (need_recover) {
-          recover_from_rank_failure(lambda, lambda_ckpt, all_ranks,
-                                    batch_index);
-          need_recover = false;
-        }
-        // Checkpoint λ at the batch boundary: each base-grid row replicates
-        // its segment across the row (one allgather per row), so any single
-        // survivor of a row can restore it after a rank failure. Re-charged
-        // after a failed attempt — the remapped machine re-replicates the
-        // restored segments.
-        if (checkpointing) {
-          telemetry::Span ckpt_span("recovery.checkpoint");
-          lambda_ckpt = lambda;
-          auto rs = sim_.recovery_scope();
-          for (int i = 0; i < base_.pr; ++i) {
-            sim_.charge_allgather(base_.row_group(i),
-                                  static_cast<double>(n) / base_.pr);
-          }
-        }
-        run_batch(opts, batch_sources, lambda, stats, all_ranks, batch_index);
-        // Nothing dirty may outlive a batch: repair corruption from frontier
-        // exchanges that no ABFT pass covered.
-        dist::abft_repair_pending(sim_);
-        break;
-      } catch (const sim::FaultError& e) {
-        if (e.kind() != sim::FaultKind::kRankFailure || !e.recoverable()) {
-          throw;
-        }
-        MFBC_CHECK(checkpointing, "rank failure without checkpointing");
-        ++attempts;
-        if (stats != nullptr) ++stats->batch_retries;
-        if (attempts > fi->spec().max_batch_retries) {
-          fi->count_aborted(sim::FaultKind::kRankFailure);
-          throw sim::FaultError(
-              e.kind(), e.charge_index(), e.rank(), false,
-              std::string(e.what()) + " (batch retry limit of " +
-                  std::to_string(fi->spec().max_batch_retries) +
-                  " exceeded)");
-        }
-        need_recover = true;
-      }
-    }
-    ++batch_index;
-  }
-
-  // The per-rank λ partials are summed with one reduction over all ranks.
-  sim_.charge_reduce(all_ranks, static_cast<double>(n));
+  // Batching, λ-checkpoint/rollback, the retry loop, and the final reduce
+  // are the shared driver's job (core/batch_driver.hpp); this engine only
+  // supplies the per-batch algorithm and the recovery sizing hooks.
+  BatchHooks hooks;
+  hooks.run_batch = [&](const std::vector<vid_t>& batch_sources,
+                        std::vector<double>& lambda,
+                        std::span<const int> all_ranks, int batch_index) {
+    run_batch(opts, batch_sources, lambda, stats, all_ranks, batch_index);
+  };
+  hooks.lost_block_words = [&](int i, int j) {
+    return (static_cast<double>(adj_.block(i, j).nnz()) +
+            static_cast<double>(adj_t_.block(i, j).nnz())) *
+           sim::sparse_entry_words<Weight>();
+  };
+  hooks.invalidate_caches = [&] {
+    // Plan-home adjacency replicas on dead ranks are gone; drop the caches
+    // so the next multiply re-maps (and re-charges) them.
+    adj_cache_.clear();
+    adj_t_cache_.clear();
+  };
+  BatchDriverStats driver_stats;
+  auto lambda = run_batched_bc(sim_, base_, g_.n(), opts.sources,
+                               opts.batch_size, hooks, &driver_stats);
+  if (stats != nullptr) stats->batch_retries += driver_stats.batch_retries;
   return lambda;
-}
-
-void DistMfbc::recover_from_rank_failure(
-    std::vector<double>& lambda, const std::vector<double>& checkpoint,
-    std::span<const int> all_ranks, int batch_index) {
-  sim::FaultInjector* fi = sim_.faults();
-  MFBC_CHECK(fi != nullptr, "rank-failure recovery without fault injection");
-  MFBC_CHECK(checkpoint.size() == lambda.size(),
-             "rank-failure recovery without a λ checkpoint");
-  telemetry::Span span("recovery.batch_rollback");
-  span.attr("batch", static_cast<std::int64_t>(batch_index));
-  telemetry::count("faults.batch_rollbacks");
-
-  // Viability: every base-grid row must retain at least one live replica of
-  // its λ-checkpoint segment (evaluated through the pre-remap map — the
-  // hosts that held the row when the checkpoint was written).
-  for (int i = 0; i < base_.pr; ++i) {
-    bool row_alive = false;
-    for (int j = 0; j < base_.pc && !row_alive; ++j) {
-      row_alive = !fi->dead(fi->physical(base_.rank_at(i, j)));
-    }
-    if (!row_alive) {
-      fi->count_aborted(sim::FaultKind::kRankFailure);
-      throw sim::FaultError(
-          sim::FaultKind::kRankFailure, fi->charge_points(), -1, false,
-          "unrecoverable rank failure: every rank of grid row " +
-              std::to_string(i) + " is dead, λ checkpoint replicas lost");
-    }
-  }
-
-  // Re-home dead virtual ranks onto survivors. The logical grid — and with
-  // it every layout, schedule, and floating-point summation order — is
-  // unchanged, so the recovered run stays bit-identical; the degraded
-  // machine accrues cost honestly through the new virtual→physical map.
-  fi->remap();
-
-  {
-    auto rs = sim_.recovery_scope();
-    // Restore λ from the surviving replica in each row.
-    for (int i = 0; i < base_.pr; ++i) {
-      sim_.charge_bcast(base_.row_group(i),
-                        static_cast<double>(g_.n()) / base_.pr);
-    }
-    // Re-fetch the adjacency blocks the dead hosts carried (checkpoint
-    // restart from the input): one scatter sized by the largest lost block.
-    double lost_words = 0;
-    for (int i = 0; i < base_.pr; ++i) {
-      for (int j = 0; j < base_.pc; ++j) {
-        if (!fi->dead(base_.rank_at(i, j))) continue;
-        const double blk_words =
-            (static_cast<double>(adj_.block(i, j).nnz()) +
-             static_cast<double>(adj_t_.block(i, j).nnz())) *
-            sim::sparse_entry_words<Weight>();
-        lost_words = std::max(lost_words, blk_words);
-      }
-    }
-    if (lost_words > 0) sim_.charge_scatter(all_ranks, lost_words);
-  }
-
-  // Plan-home adjacency replicas on dead ranks are gone; drop the caches so
-  // the next multiply re-maps (and re-charges) them.
-  adj_cache_.clear();
-  adj_t_cache_.clear();
-
-  lambda = checkpoint;
-  fi->count_recovered(sim::FaultKind::kRankFailure);
 }
 
 void DistMfbc::run_batch(const DistMfbcOptions& opts,

@@ -96,20 +96,12 @@ class DistMfbc {
 
   /// One full MFBF + MFBr pass over `batch_sources`, accumulating into
   /// `lambda`. Throws sim::FaultError out of the charging layer on rank
-  /// failure; run()'s retry loop owns rollback.
+  /// failure; the shared batch driver's retry loop (core/batch_driver.hpp)
+  /// owns checkpointing and rollback.
   void run_batch(const DistMfbcOptions& opts,
                  const std::vector<vid_t>& batch_sources,
                  std::vector<double>& lambda, DistMfbcStats* stats,
                  std::span<const int> all_ranks, int batch_index);
-
-  /// Batch-level rank-failure recovery: verify every base-grid row still has
-  /// a live λ-checkpoint replica (throws an unrecoverable FaultError
-  /// otherwise), re-map dead virtual ranks onto survivors, charge the λ
-  /// restore and adjacency re-fetch, and roll λ back to `checkpoint`.
-  void recover_from_rank_failure(std::vector<double>& lambda,
-                                 const std::vector<double>& checkpoint,
-                                 std::span<const int> all_ranks,
-                                 int batch_index);
 
   sim::Sim& sim_;
   const graph::Graph& g_;

@@ -1,6 +1,7 @@
 #include "sim/faults.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cstdlib>
 
 #include "support/rng.hpp"
@@ -66,6 +67,15 @@ std::int64_t parse_int(const std::string& item, const std::string& text) {
   return v;
 }
 
+/// Full-range uint64 (strtoll would saturate seeds above INT64_MAX).
+std::uint64_t parse_u64(const std::string& item, const std::string& text) {
+  if (!text.empty() && text[0] == '-') bad_spec(item, "value must be non-negative");
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') bad_spec(item, "expected an integer");
+  return v;
+}
+
 FaultKind kind_of(const std::string& name) {
   if (name == "transient") return FaultKind::kTransient;
   if (name == "corrupt" || name == "corruption") return FaultKind::kCorruption;
@@ -104,7 +114,7 @@ FaultSpec FaultSpec::parse(const std::string& text, std::uint64_t seed) {
         s.victim = static_cast<int>(parse_int(item, rest.substr(vcolon + 1)));
         rest = rest.substr(0, vcolon);
       }
-      s.charge_index = static_cast<std::uint64_t>(parse_int(item, rest));
+      s.charge_index = parse_u64(item, rest);
       spec.scheduled.push_back(s);
       continue;
     }
@@ -116,7 +126,7 @@ FaultSpec FaultSpec::parse(const std::string& text, std::uint64_t seed) {
     } else if (name == "batch-retries") {
       spec.max_batch_retries = static_cast<int>(parse_int(item, value));
     } else if (name == "seed") {
-      spec.seed = static_cast<std::uint64_t>(parse_int(item, value));
+      spec.seed = parse_u64(item, value);
     } else if (kind_of(name) == FaultKind::kTransient) {
       spec.transient_rate = parse_rate(item, value);
     } else if (kind_of(name) == FaultKind::kCorruption) {
@@ -128,6 +138,46 @@ FaultSpec FaultSpec::parse(const std::string& text, std::uint64_t seed) {
     }
   }
   return spec;
+}
+
+namespace {
+
+/// Shortest decimal form that parses back to the same double (std::strtod
+/// and std::to_chars agree on round-tripping).
+std::string rate_str(double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+}  // namespace
+
+std::string FaultSpec::to_string() const {
+  const FaultSpec defaults;
+  std::vector<std::string> items;
+  if (transient_rate > 0) items.push_back("transient:" + rate_str(transient_rate));
+  if (corruption_rate > 0) items.push_back("corrupt:" + rate_str(corruption_rate));
+  if (rank_failure_rate > 0) items.push_back("rank:" + rate_str(rank_failure_rate));
+  for (const Scheduled& s : scheduled) {
+    std::string item = std::string(fault_kind_name(s.kind)) + "@" +
+                       std::to_string(s.charge_index);
+    if (s.victim >= 0) item += ":" + std::to_string(s.victim);
+    items.push_back(std::move(item));
+  }
+  if (max_retries != defaults.max_retries) {
+    items.push_back("retries:" + std::to_string(max_retries));
+  }
+  if (max_batch_retries != defaults.max_batch_retries) {
+    items.push_back("batch-retries:" + std::to_string(max_batch_retries));
+  }
+  if (seed != defaults.seed) items.push_back("seed:" + std::to_string(seed));
+  if (record_trace) items.push_back("trace");
+  std::string out;
+  for (const std::string& item : items) {
+    if (!out.empty()) out += ',';
+    out += item;
+  }
+  return out;
 }
 
 FaultInjector::FaultInjector(FaultSpec spec, int nranks)

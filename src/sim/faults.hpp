@@ -75,6 +75,8 @@ struct FaultSpec {
     FaultKind kind = FaultKind::kNone;
     std::uint64_t charge_index = 0;
     int victim = -1;
+
+    friend bool operator==(const Scheduled&, const Scheduled&) = default;
   };
   std::vector<Scheduled> scheduled;
 
@@ -98,6 +100,14 @@ struct FaultSpec {
   /// victim rank V); `retries:N`; `batch-retries:N`; `trace`.
   /// Throws mfbc::Error on malformed input.
   static FaultSpec parse(const std::string& text, std::uint64_t seed = 1);
+
+  /// Canonical spec text: rates (shortest round-trip float form), scheduled
+  /// faults, then non-default retries/batch-retries/seed and trace. The
+  /// format round-trips: parse(to_string()) reproduces the spec exactly,
+  /// including the seed. A default spec renders as "".
+  std::string to_string() const;
+
+  friend bool operator==(const FaultSpec&, const FaultSpec&) = default;
 };
 
 struct FaultCounters {

@@ -1,5 +1,6 @@
 #include "tune/calibrate.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -106,6 +107,12 @@ telemetry::Json Profile::to_json() const {
   c["err_before"] = telemetry::Json(calibration.err_before);
   c["err_after"] = telemetry::Json(calibration.err_after);
   j["calibration"] = std::move(c);
+  if (observed_samples > 0) {
+    telemetry::Json o = telemetry::Json::object();
+    o["mean_abs_rel_err"] = telemetry::Json(observed_error);
+    o["samples"] = telemetry::Json(static_cast<std::int64_t>(observed_samples));
+    j["observed"] = std::move(o);
+  }
   j["plans"] = plans;
   return j;
 }
@@ -145,6 +152,17 @@ Profile Profile::from_json(const telemetry::Json& j) {
   p.calibration.err_before = num_field(*c, "err_before");
   p.calibration.err_after = num_field(*c, "err_after");
   p.calibration.validate();
+
+  if (const telemetry::Json* o = j.find("observed")) {
+    // Optional: profiles written before cross-run staleness tracking (or
+    // never run after calibration) simply lack the block.
+    MFBC_CHECK(o->is_object(), "tune profile: \"observed\" must be an object");
+    p.observed_error = num_field(*o, "mean_abs_rel_err");
+    p.observed_samples = static_cast<std::int64_t>(num_field(*o, "samples"));
+    require_finite(p.observed_error, "observed error");
+    MFBC_CHECK(p.observed_error >= 0 && p.observed_samples >= 0,
+               "tune profile: observed error fields must be non-negative");
+  }
 
   if (const telemetry::Json* plans = j.find("plans")) {
     PlanCache check;
@@ -304,6 +322,25 @@ Tuner::Tuner(Profile profile, TunerOptions opts)
   if (opts_.use_cache && profile_.plans.is_array()) {
     cache_.load_json(profile_.plans);
   }
+  // Cross-run staleness: the profile records the prediction error its last
+  // run actually observed. When that drifted far past what the calibration
+  // promised (err_after), the fitted scales no longer describe the workload
+  // or the machine — warn once and expose profile_stale().
+  if (profile_.calibration.calibrated() && profile_.observed_samples > 0) {
+    const double expected = std::max(profile_.calibration.err_after,
+                                     opts_.stale_error_floor);
+    if (profile_.observed_error > opts_.stale_error_factor * expected) {
+      stale_ = true;
+      telemetry::count("tune.profile.stale");
+      std::fprintf(stderr,
+                   "tune: warning: calibration looks stale — last run "
+                   "observed mean |pred err| %.3f over %lld multiplies vs "
+                   "%.3f promised by the fit; re-run --calibrate\n",
+                   profile_.observed_error,
+                   static_cast<long long>(profile_.observed_samples),
+                   profile_.calibration.err_after);
+    }
+  }
 }
 
 PlanKey Tuner::make_key(const PlanRequest& req,
@@ -426,6 +463,13 @@ dist::Plan Tuner::plan(const PlanRequest& req) {
 Profile Tuner::snapshot_profile() const {
   Profile p = profile_;
   p.plans = cache_.to_json();
+  // Fold this run's observed prediction error into the profile, so the next
+  // load can judge whether the calibration still describes the workload.
+  const ErrorStats overall = observer_.overall();
+  if (overall.count > 0) {
+    p.observed_error = overall.mean_abs_rel();
+    p.observed_samples = overall.count;
+  }
   return p;
 }
 
@@ -471,12 +515,19 @@ telemetry::Json Tuner::json() const {
   j["replans"] = telemetry::Json(replans_);
   j["plan_switches"] = telemetry::Json(switches_);
   j["hysteresis_holds"] = telemetry::Json(holds_);
+  j["profile_stale"] = telemetry::Json(stale_);
   return j;
 }
 
 void Tuner::reset_stream_state() {
   current_.clear();
   seen_.clear();
+}
+
+void Tuner::seed_stream(const std::string& stream, const dist::Plan& plan) {
+  if (current_.count(stream) != 0) return;
+  current_[stream] = plan;
+  seen_[stream].insert(plan.to_string());
 }
 
 }  // namespace mfbc::tune

@@ -69,6 +69,16 @@ struct Profile {
   sim::MachineModel machine;  ///< signature: model the calibration ran on
   Calibration calibration;
   telemetry::Json plans = telemetry::Json::array();  ///< serialized cache
+  /// Cross-run staleness tracking: the mean absolute relative prediction
+  /// error the tuner's Observer measured over the profile's *last* run
+  /// (snapshot_profile folds it in before save). A freshly calibrated
+  /// profile predicted within err_after of the measured cost; when later
+  /// runs drift far past that, the calibration no longer describes the
+  /// workload and the Tuner warns at load time (tune.profile.stale).
+  /// observed_samples == 0 means nothing recorded yet (old profiles parse
+  /// fine — the block is optional in the JSON).
+  double observed_error = 0;
+  std::int64_t observed_samples = 0;
 
   telemetry::Json to_json() const;
   /// Parse + validate (schema, version, coefficients); throws mfbc::Error.
@@ -122,6 +132,13 @@ struct TunerOptions {
   /// not depend on pool size or results would stop being bit-identical
   /// across thread counts (docs/autotuning.md).
   bool thread_scoped_cache = false;
+  /// Staleness threshold for a loaded calibrated profile: flag it stale
+  /// when the error observed by the profile's last run exceeds
+  /// stale_error_factor * max(err_after, stale_error_floor). The floor
+  /// keeps a near-perfect calibration (err_after ~ 0) from tripping on
+  /// ordinary noise.
+  double stale_error_factor = 2.0;
+  double stale_error_floor = 0.05;
 };
 
 /// One plan request from the algorithm layer.
@@ -151,6 +168,14 @@ class Tuner {
   Profile snapshot_profile() const;
   void save(const std::string& path) const;
 
+  /// True when the loaded profile's recorded cross-run prediction error
+  /// drifted past the TunerOptions staleness threshold — the calibration no
+  /// longer describes the workload; re-run --calibrate. Flagged (once, with
+  /// a stderr warning and a tune.profile.stale counter bump) at
+  /// construction; the tuner still runs, it just plans on scales that have
+  /// stopped earning their trust.
+  bool profile_stale() const { return stale_; }
+
   std::uint64_t replans() const { return replans_; }
   std::uint64_t plan_switches() const { return switches_; }
   std::uint64_t hysteresis_holds() const { return holds_; }
@@ -165,6 +190,14 @@ class Tuner {
   /// stay). Used between independent runs sharing one tuner.
   void reset_stream_state();
 
+  /// Seed a stream's hysteresis state with a plan that is already running —
+  /// its operand homes are mapped, so holding it (or returning to it) is
+  /// free. No-op when the stream already has a current plan. Engines whose
+  /// untuned behavior is a fixed plan (the CombBLAS baseline) seed their
+  /// streams with it, so the tuner switches away only when the modelled win
+  /// clears the modelled re-homing cost of the candidate.
+  void seed_stream(const std::string& stream, const dist::Plan& plan);
+
  private:
   PlanKey make_key(const PlanRequest& req,
                    const dist::MultiplyStats& stats) const;
@@ -178,6 +211,7 @@ class Tuner {
   std::uint64_t replans_ = 0;
   std::uint64_t switches_ = 0;
   std::uint64_t holds_ = 0;
+  bool stale_ = false;
 };
 
 }  // namespace mfbc::tune

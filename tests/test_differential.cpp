@@ -1,0 +1,155 @@
+// Differential harness pinning baseline parity: on randomized graphs the
+// CombBLAS-path λ, the DistMfbc λ, and sequential Brandes must agree; each
+// distributed engine must be bit-identical across thread counts and
+// recoverable fault schedules; and attaching a tuner to the CombBLAS path
+// must never charge more than the untuned fixed-plan run.
+//
+// Tolerance contract: *cross-engine* comparisons use a relative 1e-9
+// EXPECT_NEAR — the engines accumulate shortest-path tie sums in different
+// orders (batch structure, semiring grouping), so λ components may differ by
+// a few ulps of regrouped floating-point addition, never more. *Within* one
+// engine, runs are compared bit-for-bit: thread count and recovered faults
+// must not change a single bit (docs/fault_tolerance.md).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baseline/brandes.hpp"
+#include "baseline/combblas_bc.hpp"
+#include "graph/generators.hpp"
+#include "mfbc/mfbc_dist.hpp"
+#include "sim/comm.hpp"
+#include "sim/faults.hpp"
+#include "support/parallel.hpp"
+#include "tune/calibrate.hpp"
+
+namespace mfbc {
+namespace {
+
+using graph::Graph;
+using graph::vid_t;
+
+constexpr int kRanks = 4;       // square, so both engines accept it
+constexpr vid_t kBatch = 8;     // several batches per run
+constexpr double kRelTol = 1e-9;
+
+/// Restores the global pool size on scope exit.
+struct PoolSizeGuard {
+  int saved = support::num_threads();
+  ~PoolSizeGuard() { support::set_threads(saved); }
+};
+
+/// The randomized graph family: one undirected and one directed Erdős–Rényi
+/// graph per seed, sized so runs take several batches and BFS levels.
+Graph make_graph(std::uint64_t seed, bool directed) {
+  return graph::erdos_renyi(/*n=*/44, /*m=*/150, directed, {},
+                            seed * 2 + (directed ? 1 : 0));
+}
+
+std::vector<double> run_combblas(const Graph& g, const std::string& spec,
+                                 tune::Tuner* tuner = nullptr) {
+  sim::Sim sim(kRanks);
+  baseline::CombBlasBc engine(sim, g);
+  // Faults go live after construction so the one-time graph distribution
+  // consumes no charge indices and schedules address the algorithm itself.
+  if (!spec.empty()) sim.enable_faults(sim::FaultSpec::parse(spec));
+  baseline::CombBlasOptions opts;
+  opts.batch_size = kBatch;
+  opts.tuner = tuner;
+  return engine.run(opts);
+}
+
+std::vector<double> run_mfbc(const Graph& g, const std::string& spec) {
+  sim::Sim sim(kRanks);
+  core::DistMfbc engine(sim, g);
+  if (!spec.empty()) sim.enable_faults(sim::FaultSpec::parse(spec));
+  core::DistMfbcOptions opts;
+  opts.batch_size = kBatch;
+  return engine.run(opts);
+}
+
+void expect_close(const std::vector<double>& got,
+                  const std::vector<double>& ref, const char* label) {
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t v = 0; v < ref.size(); ++v) {
+    EXPECT_NEAR(got[v], ref[v], kRelTol * (1.0 + ref[v]))
+        << label << ", vertex " << v;
+  }
+}
+
+void expect_bits(const std::vector<double>& got,
+                 const std::vector<double>& ref, const std::string& label) {
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t v = 0; v < ref.size(); ++v) {
+    // EXPECT_EQ on doubles is exact — any regrouping shows up here.
+    EXPECT_EQ(got[v], ref[v]) << label << ", vertex " << v;
+  }
+}
+
+class Differential : public ::testing::TestWithParam<std::uint64_t> {};
+
+// CombBLAS λ == DistMfbc λ == sequential Brandes on randomized graphs.
+TEST_P(Differential, EnginesAgreeWithBrandes) {
+  for (const bool directed : {false, true}) {
+    const Graph g = make_graph(GetParam(), directed);
+    const std::vector<double> ref = baseline::brandes(g);
+    expect_close(run_combblas(g, ""), ref,
+                 directed ? "combblas directed" : "combblas undirected");
+    expect_close(run_mfbc(g, ""), ref,
+                 directed ? "mfbc directed" : "mfbc undirected");
+  }
+}
+
+// Bit-identity matrix: each engine × threads ∈ {1,2,4} × fault schedules
+// ∈ {none, transient, rank-failure} must reproduce the single-threaded
+// fault-free bits exactly. Both schedules are recoverable: the transient is
+// retried at the charge site, the rank failure is remapped and its batch
+// rolled back from the λ checkpoint by the shared driver.
+TEST_P(Differential, BitIdenticalAcrossThreadsAndFaults) {
+  const Graph g = make_graph(GetParam(), false);
+  const std::vector<std::string> schedules = {"", "transient@3", "rank@5:1"};
+  PoolSizeGuard guard;
+  support::set_threads(1);
+  const std::vector<double> ref_comb = run_combblas(g, "");
+  const std::vector<double> ref_mfbc = run_mfbc(g, "");
+  for (const int threads : {1, 2, 4}) {
+    support::set_threads(threads);
+    for (const std::string& spec : schedules) {
+      const std::string label =
+          "threads=" + std::to_string(threads) + " faults='" + spec + "'";
+      expect_bits(run_combblas(g, spec), ref_comb, "combblas " + label);
+      expect_bits(run_mfbc(g, spec), ref_mfbc, "mfbc " + label);
+    }
+  }
+}
+
+// Acceptance pin: the tuned CombBLAS path never charges more than the
+// untuned fixed-plan run (seed_stream anchors hysteresis at the SUMMA plan,
+// so switching away requires a modelled win), and tuning never changes λ.
+TEST_P(Differential, TunedBaselineNeverChargesMore) {
+  const Graph g = make_graph(GetParam(), false);
+  auto charged = [&](tune::Tuner* tuner, std::vector<double>* lambda) {
+    sim::Sim sim(kRanks);
+    baseline::CombBlasBc engine(sim, g);
+    sim.ledger().reset();  // charge the algorithm, not the distribution
+    baseline::CombBlasOptions opts;
+    opts.batch_size = kBatch;
+    opts.tuner = tuner;
+    *lambda = engine.run(opts);
+    return sim.ledger().critical().total_seconds();
+  };
+  std::vector<double> untuned_lambda, tuned_lambda;
+  const double untuned = charged(nullptr, &untuned_lambda);
+  tune::Tuner tuner;
+  const double tuned = charged(&tuner, &tuned_lambda);
+  EXPECT_LE(tuned, untuned);
+  expect_bits(tuned_lambda, untuned_lambda, "tuned vs untuned");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Differential,
+                         ::testing::Values<std::uint64_t>(1, 2, 3));
+
+}  // namespace
+}  // namespace mfbc

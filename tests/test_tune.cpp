@@ -17,6 +17,7 @@
 #include "mfbc/mfbc_dist.hpp"
 #include "support/error.hpp"
 #include "support/parallel.hpp"
+#include "telemetry/registry.hpp"
 #include "tune/calibrate.hpp"
 
 namespace mfbc::tune {
@@ -502,6 +503,107 @@ TEST(Tuner, FixedProfileIsBitIdenticalAcrossThreadCounts) {
   EXPECT_EQ(cost1.msgs, cost4.msgs);
   EXPECT_EQ(cost1.comm_seconds, cost4.comm_seconds);
   EXPECT_EQ(cost1.compute_seconds, cost4.compute_seconds);
+}
+
+// ---- Cross-run calibration staleness ----
+
+/// A calibrated profile whose fit claims err_after accuracy and whose last
+/// run recorded `observed` mean error over `samples` multiplies.
+Profile profile_with_observed(double err_after, double observed,
+                              std::int64_t samples) {
+  Profile p;
+  p.calibration.alpha_scale = 1.5;
+  p.calibration.beta_scale = 0.8;
+  p.calibration.compute_scale = 1.1;
+  p.calibration.samples = 12;
+  p.calibration.err_before = 0.9;
+  p.calibration.err_after = err_after;
+  p.observed_error = observed;
+  p.observed_samples = samples;
+  return p;
+}
+
+TEST(ProfileStaleness, DriftPastThresholdFlagsStaleAndCounts) {
+#if MFBC_TELEMETRY
+  const double before = telemetry::registry().value("tune.profile.stale");
+#endif
+  // Fit promised 10% error; the last run observed 80% — 4x past the 2x
+  // default threshold (floor 0.05 < 0.1 leaves err_after in charge).
+  Tuner stale(profile_with_observed(0.1, 0.8, 40));
+  EXPECT_TRUE(stale.profile_stale());
+#if MFBC_TELEMETRY
+  EXPECT_DOUBLE_EQ(telemetry::registry().value("tune.profile.stale"),
+                   before + 1.0);
+#endif
+}
+
+TEST(ProfileStaleness, AccurateProfileIsNotStale) {
+  Tuner fresh(profile_with_observed(0.1, 0.15, 40));
+  EXPECT_FALSE(fresh.profile_stale());
+}
+
+TEST(ProfileStaleness, FloorShieldsNearPerfectCalibrations) {
+  // err_after ~ 0 would make any observed error look like infinite drift;
+  // the floor keeps ordinary noise below threshold...
+  Tuner fresh(profile_with_observed(1e-6, 0.09, 40));
+  EXPECT_FALSE(fresh.profile_stale());
+  // ...but real drift still trips it.
+  Tuner stale(profile_with_observed(1e-6, 0.2, 40));
+  EXPECT_TRUE(stale.profile_stale());
+}
+
+TEST(ProfileStaleness, NeverObservedOrUncalibratedProfilesAreQuiet) {
+  // No observed block recorded yet (fresh calibration, never run).
+  Tuner unobserved(profile_with_observed(0.1, 0.0, 0));
+  EXPECT_FALSE(unobserved.profile_stale());
+  // Uncalibrated profile: there is no promise to have drifted from.
+  Profile p;
+  p.observed_error = 5.0;
+  p.observed_samples = 100;
+  Tuner uncalibrated(p);
+  EXPECT_FALSE(uncalibrated.profile_stale());
+}
+
+TEST(ProfileStaleness, ObservedBlockRoundTripsThroughDisk) {
+  const std::string path = temp_path("observed_profile.json");
+  Profile p = profile_with_observed(0.1, 0.42, 17);
+  p.save(path);
+  const Profile back = Profile::load(path);
+  EXPECT_DOUBLE_EQ(back.observed_error, 0.42);
+  EXPECT_EQ(back.observed_samples, 17);
+  // Old profiles without the block still load, with nothing observed.
+  Profile old = profile_with_observed(0.1, 0.0, 0);
+  old.save(path);
+  EXPECT_EQ(Profile::load(path).observed_samples, 0);
+}
+
+TEST(ProfileStaleness, SnapshotFoldsThisRunsObservedErrorIn) {
+  // Drive one real tuned run, then snapshot: the profile must carry the
+  // observer's overall error so the *next* load can judge staleness.
+  Tuner tuner;
+  core::DistMfbcOptions opts;
+  opts.batch_size = 64;
+  opts.tuner = &tuner;
+  run_mfbc(opts, nullptr);
+  ASSERT_GT(tuner.observer().size(), 0u);
+  const Profile snap = tuner.snapshot_profile();
+  EXPECT_EQ(snap.observed_samples,
+            static_cast<std::int64_t>(tuner.observer().overall().count));
+  EXPECT_DOUBLE_EQ(snap.observed_error,
+                   tuner.observer().overall().mean_abs_rel());
+}
+
+TEST(ProfileStaleness, LoadRejectsMalformedObservedBlock) {
+  const std::string path = temp_path("bad_observed.json");
+  Profile p = profile_with_observed(0.1, 0.2, 5);
+  telemetry::Json j = p.to_json();
+  j["observed"] = telemetry::Json(3.0);  // not an object
+  write_file(path, j.dump(2));
+  EXPECT_THROW(Profile::load(path), Error);
+  telemetry::Json j2 = p.to_json();
+  j2["observed"]["mean_abs_rel_err"] = telemetry::Json(-0.5);
+  write_file(path, j2.dump(2));
+  EXPECT_THROW(Profile::load(path), Error);
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 //   mfbc --snap ork --metric closeness --approx 64
 //   mfbc --er 500,600 --metric components
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -101,7 +102,8 @@ void usage() {
       "  --algo A            bc engine: mfbc (default) | brandes | combblas\n"
       "  --batch NB          source batch size (default 128)\n"
       "  --approx K          use K pivot sources instead of all n\n"
-      "  --ranks P           run on a P-rank simulated machine (mfbc only)\n"
+      "  --ranks P           run on a P-rank simulated machine (mfbc and\n"
+      "                      combblas; combblas needs a square P)\n"
       "  --threads N         execution-pool threads for the per-rank kernels\n"
       "                      (default: MFBC_THREADS or all cores; results\n"
       "                      are identical for every N)\n"
@@ -110,7 +112,7 @@ void usage() {
       "machine model (simulated runs):\n"
       "  --model FILE        load a tuned machine model (see --tune)\n"
       "  --tune FILE         run the section 6.2 model tuner, save to FILE\n"
-      "plan tuning (simulated mfbc runs; see docs/autotuning.md):\n"
+      "plan tuning (simulated runs; see docs/autotuning.md):\n"
       "  --tune-profile FILE attach the adaptive plan tuner: calibrated\n"
       "                      model, per-iteration re-planning with\n"
       "                      hysteresis, persistent plan cache in FILE\n"
@@ -120,7 +122,7 @@ void usage() {
       "  --explain-plan      print the full candidate-plan table (model\n"
       "                      cost terms, memory fit, chosen marker) for the\n"
       "                      run's first multiply without executing it\n"
-      "fault injection (simulated mfbc runs; see docs/fault_tolerance.md):\n"
+      "fault injection (simulated runs; see docs/fault_tolerance.md):\n"
       "  --faults SPEC       deterministic fault schedule, e.g.\n"
       "                      'transient:0.01,corrupt:0.002,rank:0.0005' or\n"
       "                      'rank@25:3,retries:5'; recovered runs produce\n"
@@ -232,6 +234,63 @@ void print_top(const std::vector<double>& score, int k, const char* what) {
   }
 }
 
+/// The --json `cost` block for a simulated run's critical-path cost.
+telemetry::Json cost_block(const sim::Cost& cost) {
+  telemetry::Json j = telemetry::Json::object();
+  j["words"] = telemetry::Json(cost.words);
+  j["msgs"] = telemetry::Json(cost.msgs);
+  j["comm_seconds"] = telemetry::Json(cost.comm_seconds);
+  j["total_seconds"] = telemetry::Json(cost.total_seconds());
+  return j;
+}
+
+/// Print the fault-injection outcome line and return the --json `faults`
+/// block. Shared by the mfbc and combblas engines (both run the same batch
+/// driver, so the outcome shape is identical).
+telemetry::Json fault_block(const sim::FaultInjector& fi, int batch_retries) {
+  const sim::FaultCounters& c = fi.counters();
+  const sim::FaultOverhead& o = fi.overhead();
+  std::printf("faults: %llu injected, %llu detected, %llu recovered, "
+              "%llu aborted, %d batch retries; recovery overhead %s, "
+              "%.4fs\n",
+              static_cast<unsigned long long>(c.injected),
+              static_cast<unsigned long long>(c.detected),
+              static_cast<unsigned long long>(c.recovered),
+              static_cast<unsigned long long>(c.aborted), batch_retries,
+              human_bytes(o.words * 8).c_str(),
+              o.comm_seconds + o.compute_seconds);
+  telemetry::Json j = telemetry::Json::object();
+  j["injected"] = telemetry::Json(static_cast<double>(c.injected));
+  j["detected"] = telemetry::Json(static_cast<double>(c.detected));
+  j["recovered"] = telemetry::Json(static_cast<double>(c.recovered));
+  j["aborted"] = telemetry::Json(static_cast<double>(c.aborted));
+  j["batch_retries"] = telemetry::Json(batch_retries);
+  j["overhead_words"] = telemetry::Json(o.words);
+  j["overhead_seconds"] = telemetry::Json(o.comm_seconds + o.compute_seconds);
+  return j;
+}
+
+/// Attach the adaptive plan tuner when --tune-profile was given.
+std::unique_ptr<tune::Tuner> make_tuner(const Args& a,
+                                        const sim::MachineModel& machine) {
+  if (a.tune_profile.empty()) return nullptr;
+  tune::Profile prof;
+  prof.machine = machine;
+  if (auto loaded = tune::try_load_profile(a.tune_profile, machine)) {
+    prof = std::move(*loaded);
+  }
+  return std::make_unique<tune::Tuner>(std::move(prof));
+}
+
+void print_tune_summary(tune::Tuner& tuner) {
+  std::printf("tune: %llu re-plans, %llu plan switches, %llu hysteresis "
+              "holds, cache hit rate %.2f, mean |pred err| %.3f\n",
+              static_cast<unsigned long long>(tuner.replans()),
+              static_cast<unsigned long long>(tuner.plan_switches()),
+              static_cast<unsigned long long>(tuner.hysteresis_holds()),
+              tuner.cache().hit_rate(), tuner.prediction_error());
+}
+
 int run(const Args& a) {
   if (a.threads > 0) support::set_threads(a.threads);
   if (!a.tune_file.empty()) {
@@ -284,12 +343,24 @@ int run(const Args& a) {
       if (v < nb) frontier_nnz += d;
       adj_nnz += d;
     }
+    const double frontier_words =
+        a.algo == "combblas" ? sim::sparse_entry_words<double>()
+                             : sim::sparse_entry_words<algebra::Multpath>();
     const dist::MultiplyStats stats = dist::MultiplyStats::estimated(
-        nb, g.n(), g.n(), frontier_nnz, adj_nnz,
-        sim::sparse_entry_words<algebra::Multpath>(),
-        sim::sparse_entry_words<graph::Weight>(),
-        sim::sparse_entry_words<algebra::Multpath>());
-    const dist::TuneOptions topts;
+        nb, g.n(), g.n(), frontier_nnz, adj_nnz, frontier_words,
+        sim::sparse_entry_words<graph::Weight>(), frontier_words);
+    dist::TuneOptions topts;
+    if (a.algo == "combblas") {
+      // The baseline engine re-plans over square-grid 2D SUMMA only — show
+      // the candidate table it would actually choose from.
+      const int s = static_cast<int>(
+          std::lround(std::sqrt(static_cast<double>(a.ranks))));
+      MFBC_CHECK(s * s == a.ranks,
+                 "--explain-plan with --algo combblas needs a square --ranks");
+      topts.allow_1d = false;
+      topts.allow_3d = false;
+      topts.square_2d_only = true;
+    }
     const dist::Plan best = dist::autotune(a.ranks, stats, machine, topts);
     bench::Table tab({"plan", "latency(s)", "bandwidth(s)", "compute(s)",
                       "remap(s)", "total(s)", "mem(words)", "fits", ""});
@@ -378,14 +449,18 @@ int run(const Args& a) {
   }
 
   MFBC_CHECK(a.metric == "bc", "unknown metric: " + a.metric);
-  MFBC_CHECK(a.faults.empty() || (a.algo == "mfbc" && a.ranks > 0),
-             "--faults needs a simulated mfbc run (--algo mfbc --ranks P)");
-  MFBC_CHECK(a.tune_profile.empty() || (a.algo == "mfbc" && a.ranks > 0),
-             "--tune-profile needs a simulated mfbc run "
-             "(--algo mfbc --ranks P)");
-  telemetry::Json cost_json;    // ledger cost of the simulated run, if any
-  telemetry::Json faults_json;  // fault-injection outcome, if enabled
-  telemetry::Json tune_json;    // adaptive-tuner summary, if attached
+  const bool simulated_bc =
+      (a.algo == "mfbc" || a.algo == "combblas") && a.ranks > 0;
+  MFBC_CHECK(a.faults.empty() || simulated_bc,
+             "--faults needs a simulated run "
+             "(--algo mfbc|combblas --ranks P)");
+  MFBC_CHECK(a.tune_profile.empty() || simulated_bc,
+             "--tune-profile needs a simulated run "
+             "(--algo mfbc|combblas --ranks P)");
+  telemetry::Json cost_json;     // ledger cost of the simulated run, if any
+  telemetry::Json faults_json;   // fault-injection outcome, if enabled
+  telemetry::Json tune_json;     // adaptive-tuner summary, if attached
+  telemetry::Json baseline_json; // combblas engine summary, if it ran
   std::vector<double> bc;
   if (a.algo == "brandes") {
     bc = a.approx > 0
@@ -393,16 +468,51 @@ int run(const Args& a) {
              : baseline::brandes(g);
   } else if (a.algo == "combblas") {
     sim::Sim sim(a.ranks > 0 ? a.ranks : 1, machine);
+    telemetry::ScopedLedgerSink sink(sim.ledger());
     baseline::CombBlasBc engine(sim, g);
+    if (!a.faults.empty()) {
+      // After construction: the one-time graph distribution does not
+      // consume charge indices, so schedules address the algorithm itself.
+      sim.enable_faults(sim::FaultSpec::parse(a.faults, a.fault_seed));
+    }
     baseline::CombBlasOptions opts;
     opts.batch_size = a.batch;
     if (a.approx > 0) opts.sources = pivot_sources(g, a.approx);
-    bc = engine.run(opts);
+    std::unique_ptr<tune::Tuner> tuner = make_tuner(a, machine);
+    opts.tuner = tuner.get();
+    baseline::CombBlasStats stats;
+    bc = engine.run(opts, &stats);
     const auto cost = sim.ledger().critical();
     std::printf("combblas-style on %d ranks: critical path %s, %.0f msgs, "
-                "modelled %.4fs\n",
+                "modelled %.4fs, plans:",
                 sim.nranks(), human_bytes(cost.words * 8).c_str(), cost.msgs,
                 cost.total_seconds());
+    for (const auto& p : stats.plans_used) std::printf(" %s", p.c_str());
+    std::puts("");
+    if (tuner) {
+      print_tune_summary(*tuner);
+      tune_json = tuner->json();
+      tuner->save(a.tune_profile);
+      std::printf("[tune] wrote %s\n", a.tune_profile.c_str());
+    }
+    cost_json = cost_block(cost);
+    baseline_json = telemetry::Json::object();
+    baseline_json["engine"] = telemetry::Json(std::string("combblas"));
+    baseline_json["batches"] = telemetry::Json(stats.batches);
+    baseline_json["batch_retries"] = telemetry::Json(stats.batch_retries);
+    telemetry::Json plans = telemetry::Json::array();
+    for (const auto& p : stats.plans_used) plans.push(telemetry::Json(p));
+    baseline_json["plans"] = std::move(plans);
+    baseline_json["forward_seconds"] =
+        telemetry::Json(stats.forward_cost.total_seconds());
+    baseline_json["backward_seconds"] =
+        telemetry::Json(stats.backward_cost.total_seconds());
+    baseline_json["forward_words"] = telemetry::Json(stats.forward_cost.words);
+    baseline_json["backward_words"] =
+        telemetry::Json(stats.backward_cost.words);
+    if (const sim::FaultInjector* fi = sim.faults()) {
+      faults_json = fault_block(*fi, stats.batch_retries);
+    }
   } else if (a.algo == "mfbc" && a.ranks > 0) {
     sim::Sim sim(a.ranks, machine);
     // Route ledger charges into the telemetry registry so the --json
@@ -420,16 +530,8 @@ int run(const Args& a) {
         a.mode == "ca" ? core::PlanMode::kFixedCa : core::PlanMode::kAuto;
     opts.replication_c = a.c;
     if (a.approx > 0) opts.sources = pivot_sources(g, a.approx);
-    std::unique_ptr<tune::Tuner> tuner;
-    if (!a.tune_profile.empty()) {
-      tune::Profile prof;
-      prof.machine = machine;
-      if (auto loaded = tune::try_load_profile(a.tune_profile, machine)) {
-        prof = std::move(*loaded);
-      }
-      tuner = std::make_unique<tune::Tuner>(std::move(prof));
-      opts.tuner = tuner.get();
-    }
+    std::unique_ptr<tune::Tuner> tuner = make_tuner(a, machine);
+    opts.tuner = tuner.get();
     core::DistMfbcStats stats;
     bc = engine.run(opts, &stats);
     const auto cost = sim.ledger().critical();
@@ -440,45 +542,14 @@ int run(const Args& a) {
     for (const auto& p : stats.plans_used) std::printf(" %s", p.c_str());
     std::puts("");
     if (tuner) {
-      std::printf("tune: %llu re-plans, %llu plan switches, %llu hysteresis "
-                  "holds, cache hit rate %.2f, mean |pred err| %.3f\n",
-                  static_cast<unsigned long long>(tuner->replans()),
-                  static_cast<unsigned long long>(tuner->plan_switches()),
-                  static_cast<unsigned long long>(tuner->hysteresis_holds()),
-                  tuner->cache().hit_rate(), tuner->prediction_error());
+      print_tune_summary(*tuner);
       tune_json = tuner->json();
       tuner->save(a.tune_profile);
       std::printf("[tune] wrote %s\n", a.tune_profile.c_str());
     }
-    cost_json = telemetry::Json::object();
-    cost_json["words"] = telemetry::Json(cost.words);
-    cost_json["msgs"] = telemetry::Json(cost.msgs);
-    cost_json["comm_seconds"] = telemetry::Json(cost.comm_seconds);
-    cost_json["total_seconds"] = telemetry::Json(cost.total_seconds());
+    cost_json = cost_block(cost);
     if (const sim::FaultInjector* fi = sim.faults()) {
-      const sim::FaultCounters& c = fi->counters();
-      const sim::FaultOverhead& o = fi->overhead();
-      std::printf("faults: %llu injected, %llu detected, %llu recovered, "
-                  "%llu aborted, %d batch retries; recovery overhead %s, "
-                  "%.4fs\n",
-                  static_cast<unsigned long long>(c.injected),
-                  static_cast<unsigned long long>(c.detected),
-                  static_cast<unsigned long long>(c.recovered),
-                  static_cast<unsigned long long>(c.aborted),
-                  stats.batch_retries, human_bytes(o.words * 8).c_str(),
-                  o.comm_seconds + o.compute_seconds);
-      faults_json = telemetry::Json::object();
-      faults_json["injected"] =
-          telemetry::Json(static_cast<double>(c.injected));
-      faults_json["detected"] =
-          telemetry::Json(static_cast<double>(c.detected));
-      faults_json["recovered"] =
-          telemetry::Json(static_cast<double>(c.recovered));
-      faults_json["aborted"] = telemetry::Json(static_cast<double>(c.aborted));
-      faults_json["batch_retries"] = telemetry::Json(stats.batch_retries);
-      faults_json["overhead_words"] = telemetry::Json(o.words);
-      faults_json["overhead_seconds"] =
-          telemetry::Json(o.comm_seconds + o.compute_seconds);
+      faults_json = fault_block(*fi, stats.batch_retries);
     }
   } else if (a.algo == "mfbc") {
     core::MfbcOptions opts;
@@ -508,6 +579,9 @@ int run(const Args& a) {
     if (!cost_json.is_null()) summary.set("cost", std::move(cost_json));
     if (!faults_json.is_null()) summary.set("faults", std::move(faults_json));
     if (!tune_json.is_null()) summary.set("tune", std::move(tune_json));
+    if (!baseline_json.is_null()) {
+      summary.set("baseline", std::move(baseline_json));
+    }
     telemetry::Json top = telemetry::Json::array();
     for (const auto& rv : core::top_k(bc, static_cast<std::size_t>(a.top))) {
       telemetry::Json e = telemetry::Json::object();
