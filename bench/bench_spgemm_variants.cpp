@@ -14,6 +14,7 @@
 #include "baseline/combblas_bc.hpp"
 #include "benchsupport/harness.hpp"
 #include "benchsupport/table.hpp"
+#include "dist/pipeline.hpp"
 #include "dist/spgemm_dist.hpp"
 #include "graph/generators.hpp"
 #include "mfbc/mfbc_dist.hpp"
@@ -56,11 +57,15 @@ int main(int argc, char** argv) {
       static_cast<double>(g.adj().nnz()), sim::sparse_entry_words<Multpath>(),
       sim::sparse_entry_words<double>(), sim::sparse_entry_words<Multpath>());
   const sim::MachineModel mm;
-  const dist::Plan chosen = dist::autotune(p, stats, mm);
+  // --schedule auto|async opens the plan space to the async-pipelined twins
+  // (results stay bit-identical; only the charged cost moves).
+  dist::TuneOptions topts;
+  topts.allow_async = args.allow_async();
+  const dist::Plan chosen = dist::autotune(p, stats, mm, topts);
 
-  bench::Table tab({"plan", "measured W (words)", "measured S (msgs)",
-                    "model (sec)", "measured comm (sec)", "autotuned?"});
-  for (const dist::Plan& plan : dist::enumerate_plans(p)) {
+  // Charged run of one plan on a fresh machine; scatter costs excluded.
+  auto charged_run = [&](const dist::Plan& plan, sim::Cost* cost,
+                         double* saved, std::uint64_t* windows) {
     sim::Sim sim(p, mm);
     Layout lf{0, 1, p, Range{0, nb}, Range{0, n}, false};
     Layout la{0, 4, 4, Range{0, n}, Range{0, n}, false};
@@ -68,7 +73,16 @@ int main(int argc, char** argv) {
     auto da = DistMatrix<double>::scatter<SumMonoid>(sim, g.adj(), la);
     sim.ledger().reset();
     dist::spgemm<MultpathMonoid>(sim, plan, df, da, BellmanFordAction{}, lf);
-    const sim::Cost c = sim.ledger().critical();
+    *cost = sim.ledger().critical();
+    if (saved != nullptr) *saved = sim.overlap_saved_seconds();
+    if (windows != nullptr) *windows = sim.overlap_windows();
+  };
+
+  bench::Table tab({"plan", "measured W (words)", "measured S (msgs)",
+                    "model (sec)", "measured comm (sec)", "autotuned?"});
+  for (const dist::Plan& plan : dist::enumerate_plans(p, topts)) {
+    sim::Cost c;
+    charged_run(plan, &c, nullptr, nullptr);
     tab.add_row({plan.to_string(), compact(c.words, 4), fixed(c.msgs, 0),
                  compact(dist::model_cost(plan, stats, mm).total(), 3),
                  compact(c.comm_seconds, 3),
@@ -81,6 +95,35 @@ int main(int argc, char** argv) {
   std::puts("\nExpected: variants that communicate the adjacency (the heavy "
             "operand) pay the\nmost; the autotuned plan sits at or near the "
             "measured minimum.");
+
+  // ---- Sync vs async-pipelined schedule (docs/SIMULATOR.md) ----
+  // Every 2D-level plan runs twice: the blocking schedule and its async
+  // twin (tile 1 — every next-step broadcast posted inside the window).
+  // Identical charge sequence, so W/S and the results are bit-identical;
+  // the async column may only subtract overlap credit. The CI overlap-smoke
+  // job parses this table and fails if any async total exceeds its sync
+  // total.
+  bench::Table ot({"plan", "sync (s)", "async(t1) (s)", "saved (s)",
+                   "windows", "model overlap (s)"});
+  for (const dist::Plan& plan : dist::enumerate_plans(p)) {
+    if (!plan.has_2d()) continue;
+    sim::Cost sc, ac;
+    charged_run(plan, &sc, nullptr, nullptr);
+    dist::Plan async = plan;
+    async.sched = dist::Sched::kAsync;
+    async.tile = 1;
+    double saved = 0;
+    std::uint64_t windows = 0;
+    charged_run(async, &ac, &saved, &windows);
+    ot.add_row({plan.to_string(), compact(sc.total_seconds(), 4),
+                compact(ac.total_seconds(), 4), compact(saved, 4),
+                std::to_string(windows),
+                compact(dist::model_cost(async, stats, mm).overlap, 4)});
+  }
+  std::fputs(ot.render("Sync vs async pipelined schedule: charged cost per "
+                       "2D plan (async must never exceed sync)")
+                 .c_str(),
+             stdout);
 
   // ---- Online re-planning vs a static plan (docs/autotuning.md) ----
   // Frontier-size trajectories shaped like BFS phases: the static planner
@@ -144,10 +187,11 @@ int main(int argc, char** argv) {
           req.ranks = p;
           req.stats = st;
           req.machine = mm;
+          req.opts = topts;
           plan = tuner->plan(req);
         } else {
           if (!have_static) {
-            static_plan = dist::autotune(p, st, mm);
+            static_plan = dist::autotune(p, st, mm, topts);
             have_static = true;
           }
           plan = static_plan;
@@ -195,6 +239,7 @@ int main(int argc, char** argv) {
       sim.ledger().reset();
       baseline::CombBlasOptions opts;
       opts.batch_size = nb;
+      opts.tune.allow_async = args.allow_async();
       opts.tuner = tuner;
       for (graph::vid_t v = 0; v < 2 * nb; ++v) opts.sources.push_back(v);
       engine.run(opts, stats);
@@ -272,12 +317,14 @@ int main(int argc, char** argv) {
              stdout);
 
   bench::maybe_write_csv(args, "spgemm_variants", tab);
+  bench::maybe_write_csv(args, "spgemm_variants_overlap", ot);
   bench::maybe_write_csv(args, "spgemm_variants_replanning", rt);
   bench::maybe_write_csv(args, "spgemm_variants_baseline", bt);
   bench::maybe_write_csv(args, "spgemm_variants_threads", ts);
   bench::maybe_write_csv(args, "spgemm_variants_frontiers", ft);
   bench::maybe_write_artifacts(args, "spgemm_variants",
                                {{"spgemm_variants", &tab},
+                                {"spgemm_variants_overlap", &ot},
                                 {"spgemm_variants_replanning", &rt},
                                 {"spgemm_variants_baseline", &bt},
                                 {"spgemm_variants_threads", &ts},

@@ -84,6 +84,16 @@ CombBlasBc::CombBlasBc(sim::Sim& sim, const graph::Graph& g)
   adj_ = DistMatrix<Weight>::scatter<TropicalMinMonoid>(sim, g.adj(), base_);
   adj_t_ = DistMatrix<Weight>::scatter<TropicalMinMonoid>(
       sim, sparse::transpose(g.adj()), base_);
+  // Long-lived adjacency residency, for memory-pressure-aware planning
+  // (mirrors DistMfbc; the tuner subtracts the high-water mark below).
+  for (int i = 0; i < s; ++i) {
+    for (int j = 0; j < s; ++j) {
+      sim.note_resident(base_.rank_at(i, j),
+                        (static_cast<double>(adj_.block(i, j).nnz()) +
+                         static_cast<double>(adj_t_.block(i, j).nnz())) *
+                            sim::sparse_entry_words<Weight>());
+    }
+  }
 }
 
 dist::Plan CombBlasBc::plan_for(const CombBlasOptions& opts,
@@ -102,6 +112,15 @@ dist::Plan CombBlasBc::plan_for(const CombBlasOptions& opts,
   req.stats = stats;
   req.machine = sim_.model();
   req.opts = opts.tune;
+  // Memory-pressure re-planning (as in DistMfbc::plan_for): plan inside the
+  // budget the resident adjacency copies leave over.
+  const double resident = sim_.resident_highwater_words();
+  if (resident > 0) {
+    const double mem_floor = sim_.model().memory_words * 0.01;
+    req.opts.memory_words_limit =
+        std::min(req.opts.memory_words_limit,
+                 std::max(sim_.model().memory_words - resident, mem_floor));
+  }
   // The CombBLAS constraint (§7.1): candidates stay square-grid 2D SUMMA,
   // whatever the caller's options say — this engine cannot run other shapes.
   req.opts.allow_1d = false;

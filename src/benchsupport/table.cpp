@@ -85,6 +85,13 @@ void Table::write_csv(const std::string& path) const {
   out << to_csv();
 }
 
+bool BenchArgs::allow_async() const {
+  if (schedule == "sync") return false;
+  MFBC_CHECK(schedule == "auto" || schedule == "async",
+             "--schedule expects sync|auto|async, got: " + schedule);
+  return true;
+}
+
 namespace {
 
 /// Number of argv slots the shared flag at position `i` occupies, or 0 when
@@ -131,6 +138,12 @@ int consume_bench_flag(BenchArgs& args, int argc, char** argv, int i) {
     args.tune_profile = argv[i + 1];
     return 2;
   }
+  if (f == "--schedule") {
+    MFBC_CHECK(i + 1 < argc, "--schedule requires sync|auto|async");
+    args.schedule = argv[i + 1];
+    args.allow_async();  // validate eagerly so typos fail at parse time
+    return 2;
+  }
   return 0;
 }
 
@@ -154,7 +167,7 @@ BenchArgs parse_bench_args(int argc, char** argv) {
       throw Error(std::string("unknown bench flag: ") + argv[i] +
                   " (supported: --small, --csv DIR, --json PATH, "
                   "--chrome-trace PATH, --threads N, --faults SPEC, "
-                  "--fault-seed S, --tune-profile FILE)");
+                  "--fault-seed S, --tune-profile FILE, --schedule S)");
     }
     i += used;
   }

@@ -40,9 +40,12 @@ class Table {
 /// Perfetto trace), `--threads N` (size the shared-memory execution
 /// pool; results are bit-identical for every N), `--faults SPEC` (inject
 /// deterministic faults into the simulated machine; grammar in
-/// sim::FaultSpec::parse), `--fault-seed S` (fault-schedule seed), and
+/// sim::FaultSpec::parse), `--fault-seed S` (fault-schedule seed),
 /// `--tune-profile FILE` (attach the adaptive plan tuner, loading/saving
-/// the persistent profile at FILE — docs/autotuning.md).
+/// the persistent profile at FILE — docs/autotuning.md), and
+/// `--schedule S` (sync|auto|async: open the plan search to the async
+/// pipelined schedule axis; results are bit-identical either way, only the
+/// charged cost changes — docs/SIMULATOR.md).
 struct BenchArgs {
   bool small = false;
   std::string csv_dir;
@@ -52,6 +55,11 @@ struct BenchArgs {
   std::string faults;  ///< empty = fault-free (no injector attached at all)
   std::uint64_t fault_seed = 1;
   std::string tune_profile;  ///< empty = no tuner (static autotuning)
+  std::string schedule = "sync";  ///< sync|auto|async plan-schedule axis
+
+  /// True when --schedule asks for the async axis ("auto" or "async");
+  /// throws mfbc::Error on an unrecognised value.
+  bool allow_async() const;
 };
 
 BenchArgs parse_bench_args(int argc, char** argv);

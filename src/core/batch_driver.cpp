@@ -164,6 +164,10 @@ std::vector<double> run_batched_bc(sim::Sim& sim, const dist::Layout& base,
         dist::abft_repair_pending(sim);
         break;
       } catch (const sim::FaultError& e) {
+        // A failure inside an overlap window leaves the window open; the
+        // batch it braced is being rolled back, so its accrued overlap
+        // credit is forfeited — the retry re-earns (or doesn't) its own.
+        sim.overlap_abandon_all();
         if (e.kind() != sim::FaultKind::kRankFailure || !e.recoverable()) {
           throw;
         }

@@ -2,6 +2,7 @@
 
 #include "dist/procgrid.hpp"
 #include "support/error.hpp"
+#include "telemetry/registry.hpp"
 #include "telemetry/span.hpp"
 
 namespace mfbc::dist {
@@ -37,11 +38,28 @@ std::vector<Plan> enumerate_plans(int p, const TuneOptions& opts) {
       }
     }
   }
+  if (opts.allow_async) {
+    // Schedule axis: an async-pipelined twin per tile size for every plan
+    // with a 2D level (the pipelined driver overlaps the lcm-step broadcast
+    // schedule; pure-1D plans have no stepwise loop to pipeline). Appended
+    // after the sync plans so the historical enumeration is a prefix.
+    const std::size_t sync_count = out.size();
+    for (std::size_t i = 0; i < sync_count; ++i) {
+      if (!out[i].has_2d()) continue;
+      for (int tile : opts.async_tiles) {
+        if (tile < 1) continue;
+        Plan twin = out[i];
+        twin.sched = Sched::kAsync;
+        twin.tile = tile;
+        out.push_back(twin);
+      }
+    }
+  }
   return out;
 }
 
 Plan autotune(int p, const MultiplyStats& stats, const sim::MachineModel& mm,
-              const TuneOptions& opts) {
+              const TuneOptions& opts, TuneReport* report) {
   const auto plans = enumerate_plans(p, opts);
   MFBC_CHECK(!plans.empty(), "no plan shapes permitted by TuneOptions");
   telemetry::Span span("dist.autotune");
@@ -49,6 +67,7 @@ Plan autotune(int p, const MultiplyStats& stats, const sim::MachineModel& mm,
   span.attr("candidates", static_cast<std::int64_t>(plans.size()));
   const Plan* best = nullptr;
   double best_cost = std::numeric_limits<double>::infinity();
+  int pruned = 0;
   for (const Plan& plan : plans) {
     const double mem = model_memory_words(plan, stats);
     const bool fits = mem <= opts.memory_words_limit;
@@ -61,11 +80,22 @@ Plan autotune(int p, const MultiplyStats& stats, const sim::MachineModel& mm,
       span.attr(key + ".mem_words", mem);
       if (!fits) span.attr(key + ".rejected", std::string("memory"));
     }
-    if (!fits) continue;
+    if (!fits) {
+      ++pruned;
+      continue;
+    }
     if (cost < best_cost) {
       best_cost = cost;
       best = &plan;
     }
+  }
+  if (report != nullptr) {
+    report->candidates = static_cast<int>(plans.size());
+    report->pruned_memory = pruned;
+  }
+  if (pruned > 0) {
+    telemetry::count("tune.pruned.memory", static_cast<double>(pruned));
+    span.attr("pruned.memory", static_cast<std::int64_t>(pruned));
   }
   MFBC_CHECK(best != nullptr, "no plan fits in the per-rank memory limit");
   span.attr("chosen", best->to_string());

@@ -22,14 +22,36 @@ struct TuneOptions {
   /// Restrict to square 2D grids (the CombBLAS constraint, used by the
   /// baseline to mirror "CombBLAS requires square processor grids", §7.1).
   bool square_2d_only = false;
+  /// Schedule axis: when set, every plan with a 2D level additionally
+  /// enumerates async-pipelined twins (one per entry of async_tiles), grown
+  /// from {variant × grid} to {variant × grid × schedule}. Off by default so
+  /// callers that never opted into nonblocking schedules see the historical
+  /// plan space unchanged.
+  bool allow_async = false;
+  /// Prefetch tile menu for the async twins (dist/pipeline.hpp): tile 1
+  /// posts every next-step broadcast inside the window (maximum overlap,
+  /// maximum in-flight memory), larger tiles post 1/tile of them.
+  std::vector<int> async_tiles = {1, 4};
+};
+
+/// Per-call accounting of a plan search, for the tune telemetry/JSON
+/// surfaces: how many candidates were evaluated and how many the per-rank
+/// memory limit pruned (including async tile sizes that no longer fit).
+struct TuneReport {
+  int candidates = 0;
+  int pruned_memory = 0;
 };
 
 /// Every distinct plan for p ranks under the options. Duplicate degenerate
 /// shapes (e.g. 3D with p1 = 1 collapsing to 2D) are canonicalized away.
+/// Async twins, when enabled, follow the sync plans so the sync prefix of
+/// the enumeration is unchanged.
 std::vector<Plan> enumerate_plans(int p, const TuneOptions& opts = {});
 
 /// Cheapest plan under the §5.2 model; throws if no plan fits in memory.
+/// Ties go to the earliest candidate, so an async twin wins only when its
+/// modelled overlap credit makes it strictly cheaper than its sync shape.
 Plan autotune(int p, const MultiplyStats& stats, const sim::MachineModel& mm,
-              const TuneOptions& opts = {});
+              const TuneOptions& opts = {}, TuneReport* report = nullptr);
 
 }  // namespace mfbc::dist

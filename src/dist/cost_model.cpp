@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <sstream>
 
 #include "support/error.hpp"
@@ -42,6 +43,9 @@ std::string Plan::to_string() const {
     os << "3D-" << name_of(v1) << "," << name_of(v2) << "[" << p1 << "x" << p2
        << "x" << p3 << "]";
   }
+  // Sync plans keep their historical names (profile files and test pins
+  // depend on them); the schedule dimension only shows when it is active.
+  if (is_async()) os << "+async(t" << std::max(tile, 1) << ")";
   return os.str();
 }
 
@@ -97,7 +101,23 @@ double model_memory_words(const Plan& plan, const MultiplyStats& s) {
   const double replicated = plan.has_1d() ? nnz_words(plan.v1, s) : 0.0;
   const double all = s.nnz_a * s.words_a + s.nnz_b * s.words_b +
                      s.nnz_c * s.words_c;
-  return replicated * plan.p1 / p + all / p;
+  double mem = replicated * plan.p1 / p + all / p;
+  if (plan.is_async() && plan.has_2d()) {
+    // The pipelined driver holds step k+1's broadcast slices while step k's
+    // multiplies run; the tile knob posts ~1/tile of a step's broadcasts
+    // early, so in-flight buffers add ~1/tile of one step's slice words.
+    auto [y, z] = operands_of(plan.v2);
+    double y_words = nnz_words(y, s);
+    double z_words = plan.v2 == Variant2D::kAB ? nnz_words(z, s) : 0.0;
+    if (plan.has_1d()) {
+      if (plan.v1 != y) y_words /= plan.p1;
+      if (plan.v2 == Variant2D::kAB && plan.v1 != z) z_words /= plan.p1;
+    }
+    const double steps = static_cast<double>(std::lcm(plan.p2, plan.p3));
+    const int tile = std::max(plan.tile, 1);
+    mem += (y_words / plan.p2 + z_words / plan.p3) / (steps * tile);
+  }
+  return mem;
 }
 
 ModelCost model_cost(const Plan& plan, const MultiplyStats& s,
@@ -139,6 +159,21 @@ ModelCost model_cost(const Plan& plan, const MultiplyStats& s,
     c.latency += 2.0 *
                  static_cast<double>(std::max(plan.p2, plan.p3)) *
                  sim::log2_ceil(std::max(plan.p2, plan.p3)) * mm.alpha;
+
+    if (plan.is_async()) {
+      // Async schedule: the pipelined driver hides the broadcast side of
+      // the 2D level (Y always; Z too for kAB — for kAC/kBC, Z = C moves in
+      // *reductions*, which depend on the step's multiplies and cannot be
+      // prefetched) behind the multiplies. The tile knob posts 1/tile of
+      // each step's broadcasts inside the overlap window, so only that
+      // fraction is eligible, scaled by the machine's overlap efficiency.
+      double bcast_bw = 2.0 * (y_words / plan.p2) * mm.beta;
+      if (plan.v2 == Variant2D::kAB) {
+        bcast_bw += 2.0 * (z_words / plan.p3) * mm.beta;
+      }
+      const int tile = std::max(plan.tile, 1);
+      c.overlap = mm.overlap_beta * std::min(bcast_bw / tile, c.compute);
+    }
   }
   // Pure 1D needs no extra term: with p2·p3 = 1 the 1D-level charge above is
   // already the full 2·nnz(X)·β of W_X = α·log p + β·nnz(X).

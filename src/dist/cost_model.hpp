@@ -25,17 +25,42 @@ using sparse::nnz_t;
 enum class Variant1D { kA, kB, kC };
 enum class Variant2D { kAB, kAC, kBC };
 
-/// A fully specified multiplication plan: the factorization p = p1·p2·p3 and
-/// which matrix the 1D level replicates/reduces (v1, active when p1 > 1) and
-/// which pair the 2D level communicates (v2, active when p2·p3 > 1).
+/// Communication schedule of a plan's 2D level: kSync issues the blocking
+/// lcm-step broadcast/reduce schedule; kAsync runs the pipelined driver
+/// (dist/pipeline.hpp) that posts step k+1's broadcasts as nonblocking
+/// collectives inside step k's overlap window. Charged results differ only
+/// by the overlap credit — outputs are bit-identical (sim/async.hpp).
+enum class Sched { kSync, kAsync };
+
+/// A fully specified multiplication plan: the factorization p = p1·p2·p3,
+/// which matrix the 1D level replicates/reduces (v1, active when p1 > 1),
+/// which pair the 2D level communicates (v2, active when p2·p3 > 1), and
+/// the schedule dimension (sync vs async-pipelined with a prefetch tile).
 struct Plan {
   int p1 = 1, p2 = 1, p3 = 1;
   Variant1D v1 = Variant1D::kA;
   Variant2D v2 = Variant2D::kAB;
+  Sched sched = Sched::kSync;
+  /// Async prefetch split factor: of each step's broadcasts, ~1/tile are
+  /// posted inside the previous step's overlap window (bounding in-flight
+  /// buffer memory to ~1/tile of a step's slices). 0 for sync plans, >= 1
+  /// for async.
+  int tile = 0;
 
   int total_ranks() const { return p1 * p2 * p3; }
   bool has_1d() const { return p1 > 1; }
   bool has_2d() const { return p2 * p3 > 1; }
+  bool is_async() const { return sched == Sched::kAsync; }
+
+  /// The same plan with the schedule dimension stripped. Two plans sharing a
+  /// sync shape share operand home layouts, so switching between them is
+  /// free (the tuner's hysteresis and HomeCache both key on this).
+  Plan sync_shape() const {
+    Plan q = *this;
+    q.sched = Sched::kSync;
+    q.tile = 0;
+    return q;
+  }
 
   std::string to_string() const;
 
@@ -63,8 +88,14 @@ struct ModelCost {
   double bandwidth = 0;  ///< β terms
   double compute = 0;    ///< ops/p term
   double remap = 0;      ///< operand/output redistribution overhead
+  /// Overlap credit of an async schedule: modelled broadcast time hidden
+  /// behind the multiplies, overlap_beta · min(bcast-side bandwidth / tile,
+  /// compute). Always 0 for sync plans.
+  double overlap = 0;
 
-  double total() const { return latency + bandwidth + compute + remap; }
+  double total() const {
+    return latency + bandwidth + compute + remap - overlap;
+  }
 };
 
 /// Per-rank memory footprint in words, M_X,YZ of §5.2.3.

@@ -1,0 +1,23 @@
+#include "dist/pipeline.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mfbc::dist {
+
+int pipeline_tile(int tile) { return std::max(tile, 1); }
+
+int pipeline_posted_count(int nbcasts, int tile) {
+  if (nbcasts <= 0) return 0;
+  tile = pipeline_tile(tile);
+  return std::min(nbcasts, (nbcasts + tile - 1) / tile);
+}
+
+std::string schedule_name(const Plan& plan) {
+  if (!plan.is_async()) return "sync";
+  std::ostringstream os;
+  os << "async(t" << pipeline_tile(plan.tile) << ")";
+  return os.str();
+}
+
+}  // namespace mfbc::dist

@@ -1,0 +1,371 @@
+// Pipelined (async-schedule) 2D SpGEMM driver — the nonblocking twin of
+// detail::spgemm_2d in dist/spgemm_dist.hpp.
+//
+// The sync driver's lcm(p2,p3)-step schedule serializes each step's
+// broadcasts against its multiplies. This driver restructures the loop so
+// step k+1's slices are constructed (prefetched into in-flight buffers)
+// while step k's multiplies run, and a prefix of step k+1's broadcasts is
+// *posted* as nonblocking collectives inside step k's overlap window
+// (sim/async.hpp). The `tile` knob bounds in-flight buffer memory: of the
+// next step's broadcasts, ceil(count/tile) are posted early; the rest are
+// charged plainly after the window closes.
+//
+// The determinism contract: the emitted charge sequence — every collective
+// and compute, with its group, payload, and position — is IDENTICAL to the
+// sync driver's. Posted broadcasts charge at post time, in the same slot of
+// the sequence where the sync driver charges them; window open/close and
+// overlap tags consume no fault charge points. Outputs, fault schedules,
+// and ABFT checksums are therefore bit-identical between the two schedules;
+// only the charged cost differs, by the windows' overlap credits.
+//
+// Charger is duck-typed over sim::Sim and sim::ChargeLog like the sync
+// driver: the 3D layer loop records into per-layer ChargeLogs (overlap
+// records included) and replays them into the Sim in layer order, so credit
+// accounting is bit-identical for every thread count.
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "dist/cost_model.hpp"
+#include "dist/dmatrix.hpp"
+#include "sim/async.hpp"
+#include "sim/machine.hpp"
+#include "sparse/spgemm.hpp"
+#include "support/error.hpp"
+#include "support/parallel.hpp"
+
+namespace mfbc::dist {
+
+/// Clamp an async plan's tile knob to a usable prefetch split factor.
+int pipeline_tile(int tile);
+
+/// Of `nbcasts` next-step broadcasts, how many the pipelined driver posts
+/// inside the current overlap window (ceil(nbcasts/tile), in [0, nbcasts]).
+int pipeline_posted_count(int nbcasts, int tile);
+
+/// Human-readable schedule tag for tables and --explain-plan: "sync" or
+/// "async(tN)".
+std::string schedule_name(const Plan& plan);
+
+namespace detail {
+
+/// Async twin of spgemm_2d: identical data path and charge sequence, with
+/// next-step slices prefetched and broadcast charges split into a posted
+/// (in-window) prefix and a plain suffix. Stats is duck-typed over
+/// DistSpgemmStats (only total_ops is touched) to keep this header free of
+/// a dependency on spgemm_dist.hpp.
+template <algebra::Monoid M, typename Charger, typename TA, typename TB,
+          typename F, typename Stats>
+DistMatrix<typename M::value_type> spgemm_2d_async(Charger& sim, Variant2D v2,
+                                                   int tile,
+                                                   const DistMatrix<TA>& a,
+                                                   const DistMatrix<TB>& b,
+                                                   F f, Stats* st) {
+  using TC = typename M::value_type;
+  using sparse::Csr;
+  const Range rm = a.layout().rows;
+  const Range rk = a.layout().cols;
+  const Range rn = b.layout().cols;
+  MFBC_CHECK(b.layout().rows == rk, "2D spgemm inner region mismatch");
+  const int rank0 = a.layout().rank0;
+  const int p2 = a.layout().pr;
+  const int p3 = a.layout().pc;
+  MFBC_CHECK(b.layout().rank0 == rank0 && b.layout().pr == p2 &&
+                 b.layout().pc == p3,
+             "operands must share the layer grid");
+  tile = pipeline_tile(tile);
+  const Layout cl = Layout{rank0, p2, p3, rm, rn, false};
+  DistMatrix<TC> c(a.nrows(), b.ncols(), cl);
+
+  auto charge_multiply = [&](int rank, const sparse::SpgemmStats& s,
+                             nnz_t union_touched) {
+    // Tagged as overlapped work; the ledger effect equals charge_compute.
+    sim.overlap_compute(rank, static_cast<double>(s.ops) +
+                                  static_cast<double>(union_touched));
+    if (st != nullptr) {
+      st->total_ops += static_cast<double>(s.ops);
+    }
+  };
+
+  if (p2 * p3 == 1) {
+    // Degenerate single-rank layer: one local multiply, nothing to pipeline.
+    // No window is open, so overlap_compute degrades to charge_compute and
+    // the charge matches the sync driver's exactly.
+    sparse::SpgemmStats s;
+    c.block(0, 0) = sparse::spgemm<M>(a.block(0, 0), b.block(0, 0), f, &s,
+                                      /*b_row_offset=*/rk.lo,
+                                      &sparse::tls_spgemm_workspace<TC>());
+    charge_multiply(rank0, s, 0);
+    return c;
+  }
+
+  const int steps = std::lcm(p2, p3);
+
+  // The sync driver skips steps whose split range is empty without charging
+  // anything; pipelining over the *active* steps keeps the charge sequence
+  // identical.
+  const Range split_base = v2 == Variant2D::kAB ? rk
+                           : v2 == Variant2D::kAC ? rm
+                                                  : rn;
+  std::vector<int> active;
+  active.reserve(static_cast<std::size_t>(steps));
+  for (int step = 0; step < steps; ++step) {
+    if (split_range(split_base, steps, step).size() > 0) active.push_back(step);
+  }
+  if (active.empty()) return c;
+
+  // In-flight prefetch buffers: the slices of the *current* step (broadcast
+  // already charged) and, from mid-window on, the next step's slices.
+  std::vector<Csr<TA>> a_slice;
+  std::vector<Csr<TB>> b_slice;
+
+  // Construct the slices of active step `step` into fresh buffers.
+  auto build_slices = [&](int step, std::vector<Csr<TA>>& as,
+                          std::vector<Csr<TB>>& bs) {
+    const Range r = split_range(split_base, steps, step);
+    switch (v2) {
+      case Variant2D::kAB: {
+        const int ja = step / (steps / p3);
+        const int ib = step / (steps / p2);
+        as.assign(static_cast<std::size_t>(p2), Csr<TA>{});
+        support::parallel_for(static_cast<std::size_t>(p2), [&](std::size_t i) {
+          as[i] = sparse::slice_cols(a.block(static_cast<int>(i), ja), r.lo,
+                                     r.hi);
+        });
+        bs.assign(static_cast<std::size_t>(p3), Csr<TB>{});
+        const Range b_rows = b.layout().block_rows(ib, 0);
+        support::parallel_for(static_cast<std::size_t>(p3), [&](std::size_t j) {
+          bs[j] = sparse::slice_rows(b.block(ib, static_cast<int>(j)),
+                                     r.lo - b_rows.lo, r.hi - b_rows.lo);
+        });
+        break;
+      }
+      case Variant2D::kAC: {
+        const int ja = step / (steps / p3);  // A transposed: m split by p3
+        as.assign(static_cast<std::size_t>(p2), Csr<TA>{});
+        const Range a_rows = a.layout().block_rows(0, ja);
+        support::parallel_for(static_cast<std::size_t>(p2), [&](std::size_t i) {
+          as[i] = sparse::slice_rows(a.block(static_cast<int>(i), ja),
+                                     r.lo - a_rows.lo, r.hi - a_rows.lo);
+        });
+        bs.clear();
+        break;
+      }
+      case Variant2D::kBC: {
+        const int ib = step / (steps / p2);  // B transposed: n split by p2
+        bs.assign(static_cast<std::size_t>(p3), Csr<TB>{});
+        support::parallel_for(static_cast<std::size_t>(p3), [&](std::size_t j) {
+          bs[j] = sparse::slice_cols(b.block(ib, static_cast<int>(j)), r.lo,
+                                     r.hi);
+        });
+        as.clear();
+        break;
+      }
+    }
+  };
+
+  // Charge the broadcasts of a step's slices, from index `from` on, in the
+  // sync driver's order (A row-broadcasts first, then B col-broadcasts).
+  // `posted` routes the charge through the nonblocking API; the charge
+  // itself — group, payload, fault point — is identical either way.
+  auto charge_bcasts = [&](const std::vector<Csr<TA>>& as,
+                           const std::vector<Csr<TB>>& bs, int from, int to,
+                           bool posted,
+                           std::vector<sim::AsyncHandle>* handles) {
+    const int na = static_cast<int>(as.size());
+    for (int x = from; x < to; ++x) {
+      if (x < na) {
+        auto group = cl.row_group(x);
+        const double words = static_cast<double>(
+                                 as[static_cast<std::size_t>(x)].nnz()) *
+                             sim::sparse_entry_words<TA>();
+        if (posted) {
+          handles->push_back(sim.post_bcast(group, words));
+        } else {
+          sim.charge_bcast(group, words);
+        }
+      } else {
+        auto group = cl.col_group(x - na);
+        const double words =
+            static_cast<double>(bs[static_cast<std::size_t>(x - na)].nnz()) *
+            sim::sparse_entry_words<TB>();
+        if (posted) {
+          handles->push_back(sim.post_bcast(group, words));
+        } else {
+          sim.charge_bcast(group, words);
+        }
+      }
+    }
+  };
+
+  // Multiplies (and dependent reductions) of the current step, exactly as
+  // the sync driver orders them; multiplies charge through overlap_compute.
+  auto run_step = [&](int step) {
+    const Range r = split_range(split_base, steps, step);
+    switch (v2) {
+      case Variant2D::kAB: {
+        struct MulDeferred {
+          sparse::SpgemmStats s;
+          nnz_t touched = 0;
+        };
+        std::vector<MulDeferred> deferred(static_cast<std::size_t>(p2 * p3));
+        support::parallel_for(
+            static_cast<std::size_t>(p2 * p3), [&](std::size_t t) {
+              const int i = static_cast<int>(t) / p3;
+              const int j = static_cast<int>(t) % p3;
+              auto partial = sparse::spgemm<M>(
+                  a_slice[static_cast<std::size_t>(i)],
+                  b_slice[static_cast<std::size_t>(j)], f, &deferred[t].s,
+                  /*b_row_offset=*/r.lo, &sparse::tls_spgemm_workspace<TC>());
+              deferred[t].touched = partial.nnz() + c.block(i, j).nnz();
+              c.block(i, j) = sparse::ewise_union<M>(c.block(i, j), partial);
+            });
+        for (int i = 0; i < p2; ++i) {
+          for (int j = 0; j < p3; ++j) {
+            const MulDeferred& d =
+                deferred[static_cast<std::size_t>(i * p3 + j)];
+            charge_multiply(cl.rank_at(i, j), d.s, d.touched);
+          }
+        }
+        break;
+      }
+      case Variant2D::kAC: {
+        const int ic = step / (steps / p2);  // C rows split by p2
+        struct ColDeferred {
+          std::vector<sparse::SpgemmStats> s;
+          std::vector<nnz_t> touched;
+          nnz_t reduced_nnz = 0;
+        };
+        std::vector<ColDeferred> deferred(static_cast<std::size_t>(p3));
+        support::parallel_for(
+            static_cast<std::size_t>(p3), [&](std::size_t jt) {
+              const int j = static_cast<int>(jt);
+              ColDeferred& d = deferred[jt];
+              d.s.resize(static_cast<std::size_t>(p2));
+              d.touched.resize(static_cast<std::size_t>(p2));
+              Csr<TC> reduced(r.size(), b.ncols());
+              for (int i = 0; i < p2; ++i) {
+                const Range b_rows = b.layout().block_rows(i, j);
+                auto partial = sparse::spgemm<M>(
+                    a_slice[static_cast<std::size_t>(i)], b.block(i, j), f,
+                    &d.s[static_cast<std::size_t>(i)],
+                    /*b_row_offset=*/b_rows.lo,
+                    &sparse::tls_spgemm_workspace<TC>());
+                d.touched[static_cast<std::size_t>(i)] = partial.nnz();
+                reduced = sparse::ewise_union<M>(reduced, partial);
+              }
+              d.reduced_nnz = reduced.nnz();
+              const Range c_rows = cl.block_rows(ic, j);
+              auto embedded = sparse::embed_rows(reduced, c_rows.size(),
+                                                 r.lo - c_rows.lo);
+              c.block(ic, j) =
+                  sparse::ewise_union<M>(c.block(ic, j), embedded);
+            });
+        for (int j = 0; j < p3; ++j) {
+          const ColDeferred& d = deferred[static_cast<std::size_t>(j)];
+          for (int i = 0; i < p2; ++i) {
+            charge_multiply(cl.rank_at(i, j), d.s[static_cast<std::size_t>(i)],
+                            d.touched[static_cast<std::size_t>(i)]);
+          }
+          // The reduction consumes this step's multiplies — dependent work,
+          // charged plainly (never posted, never credited).
+          sim.charge_reduce(cl.col_group(j),
+                            static_cast<double>(d.reduced_nnz) *
+                                sim::sparse_entry_words<TC>());
+        }
+        break;
+      }
+      case Variant2D::kBC: {
+        const int jc = step / (steps / p3);  // C cols split by p3
+        struct RowDeferred {
+          std::vector<sparse::SpgemmStats> s;
+          std::vector<nnz_t> touched;
+          nnz_t reduced_nnz = 0;
+        };
+        std::vector<RowDeferred> deferred(static_cast<std::size_t>(p2));
+        support::parallel_for(
+            static_cast<std::size_t>(p2), [&](std::size_t it) {
+              const int i = static_cast<int>(it);
+              RowDeferred& d = deferred[it];
+              d.s.resize(static_cast<std::size_t>(p3));
+              d.touched.resize(static_cast<std::size_t>(p3));
+              const int ib = step / (steps / p2);
+              Csr<TC> reduced(cl.block_rows(i, 0).size(), b.ncols());
+              for (int j = 0; j < p3; ++j) {
+                const Range b_rows = b.layout().block_rows(ib, j);
+                auto partial = sparse::spgemm<M>(
+                    a.block(i, j), b_slice[static_cast<std::size_t>(j)], f,
+                    &d.s[static_cast<std::size_t>(j)],
+                    /*b_row_offset=*/b_rows.lo,
+                    &sparse::tls_spgemm_workspace<TC>());
+                d.touched[static_cast<std::size_t>(j)] = partial.nnz();
+                reduced = sparse::ewise_union<M>(reduced, partial);
+              }
+              d.reduced_nnz = reduced.nnz();
+              c.block(i, jc) =
+                  sparse::ewise_union<M>(c.block(i, jc), reduced);
+            });
+        for (int i = 0; i < p2; ++i) {
+          const RowDeferred& d = deferred[static_cast<std::size_t>(i)];
+          for (int j = 0; j < p3; ++j) {
+            charge_multiply(cl.rank_at(i, j), d.s[static_cast<std::size_t>(j)],
+                            d.touched[static_cast<std::size_t>(j)]);
+          }
+          sim.charge_reduce(cl.row_group(i),
+                            static_cast<double>(d.reduced_nnz) *
+                                sim::sparse_entry_words<TC>());
+        }
+        break;
+      }
+    }
+  };
+
+  const std::vector<int> layer_ranks = cl.ranks();
+
+  // The pipeline: step 0's broadcasts cannot hide behind anything, so they
+  // charge plainly up front; from then on, each iteration opens a window
+  // over [step k's multiplies, the posted prefix of step k+1's broadcasts].
+  build_slices(active[0], a_slice, b_slice);
+  {
+    std::vector<sim::AsyncHandle> none;
+    charge_bcasts(a_slice, b_slice, 0,
+                  static_cast<int>(a_slice.size() + b_slice.size()),
+                  /*posted=*/false, &none);
+  }
+  for (std::size_t idx = 0; idx < active.size(); ++idx) {
+    const bool last = idx + 1 == active.size();
+    std::vector<Csr<TA>> next_a;
+    std::vector<Csr<TB>> next_b;
+    std::vector<sim::AsyncHandle> handles;
+    sim.overlap_open(layer_ranks, -1.0);
+    run_step(active[idx]);
+    int posted = 0;
+    int nbcasts = 0;
+    if (!last) {
+      // Prefetch: construct step k+1's slices while step k's multiplies
+      // are (simulated-)in-flight, and post the tile-bounded prefix of
+      // their broadcasts inside the window.
+      build_slices(active[idx + 1], next_a, next_b);
+      nbcasts = static_cast<int>(next_a.size() + next_b.size());
+      posted = pipeline_posted_count(nbcasts, tile);
+      charge_bcasts(next_a, next_b, 0, posted, /*posted=*/true, &handles);
+    }
+    for (const sim::AsyncHandle& h : handles) sim.overlap_wait(h);
+    sim.overlap_close();
+    if (!last && posted < nbcasts) {
+      // The un-posted suffix charges plainly, directly after the window —
+      // the same contiguous position the sync driver charges it at.
+      charge_bcasts(next_a, next_b, posted, nbcasts, /*posted=*/false,
+                    &handles);
+    }
+    a_slice = std::move(next_a);
+    b_slice = std::move(next_b);
+  }
+  return c;
+}
+
+}  // namespace detail
+}  // namespace mfbc::dist

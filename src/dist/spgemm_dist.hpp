@@ -26,6 +26,7 @@
 #include "dist/autotune.hpp"
 #include "dist/cost_model.hpp"
 #include "dist/dmatrix.hpp"
+#include "dist/pipeline.hpp"
 #include "sim/charge_log.hpp"
 #include "sim/faults.hpp"
 #include "sparse/spgemm.hpp"
@@ -753,8 +754,17 @@ DistMatrix<typename M::value_type> spgemm(sim::Sim& sim, const Plan& plan,
   std::vector<sim::ChargeLog> layer_logs(static_cast<std::size_t>(p1));
   std::vector<DistSpgemmStats> layer_stats(static_cast<std::size_t>(p1));
   support::parallel_for(static_cast<std::size_t>(p1), [&](std::size_t l) {
-    cs[l] = detail::spgemm_2d<M>(layer_logs[l], plan.v2, as[l], bs[l], f,
-                                 st != nullptr ? &layer_stats[l] : nullptr);
+    // Schedule dimension: the async plan runs the pipelined driver, whose
+    // charge sequence is identical to spgemm_2d's — only the overlap-credit
+    // accounting differs, so results are bit-identical either way.
+    if (plan.is_async() && layer_sz > 1) {
+      cs[l] = detail::spgemm_2d_async<M>(
+          layer_logs[l], plan.v2, plan.tile, as[l], bs[l], f,
+          st != nullptr ? &layer_stats[l] : nullptr);
+    } else {
+      cs[l] = detail::spgemm_2d<M>(layer_logs[l], plan.v2, as[l], bs[l], f,
+                                   st != nullptr ? &layer_stats[l] : nullptr);
+    }
   });
   for (std::size_t l = 0; l < static_cast<std::size_t>(p1); ++l) {
     layer_logs[l].replay(sim);

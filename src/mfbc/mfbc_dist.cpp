@@ -88,6 +88,17 @@ DistMfbc::DistMfbc(sim::Sim& sim, const graph::Graph& g)
   adj_ = DistMatrix<Weight>::scatter<TropicalMinMonoid>(sim, g.adj(), base_);
   adj_t_ = DistMatrix<Weight>::scatter<TropicalMinMonoid>(
       sim, sparse::transpose(g.adj()), base_);
+  // The adjacency and its transpose stay resident for the whole run; record
+  // them with the simulated allocator so plan selection sees the memory that
+  // is genuinely spoken for (plan_for subtracts the high-water mark).
+  for (int i = 0; i < pr; ++i) {
+    for (int j = 0; j < pc; ++j) {
+      sim.note_resident(base_.rank_at(i, j),
+                        (static_cast<double>(adj_.block(i, j).nnz()) +
+                         static_cast<double>(adj_t_.block(i, j).nnz())) *
+                            sim::sparse_entry_words<Weight>());
+    }
+  }
 }
 
 dist::Plan DistMfbc::plan_for(const DistMfbcOptions& opts, const char* stream,
@@ -100,6 +111,18 @@ dist::Plan DistMfbc::plan_for(const DistMfbcOptions& opts, const char* stream,
       /*m=*/opts.batch_size, /*k=*/g_.n(), /*n=*/g_.n(), frontier_nnz, b_nnz,
       /*words_a=*/sim::sparse_entry_words<Multpath>(),
       /*words_b=*/sim::sparse_entry_words<Weight>(), out_words);
+  // Memory-pressure re-planning: the per-rank budget the tuner may spend is
+  // what the machine has minus the high-water mark of long-lived residents
+  // (the adjacency copies noted at construction). The floor keeps a machine
+  // configured with a tiny memory_words from pruning every candidate.
+  dist::TuneOptions topts = opts.tune;
+  const double resident = sim_.resident_highwater_words();
+  if (resident > 0) {
+    const double floor = sim_.model().memory_words * 0.01;
+    const double avail =
+        std::max(sim_.model().memory_words - resident, floor);
+    topts.memory_words_limit = std::min(topts.memory_words_limit, avail);
+  }
   if (opts.tuner != nullptr) {
     tune::PlanRequest req;
     req.stream = stream;
@@ -107,10 +130,10 @@ dist::Plan DistMfbc::plan_for(const DistMfbcOptions& opts, const char* stream,
     req.ranks = sim_.nranks();
     req.stats = stats;
     req.machine = sim_.model();
-    req.opts = opts.tune;
+    req.opts = topts;
     return opts.tuner->plan(req);
   }
-  return dist::autotune(sim_.nranks(), stats, sim_.model(), opts.tune);
+  return dist::autotune(sim_.nranks(), stats, sim_.model(), topts);
 }
 
 namespace {

@@ -1,0 +1,144 @@
+#include "sim/async.hpp"
+
+#include <algorithm>
+
+#include "sim/comm.hpp"
+#include "support/error.hpp"
+#include "telemetry/registry.hpp"
+
+namespace mfbc::sim {
+
+void OverlapState::open(const CostLedger& ledger, std::span<const int> group,
+                        double beta) {
+  MFBC_CHECK(!group.empty(), "overlap window over empty group");
+  Window w;
+  w.group.assign(group.begin(), group.end());
+  std::sort(w.group.begin(), w.group.end());
+  w.group.erase(std::unique(w.group.begin(), w.group.end()), w.group.end());
+  w.beta = std::clamp(beta, 0.0, 1.0);
+  w.comm_at_open.reserve(w.group.size());
+  for (int r : w.group) {
+    w.comm_at_open.push_back(ledger.rank_cost(r).comm_seconds);
+  }
+  windows_.push_back(std::move(w));
+}
+
+void OverlapState::note_posted_comm(double crit_delta) {
+  MFBC_DCHECK(active(), "posted comm outside any overlap window");
+  windows_.back().posted_comm += std::max(0.0, crit_delta);
+}
+
+void OverlapState::note_overlapped_compute(double crit_delta) {
+  MFBC_DCHECK(active(), "overlapped compute outside any overlap window");
+  windows_.back().overlapped_compute += std::max(0.0, crit_delta);
+}
+
+AsyncHandle OverlapState::issue_handle() {
+  MFBC_DCHECK(active(), "handle issued outside any overlap window");
+  ++posted_;
+  ++windows_.back().outstanding;
+  return AsyncHandle{next_handle_++};
+}
+
+void OverlapState::complete(AsyncHandle h) {
+  if (!h.valid() || windows_.empty()) return;
+  Window& w = windows_.back();
+  if (w.outstanding > 0) --w.outstanding;
+}
+
+int OverlapState::pending() const {
+  return windows_.empty() ? 0
+                          : static_cast<int>(windows_.back().outstanding);
+}
+
+double OverlapState::close(CostLedger& ledger) {
+  if (windows_.empty()) return 0.0;
+  Window w = std::move(windows_.back());
+  windows_.pop_back();
+  ++windows_closed_;
+  // The window's whole charged cost is comm + compute; overlap re-charges it
+  // as max(comm, compute) at efficiency beta, i.e. credits
+  // beta * min(comm, compute) back. Both terms are critical-path deltas, so
+  // disjoint posted collectives that ran in parallel already counted once.
+  const double credit =
+      w.beta * std::min(w.posted_comm, w.overlapped_compute);
+  double applied = 0;
+  if (credit > 0) {
+    for (std::size_t i = 0; i < w.group.size(); ++i) {
+      const int r = w.group[i];
+      // Clamp to the comm time this rank accrued inside the window: a rank
+      // cannot hide more transfer time than it paid, and the clamp keeps
+      // every rank's state componentwise <= its synchronous-schedule state.
+      const double gained = std::max(
+          0.0, ledger.rank_cost(r).comm_seconds - w.comm_at_open[i]);
+      const double sub = std::min(credit, gained);
+      ledger.overlap_credit(r, sub);
+      applied = std::max(applied, sub);
+    }
+  }
+  saved_seconds_ += applied;
+  telemetry::count("overlap.windows");
+  if (applied > 0) telemetry::count("overlap.saved_cost", applied);
+  return applied;
+}
+
+void OverlapState::abandon_all() {
+  windows_abandoned_ += windows_.size();
+  windows_.clear();
+}
+
+// --- Sim entry points (the overlap half of sim/comm.hpp) -------------------
+
+void Sim::overlap_open(std::span<const int> group, double beta) {
+  if (beta < 0) beta = model_.overlap_beta;
+  if (faults_ != nullptr && !faults_->identity_map()) {
+    // Credit accounting lives on physical ranks, like every charge; the
+    // translation is pinned at open so mid-window charges and the close
+    // see the same hosts. A rank failure inside the window throws before
+    // close, so the map cannot change under an accounted window.
+    const std::vector<int> phys = faults_->physical_group(group);
+    overlap_.open(ledger_, phys, beta);
+  } else {
+    overlap_.open(ledger_, group, beta);
+  }
+}
+
+AsyncHandle Sim::post_bcast(std::span<const int> group, double payload_words) {
+  if (!overlap_.active()) {
+    charge_bcast(group, payload_words);
+    return AsyncHandle{};
+  }
+  const double before = ledger_.critical().comm_seconds;
+  charge_bcast(group, payload_words);
+  overlap_.note_posted_comm(ledger_.critical().comm_seconds - before);
+  return overlap_.issue_handle();
+}
+
+void Sim::overlap_compute(int rank, double ops) {
+  if (!overlap_.active()) {
+    charge_compute(rank, ops);
+    return;
+  }
+  const double before = ledger_.critical().compute_seconds;
+  charge_compute(rank, ops);
+  overlap_.note_overlapped_compute(ledger_.critical().compute_seconds -
+                                   before);
+}
+
+void Sim::overlap_wait(AsyncHandle h) { overlap_.complete(h); }
+
+double Sim::overlap_close() { return overlap_.close(ledger_); }
+
+void Sim::overlap_abandon_all() { overlap_.abandon_all(); }
+
+void Sim::note_resident(int rank, double words) {
+  MFBC_CHECK(rank >= 0 && rank < nranks(), "note_resident: rank out of range");
+  double& r = resident_words_[static_cast<std::size_t>(rank)];
+  r = std::max(0.0, r + words);
+  if (r > resident_highwater_) {
+    resident_highwater_ = r;
+    telemetry::gauge("sim.mem.highwater_words", resident_highwater_);
+  }
+}
+
+}  // namespace mfbc::sim

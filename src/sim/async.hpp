@@ -1,0 +1,111 @@
+// Nonblocking collectives for the simulated machine: overlap windows and
+// the post/wait handle API (docs/SIMULATOR.md, "Nonblocking charges").
+//
+// Real CTF/CombBLAS runs hide much of their broadcast latency behind the
+// local multiplies (MPI_Ibcast + compute + MPI_Wait); the blocking charge
+// model of sim/comm.hpp cannot express that, so every modelled schedule
+// pays comm + compute even when the two would run concurrently. An overlap
+// window fixes the accounting without touching the data path:
+//
+//   sim.overlap_open(group, beta);          // window over these ranks
+//   h = sim.post_bcast(subgroup, words);    // charged NOW, tagged overlappable
+//   sim.overlap_compute(rank, ops);         // charged NOW, tagged overlapped
+//   sim.overlap_wait(h);                    // bookkeeping only
+//   sim.overlap_close();                    // apply the credit
+//
+// The determinism rule is absolute: a posted collective issues the exact
+// same charge, at the exact same position in the charge sequence, as its
+// blocking twin — same group, same words, same fault charge point. Overlap
+// is a pure post-hoc accounting credit applied at close():
+//
+//   credit = beta * min(posted comm seconds, overlapped compute seconds)
+//
+// measured on critical-path deltas, then subtracted from each window rank's
+// comm_seconds, clamped per rank to the comm time that rank actually
+// accrued inside the window. Consequences, by construction:
+//   * outputs, fault schedules, and ABFT checksums are bit-identical
+//     between sync and async schedules (identical charge sequence);
+//   * async charged cost <= sync on every plan (the credit is >= 0 and
+//     never exceeds what a rank paid, so every rank's state stays
+//     componentwise <= its synchronous state);
+//   * W and S are untouched — overlap hides transfer time, not data.
+//
+// A window abandoned without close() (a FaultError unwinding mid-window)
+// yields no credit: conservative, and the recovery path calls
+// Sim::overlap_abandon_all() to clear the stack before retrying.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/ledger.hpp"
+
+namespace mfbc::sim {
+
+/// Handle for a posted nonblocking collective. id 0 = invalid (posting
+/// outside any window degrades to the blocking charge and returns this).
+struct AsyncHandle {
+  std::uint64_t id = 0;
+  bool valid() const { return id != 0; }
+};
+
+/// The overlap-window stack of one Sim. Tracks, per open window, the
+/// critical-path comm seconds of posted collectives and the critical-path
+/// compute seconds of overlapped kernels, plus a per-rank comm snapshot
+/// taken at open() so close() can clamp the credit honestly.
+class OverlapState {
+ public:
+  /// Open a window over `group` (physical ranks, duplicates tolerated) with
+  /// overlap efficiency `beta` in [0, 1].
+  void open(const CostLedger& ledger, std::span<const int> group, double beta);
+
+  bool active() const { return !windows_.empty(); }
+  int depth() const { return static_cast<int>(windows_.size()); }
+
+  /// Account a posted collective / an overlapped compute in the innermost
+  /// window (critical-path delta across the charge).
+  void note_posted_comm(double crit_delta);
+  void note_overlapped_compute(double crit_delta);
+
+  /// Issue a handle for the innermost window's latest posted collective.
+  AsyncHandle issue_handle();
+  /// Mark a posted collective complete. Order-free: waiting out of program
+  /// order is legal and changes nothing (charges were issued at post time).
+  void complete(AsyncHandle h);
+  /// Posted-but-unwaited collectives in the innermost window (close()
+  /// implicitly completes them).
+  int pending() const;
+
+  /// Close the innermost window: apply the overlap credit to the ledger and
+  /// return the credited critical-path seconds (0 when nothing overlapped).
+  double close(CostLedger& ledger);
+
+  /// Drop every open window without credit (exception recovery).
+  void abandon_all();
+
+  std::uint64_t windows_closed() const { return windows_closed_; }
+  std::uint64_t windows_abandoned() const { return windows_abandoned_; }
+  std::uint64_t collectives_posted() const { return posted_; }
+  /// Total credited critical-path seconds across closed windows.
+  double saved_seconds() const { return saved_seconds_; }
+
+ private:
+  struct Window {
+    std::vector<int> group;            ///< deduplicated physical ranks
+    std::vector<double> comm_at_open;  ///< per group rank, comm_seconds
+    double beta = 1.0;
+    double posted_comm = 0;        ///< Σ critical comm deltas of posts
+    double overlapped_compute = 0; ///< Σ critical compute deltas
+    std::uint64_t outstanding = 0; ///< posted − waited
+  };
+
+  std::vector<Window> windows_;
+  std::uint64_t next_handle_ = 1;
+  std::uint64_t windows_closed_ = 0;
+  std::uint64_t windows_abandoned_ = 0;
+  std::uint64_t posted_ = 0;
+  double saved_seconds_ = 0;
+};
+
+}  // namespace mfbc::sim

@@ -30,6 +30,17 @@ class ChargeLog {
   void charge_alltoall(std::span<const int> group, double max_rank_words);
   void charge_compute(int rank, double ops);
 
+  // Overlap-window records (sim/async.hpp): the pipelined SpGEMM driver is
+  // generic over Sim and ChargeLog, so windows record here and re-open at
+  // replay. Handles are local bookkeeping — post order equals record order
+  // equals replay order, which is what keeps fault charge points and
+  // overlap credits bit-identical for every thread count.
+  void overlap_open(std::span<const int> group, double beta);
+  AsyncHandle post_bcast(std::span<const int> group, double payload_words);
+  void overlap_compute(int rank, double ops);
+  void overlap_wait(AsyncHandle h);
+  double overlap_close();
+
   bool empty() const { return records_.empty(); }
   std::size_t size() const { return records_.size(); }
   void clear() { records_.clear(); }
@@ -48,6 +59,12 @@ class ChargeLog {
         case Kind::kAllgather: target.charge_allgather(r.group, r.value); break;
         case Kind::kAlltoall: target.charge_alltoall(r.group, r.value); break;
         case Kind::kCompute: target.charge_compute(r.rank, r.value); break;
+        case Kind::kOverlapOpen: target.overlap_open(r.group, r.value); break;
+        case Kind::kOverlapBcast: target.post_bcast(r.group, r.value); break;
+        case Kind::kOverlapCompute:
+          target.overlap_compute(r.rank, r.value);
+          break;
+        case Kind::kOverlapClose: target.overlap_close(); break;
       }
     }
   }
@@ -62,6 +79,10 @@ class ChargeLog {
     kAllgather,
     kAlltoall,
     kCompute,
+    kOverlapOpen,
+    kOverlapBcast,
+    kOverlapCompute,
+    kOverlapClose,
   };
 
   struct Record {

@@ -9,7 +9,9 @@
 namespace mfbc::sim {
 
 Sim::Sim(int nranks, MachineModel model)
-    : model_(model), ledger_(nranks) {}
+    : model_(model),
+      ledger_(nranks),
+      resident_words_(static_cast<std::size_t>(nranks), 0.0) {}
 
 namespace {
 int group_size(std::span<const int> group) {

@@ -16,9 +16,12 @@
 // data path — never changes.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
+#include <vector>
 
+#include "sim/async.hpp"
 #include "sim/faults.hpp"
 #include "sim/ledger.hpp"
 #include "sim/machine.hpp"
@@ -57,6 +60,52 @@ class Sim {
 
   /// Local sparse-kernel work on one rank (ops = nonzero products).
   void charge_compute(int rank, double ops);
+
+  // --- nonblocking collectives (sim/async.hpp) ----------------------------
+
+  /// Open an overlap window over `group`. Until the matching overlap_close,
+  /// posted collectives and overlapped computes accumulate toward the
+  /// window's credit. `beta` < 0 (the default) uses model().overlap_beta.
+  /// Windows nest; the innermost one accounts.
+  void overlap_open(std::span<const int> group, double beta = -1.0);
+
+  /// Nonblocking broadcast: charges exactly like charge_bcast — same group,
+  /// same words, same fault charge point, same position in the charge
+  /// sequence — and additionally tags the charge as overlappable in the
+  /// innermost window. Outside any window this IS charge_bcast.
+  AsyncHandle post_bcast(std::span<const int> group, double payload_words);
+
+  /// Compute charged like charge_compute and tagged as overlapped work.
+  void overlap_compute(int rank, double ops);
+
+  /// Completion bookkeeping for a posted collective. Waits may come in any
+  /// order (or not at all — overlap_close completes stragglers); the charge
+  /// already happened at post time, so reordering cannot move fault points.
+  void overlap_wait(AsyncHandle h);
+
+  /// Close the innermost window and apply its overlap credit to the ledger:
+  /// beta * min(posted comm, overlapped compute) critical-path seconds,
+  /// clamped per rank to what that rank accrued inside the window. Returns
+  /// the credited seconds (0 outside any window).
+  double overlap_close();
+
+  /// Drop every open window without credit — called by batch recovery when
+  /// a FaultError unwinds mid-window (a half-window earns nothing).
+  void overlap_abandon_all();
+
+  int overlap_depth() const { return overlap_.depth(); }
+  double overlap_saved_seconds() const { return overlap_.saved_seconds(); }
+  std::uint64_t overlap_windows() const { return overlap_.windows_closed(); }
+
+  // --- simulated memory pressure ------------------------------------------
+
+  /// Book `words` of resident data on one rank (negative releases). The
+  /// running per-rank maximum feeds TuneOptions.memory_words_limit so the
+  /// planner prunes plans that would not fit next to what already lives on
+  /// the machine (docs/autotuning.md).
+  void note_resident(int rank, double words);
+  /// Largest per-rank resident footprint seen so far, in words.
+  double resident_highwater_words() const { return resident_highwater_; }
 
   // --- fault injection ----------------------------------------------------
 
@@ -107,6 +156,9 @@ class Sim {
   CostLedger ledger_;
   std::unique_ptr<FaultInjector> faults_;
   int recovery_depth_ = 0;
+  OverlapState overlap_;
+  std::vector<double> resident_words_;
+  double resident_highwater_ = 0;
 };
 
 }  // namespace mfbc::sim

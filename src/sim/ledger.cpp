@@ -48,6 +48,19 @@ void CostLedger::compute(int rank, double ops, double seconds) {
   if (sink_ != nullptr) sink_->on_compute(rank, ops, seconds);
 }
 
+void CostLedger::overlap_credit(int rank, double seconds) {
+  MFBC_DCHECK(rank >= 0 && rank < nranks(), "rank out of range");
+  if (!(seconds > 0)) return;
+  Cost& c = state_[static_cast<std::size_t>(rank)];
+  c.comm_seconds = std::max(0.0, c.comm_seconds - seconds);
+  if (sink_ != nullptr) sink_->on_overlap_credit(rank, seconds);
+}
+
+const Cost& CostLedger::rank_cost(int rank) const {
+  MFBC_DCHECK(rank >= 0 && rank < nranks(), "rank out of range");
+  return state_[static_cast<std::size_t>(rank)];
+}
+
 Cost CostLedger::critical() const {
   Cost m;
   for (const Cost& c : state_) {

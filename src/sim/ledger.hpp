@@ -44,6 +44,13 @@ class CostSink {
                              double seconds) = 0;
   /// Local computation charge on one rank.
   virtual void on_compute(int rank, double ops, double seconds) = 0;
+  /// Overlap credit (sim/async.hpp): `seconds` of already-charged transfer
+  /// time on `rank` retroactively hidden behind computation. Default no-op
+  /// so existing sinks keep compiling.
+  virtual void on_overlap_credit(int rank, double seconds) {
+    (void)rank;
+    (void)seconds;
+  }
 };
 
 class CostLedger {
@@ -60,6 +67,17 @@ class CostLedger {
 
   /// Charge local computation on one rank.
   void compute(int rank, double ops, double seconds);
+
+  /// Subtract `seconds` of communication time from one rank: the overlap
+  /// credit of a closed window (sim/async.hpp). Callers clamp `seconds` to
+  /// comm time the rank actually accrued inside the window, so a rank's
+  /// state stays componentwise <= its synchronous-schedule state and never
+  /// goes negative. W and S (words, msgs) are untouched — overlap hides
+  /// transfer *time*, the data still moves.
+  void overlap_credit(int rank, double seconds);
+
+  /// One rank's accumulated cost (overlap accounting snapshots these).
+  const Cost& rank_cost(int rank) const;
 
   /// Critical-path cost: componentwise max over all ranks.
   Cost critical() const;

@@ -36,6 +36,12 @@ struct MachineModel {
   double beta = 8.0 / 6e9;        ///< seconds per 8-byte word
   double seconds_per_op = 2e-9;   ///< seconds per nonzero elementary product
   double memory_words = 8e9 / 8;  ///< per-rank memory M in words (64 GiB-ish)
+  /// Overlap efficiency for nonblocking collectives (sim/async.hpp): the
+  /// fraction of a posted collective's transfer time that can hide behind
+  /// computation inside the same overlap window. 1 = perfect overlap (the
+  /// window charges max(comm, compute)), 0 = no overlap (async degenerates
+  /// to the synchronous charge, cost-identical to the blocking schedule).
+  double overlap_beta = 1.0;
 
   static MachineModel blue_waters() { return MachineModel{}; }
 };

@@ -33,10 +33,16 @@ void SpanCostSink::on_compute(int, double ops, double seconds) {
   reg_->add("ledger.compute_seconds", seconds);
 }
 
+void SpanCostSink::on_overlap_credit(int, double seconds) {
+  reg_->add("ledger.overlap.credits");
+  reg_->add("ledger.overlap.credit_seconds", seconds);
+}
+
 #else
 
 void SpanCostSink::on_collective(int, double, double, double) {}
 void SpanCostSink::on_compute(int, double, double) {}
+void SpanCostSink::on_overlap_credit(int, double) {}
 
 #endif
 

@@ -20,6 +20,7 @@ class SpanCostSink final : public sim::CostSink {
   void on_collective(int nranks, double words, double msgs,
                      double seconds) override;
   void on_compute(int rank, double ops, double seconds) override;
+  void on_overlap_credit(int rank, double seconds) override;
 
  private:
   SpanCollector* spans_;

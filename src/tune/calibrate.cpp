@@ -354,6 +354,10 @@ PlanKey Tuner::make_key(const PlanRequest& req,
   key.band_b = PlanKey::nnz_band(stats.nnz_b);
   key.ranks = req.ranks;
   key.threads = opts_.thread_scoped_cache ? support::num_threads() : 0;
+  // The schedule axis is part of the request shape: a sync-only search and
+  // an async-enabled search rank different candidate spaces, so their
+  // winners live under different keys.
+  key.schedule = req.opts.allow_async ? 1 : 0;
   return key;
 }
 
@@ -399,6 +403,9 @@ dist::Plan Tuner::plan(const PlanRequest& req) {
     if (auto hit = cache_.find(key)) {
       const bool usable =
           hit->total_ranks() <= req.ranks &&
+          // Schedule gate: a profile edited or written by an async-enabled
+          // run must not hand an async plan to a sync-only request.
+          (req.opts.allow_async || !hit->is_async()) &&
           model_memory_words(*hit, stats) <= req.opts.memory_words_limit;
       if (usable) {
         candidate = *hit;
@@ -407,7 +414,14 @@ dist::Plan Tuner::plan(const PlanRequest& req) {
     }
   }
   if (!cache_hit) {
-    candidate = dist::autotune(req.ranks, stats, planning_mm, req.opts);
+    dist::TuneReport report;
+    candidate = dist::autotune(req.ranks, stats, planning_mm, req.opts,
+                               &report);
+    pruned_memory_ += static_cast<std::uint64_t>(report.pruned_memory);
+    if (report.pruned_memory > 0) {
+      span.attr("pruned.memory",
+                static_cast<std::int64_t>(report.pruned_memory));
+    }
     if (opts_.use_cache) cache_.insert(key, candidate);
   }
   telemetry::count(cache_hit ? "tune.cache.hits" : "tune.cache.misses");
@@ -428,8 +442,12 @@ dist::Plan Tuner::plan(const PlanRequest& req) {
       // p1-fold when the 1D level broadcasts B), plus the usual tree α term
       // — the amortization dist/spgemm_dist.hpp documents for its HomeCache.
       // A plan already seen keeps its cached homes, so returning is free.
+      // The seen set keys on the *sync shape*: an async plan and its sync
+      // twin share operand home layouts (dist::Plan::sync_shape), so
+      // flipping the schedule of a shape this stream already runs moves no
+      // data and costs nothing.
       double switch_cost = 0;
-      if (!seen_[req.stream].count(candidate.to_string())) {
+      if (!seen_[req.stream].count(candidate.sync_shape().to_string())) {
         const double repl =
             (candidate.has_1d() && candidate.v1 == dist::Variant1D::kB)
                 ? static_cast<double>(candidate.p1)
@@ -454,7 +472,7 @@ dist::Plan Tuner::plan(const PlanRequest& req) {
   }
 
   current_[req.stream] = final_plan;
-  seen_[req.stream].insert(final_plan.to_string());
+  seen_[req.stream].insert(final_plan.sync_shape().to_string());
   span.attr("chosen", final_plan.to_string());
   span.attr("cache_hit", cache_hit ? std::string("yes") : std::string("no"));
   return final_plan;
@@ -515,6 +533,7 @@ telemetry::Json Tuner::json() const {
   j["replans"] = telemetry::Json(replans_);
   j["plan_switches"] = telemetry::Json(switches_);
   j["hysteresis_holds"] = telemetry::Json(holds_);
+  j["pruned_memory"] = telemetry::Json(pruned_memory_);
   j["profile_stale"] = telemetry::Json(stale_);
   return j;
 }
@@ -527,7 +546,7 @@ void Tuner::reset_stream_state() {
 void Tuner::seed_stream(const std::string& stream, const dist::Plan& plan) {
   if (current_.count(stream) != 0) return;
   current_[stream] = plan;
-  seen_[stream].insert(plan.to_string());
+  seen_[stream].insert(plan.sync_shape().to_string());
 }
 
 }  // namespace mfbc::tune

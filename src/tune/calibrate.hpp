@@ -179,6 +179,9 @@ class Tuner {
   std::uint64_t replans() const { return replans_; }
   std::uint64_t plan_switches() const { return switches_; }
   std::uint64_t hysteresis_holds() const { return holds_; }
+  /// Candidates the per-rank memory limit rejected across all plan searches
+  /// (memory-pressure re-planning visibility; also in json()).
+  std::uint64_t pruned_memory() const { return pruned_memory_; }
   /// Observer's overall mean absolute relative prediction error.
   double prediction_error() const { return observer_.overall().mean_abs_rel(); }
 
@@ -211,6 +214,7 @@ class Tuner {
   std::uint64_t replans_ = 0;
   std::uint64_t switches_ = 0;
   std::uint64_t holds_ = 0;
+  std::uint64_t pruned_memory_ = 0;
   bool stale_ = false;
 };
 

@@ -1,5 +1,6 @@
 #include "tune/plan_cache.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -66,6 +67,7 @@ std::string PlanKey::to_string() const {
   std::ostringstream os;
   os << monoid << ":" << m << "x" << k << "x" << n << ":a" << band_a << ":b"
      << band_b << ":p" << ranks << ":t" << threads;
+  if (schedule != 0) os << ":s" << schedule;
   return os.str();
 }
 
@@ -76,6 +78,13 @@ telemetry::Json plan_to_json(const dist::Plan& plan) {
   j["p3"] = telemetry::Json(plan.p3);
   j["v1"] = telemetry::Json(v1_name(plan.v1));
   j["v2"] = telemetry::Json(v2_name(plan.v2));
+  if (plan.is_async()) {
+    // Sync plans serialize exactly as they always did, so profiles written
+    // by this version stay loadable by pre-schedule readers unless a run
+    // actually cached an async plan.
+    j["sched"] = telemetry::Json("async");
+    j["tile"] = telemetry::Json(std::max(plan.tile, 1));
+  }
   return j;
 }
 
@@ -89,6 +98,18 @@ dist::Plan plan_from_json(const telemetry::Json& j) {
              "tune profile: plan factors must be positive");
   plan.v1 = v1_of(str_field(j, "v1"));
   plan.v2 = v2_of(str_field(j, "v2"));
+  if (const telemetry::Json* s = j.find("sched"); s != nullptr) {
+    MFBC_CHECK(s->is_string() && (s->as_string() == "sync" ||
+                                  s->as_string() == "async"),
+               "tune profile: plan \"sched\" must be \"sync\" or \"async\"");
+    if (s->as_string() == "async") {
+      MFBC_CHECK(plan.p2 * plan.p3 > 1,
+                 "tune profile: async schedule requires a 2D level");
+      plan.sched = dist::Sched::kAsync;
+      plan.tile = static_cast<int>(num_field(j, "tile"));
+      MFBC_CHECK(plan.tile >= 1, "tune profile: async tile must be >= 1");
+    }
+  }
   return plan;
 }
 
@@ -156,6 +177,7 @@ telemetry::Json PlanCache::to_json() const {
     e["band_b"] = telemetry::Json(key.band_b);
     e["ranks"] = telemetry::Json(key.ranks);
     e["threads"] = telemetry::Json(key.threads);
+    if (key.schedule != 0) e["schedule"] = telemetry::Json(key.schedule);
     e["plan"] = plan_to_json(plan);
     arr.push(std::move(e));
   }
@@ -177,6 +199,10 @@ void PlanCache::load_json(const telemetry::Json& plans) {
     key.band_b = static_cast<int>(num_field(e, "band_b"));
     key.ranks = static_cast<int>(num_field(e, "ranks"));
     key.threads = static_cast<int>(num_field(e, "threads"));
+    if (const telemetry::Json* s = e.find("schedule"); s != nullptr) {
+      MFBC_CHECK(s->is_number(), "tune profile: \"schedule\" must be numeric");
+      key.schedule = static_cast<int>(s->as_double());
+    }
     MFBC_CHECK(key.ranks >= 1, "tune profile: plan entry needs ranks >= 1");
     const telemetry::Json* p = e.find("plan");
     MFBC_CHECK(p != nullptr, "tune profile: plan entry missing \"plan\"");

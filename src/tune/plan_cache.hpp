@@ -35,6 +35,12 @@ struct PlanKey {
   /// default: plan choices must not depend on pool size, or results would
   /// stop being bit-identical across thread counts — docs/autotuning.md).
   int threads = 0;
+  /// Schedule axis of the request: 1 when the tuner was allowed to pick
+  /// async-pipelined plans, 0 for sync-only. Keying on the request (not the
+  /// chosen plan) keeps a sync-only run from adopting an async plan cached
+  /// by an async-enabled run, and vice versa: the two searches ran over
+  /// different candidate spaces, so their winners are not interchangeable.
+  int schedule = 0;
 
   /// floor(log2(nnz)) band, -1 for nnz <= 0.
   static int nnz_band(double nnz);
@@ -45,14 +51,16 @@ struct PlanKey {
   friend bool operator<(const PlanKey& a, const PlanKey& b) {
     auto tie = [](const PlanKey& x) {
       return std::tie(x.monoid, x.m, x.k, x.n, x.band_a, x.band_b, x.ranks,
-                      x.threads);
+                      x.threads, x.schedule);
     };
     return tie(a) < tie(b);
   }
 };
 
-/// Serialize a plan as {"p1","p2","p3","v1","v2"}; from_json throws
-/// mfbc::Error on malformed shapes or unknown variant letters.
+/// Serialize a plan as {"p1","p2","p3","v1","v2"} plus, for async plans
+/// only, {"sched":"async","tile":N}; from_json throws mfbc::Error on
+/// malformed shapes or unknown variant letters, and tolerates profiles
+/// written before the schedule dimension existed (missing fields → sync).
 telemetry::Json plan_to_json(const dist::Plan& plan);
 dist::Plan plan_from_json(const telemetry::Json& j);
 

@@ -31,6 +31,7 @@
 #include "baseline/brandes.hpp"
 #include "baseline/combblas_bc.hpp"
 #include "benchsupport/table.hpp"
+#include "dist/pipeline.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/prep.hpp"
@@ -70,6 +71,8 @@ struct Args {
   int ranks = 0;            // 0 = sequential
   int threads = 0;          // 0 = MFBC_THREADS / hardware default
   std::string mode = "auto";  // auto | ca
+  std::string schedule = "sync";  // sync | auto | async
+  double overlap_beta = -1.0;     // <0 = keep the machine model's value
   int c = 1;
   int top = 10;
   std::uint64_t seed = 1;
@@ -109,6 +112,18 @@ void usage() {
       "                      are identical for every N)\n"
       "  --mode auto|ca      plan selection: CTF-MFBC or CA-MFBC (with --c)\n"
       "  --c C               CA-MFBC replication factor\n"
+      "  --schedule S        communication schedule axis of the plan space:\n"
+      "                      sync (default) keeps the blocking lcm-step\n"
+      "                      schedules; auto (alias: async) also enumerates\n"
+      "                      async-pipelined twins — nonblocking broadcasts\n"
+      "                      prefetched behind multiplies — and picks\n"
+      "                      whichever the model says is cheaper. Results\n"
+      "                      are bit-identical either way; only charged\n"
+      "                      cost differs (docs/SIMULATOR.md)\n"
+      "  --overlap-beta B    overlap efficiency of the simulated machine in\n"
+      "                      [0,1]: fraction of a posted collective's\n"
+      "                      transfer time that can hide behind compute\n"
+      "                      (default: the machine model's, 1.0)\n"
       "machine model (simulated runs):\n"
       "  --model FILE        load a tuned machine model (see --tune)\n"
       "  --tune FILE         run the section 6.2 model tuner, save to FILE\n"
@@ -161,6 +176,8 @@ Args parse(int argc, char** argv) {
     else if (f == "--ranks") a.ranks = std::atoi(need(i));
     else if (f == "--threads") a.threads = std::atoi(need(i));
     else if (f == "--mode") a.mode = need(i);
+    else if (f == "--schedule") a.schedule = need(i);
+    else if (f == "--overlap-beta") a.overlap_beta = std::atof(need(i));
     else if (f == "--c") a.c = std::atoi(need(i));
     else if (f == "--top") a.top = std::atoi(need(i));
     else if (f == "--model") a.model_file = need(i);
@@ -291,6 +308,14 @@ void print_tune_summary(tune::Tuner& tuner) {
               tuner.cache().hit_rate(), tuner.prediction_error());
 }
 
+/// --schedule → does the plan space include the async-pipelined twins?
+bool allow_async_of(const Args& a) {
+  if (a.schedule == "sync") return false;
+  MFBC_CHECK(a.schedule == "auto" || a.schedule == "async",
+             "--schedule expects sync|auto|async, got: " + a.schedule);
+  return true;
+}
+
 int run(const Args& a) {
   if (a.threads > 0) support::set_threads(a.threads);
   if (!a.tune_file.empty()) {
@@ -303,9 +328,14 @@ int run(const Args& a) {
                 a.tune_file.c_str());
     return 0;
   }
-  const sim::MachineModel machine =
+  sim::MachineModel machine =
       a.model_file.empty() ? sim::MachineModel::blue_waters()
                            : sim::load_model_file(a.model_file);
+  if (a.overlap_beta >= 0) {
+    MFBC_CHECK(a.overlap_beta <= 1.0, "--overlap-beta expects a value in [0,1]");
+    machine.overlap_beta = a.overlap_beta;
+  }
+  const bool allow_async = allow_async_of(a);
   if (!a.calibrate_file.empty()) {
     std::puts("calibrating the section 5.2 planning model "
               "(microbenchmark plan grid)...");
@@ -350,6 +380,7 @@ int run(const Args& a) {
         nb, g.n(), g.n(), frontier_nnz, adj_nnz, frontier_words,
         sim::sparse_entry_words<graph::Weight>(), frontier_words);
     dist::TuneOptions topts;
+    topts.allow_async = allow_async;
     if (a.algo == "combblas") {
       // The baseline engine re-plans over square-grid 2D SUMMA only — show
       // the candidate table it would actually choose from.
@@ -362,22 +393,27 @@ int run(const Args& a) {
       topts.square_2d_only = true;
     }
     const dist::Plan best = dist::autotune(a.ranks, stats, machine, topts);
-    bench::Table tab({"plan", "latency(s)", "bandwidth(s)", "compute(s)",
-                      "remap(s)", "total(s)", "mem(words)", "fits", ""});
+    bench::Table tab({"plan", "schedule", "latency(s)", "bandwidth(s)",
+                      "compute(s)", "remap(s)", "overlap(s)", "total(s)",
+                      "mem(words)", "fits", ""});
     for (const dist::Plan& plan : dist::enumerate_plans(a.ranks, topts)) {
       const dist::ModelCost mc = dist::model_cost(plan, stats, machine);
       const double mem = dist::model_memory_words(plan, stats);
-      tab.add_row({plan.to_string(), compact(mc.latency, 4),
-                   compact(mc.bandwidth, 4), compact(mc.compute, 4),
-                   compact(mc.remap, 4), compact(mc.total(), 4),
+      tab.add_row({plan.to_string(), dist::schedule_name(plan),
+                   compact(mc.latency, 4), compact(mc.bandwidth, 4),
+                   compact(mc.compute, 4), compact(mc.remap, 4),
+                   compact(mc.overlap, 4), compact(mc.total(), 4),
                    compact(mem, 4),
                    mem <= topts.memory_words_limit ? "yes" : "no",
                    plan == best ? "<== chosen" : ""});
     }
     std::printf("candidate plans for the first forward multiply "
-                "(m=%lld k=n=%lld nnz(A)=%.0f nnz(B)=%.0f) on %d ranks:\n",
+                "(m=%lld k=n=%lld nnz(A)=%.0f nnz(B)=%.0f) on %d ranks "
+                "(schedule axis: %s, overlap beta %.2f):\n",
                 static_cast<long long>(nb), static_cast<long long>(g.n()),
-                frontier_nnz, adj_nnz, a.ranks);
+                frontier_nnz, adj_nnz, a.ranks,
+                allow_async ? "sync+async" : "sync only",
+                machine.overlap_beta);
     std::fputs(tab.render().c_str(), stdout);
     return 0;
   }
@@ -477,6 +513,7 @@ int run(const Args& a) {
     }
     baseline::CombBlasOptions opts;
     opts.batch_size = a.batch;
+    opts.tune.allow_async = allow_async;
     if (a.approx > 0) opts.sources = pivot_sources(g, a.approx);
     std::unique_ptr<tune::Tuner> tuner = make_tuner(a, machine);
     opts.tuner = tuner.get();
@@ -489,6 +526,12 @@ int run(const Args& a) {
                 cost.total_seconds());
     for (const auto& p : stats.plans_used) std::printf(" %s", p.c_str());
     std::puts("");
+    if (sim.overlap_windows() > 0) {
+      std::printf("overlap: %llu windows, modelled %.4fs hidden behind "
+                  "compute\n",
+                  static_cast<unsigned long long>(sim.overlap_windows()),
+                  sim.overlap_saved_seconds());
+    }
     if (tuner) {
       print_tune_summary(*tuner);
       tune_json = tuner->json();
@@ -528,6 +571,7 @@ int run(const Args& a) {
     opts.batch_size = a.batch;
     opts.plan_mode =
         a.mode == "ca" ? core::PlanMode::kFixedCa : core::PlanMode::kAuto;
+    opts.tune.allow_async = allow_async;
     opts.replication_c = a.c;
     if (a.approx > 0) opts.sources = pivot_sources(g, a.approx);
     std::unique_ptr<tune::Tuner> tuner = make_tuner(a, machine);
@@ -541,6 +585,12 @@ int run(const Args& a) {
                 cost.msgs, cost.total_seconds());
     for (const auto& p : stats.plans_used) std::printf(" %s", p.c_str());
     std::puts("");
+    if (sim.overlap_windows() > 0) {
+      std::printf("overlap: %llu windows, modelled %.4fs hidden behind "
+                  "compute\n",
+                  static_cast<unsigned long long>(sim.overlap_windows()),
+                  sim.overlap_saved_seconds());
+    }
     if (tuner) {
       print_tune_summary(*tuner);
       tune_json = tuner->json();
@@ -569,6 +619,8 @@ int run(const Args& a) {
     config["algo"] = telemetry::Json(a.algo);
     config["ranks"] = telemetry::Json(a.ranks);
     config["batch"] = telemetry::Json(static_cast<std::int64_t>(a.batch));
+    config["schedule"] = telemetry::Json(a.schedule);
+    config["overlap_beta"] = telemetry::Json(machine.overlap_beta);
     config["seed"] = telemetry::Json(static_cast<double>(a.seed));
     if (!a.faults.empty()) {
       config["faults"] = telemetry::Json(a.faults);
