@@ -73,27 +73,42 @@ struct CombBlasBc::Batch : dist::BatchState<BfsFields> {
 };
 
 CombBlasBc::CombBlasBc(sim::Sim& sim, const graph::Graph& g)
-    : sim_(sim), g_(g) {
+    : CombBlasBc(sim, g, dist::Partition{}) {}
+
+CombBlasBc::CombBlasBc(sim::Sim& sim, const graph::Graph& g,
+                       dist::Partition part)
+    : sim_(sim),
+      part_(std::move(part)),
+      gp_(part_.identity() ? graph::Graph{} : part_.apply(g)),
+      g_(part_.identity() ? g : gp_) {
   MFBC_CHECK(!g.weighted(),
              "CombBLAS-style BC supports unweighted graphs only");
   const int p = sim.nranks();
   const int s = static_cast<int>(std::lround(std::sqrt(static_cast<double>(p))));
   MFBC_CHECK(s * s == p, "CombBLAS-style BC requires a square processor grid");
   plan_ = dist::Plan{1, s, s, dist::Variant1D::kA, dist::Variant2D::kAB};
-  base_ = Layout{0, s, s, Range{0, g.n()}, Range{0, g.n()}, false};
-  adj_ = DistMatrix<Weight>::scatter<TropicalMinMonoid>(sim, g.adj(), base_);
+  // Stamp the distribution on the fixed plan so plan names, the tuner's
+  // hysteresis seed, and cache entries all carry the partition dimension.
+  if (!part_.identity()) plan_.dist = dist::Dist::kBalanced;
+  base_ = Layout{0, s, s, Range{0, g_.n()}, Range{0, g_.n()}, false};
+  adj_ = DistMatrix<Weight>::scatter<TropicalMinMonoid>(sim, g_.adj(), base_);
   adj_t_ = DistMatrix<Weight>::scatter<TropicalMinMonoid>(
-      sim, sparse::transpose(g.adj()), base_);
+      sim, sparse::transpose(g_.adj()), base_);
   // Long-lived adjacency residency, for memory-pressure-aware planning
-  // (mirrors DistMfbc; the tuner subtracts the high-water mark below).
+  // (mirrors DistMfbc; the tuner subtracts the high-water mark below), plus
+  // the per-rank resident-nnz balance gauge.
+  std::vector<double> rank_nnz(static_cast<std::size_t>(p), 0.0);
   for (int i = 0; i < s; ++i) {
     for (int j = 0; j < s; ++j) {
+      const double entries = static_cast<double>(adj_.block(i, j).nnz()) +
+                             static_cast<double>(adj_t_.block(i, j).nnz());
       sim.note_resident(base_.rank_at(i, j),
-                        (static_cast<double>(adj_.block(i, j).nnz()) +
-                         static_cast<double>(adj_t_.block(i, j).nnz())) *
-                            sim::sparse_entry_words<Weight>());
+                        entries * sim::sparse_entry_words<Weight>());
+      rank_nnz[static_cast<std::size_t>(base_.rank_at(i, j))] += entries;
     }
   }
+  imb_nnz_ = dist::max_mean_imbalance(rank_nnz);
+  telemetry::gauge("dist.imbalance.nnz", imb_nnz_);
 }
 
 dist::Plan CombBlasBc::plan_for(const CombBlasOptions& opts,
@@ -112,14 +127,18 @@ dist::Plan CombBlasBc::plan_for(const CombBlasOptions& opts,
   req.stats = stats;
   req.machine = sim_.model();
   req.opts = opts.tune;
+  req.opts.partition =
+      part_.identity() ? dist::Dist::kBlock : dist::Dist::kBalanced;
   // Memory-pressure re-planning (as in DistMfbc::plan_for): plan inside the
-  // budget the resident adjacency copies leave over.
+  // budget the resident adjacency copies leave over. Under heterogeneous
+  // profiles the binding budget is the smallest rank's.
   const double resident = sim_.resident_highwater_words();
   if (resident > 0) {
-    const double mem_floor = sim_.model().memory_words * 0.01;
+    const double mem_words = sim_.model().min_memory_words();
+    const double mem_floor = mem_words * 0.01;
     req.opts.memory_words_limit =
         std::min(req.opts.memory_words_limit,
-                 std::max(sim_.model().memory_words - resident, mem_floor));
+                 std::max(mem_words - resident, mem_floor));
   }
   // The CombBLAS constraint (§7.1): candidates stay square-grid 2D SUMMA,
   // whatever the caller's options say — this engine cannot run other shapes.
@@ -157,11 +176,23 @@ std::vector<double> CombBlasBc::run(const CombBlasOptions& opts,
     adj_cache_.clear();
     adj_t_cache_.clear();
   };
+  run_ops_ = dist::DistSpgemmStats{};
+  // Resolve-then-map keeps batch composition and λ accumulation order pinned
+  // to the caller's source order, whatever the labels are.
+  const std::vector<vid_t> sources =
+      part_.map_sources(core::resolve_sources(g_.n(), opts.sources));
   core::BatchDriverStats driver_stats;
-  auto bc = core::run_batched_bc(sim_, base_, g_.n(), opts.sources,
+  auto bc = core::run_batched_bc(sim_, base_, g_.n(), sources,
                                  opts.batch_size, hooks, &driver_stats);
-  if (stats != nullptr) stats->batch_retries += driver_stats.batch_retries;
-  return bc;
+  const double imb_ops = run_ops_.ops_imbalance(sim_.nranks());
+  telemetry::gauge("dist.imbalance.ops", imb_ops);
+  telemetry::gauge("dist.imbalance.nnz", imb_nnz_);
+  if (stats != nullptr) {
+    stats->batch_retries += driver_stats.batch_retries;
+    stats->imbalance_nnz = imb_nnz_;
+    stats->imbalance_ops = imb_ops;
+  }
+  return part_.unpermute(bc);
 }
 
 void CombBlasBc::run_batch(const CombBlasOptions& opts,
@@ -224,6 +255,7 @@ void CombBlasBc::run_batch(const CombBlasOptions& opts,
     dist::DistSpgemmStats dst;
     DistMatrix<double> reached = dist::spgemm<SumMonoid>(
         sim_, plan, frontier, adj_, CountAction{}, sl, &dst, &adj_cache_);
+    run_ops_.merge(dst);
     if (stats != nullptr) {
       stats->forward.frontier_nnz.push_back(frontier.nnz());
       stats->forward.product_nnz.push_back(reached.nnz());
@@ -321,6 +353,7 @@ void CombBlasBc::run_batch(const CombBlasOptions& opts,
     dist::DistSpgemmStats dst;
     DistMatrix<double> u = dist::spgemm<SumMonoid>(
         sim_, plan, w, adj_t_, DepAction{}, sl, &dst, &adj_t_cache_);
+    run_ops_.merge(dst);
     if (stats != nullptr) {
       stats->backward.frontier_nnz.push_back(w.nnz());
       stats->backward.product_nnz.push_back(u.nnz());

@@ -24,6 +24,7 @@
 
 #include <vector>
 
+#include "dist/partition.hpp"
 #include "dist/spgemm_dist.hpp"
 #include "graph/graph.hpp"
 #include "mfbc/mfbc_seq.hpp"
@@ -57,12 +58,25 @@ struct CombBlasStats {
   /// DistMfbcStats so bench tables can report both engines side by side.
   sim::Cost forward_cost;
   sim::Cost backward_cost;
+  /// Max/mean per-rank load factors of the run (docs/partitioning.md):
+  /// resident adjacency nonzeros per rank and measured multiply ops per
+  /// rank. 1.0 is perfectly balanced; also exported as the
+  /// dist.imbalance.{nnz,ops} gauges.
+  double imbalance_nnz = 1.0;
+  double imbalance_ops = 1.0;
 };
 
 class CombBlasBc {
  public:
   /// Throws unless sim's rank count is a perfect square and g is unweighted.
   CombBlasBc(sim::Sim& sim, const graph::Graph& g);
+
+  /// Same, with the vertices relabeled by a load-balanced partition
+  /// (dist/partition.hpp) before distribution. Sources and the returned
+  /// centrality vector stay in the caller's original ids: the permutation is
+  /// applied at ingest and inverted at output, so results are bit-identical
+  /// to the unpermuted run (an identity partition is an exact pass-through).
+  CombBlasBc(sim::Sim& sim, const graph::Graph& g, dist::Partition part);
 
   /// Run batched BC on the shared driver. Under fault injection
   /// (sim().enable_faults) the driver checkpoints λ at batch boundaries and
@@ -93,13 +107,17 @@ class CombBlasBc {
                  std::span<const int> all_ranks, int batch_index);
 
   sim::Sim& sim_;
-  const graph::Graph& g_;
+  dist::Partition part_;  ///< vertex ordering (identity for plain block)
+  graph::Graph gp_;       ///< the relabeled graph (empty when identity)
+  const graph::Graph& g_; ///< the graph the engine computes on (gp_ or caller's)
   dist::Plan plan_;    ///< fixed 2D SUMMA on the square grid
   dist::Layout base_;  ///< the √p×√p base grid (λ-checkpoint rows)
   dist::DistMatrix<Weight> adj_;
   dist::DistMatrix<Weight> adj_t_;
   dist::HomeCache<Weight> adj_cache_;
   dist::HomeCache<Weight> adj_t_cache_;
+  double imb_nnz_ = 1.0;  ///< measured per-rank resident-nnz imbalance
+  dist::DistSpgemmStats run_ops_;  ///< per-rank ops across the run's multiplies
 };
 
 }  // namespace mfbc::baseline

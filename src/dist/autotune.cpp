@@ -12,6 +12,7 @@ std::vector<Plan> enumerate_plans(int p, const TuneOptions& opts) {
   std::vector<Plan> out;
   if (p == 1) {
     out.push_back(Plan{});  // local multiply
+    out.back().dist = opts.partition;
     return out;
   }
   for (const GridDims& d : factorizations(p)) {
@@ -38,6 +39,11 @@ std::vector<Plan> enumerate_plans(int p, const TuneOptions& opts) {
       }
     }
   }
+  // Distribution base value: plans describe the data placement the request
+  // actually has, so the cost model prices the matching imbalance factor.
+  if (opts.partition != Dist::kBlock) {
+    for (Plan& plan : out) plan.dist = opts.partition;
+  }
   if (opts.allow_async) {
     // Schedule axis: an async-pipelined twin per tile size for every plan
     // with a 2D level (the pipelined driver overlaps the lcm-step broadcast
@@ -53,6 +59,19 @@ std::vector<Plan> enumerate_plans(int p, const TuneOptions& opts) {
         twin.tile = tile;
         out.push_back(twin);
       }
+    }
+  }
+  if (opts.allow_partition) {
+    // Distribution axis: a twin of every plan under the other distribution,
+    // appended after the async twins so both historical prefixes survive.
+    // Ties go to the earlier (base-distribution) candidate.
+    const Dist other =
+        opts.partition == Dist::kBlock ? Dist::kBalanced : Dist::kBlock;
+    const std::size_t base_count = out.size();
+    for (std::size_t i = 0; i < base_count; ++i) {
+      Plan twin = out[i];
+      twin.dist = other;
+      out.push_back(twin);
     }
   }
   return out;

@@ -32,6 +32,18 @@ struct TuneOptions {
   /// posts every next-step broadcast inside the window (maximum overlap,
   /// maximum in-flight memory), larger tiles post 1/tile of them.
   std::vector<int> async_tiles = {1, 4};
+  /// Distribution axis base value: how the request's operands are actually
+  /// placed (docs/partitioning.md). Every enumerated plan is stamped with
+  /// it so the compute term prices the matching imbalance factor. kBlock is
+  /// the historical default; engines built on a load-balanced partition set
+  /// kBalanced.
+  Dist partition = Dist::kBlock;
+  /// When set, every plan additionally enumerates a twin under the *other*
+  /// distribution, appended after the async twins — an advisory fourth
+  /// dimension {variant × grid × schedule × distribution} for
+  /// --explain-plan and bench_partition comparisons. Off by default so the
+  /// historical enumeration is unchanged.
+  bool allow_partition = false;
 };
 
 /// Per-call accounting of a plan search, for the tune telemetry/JSON

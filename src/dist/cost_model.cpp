@@ -31,6 +31,10 @@ const char* name_of(Variant2D v) {
 
 }  // namespace
 
+const char* dist_name(Dist d) {
+  return d == Dist::kBalanced ? "balanced" : "block";
+}
+
 std::string Plan::to_string() const {
   std::ostringstream os;
   if (!has_1d() && !has_2d()) {
@@ -46,6 +50,9 @@ std::string Plan::to_string() const {
   // Sync plans keep their historical names (profile files and test pins
   // depend on them); the schedule dimension only shows when it is active.
   if (is_async()) os << "+async(t" << std::max(tile, 1) << ")";
+  // Same pinning rule for the distribution dimension: block plans keep
+  // their historical names.
+  if (is_balanced()) os << "+bal";
   return os.str();
 }
 
@@ -124,14 +131,29 @@ ModelCost model_cost(const Plan& plan, const MultiplyStats& s,
                      const sim::MachineModel& mm) {
   ModelCost c;
   const double p = plan.total_ranks();
-  c.compute = (s.ops / p) * mm.seconds_per_op;
+  // Max-per-rank compute: the §5.2 ops/p term scaled by the distribution's
+  // measured load factor (1.0 = the uniform assumption, bitwise-legacy). On
+  // a heterogeneous fleet a block distribution is gated by the slowest
+  // rank's flop rate; a balanced one divides work ∝ rank speed, so its
+  // effective rate is the harmonic mean over the fleet.
+  const double imb = plan.is_balanced() ? s.imb_balanced : s.imb_block;
+  const double spo = mm.heterogeneous()
+                         ? (plan.is_balanced() ? mm.harmonic_seconds_per_op()
+                                               : mm.max_seconds_per_op())
+                         : mm.seconds_per_op;
+  c.compute = (s.ops / p) * imb * spo;
+
+  // Communication prices at the fleet's max α/β (scalars when homogeneous):
+  // a collective completes when its slowest member does.
+  const double alpha = mm.max_alpha();
+  const double beta = mm.max_beta();
 
   // CTF-style mapping overhead: operands and output are shuffled to/from
   // the variant's home layouts — one all-to-all each way, ~nnz/p per rank.
   const double total_words =
       s.nnz_a * s.words_a + s.nnz_b * s.words_b + s.nnz_c * s.words_c;
   if (p > 1) {
-    c.remap = (total_words / p) * mm.beta + 2.0 * sim::log2_ceil(plan.total_ranks()) * mm.alpha;
+    c.remap = (total_words / p) * beta + 2.0 * sim::log2_ceil(plan.total_ranks()) * alpha;
   }
 
   const double p2d = static_cast<double>(plan.p2) * plan.p3;
@@ -140,8 +162,8 @@ ModelCost model_cost(const Plan& plan, const MultiplyStats& s,
   // already spread over the p2·p3 layer grid.
   if (plan.has_1d()) {
     const double x_words = nnz_words(plan.v1, s) / std::max(p2d, 1.0);
-    c.bandwidth += 2.0 * x_words * mm.beta;
-    c.latency += 2.0 * sim::log2_ceil(plan.p1) * mm.alpha;
+    c.bandwidth += 2.0 * x_words * beta;
+    c.latency += 2.0 * sim::log2_ceil(plan.p1) * alpha;
   }
 
   // 2D level (over p2×p3): Y along grid rows, Z along grid columns, with the
@@ -155,10 +177,10 @@ ModelCost model_cost(const Plan& plan, const MultiplyStats& s,
       if (plan.v1 != y) y_words /= plan.p1;
       if (plan.v1 != z) z_words /= plan.p1;
     }
-    c.bandwidth += 2.0 * (y_words / plan.p2 + z_words / plan.p3) * mm.beta;
+    c.bandwidth += 2.0 * (y_words / plan.p2 + z_words / plan.p3) * beta;
     c.latency += 2.0 *
                  static_cast<double>(std::max(plan.p2, plan.p3)) *
-                 sim::log2_ceil(std::max(plan.p2, plan.p3)) * mm.alpha;
+                 sim::log2_ceil(std::max(plan.p2, plan.p3)) * alpha;
 
     if (plan.is_async()) {
       // Async schedule: the pipelined driver hides the broadcast side of
@@ -167,9 +189,9 @@ ModelCost model_cost(const Plan& plan, const MultiplyStats& s,
       // prefetched) behind the multiplies. The tile knob posts 1/tile of
       // each step's broadcasts inside the overlap window, so only that
       // fraction is eligible, scaled by the machine's overlap efficiency.
-      double bcast_bw = 2.0 * (y_words / plan.p2) * mm.beta;
+      double bcast_bw = 2.0 * (y_words / plan.p2) * beta;
       if (plan.v2 == Variant2D::kAB) {
-        bcast_bw += 2.0 * (z_words / plan.p3) * mm.beta;
+        bcast_bw += 2.0 * (z_words / plan.p3) * beta;
       }
       const int tile = std::max(plan.tile, 1);
       c.overlap = mm.overlap_beta * std::min(bcast_bw / tile, c.compute);

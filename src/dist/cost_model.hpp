@@ -32,6 +32,17 @@ enum class Variant2D { kAB, kAC, kBC };
 /// by the overlap credit — outputs are bit-identical (sim/async.hpp).
 enum class Sched { kSync, kAsync };
 
+/// Data-distribution dimension of a plan (docs/partitioning.md): kBlock is
+/// the legacy contiguous index-range placement; kBalanced means the operand
+/// was relabeled by a load-balanced partition (dist/partition.hpp) before
+/// distribution, so the per-rank compute imbalance factor is the balanced
+/// one. The distribution never changes the communication structure — only
+/// which imbalance factor scales the max-per-rank compute term.
+enum class Dist { kBlock, kBalanced };
+
+/// "block" | "balanced" for tables and JSON.
+const char* dist_name(Dist d);
+
 /// A fully specified multiplication plan: the factorization p = p1·p2·p3,
 /// which matrix the 1D level replicates/reduces (v1, active when p1 > 1),
 /// which pair the 2D level communicates (v2, active when p2·p3 > 1), and
@@ -46,11 +57,16 @@ struct Plan {
   /// buffer memory to ~1/tile of a step's slices). 0 for sync plans, >= 1
   /// for async.
   int tile = 0;
+  /// Distribution dimension: which per-rank load-imbalance factor prices
+  /// the compute term (and, under heterogeneous fleets, whether work can be
+  /// divided ∝ rank speed). kBlock reproduces the historical cost bitwise.
+  Dist dist = Dist::kBlock;
 
   int total_ranks() const { return p1 * p2 * p3; }
   bool has_1d() const { return p1 > 1; }
   bool has_2d() const { return p2 * p3 > 1; }
   bool is_async() const { return sched == Sched::kAsync; }
+  bool is_balanced() const { return dist == Dist::kBalanced; }
 
   /// The same plan with the schedule dimension stripped. Two plans sharing a
   /// sync shape share operand home layouts, so switching between them is
@@ -73,6 +89,13 @@ struct MultiplyStats {
   sparse::vid_t m = 0, k = 0, n = 0;
   double nnz_a = 0, nnz_b = 0, nnz_c = 0, ops = 0;
   double words_a = 2, words_b = 2, words_c = 2;  ///< wire words per nonzero
+  /// Max/mean per-rank ops factors under each distribution (measured from
+  /// slot loads or a previous multiply's per-rank ledger). The defaults of
+  /// 1.0 are the §5.2 uniform assumption and keep every historical cost
+  /// bitwise unchanged; --explain-plan and bench_partition fill them in to
+  /// compare the distribution dimension honestly.
+  double imb_block = 1.0;
+  double imb_balanced = 1.0;
 
   /// §5.2 uniform-sparsity estimates: ops ≈ nnz(A)·nnz(B)/k and
   /// nnz(C) ≈ min(m·n, ops).

@@ -55,8 +55,8 @@ namespace detail {
 /// Async twin of spgemm_2d: identical data path and charge sequence, with
 /// next-step slices prefetched and broadcast charges split into a posted
 /// (in-window) prefix and a plain suffix. Stats is duck-typed over
-/// DistSpgemmStats (only total_ops is touched) to keep this header free of
-/// a dependency on spgemm_dist.hpp.
+/// DistSpgemmStats (total_ops plus the note_rank_ops per-rank hook) to keep
+/// this header free of a dependency on spgemm_dist.hpp.
 template <algebra::Monoid M, typename Charger, typename TA, typename TB,
           typename F, typename Stats>
 DistMatrix<typename M::value_type> spgemm_2d_async(Charger& sim, Variant2D v2,
@@ -87,6 +87,7 @@ DistMatrix<typename M::value_type> spgemm_2d_async(Charger& sim, Variant2D v2,
                                   static_cast<double>(union_touched));
     if (st != nullptr) {
       st->total_ops += static_cast<double>(s.ops);
+      st->note_rank_ops(rank, static_cast<double>(s.ops));
     }
   };
 

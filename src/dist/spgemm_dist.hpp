@@ -17,6 +17,7 @@
 // commutative monoids used in this library (verified by the test suite).
 #pragma once
 
+#include <algorithm>
 #include <numeric>
 #include <optional>
 #include <vector>
@@ -40,7 +41,40 @@ namespace mfbc::dist {
 /// Measured execution counters for one distributed multiply.
 struct DistSpgemmStats {
   double total_ops = 0;     ///< Σ over ranks of nonzero products
-  double max_rank_ops = 0;  ///< load imbalance indicator
+  double max_rank_ops = 0;  ///< exact max over ranks (tracked via rank_ops)
+  /// Per-virtual-rank nonzero products, indexed by absolute rank id and
+  /// sized lazily to the highest rank that charged. The basis of the
+  /// dist.imbalance.ops gauge and bench_partition's measured imbalance.
+  std::vector<double> rank_ops;
+
+  /// Record `ops` charged against `rank` (shared hook of the sync and
+  /// pipelined 2D drivers).
+  void note_rank_ops(int rank, double ops) {
+    const auto r = static_cast<std::size_t>(rank);
+    if (r >= rank_ops.size()) rank_ops.resize(r + 1, 0.0);
+    rank_ops[r] += ops;
+    max_rank_ops = std::max(max_rank_ops, rank_ops[r]);
+  }
+
+  /// Fold another multiply's (or layer's) counters in. Layer grids own
+  /// disjoint absolute rank ranges, so per-rank vectors add elementwise.
+  void merge(const DistSpgemmStats& other) {
+    total_ops += other.total_ops;
+    if (other.rank_ops.size() > rank_ops.size()) {
+      rank_ops.resize(other.rank_ops.size(), 0.0);
+    }
+    for (std::size_t r = 0; r < other.rank_ops.size(); ++r) {
+      rank_ops[r] += other.rank_ops[r];
+      max_rank_ops = std::max(max_rank_ops, rank_ops[r]);
+    }
+  }
+
+  /// Max/mean per-rank ops over a fleet of `p` ranks (ranks that never
+  /// charged count as zeros in the mean); 1.0 when nothing was charged.
+  double ops_imbalance(int p) const {
+    if (p <= 0 || total_ops <= 0.0) return 1.0;
+    return max_rank_ops / (total_ops / static_cast<double>(p));
+  }
 };
 
 /// ABFT checksum contribution of one result entry (docs/fault_tolerance.md).
@@ -362,6 +396,7 @@ DistMatrix<typename M::value_type> spgemm_2d(Charger& sim, Variant2D v2,
                                  static_cast<double>(union_touched));
     if (st != nullptr) {
       st->total_ops += static_cast<double>(s.ops);
+      st->note_rank_ops(rank, static_cast<double>(s.ops));
     }
   };
 
@@ -768,17 +803,9 @@ DistMatrix<typename M::value_type> spgemm(sim::Sim& sim, const Plan& plan,
   });
   for (std::size_t l = 0; l < static_cast<std::size_t>(p1); ++l) {
     layer_logs[l].replay(sim);
-    if (st != nullptr) {
-      st->total_ops += layer_stats[l].total_ops;
-      st->max_rank_ops = std::max(st->max_rank_ops, layer_stats[l].max_rank_ops);
-    }
-  }
-
-  if (st != nullptr) {
-    // max over ranks approximated by max over per-layer averages is wrong;
-    // recompute from the ledger if needed. Here track the coarse total only.
-    st->max_rank_ops = std::max(st->max_rank_ops, st->total_ops /
-                                                      std::max(1, plan.total_ranks()));
+    // Layers address disjoint absolute rank ranges, so merging their
+    // per-rank vectors gives the exact fleet-wide max — no approximation.
+    if (st != nullptr) st->merge(layer_stats[l]);
   }
 
   if (p1 > 1 && plan.v1 == Variant1D::kC) {

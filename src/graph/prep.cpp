@@ -67,6 +67,18 @@ Graph random_relabel(const Graph& g, std::uint64_t seed,
   return out;
 }
 
+Graph relabel(const Graph& g, std::span<const vid_t> perm) {
+  MFBC_CHECK(perm.size() == static_cast<std::size_t>(g.n()),
+             "relabel: permutation size does not match vertex count");
+  std::vector<char> seen(perm.size(), 0);
+  for (vid_t x : perm) {
+    MFBC_CHECK(x >= 0 && x < g.n() && !seen[static_cast<std::size_t>(x)],
+               "relabel: not a permutation of 0..n-1");
+    seen[static_cast<std::size_t>(x)] = 1;
+  }
+  return rebuild(g, std::vector<vid_t>(perm.begin(), perm.end()), g.n());
+}
+
 Graph symmetrize(const Graph& g) {
   if (!g.directed()) return g;
   auto merged = sparse::ewise_union<MinMonoid>(g.adj(),

@@ -26,6 +26,12 @@ Graph remove_isolated(const Graph& g, std::vector<vid_t>* old_to_new = nullptr);
 Graph random_relabel(const Graph& g, std::uint64_t seed,
                      std::vector<vid_t>* perm_out = nullptr);
 
+/// Relabel vertex ids by an explicit bijection, new_id = perm[old_id] — the
+/// same rebuild as random_relabel with a caller-chosen order. Used by the
+/// load-balanced partitioners (dist/partition.hpp) to place heavy vertices
+/// into specific rank slots. Aborts if `perm` is not a permutation of 0..n-1.
+Graph relabel(const Graph& g, std::span<const vid_t> perm);
+
 /// Make a directed graph undirected by adding reverse edges (minimum weight
 /// wins on conflicts). No-op for graphs that are already undirected.
 Graph symmetrize(const Graph& g);

@@ -82,23 +82,37 @@ struct DistMfbc::Batch : dist::BatchState<MfbcFields> {
 };
 
 DistMfbc::DistMfbc(sim::Sim& sim, const graph::Graph& g)
-    : sim_(sim), g_(g) {
+    : DistMfbc(sim, g, dist::Partition{}) {}
+
+DistMfbc::DistMfbc(sim::Sim& sim, const graph::Graph& g, dist::Partition part)
+    : sim_(sim),
+      part_(std::move(part)),
+      // Non-identity partitions relabel the graph once at ingest; the
+      // engine computes entirely in permuted ids and run() inverts the
+      // permutation on the centrality output. Identity partitions keep the
+      // caller's graph by reference (no copy).
+      gp_(part_.identity() ? graph::Graph{} : part_.apply(g)),
+      g_(part_.identity() ? g : gp_) {
   auto [pr, pc] = dist::near_square_grid(sim.nranks());
-  base_ = Layout{0, pr, pc, Range{0, g.n()}, Range{0, g.n()}, false};
-  adj_ = DistMatrix<Weight>::scatter<TropicalMinMonoid>(sim, g.adj(), base_);
+  base_ = Layout{0, pr, pc, Range{0, g_.n()}, Range{0, g_.n()}, false};
+  adj_ = DistMatrix<Weight>::scatter<TropicalMinMonoid>(sim, g_.adj(), base_);
   adj_t_ = DistMatrix<Weight>::scatter<TropicalMinMonoid>(
-      sim, sparse::transpose(g.adj()), base_);
+      sim, sparse::transpose(g_.adj()), base_);
   // The adjacency and its transpose stay resident for the whole run; record
   // them with the simulated allocator so plan selection sees the memory that
   // is genuinely spoken for (plan_for subtracts the high-water mark).
+  std::vector<double> rank_nnz(static_cast<std::size_t>(sim.nranks()), 0.0);
   for (int i = 0; i < pr; ++i) {
     for (int j = 0; j < pc; ++j) {
+      const double entries = static_cast<double>(adj_.block(i, j).nnz()) +
+                             static_cast<double>(adj_t_.block(i, j).nnz());
       sim.note_resident(base_.rank_at(i, j),
-                        (static_cast<double>(adj_.block(i, j).nnz()) +
-                         static_cast<double>(adj_t_.block(i, j).nnz())) *
-                            sim::sparse_entry_words<Weight>());
+                        entries * sim::sparse_entry_words<Weight>());
+      rank_nnz[static_cast<std::size_t>(base_.rank_at(i, j))] += entries;
     }
   }
+  imb_nnz_ = dist::max_mean_imbalance(rank_nnz);
+  telemetry::gauge("dist.imbalance.nnz", imb_nnz_);
 }
 
 dist::Plan DistMfbc::plan_for(const DistMfbcOptions& opts, const char* stream,
@@ -116,11 +130,17 @@ dist::Plan DistMfbc::plan_for(const DistMfbcOptions& opts, const char* stream,
   // (the adjacency copies noted at construction). The floor keeps a machine
   // configured with a tiny memory_words from pruning every candidate.
   dist::TuneOptions topts = opts.tune;
+  // The engine knows its data's actual placement: the distribution axis of
+  // every enumerated plan matches the partition this instance was built on.
+  topts.partition =
+      part_.identity() ? dist::Dist::kBlock : dist::Dist::kBalanced;
   const double resident = sim_.resident_highwater_words();
   if (resident > 0) {
-    const double floor = sim_.model().memory_words * 0.01;
-    const double avail =
-        std::max(sim_.model().memory_words - resident, floor);
+    // Heterogeneous fleets budget against the tightest rank's memory
+    // (min_memory_words == memory_words bitwise when homogeneous).
+    const double machine_words = sim_.model().min_memory_words();
+    const double floor = machine_words * 0.01;
+    const double avail = std::max(machine_words - resident, floor);
     topts.memory_words_limit = std::min(topts.memory_words_limit, avail);
   }
   if (opts.tuner != nullptr) {
@@ -179,11 +199,25 @@ std::vector<double> DistMfbc::run(const DistMfbcOptions& opts,
     adj_cache_.clear();
     adj_t_cache_.clear();
   };
+  // Sources arrive in the caller's original vertex ids; validate and map
+  // them into partition order *positionally* (the batch composition and λ
+  // accumulation order must not depend on the labels) before the driver
+  // slices batches. λ comes back in permuted ids and is inverted below.
+  run_ops_ = dist::DistSpgemmStats{};
+  const std::vector<vid_t> sources =
+      part_.map_sources(resolve_sources(g_.n(), opts.sources));
   BatchDriverStats driver_stats;
-  auto lambda = run_batched_bc(sim_, base_, g_.n(), opts.sources,
+  auto lambda = run_batched_bc(sim_, base_, g_.n(), sources,
                                opts.batch_size, hooks, &driver_stats);
-  if (stats != nullptr) stats->batch_retries += driver_stats.batch_retries;
-  return lambda;
+  const double imb_ops = run_ops_.ops_imbalance(sim_.nranks());
+  telemetry::gauge("dist.imbalance.ops", imb_ops);
+  telemetry::gauge("dist.imbalance.nnz", imb_nnz_);
+  if (stats != nullptr) {
+    stats->batch_retries += driver_stats.batch_retries;
+    stats->imbalance_nnz = imb_nnz_;
+    stats->imbalance_ops = imb_ops;
+  }
+  return part_.unpermute(lambda);
 }
 
 void DistMfbc::run_batch(const DistMfbcOptions& opts,
@@ -258,6 +292,7 @@ void DistMfbc::run_batch(const DistMfbcOptions& opts,
       DistMatrix<Multpath> product = dist::spgemm<MultpathMonoid>(
           sim_, plan, frontier, adj_, BellmanFordAction{}, sl, &dst,
           &adj_cache_);
+      run_ops_.merge(dst);
       if (stats != nullptr) {
         stats->forward.frontier_nnz.push_back(frontier.nnz());
         stats->forward.product_nnz.push_back(product.nnz());
@@ -364,6 +399,7 @@ void DistMfbc::run_batch(const DistMfbcOptions& opts,
       dist::DistSpgemmStats dst;
       DistMatrix<Centpath> pred = dist::spgemm<CentpathMonoid>(
           sim_, plan, z0, adj_t_, BrandesAction{}, sl, &dst, &adj_t_cache_);
+      run_ops_.merge(dst);
       if (stats != nullptr) {
         stats->backward.total_ops += static_cast<nnz_t>(dst.total_ops);
       }
@@ -440,6 +476,7 @@ void DistMfbc::run_batch(const DistMfbcOptions& opts,
       DistMatrix<Centpath> product = dist::spgemm<CentpathMonoid>(
           sim_, plan, cfrontier, adj_t_, BrandesAction{}, sl, &dst,
           &adj_t_cache_);
+      run_ops_.merge(dst);
       if (stats != nullptr) {
         stats->backward.frontier_nnz.push_back(cfrontier.nnz());
         stats->backward.product_nnz.push_back(product.nnz());

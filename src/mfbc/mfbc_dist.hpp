@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "dist/partition.hpp"
 #include "dist/spgemm_dist.hpp"
 #include "graph/graph.hpp"
 #include "mfbc/mfbc_seq.hpp"
@@ -62,6 +63,12 @@ struct DistMfbcStats {
   /// contributed — the Table 3 breakdown at phase granularity.
   sim::Cost forward_cost;
   sim::Cost backward_cost;
+  /// Max/mean per-rank load factors of the run (docs/partitioning.md):
+  /// resident adjacency nonzeros per rank and measured multiply ops per
+  /// rank. 1.0 is perfectly balanced; also exported as the
+  /// dist.imbalance.{nnz,ops} gauges.
+  double imbalance_nnz = 1.0;
+  double imbalance_ops = 1.0;
 };
 
 /// The Theorem 5.1 processor grid for p ranks and replication factor c.
@@ -72,6 +79,14 @@ class DistMfbc {
   /// Distributes g's adjacency matrix (and its transpose, for the backward
   /// phase) over all of sim's ranks on a near-square base grid.
   DistMfbc(sim::Sim& sim, const graph::Graph& g);
+
+  /// Same, with the vertices relabeled by a load-balanced partition
+  /// (dist/partition.hpp) before distribution. Sources in
+  /// DistMfbcOptions::sources and the returned centrality vector stay in
+  /// the caller's original vertex ids: the permutation is applied at ingest
+  /// and inverted at output, so results are bit-identical to the
+  /// unpermuted run (an identity partition is an exact pass-through).
+  DistMfbc(sim::Sim& sim, const graph::Graph& g, dist::Partition part);
 
   /// Run batched BC; centrality scores are gathered to the caller at the
   /// end (one reduction, charged).
@@ -104,12 +119,16 @@ class DistMfbc {
                  std::span<const int> all_ranks, int batch_index);
 
   sim::Sim& sim_;
-  const graph::Graph& g_;
+  dist::Partition part_;  ///< vertex ordering (identity for plain block)
+  graph::Graph gp_;       ///< the relabeled graph (empty when identity)
+  const graph::Graph& g_; ///< the graph the engine computes on (gp_ or caller's)
   dist::Layout base_;                  ///< near-square grid over all ranks
   dist::DistMatrix<Weight> adj_;       ///< A
   dist::DistMatrix<Weight> adj_t_;     ///< Aᵀ
   dist::HomeCache<Weight> adj_cache_;  ///< plan-home copies of A
   dist::HomeCache<Weight> adj_t_cache_;
+  double imb_nnz_ = 1.0;  ///< measured per-rank resident-nnz imbalance
+  dist::DistSpgemmStats run_ops_;  ///< per-rank ops across the run's multiplies
 };
 
 }  // namespace mfbc::core

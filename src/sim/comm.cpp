@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <string>
+#include <utility>
 
 #include "support/error.hpp"
 #include "telemetry/span.hpp"
@@ -9,9 +10,13 @@
 namespace mfbc::sim {
 
 Sim::Sim(int nranks, MachineModel model)
-    : model_(model),
+    : model_(std::move(model)),
       ledger_(nranks),
-      resident_words_(static_cast<std::size_t>(nranks), 0.0) {}
+      resident_words_(static_cast<std::size_t>(nranks), 0.0) {
+  MFBC_CHECK(model_.profiles.empty() ||
+                 static_cast<int>(model_.profiles.size()) >= nranks,
+             "heterogeneous MachineModel must profile every rank");
+}
 
 namespace {
 int group_size(std::span<const int> group) {
@@ -60,14 +65,16 @@ void Sim::charge_alltoall(std::span<const int> group, double max_rank_words) {
 }
 
 void Sim::charge_compute(int rank, double ops) {
-  const double seconds = ops * model_.seconds_per_op;
-  if (faults_ != nullptr) {
-    if (recovery_depth_ > 0) {
-      FaultOverhead& ov = faults_->overhead();
-      ov.compute_seconds += seconds;
-      ov.ops += ops;
-    }
-    if (!faults_->identity_map()) rank = faults_->physical(rank);
+  // Resolve the physical host first: under a rank-failure remap the work
+  // executes (and is priced) at the surviving host's flop rate.
+  if (faults_ != nullptr && !faults_->identity_map()) {
+    rank = faults_->physical(rank);
+  }
+  const double seconds = ops * model_.rank_seconds_per_op(rank);
+  if (faults_ != nullptr && recovery_depth_ > 0) {
+    FaultOverhead& ov = faults_->overhead();
+    ov.compute_seconds += seconds;
+    ov.ops += ops;
   }
   ledger_.compute(rank, ops, seconds);
 }
@@ -88,8 +95,11 @@ void Sim::charge_retransfer(std::span<const int> group, double words,
 void Sim::charge_collective(std::span<const int> group, double words,
                             double msgs) {
   if (faults_ == nullptr) {
+    // A collective finishes when its slowest member does: max α/β over the
+    // group (the scalar constants when the fleet is homogeneous).
     ledger_.collective(group, words, msgs,
-                       words * model_.beta + msgs * model_.alpha);
+                       words * model_.group_beta(group) +
+                           msgs * model_.group_alpha(group));
     return;
   }
   charge_faulty(group, words, msgs);
@@ -114,7 +124,8 @@ void Sim::ledger_collective(std::span<const int> group, double words,
 void Sim::charge_faulty(std::span<const int> group, double words,
                         double msgs) {
   FaultInjector& fi = *faults_;
-  const double seconds = words * model_.beta + msgs * model_.alpha;
+  const double galpha = model_.group_alpha(group);
+  const double seconds = words * model_.group_beta(group) + msgs * galpha;
   int failed_attempts = 0;
   for (;;) {
     const FaultInjector::Decision d = fi.next(group);
@@ -152,9 +163,8 @@ void Sim::charge_faulty(std::span<const int> group, double words,
                   std::to_string(fi.spec().max_retries) +
                   " retries at charge point " + std::to_string(d.index));
         }
-        const double backoff =
-            model_.alpha * std::ldexp(1.0, failed_attempts - 1);
-        ledger_collective(group, 0.0, 1.0, backoff + model_.alpha, true);
+        const double backoff = galpha * std::ldexp(1.0, failed_attempts - 1);
+        ledger_collective(group, 0.0, 1.0, backoff + galpha, true);
         if (span.active()) span.attr("attempt", std::int64_t{failed_attempts});
         break;  // retry: the next loop iteration is a fresh charge point
       }

@@ -1,6 +1,156 @@
 #include "sim/machine.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+#include "support/error.hpp"
+
 namespace mfbc::sim {
+
+namespace {
+
+bool uniform(const std::vector<RankProfile>& ps) {
+  for (const RankProfile& p : ps) {
+    if (p.seconds_per_op != ps.front().seconds_per_op ||
+        p.alpha != ps.front().alpha || p.beta != ps.front().beta ||
+        p.memory_words != ps.front().memory_words) {
+      return false;
+    }
+  }
+  return true;
+}
+
+RankProfile cpu_profile(const MachineModel& mm) {
+  return RankProfile{mm.seconds_per_op, mm.alpha, mm.beta, mm.memory_words};
+}
+
+RankProfile accel_profile(const MachineModel& mm) {
+  // Accelerator class (ROADMAP): high flop rate, high per-message latency
+  // (kernel launch / host staging), same wire bandwidth, limited memory.
+  RankProfile p = cpu_profile(mm);
+  p.seconds_per_op /= 16.0;
+  p.alpha *= 4.0;
+  p.memory_words /= 4.0;
+  return p;
+}
+
+}  // namespace
+
+double MachineModel::rank_seconds_per_op(int rank) const {
+  if (profiles.empty()) return seconds_per_op;
+  MFBC_CHECK(rank >= 0 && rank < static_cast<int>(profiles.size()),
+             "rank_seconds_per_op: rank outside the profiled fleet");
+  return profiles[static_cast<std::size_t>(rank)].seconds_per_op;
+}
+
+double MachineModel::rank_memory_words(int rank) const {
+  if (profiles.empty()) return memory_words;
+  MFBC_CHECK(rank >= 0 && rank < static_cast<int>(profiles.size()),
+             "rank_memory_words: rank outside the profiled fleet");
+  return profiles[static_cast<std::size_t>(rank)].memory_words;
+}
+
+double MachineModel::group_alpha(std::span<const int> group) const {
+  if (profiles.empty()) return alpha;
+  double a = 0.0;
+  for (int r : group) {
+    MFBC_CHECK(r >= 0 && r < static_cast<int>(profiles.size()),
+               "group_alpha: rank outside the profiled fleet");
+    a = std::max(a, profiles[static_cast<std::size_t>(r)].alpha);
+  }
+  return group.empty() ? alpha : a;
+}
+
+double MachineModel::group_beta(std::span<const int> group) const {
+  if (profiles.empty()) return beta;
+  double b = 0.0;
+  for (int r : group) {
+    MFBC_CHECK(r >= 0 && r < static_cast<int>(profiles.size()),
+               "group_beta: rank outside the profiled fleet");
+    b = std::max(b, profiles[static_cast<std::size_t>(r)].beta);
+  }
+  return group.empty() ? beta : b;
+}
+
+double MachineModel::max_alpha() const {
+  if (profiles.empty()) return alpha;
+  double a = profiles.front().alpha;
+  for (const RankProfile& p : profiles) a = std::max(a, p.alpha);
+  return a;
+}
+
+double MachineModel::max_beta() const {
+  if (profiles.empty()) return beta;
+  double b = profiles.front().beta;
+  for (const RankProfile& p : profiles) b = std::max(b, p.beta);
+  return b;
+}
+
+double MachineModel::max_seconds_per_op() const {
+  if (profiles.empty()) return seconds_per_op;
+  double s = profiles.front().seconds_per_op;
+  for (const RankProfile& p : profiles) s = std::max(s, p.seconds_per_op);
+  return s;
+}
+
+double MachineModel::harmonic_seconds_per_op() const {
+  if (profiles.empty()) return seconds_per_op;
+  // Uniform fleets short-circuit to the shared scalar so a profiled-but-
+  // homogeneous model reproduces legacy costs bitwise (no p/Σ round trip).
+  if (uniform(profiles)) return profiles.front().seconds_per_op;
+  double inv_sum = 0.0;
+  for (const RankProfile& p : profiles) {
+    MFBC_CHECK(p.seconds_per_op > 0.0,
+               "harmonic_seconds_per_op: nonpositive flop cost");
+    inv_sum += 1.0 / p.seconds_per_op;
+  }
+  return static_cast<double>(profiles.size()) / inv_sum;
+}
+
+double MachineModel::min_memory_words() const {
+  if (profiles.empty()) return memory_words;
+  double m = profiles.front().memory_words;
+  for (const RankProfile& p : profiles) m = std::min(m, p.memory_words);
+  return m;
+}
+
+void apply_profile_spec(MachineModel& model, const std::string& spec,
+                        int nranks) {
+  MFBC_CHECK(nranks > 0, "--machine-profile needs a positive rank count");
+  std::vector<RankProfile> fleet;
+  fleet.reserve(static_cast<std::size_t>(nranks));
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    const std::size_t x = item.find('x');
+    MFBC_CHECK(x != std::string::npos && x > 0,
+               "--machine-profile item must be COUNTxCLASS: " + item);
+    char* parsed_end = nullptr;
+    const long count = std::strtol(item.c_str(), &parsed_end, 10);
+    MFBC_CHECK(parsed_end == item.c_str() + x && count > 0,
+               "--machine-profile has a bad rank count: " + item);
+    const std::string cls = item.substr(x + 1);
+    RankProfile profile;
+    if (cls == "cpu") {
+      profile = cpu_profile(model);
+    } else if (cls == "accel") {
+      profile = accel_profile(model);
+    } else {
+      MFBC_CHECK(false, "--machine-profile class must be cpu|accel: " + cls);
+    }
+    MFBC_CHECK(count <= nranks - static_cast<long>(fleet.size()),
+               "--machine-profile names more ranks than --ranks provides");
+    fleet.insert(fleet.end(), static_cast<std::size_t>(count), profile);
+  }
+  MFBC_CHECK(!fleet.empty(), "--machine-profile spec is empty");
+  // Unspecified trailing ranks default to the cpu class.
+  fleet.resize(static_cast<std::size_t>(nranks), cpu_profile(model));
+  model.profiles = std::move(fleet);
+}
 
 double log2_ceil(int p) {
   if (p <= 1) return 0.0;

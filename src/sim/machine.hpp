@@ -28,8 +28,22 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
 
 namespace mfbc::sim {
+
+/// One rank's machine constants for heterogeneous fleets (ROADMAP
+/// "heterogeneous backends": an accelerator class has a much higher flop
+/// rate but pays more per message and holds less memory). Defaults mirror
+/// the homogeneous MachineModel scalars.
+struct RankProfile {
+  double seconds_per_op = 2e-9;   ///< seconds per nonzero elementary product
+  double alpha = 2e-6;            ///< seconds per message
+  double beta = 8.0 / 6e9;        ///< seconds per 8-byte word
+  double memory_words = 8e9 / 8;  ///< this rank's memory M in words
+};
 
 struct MachineModel {
   double alpha = 2e-6;            ///< seconds per message
@@ -43,13 +57,54 @@ struct MachineModel {
   /// to the synchronous charge, cost-identical to the blocking schedule).
   double overlap_beta = 1.0;
 
+  /// Per-rank profiles. Empty (the default) means every rank runs the scalar
+  /// constants above, and all accessors below return those scalars bitwise —
+  /// homogeneous charging is unchanged. Non-empty means rank r charges
+  /// compute at profiles[r].seconds_per_op and a collective over a group
+  /// prices at the group's *max* α/β (it completes when its slowest member
+  /// does). Must cover every rank the Sim hosts when non-empty.
+  std::vector<RankProfile> profiles;
+
+  bool heterogeneous() const { return !profiles.empty(); }
+  double rank_seconds_per_op(int rank) const;
+  double rank_memory_words(int rank) const;
+  /// Max α / β over `group` (scalar α/β when homogeneous).
+  double group_alpha(std::span<const int> group) const;
+  double group_beta(std::span<const int> group) const;
+  /// Fleet-wide maxima — planning bounds for collectives whose membership
+  /// is not known at plan time.
+  double max_alpha() const;
+  double max_beta() const;
+  /// Slowest rank's flop cost: the per-rank compute time of an equal split
+  /// of work across a heterogeneous fleet.
+  double max_seconds_per_op() const;
+  /// Effective per-op cost when work is divided ∝ rank speed (the balanced
+  /// distribution with capacity weights): p / Σ 1/spo_r. Returns the exact
+  /// scalar when the fleet is uniform so homogeneous costs stay bitwise.
+  double harmonic_seconds_per_op() const;
+  /// Tightest per-rank memory (the binding side of any fit check).
+  double min_memory_words() const;
+
   static MachineModel blue_waters() { return MachineModel{}; }
 };
 
+/// Install per-rank profiles from a --machine-profile spec: a comma list of
+/// COUNTxCLASS items with CLASS ∈ {cpu, accel}, assigned to ranks in order;
+/// unspecified trailing ranks default to cpu. "4xaccel" makes ranks 0..3
+/// accelerator-class (16× flop rate, 4× α, ¼ memory relative to the scalar
+/// model) and the rest cpu-class. Aborts on malformed specs or counts
+/// exceeding `nranks`.
+void apply_profile_spec(MachineModel& model, const std::string& spec,
+                        int nranks);
+
 /// Number of 8-byte words an element of type T occupies on the wire.
+/// Fractional: a 4-byte float is half a word of payload, not a full one
+/// (integer division used to round it up, doubling its modelled β cost) and
+/// sub-word types never round to zero. 8-byte doubles and the 16/24-byte
+/// semiring pairs are unchanged.
 template <typename T>
 constexpr double words_of() {
-  return static_cast<double>((sizeof(T) + 7) / 8);
+  return static_cast<double>(sizeof(T)) / 8.0;
 }
 
 /// Wire size of one sparse nonzero of value type T: value + packed index.

@@ -358,6 +358,10 @@ PlanKey Tuner::make_key(const PlanRequest& req,
   // an async-enabled search rank different candidate spaces, so their
   // winners live under different keys.
   key.schedule = req.opts.allow_async ? 1 : 0;
+  // So is the distribution axis: the data's actual placement plus whether
+  // the advisory other-distribution twins were in the candidate space.
+  key.partition = (req.opts.partition == dist::Dist::kBalanced ? 1 : 0) |
+                  (req.opts.allow_partition ? 2 : 0);
   return key;
 }
 
@@ -406,6 +410,10 @@ dist::Plan Tuner::plan(const PlanRequest& req) {
           // Schedule gate: a profile edited or written by an async-enabled
           // run must not hand an async plan to a sync-only request.
           (req.opts.allow_async || !hit->is_async()) &&
+          // Distribution gate: a cached plan only applies when it matches
+          // the request's data placement (unless the advisory twins were
+          // requested, in which case both distributions were candidates).
+          (req.opts.allow_partition || hit->dist == req.opts.partition) &&
           model_memory_words(*hit, stats) <= req.opts.memory_words_limit;
       if (usable) {
         candidate = *hit;

@@ -68,6 +68,7 @@ std::string PlanKey::to_string() const {
   os << monoid << ":" << m << "x" << k << "x" << n << ":a" << band_a << ":b"
      << band_b << ":p" << ranks << ":t" << threads;
   if (schedule != 0) os << ":s" << schedule;
+  if (partition != 0) os << ":d" << partition;
   return os.str();
 }
 
@@ -85,6 +86,8 @@ telemetry::Json plan_to_json(const dist::Plan& plan) {
     j["sched"] = telemetry::Json("async");
     j["tile"] = telemetry::Json(std::max(plan.tile, 1));
   }
+  // Same compatibility rule for the distribution dimension.
+  if (plan.is_balanced()) j["dist"] = telemetry::Json("balanced");
   return j;
 }
 
@@ -109,6 +112,12 @@ dist::Plan plan_from_json(const telemetry::Json& j) {
       plan.tile = static_cast<int>(num_field(j, "tile"));
       MFBC_CHECK(plan.tile >= 1, "tune profile: async tile must be >= 1");
     }
+  }
+  if (const telemetry::Json* d = j.find("dist"); d != nullptr) {
+    MFBC_CHECK(d->is_string() && (d->as_string() == "block" ||
+                                  d->as_string() == "balanced"),
+               "tune profile: plan \"dist\" must be \"block\" or \"balanced\"");
+    if (d->as_string() == "balanced") plan.dist = dist::Dist::kBalanced;
   }
   return plan;
 }
@@ -178,6 +187,7 @@ telemetry::Json PlanCache::to_json() const {
     e["ranks"] = telemetry::Json(key.ranks);
     e["threads"] = telemetry::Json(key.threads);
     if (key.schedule != 0) e["schedule"] = telemetry::Json(key.schedule);
+    if (key.partition != 0) e["partition"] = telemetry::Json(key.partition);
     e["plan"] = plan_to_json(plan);
     arr.push(std::move(e));
   }
@@ -202,6 +212,10 @@ void PlanCache::load_json(const telemetry::Json& plans) {
     if (const telemetry::Json* s = e.find("schedule"); s != nullptr) {
       MFBC_CHECK(s->is_number(), "tune profile: \"schedule\" must be numeric");
       key.schedule = static_cast<int>(s->as_double());
+    }
+    if (const telemetry::Json* d = e.find("partition"); d != nullptr) {
+      MFBC_CHECK(d->is_number(), "tune profile: \"partition\" must be numeric");
+      key.partition = static_cast<int>(d->as_double());
     }
     MFBC_CHECK(key.ranks >= 1, "tune profile: plan entry needs ranks >= 1");
     const telemetry::Json* p = e.find("plan");

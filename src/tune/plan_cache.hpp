@@ -41,6 +41,11 @@ struct PlanKey {
   /// by an async-enabled run, and vice versa: the two searches ran over
   /// different candidate spaces, so their winners are not interchangeable.
   int schedule = 0;
+  /// Distribution axis of the request, same keying rule as `schedule`: bit 0
+  /// set when the request's data sits on a balanced partition, bit 1 set
+  /// when the advisory other-distribution twins were enumerated. 0 (a plain
+  /// block request) keeps pre-partition profile entries addressable.
+  int partition = 0;
 
   /// floor(log2(nnz)) band, -1 for nnz <= 0.
   static int nnz_band(double nnz);
@@ -51,7 +56,7 @@ struct PlanKey {
   friend bool operator<(const PlanKey& a, const PlanKey& b) {
     auto tie = [](const PlanKey& x) {
       return std::tie(x.monoid, x.m, x.k, x.n, x.band_a, x.band_b, x.ranks,
-                      x.threads, x.schedule);
+                      x.threads, x.schedule, x.partition);
     };
     return tie(a) < tie(b);
   }

@@ -31,6 +31,7 @@
 #include "baseline/brandes.hpp"
 #include "baseline/combblas_bc.hpp"
 #include "benchsupport/table.hpp"
+#include "dist/partition.hpp"
 #include "dist/pipeline.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
@@ -40,6 +41,7 @@
 #include "mfbc/mfbc_seq.hpp"
 #include "mfbc/ranking.hpp"
 #include "sim/faults.hpp"
+#include "sim/machine.hpp"
 #include "sim/tuner.hpp"
 #include "support/error.hpp"
 #include "support/parallel.hpp"
@@ -72,6 +74,8 @@ struct Args {
   int threads = 0;          // 0 = MFBC_THREADS / hardware default
   std::string mode = "auto";  // auto | ca
   std::string schedule = "sync";  // sync | auto | async
+  std::string partition = "block";  // block | degree | chunk
+  std::string machine_profile;      // per-rank profile spec, e.g. "4xcpu,4xaccel"
   double overlap_beta = -1.0;     // <0 = keep the machine model's value
   int c = 1;
   int top = 10;
@@ -124,9 +128,22 @@ void usage() {
       "                      [0,1]: fraction of a posted collective's\n"
       "                      transfer time that can hide behind compute\n"
       "                      (default: the machine model's, 1.0)\n"
+      "  --partition P       vertex distribution of the simulated run\n"
+      "                      (docs/partitioning.md): block (default) keeps\n"
+      "                      the plain contiguous index ranges; degree packs\n"
+      "                      vertices into rank slots by total degree\n"
+      "                      (heaviest first); chunk packs contiguous\n"
+      "                      mini-chunks (locality-preserving). Centrality\n"
+      "                      is bit-identical across all three; only the\n"
+      "                      per-rank load balance and charged cost differ\n"
       "machine model (simulated runs):\n"
       "  --model FILE        load a tuned machine model (see --tune)\n"
       "  --tune FILE         run the section 6.2 model tuner, save to FILE\n"
+      "  --machine-profile S heterogeneous per-rank profiles as a comma list\n"
+      "                      of COUNTxCLASS (cpu | accel), e.g. '4xaccel,60xcpu';\n"
+      "                      trailing ranks default to cpu. Collectives are\n"
+      "                      priced at the group's slowest link; compute at\n"
+      "                      each rank's own flop rate\n"
       "plan tuning (simulated runs; see docs/autotuning.md):\n"
       "  --tune-profile FILE attach the adaptive plan tuner: calibrated\n"
       "                      model, per-iteration re-planning with\n"
@@ -177,6 +194,8 @@ Args parse(int argc, char** argv) {
     else if (f == "--threads") a.threads = std::atoi(need(i));
     else if (f == "--mode") a.mode = need(i);
     else if (f == "--schedule") a.schedule = need(i);
+    else if (f == "--partition") a.partition = need(i);
+    else if (f == "--machine-profile") a.machine_profile = need(i);
     else if (f == "--overlap-beta") a.overlap_beta = std::atof(need(i));
     else if (f == "--c") a.c = std::atoi(need(i));
     else if (f == "--top") a.top = std::atoi(need(i));
@@ -335,7 +354,13 @@ int run(const Args& a) {
     MFBC_CHECK(a.overlap_beta <= 1.0, "--overlap-beta expects a value in [0,1]");
     machine.overlap_beta = a.overlap_beta;
   }
+  if (!a.machine_profile.empty()) {
+    MFBC_CHECK(a.ranks > 0, "--machine-profile needs --ranks P");
+    sim::apply_profile_spec(machine, a.machine_profile, a.ranks);
+  }
   const bool allow_async = allow_async_of(a);
+  // Validate eagerly so a bogus value fails before any expensive work.
+  const dist::PartitionKind pkind = dist::partition_kind_of(a.partition);
   if (!a.calibrate_file.empty()) {
     std::puts("calibrating the section 5.2 planning model "
               "(microbenchmark plan grid)...");
@@ -376,11 +401,21 @@ int run(const Args& a) {
     const double frontier_words =
         a.algo == "combblas" ? sim::sparse_entry_words<double>()
                              : sim::sparse_entry_words<algebra::Multpath>();
-    const dist::MultiplyStats stats = dist::MultiplyStats::estimated(
+    dist::MultiplyStats stats = dist::MultiplyStats::estimated(
         nb, g.n(), g.n(), frontier_nnz, adj_nnz, frontier_words,
         sim::sparse_entry_words<graph::Weight>(), frontier_words);
     dist::TuneOptions topts;
     topts.allow_async = allow_async;
+    if (pkind != dist::PartitionKind::kBlock) {
+      // Price both distributions with their *measured* load factors so the
+      // table shows what degree-aware packing actually buys on this graph.
+      const dist::Partition part = dist::make_partition(g, pkind, a.ranks);
+      stats.imb_block =
+          dist::max_mean_imbalance(dist::slot_loads(g, a.ranks));
+      stats.imb_balanced = part.balance.imbalance();
+      topts.partition = dist::Dist::kBalanced;
+      topts.allow_partition = true;
+    }
     if (a.algo == "combblas") {
       // The baseline engine re-plans over square-grid 2D SUMMA only — show
       // the candidate table it would actually choose from.
@@ -393,13 +428,14 @@ int run(const Args& a) {
       topts.square_2d_only = true;
     }
     const dist::Plan best = dist::autotune(a.ranks, stats, machine, topts);
-    bench::Table tab({"plan", "schedule", "latency(s)", "bandwidth(s)",
-                      "compute(s)", "remap(s)", "overlap(s)", "total(s)",
-                      "mem(words)", "fits", ""});
+    bench::Table tab({"plan", "schedule", "dist", "latency(s)",
+                      "bandwidth(s)", "compute(s)", "remap(s)", "overlap(s)",
+                      "total(s)", "mem(words)", "fits", ""});
     for (const dist::Plan& plan : dist::enumerate_plans(a.ranks, topts)) {
       const dist::ModelCost mc = dist::model_cost(plan, stats, machine);
       const double mem = dist::model_memory_words(plan, stats);
       tab.add_row({plan.to_string(), dist::schedule_name(plan),
+                   dist::dist_name(plan.dist),
                    compact(mc.latency, 4), compact(mc.bandwidth, 4),
                    compact(mc.compute, 4), compact(mc.remap, 4),
                    compact(mc.overlap, 4), compact(mc.total(), 4),
@@ -409,11 +445,11 @@ int run(const Args& a) {
     }
     std::printf("candidate plans for the first forward multiply "
                 "(m=%lld k=n=%lld nnz(A)=%.0f nnz(B)=%.0f) on %d ranks "
-                "(schedule axis: %s, overlap beta %.2f):\n",
+                "(schedule axis: %s, partition: %s, overlap beta %.2f):\n",
                 static_cast<long long>(nb), static_cast<long long>(g.n()),
                 frontier_nnz, adj_nnz, a.ranks,
                 allow_async ? "sync+async" : "sync only",
-                machine.overlap_beta);
+                dist::partition_kind_name(pkind), machine.overlap_beta);
     std::fputs(tab.render().c_str(), stdout);
     return 0;
   }
@@ -493,6 +529,9 @@ int run(const Args& a) {
   MFBC_CHECK(a.tune_profile.empty() || simulated_bc,
              "--tune-profile needs a simulated run "
              "(--algo mfbc|combblas --ranks P)");
+  MFBC_CHECK(pkind == dist::PartitionKind::kBlock || simulated_bc,
+             "--partition needs a simulated run "
+             "(--algo mfbc|combblas --ranks P)");
   telemetry::Json cost_json;     // ledger cost of the simulated run, if any
   telemetry::Json faults_json;   // fault-injection outcome, if enabled
   telemetry::Json tune_json;     // adaptive-tuner summary, if attached
@@ -505,7 +544,8 @@ int run(const Args& a) {
   } else if (a.algo == "combblas") {
     sim::Sim sim(a.ranks > 0 ? a.ranks : 1, machine);
     telemetry::ScopedLedgerSink sink(sim.ledger());
-    baseline::CombBlasBc engine(sim, g);
+    baseline::CombBlasBc engine(sim, g,
+                                dist::make_partition(g, pkind, sim.nranks()));
     if (!a.faults.empty()) {
       // After construction: the one-time graph distribution does not
       // consume charge indices, so schedules address the algorithm itself.
@@ -553,6 +593,8 @@ int run(const Args& a) {
     baseline_json["forward_words"] = telemetry::Json(stats.forward_cost.words);
     baseline_json["backward_words"] =
         telemetry::Json(stats.backward_cost.words);
+    baseline_json["imbalance_nnz"] = telemetry::Json(stats.imbalance_nnz);
+    baseline_json["imbalance_ops"] = telemetry::Json(stats.imbalance_ops);
     if (const sim::FaultInjector* fi = sim.faults()) {
       faults_json = fault_block(*fi, stats.batch_retries);
     }
@@ -561,7 +603,7 @@ int run(const Args& a) {
     // Route ledger charges into the telemetry registry so the --json
     // artifact carries sim.* totals alongside the faults.* counters.
     telemetry::ScopedLedgerSink sink(sim.ledger());
-    core::DistMfbc engine(sim, g);
+    core::DistMfbc engine(sim, g, dist::make_partition(g, pkind, a.ranks));
     if (!a.faults.empty()) {
       // After construction: the one-time graph distribution does not
       // consume charge indices, so schedules address the algorithm itself.
@@ -620,6 +662,10 @@ int run(const Args& a) {
     config["ranks"] = telemetry::Json(a.ranks);
     config["batch"] = telemetry::Json(static_cast<std::int64_t>(a.batch));
     config["schedule"] = telemetry::Json(a.schedule);
+    config["partition"] = telemetry::Json(a.partition);
+    if (!a.machine_profile.empty()) {
+      config["machine_profile"] = telemetry::Json(a.machine_profile);
+    }
     config["overlap_beta"] = telemetry::Json(machine.overlap_beta);
     config["seed"] = telemetry::Json(static_cast<double>(a.seed));
     if (!a.faults.empty()) {
