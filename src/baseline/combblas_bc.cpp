@@ -145,6 +145,9 @@ dist::Plan CombBlasBc::plan_for(const CombBlasOptions& opts,
   req.opts.allow_1d = false;
   req.opts.allow_3d = false;
   req.opts.square_2d_only = true;
+  // Topology epoch: a grid shrink retires plans cached for the old
+  // placement (tune/plan_cache.hpp).
+  req.topology = sim_.faults() != nullptr ? sim_.faults()->shrinks() : 0;
   // The fixed SUMMA plan is what runs without a tuner; seeding it as the
   // stream's current plan makes it the hysteresis reference, so a tuned run
   // only ever departs from the untuned behavior for a modelled win that
@@ -172,9 +175,17 @@ std::vector<double> CombBlasBc::run(const CombBlasOptions& opts,
             static_cast<double>(adj_t_.block(i, j).nnz())) *
            sim::sparse_entry_words<Weight>();
   };
-  hooks.invalidate_caches = [&] {
+  int seen_shrinks = 0;
+  hooks.invalidate_caches = [&, seen_shrinks]() mutable {
     adj_cache_.clear();
     adj_t_cache_.clear();
+    // A grid shrink obsoletes the tuner's per-stream hysteresis state
+    // (see DistMfbc::run): reset it so the next plan is a fresh decision.
+    const sim::FaultInjector* fi = sim_.faults();
+    if (fi != nullptr && fi->shrinks() > seen_shrinks) {
+      seen_shrinks = fi->shrinks();
+      if (opts.tuner != nullptr) opts.tuner->reset_stream_state();
+    }
   };
   run_ops_ = dist::DistSpgemmStats{};
   // Resolve-then-map keeps batch composition and λ accumulation order pinned
@@ -182,13 +193,20 @@ std::vector<double> CombBlasBc::run(const CombBlasOptions& opts,
   const std::vector<vid_t> sources =
       part_.map_sources(core::resolve_sources(g_.n(), opts.sources));
   core::BatchDriverStats driver_stats;
+  core::BatchRunOptions run_opts;
+  run_opts.checkpoint_dir = opts.checkpoint_dir;
+  run_opts.resume = opts.resume;
   auto bc = core::run_batched_bc(sim_, base_, g_.n(), sources,
-                                 opts.batch_size, hooks, &driver_stats);
+                                 opts.batch_size, hooks, &driver_stats,
+                                 run_opts);
   const double imb_ops = run_ops_.ops_imbalance(sim_.nranks());
   telemetry::gauge("dist.imbalance.ops", imb_ops);
   telemetry::gauge("dist.imbalance.nnz", imb_nnz_);
   if (stats != nullptr) {
     stats->batch_retries += driver_stats.batch_retries;
+    stats->resumed_batches += driver_stats.resumed_batches;
+    stats->spare_rehomes += driver_stats.spare_rehomes;
+    stats->grid_shrinks += driver_stats.grid_shrinks;
     stats->imbalance_nnz = imb_nnz_;
     stats->imbalance_ops = imb_ops;
   }

@@ -46,13 +46,20 @@ struct CombBlasOptions {
   /// only for a modelled win that clears the re-homing cost. Plans may
   /// change; results never do. Not owned; must outlive run().
   tune::Tuner* tuner = nullptr;
+  /// Durable checkpoint directory and resume flag, forwarded to the shared
+  /// batch driver (core/batch_driver.hpp BatchRunOptions).
+  std::string checkpoint_dir;
+  bool resume = false;
 };
 
 struct CombBlasStats {
   FrontierTrace forward;
   FrontierTrace backward;
   int batches = 0;
-  int batch_retries = 0;  ///< batches re-run after a rank failure
+  int batch_retries = 0;    ///< batches re-run after a rank failure
+  int resumed_batches = 0;  ///< batches skipped by a --resume restart
+  int spare_rehomes = 0;    ///< recoveries served from the spare pool
+  int grid_shrinks = 0;     ///< recoveries that shrank the physical grid
   std::vector<std::string> plans_used;  ///< distinct plan names, in order seen
   /// Critical-path cost deltas per phase (summed over batches), mirroring
   /// DistMfbcStats so bench tables can report both engines side by side.

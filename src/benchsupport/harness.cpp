@@ -86,7 +86,8 @@ void fill_costs(CellResult& r, const sim::Sim& sim, const graph::Graph& g,
 /// Engine-agnostic: both engines run the shared batch driver, so a plain
 /// batch-retry count is the only engine-side input.
 void fill_fault_outcome(CellResult& r, const sim::Sim& sim,
-                        int batch_retries) {
+                        int batch_retries, int spare_rehomes = 0,
+                        int grid_shrinks = 0) {
   const sim::FaultInjector* fi = sim.faults();
   if (fi == nullptr) return;
   const sim::FaultCounters& c = fi->counters();
@@ -98,6 +99,14 @@ void fill_fault_outcome(CellResult& r, const sim::Sim& sim,
   const sim::FaultOverhead& o = fi->overhead();
   r.overhead_words = o.words;
   r.overhead_seconds = o.comm_seconds + o.compute_seconds;
+  r.spare_rehomes = spare_rehomes;
+  r.grid_shrinks = grid_shrinks;
+  // fill_costs runs first, so r.seconds is the run's end time — the window
+  // the idle-spare pricing covers.
+  const sim::SpareReport sp = fi->spare_report(r.seconds);
+  r.spares_provisioned = sp.provisioned;
+  r.spares_activated = sp.activated;
+  r.spare_idle_seconds = sp.idle_seconds;
 }
 
 }  // namespace
@@ -180,7 +189,8 @@ CellResult run_mfbc_cell(const graph::Graph& g, const CellConfig& cfg) {
 #endif
     r.plans = stats.plans_used;
     fill_costs(r, sim, g, static_cast<double>(opts.sources.size()));
-    fill_fault_outcome(r, sim, stats.batch_retries);
+    fill_fault_outcome(r, sim, stats.batch_retries, stats.spare_rehomes,
+                       stats.grid_shrinks);
   } catch (const Error& e) {
     r.ok = false;
     r.error = e.what();
@@ -224,7 +234,8 @@ CellResult run_combblas_cell(const graph::Graph& g, const CellConfig& cfg) {
     r.bwd_words = stats.backward_cost.words;
     r.plans = stats.plans_used;
     fill_costs(r, sim, g, static_cast<double>(opts.sources.size()));
-    fill_fault_outcome(r, sim, stats.batch_retries);
+    fill_fault_outcome(r, sim, stats.batch_retries, stats.spare_rehomes,
+                       stats.grid_shrinks);
   } catch (const Error& e) {
     r.ok = false;
     r.error = e.what();
@@ -267,6 +278,15 @@ telemetry::Json cell_json(const CellResult& r) {
     f["batch_retries"] = telemetry::Json(r.batch_retries);
     f["overhead_words"] = telemetry::Json(r.overhead_words);
     f["overhead_seconds"] = telemetry::Json(r.overhead_seconds);
+    if (r.spare_rehomes > 0) f["spare_rehomes"] = telemetry::Json(r.spare_rehomes);
+    if (r.grid_shrinks > 0) f["grid_shrinks"] = telemetry::Json(r.grid_shrinks);
+    if (r.spares_provisioned > 0) {
+      telemetry::Json sp = telemetry::Json::object();
+      sp["provisioned"] = telemetry::Json(r.spares_provisioned);
+      sp["activated"] = telemetry::Json(r.spares_activated);
+      sp["idle_seconds"] = telemetry::Json(r.spare_idle_seconds);
+      f["spares"] = std::move(sp);
+    }
     j["faults"] = std::move(f);
   }
   return j;

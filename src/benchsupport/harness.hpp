@@ -45,6 +45,14 @@ struct CellResult {
   int batch_retries = 0;
   double overhead_words = 0;
   double overhead_seconds = 0;
+  /// Elastic-recovery outcome (docs/fault_tolerance.md "Elastic recovery"):
+  /// which remap policy served each rank failure, plus the priced idleness
+  /// of any provisioned-but-unused spare capacity.
+  int spare_rehomes = 0;
+  int grid_shrinks = 0;
+  int spares_provisioned = 0;
+  int spares_activated = 0;
+  double spare_idle_seconds = 0;
   bool ok = true;            ///< false when the code refused the configuration
   std::string error;
 };

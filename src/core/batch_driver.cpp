@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "core/checkpoint.hpp"
 #include "dist/spgemm_dist.hpp"
 #include "sim/faults.hpp"
 #include "support/error.hpp"
@@ -24,7 +25,7 @@ void recover_from_rank_failure(sim::Sim& sim, const dist::Layout& base,
                                std::vector<double>& lambda,
                                const std::vector<double>& checkpoint,
                                std::span<const int> all_ranks,
-                               int batch_index) {
+                               int batch_index, BatchDriverStats* stats) {
   sim::FaultInjector* fi = sim.faults();
   MFBC_CHECK(fi != nullptr, "rank-failure recovery without fault injection");
   MFBC_CHECK(checkpoint.size() == lambda.size(),
@@ -43,36 +44,76 @@ void recover_from_rank_failure(sim::Sim& sim, const dist::Layout& base,
     }
     if (!row_alive) {
       fi->count_aborted(sim::FaultKind::kRankFailure);
-      throw sim::FaultError(
+      sim::FaultError dead_row(
           sim::FaultKind::kRankFailure, fi->charge_points(), -1, false,
           "unrecoverable rank failure: every rank of grid row " +
               std::to_string(i) + " is dead, λ checkpoint replicas lost");
+      dead_row.set_batch(batch_index);
+      throw dead_row;
     }
   }
 
-  // Re-home dead virtual ranks onto survivors. The logical grid — and with
-  // it every layout, schedule, and floating-point summation order — is
-  // unchanged, so the recovered run stays bit-identical; the degraded
-  // machine accrues cost honestly through the new virtual→physical map.
-  fi->remap();
+  // The largest stationary-operand block a dead host carried — sized before
+  // the remap, while the dead hosts are still visible through the map.
+  double lost_words = 0;
+  for (int i = 0; i < base.pr; ++i) {
+    for (int j = 0; j < base.pc; ++j) {
+      if (!fi->dead(base.rank_at(i, j))) continue;
+      lost_words = std::max(lost_words, hooks.lost_block_words(i, j));
+    }
+  }
+
+  // Re-home dead virtual ranks: spare re-home first, then survivor
+  // doubling, then a grid shrink (sim/faults.hpp). The logical grid — and
+  // with it every layout, schedule, and floating-point summation order — is
+  // unchanged by every branch, so the recovered run stays bit-identical;
+  // the degraded machine accrues cost honestly through the new
+  // virtual→physical map.
+  const sim::RemapOutcome outcome = sim.remap_dead_ranks(batch_index);
+  if (stats != nullptr) {
+    if (outcome.used_spare) ++stats->spare_rehomes;
+    if (outcome.shrunk) ++stats->grid_shrinks;
+  }
 
   {
     auto rs = sim.recovery_scope();
+    sim::RecoveryEvent restore;
+    restore.kind = sim::RecoveryEvent::Kind::kCheckpointRestore;
+    restore.charge_index = fi->charge_points();
+    restore.batch = batch_index;
+    restore.seconds = sim.ledger().critical().total_seconds();
+    fi->record_event(restore);
     // Restore λ from the surviving replica in each row.
     for (int i = 0; i < base.pr; ++i) {
       sim.charge_bcast(base.row_group(i), static_cast<double>(n) / base.pr);
     }
     // Re-fetch the stationary-operand blocks the dead hosts carried
     // (checkpoint restart from the input): one scatter sized by the largest
-    // lost block.
-    double lost_words = 0;
-    for (int i = 0; i < base.pr; ++i) {
-      for (int j = 0; j < base.pc; ++j) {
-        if (!fi->dead(base.rank_at(i, j))) continue;
-        lost_words = std::max(lost_words, hooks.lost_block_words(i, j));
+    // lost block. On the spare path this is the spare's warm-up
+    // re-broadcast — cost-identical to the doubling path's re-fetch (same
+    // collective, same group, same words), booked under spare.* so the
+    // bench's spare-never-charges-more gate can audit it.
+    if (lost_words > 0) {
+      sim.charge_scatter(all_ranks, lost_words);
+      if (outcome.used_spare) {
+        telemetry::count("spare.warmup_words", lost_words);
       }
     }
-    if (lost_words > 0) sim.charge_scatter(all_ranks, lost_words);
+    // A grid shrink moved *every* virtual rank's blocks, not just the dead
+    // hosts': charge the full redistribution (one personalized exchange
+    // sized by the average per-host resident volume on the shrunken fleet).
+    if (outcome.shrunk) {
+      double total_words = 0;
+      for (int i = 0; i < base.pr; ++i) {
+        for (int j = 0; j < base.pc; ++j) {
+          total_words += hooks.lost_block_words(i, j);
+        }
+      }
+      const double per_host =
+          total_words / static_cast<double>(std::max(1, fi->alive_count()));
+      sim.charge_alltoall(all_ranks, per_host);
+      telemetry::count("degrade.redistributed_words", total_words);
+    }
   }
 
   hooks.invalidate_caches();
@@ -107,11 +148,14 @@ std::vector<double> run_batched_bc(sim::Sim& sim, const dist::Layout& base,
                                    vid_t n,
                                    const std::vector<vid_t>& sources,
                                    vid_t batch_size, const BatchHooks& hooks,
-                                   BatchDriverStats* stats) {
+                                   BatchDriverStats* stats,
+                                   const BatchRunOptions& run_opts) {
   MFBC_CHECK(batch_size >= 1, "batch size must be positive");
   MFBC_CHECK(hooks.run_batch && hooks.lost_block_words &&
                  hooks.invalidate_caches,
              "run_batched_bc: every BatchHooks callback must be set");
+  MFBC_CHECK(!run_opts.resume || !run_opts.checkpoint_dir.empty(),
+             "--resume needs --checkpoint-dir");
   const std::vector<vid_t> all_sources = resolve_sources(n, sources);
   const int p = sim.nranks();
   std::vector<int> all_ranks(static_cast<std::size_t>(p));
@@ -121,10 +165,50 @@ std::vector<double> run_batched_bc(sim::Sim& sim, const dist::Layout& base,
 
   sim::FaultInjector* fi = sim.faults();
   const bool checkpointing = fi != nullptr && fi->checkpoint_enabled();
+  const bool durable = !run_opts.checkpoint_dir.empty();
+  const std::uint64_t sig = durable
+                                ? source_signature(n, batch_size, all_sources)
+                                : 0;
+  const int total_batches = static_cast<int>(
+      (all_sources.size() + static_cast<std::size_t>(batch_size) - 1) /
+      static_cast<std::size_t>(batch_size));
+
+  int start_batch = 0;
+  if (run_opts.resume) {
+    const LambdaCheckpoint ck = load_checkpoint(run_opts.checkpoint_dir);
+    MFBC_CHECK(ck.n == static_cast<std::uint64_t>(n),
+               "checkpoint resumes a different graph (n mismatch)");
+    MFBC_CHECK(ck.source_sig == sig,
+               "checkpoint resumes a different run (source/batch signature "
+               "mismatch)");
+    MFBC_CHECK(ck.batches_done <= static_cast<std::uint64_t>(total_batches),
+               "checkpoint claims more batches than this run has");
+    lambda = ck.lambda;
+    start_batch = static_cast<int>(ck.batches_done);
+    if (stats != nullptr) stats->resumed_batches = start_batch;
+    telemetry::count("ckpt.resumed_batches",
+                     static_cast<double>(start_batch));
+    if (fi != nullptr) {
+      fi->record_event({sim::RecoveryEvent::Kind::kResume,
+                        fi->charge_points(), start_batch, -1, -1,
+                        sim.ledger().critical().total_seconds()});
+    }
+    // Redistribute the restored λ segments to their owning rows — the same
+    // collective shape as the in-memory checkpoint restore.
+    auto rs = sim.recovery_scope();
+    for (int i = 0; i < base.pr; ++i) {
+      sim.charge_bcast(base.row_group(i), static_cast<double>(n) / base.pr);
+    }
+  }
 
   int batch_index = 0;
   for (std::size_t lo = 0; lo < all_sources.size();
        lo += static_cast<std::size_t>(batch_size)) {
+    if (batch_index < start_batch) {
+      // Already accumulated into the checkpoint this run resumed from.
+      ++batch_index;
+      continue;
+    }
     const std::size_t hi = std::min(
         all_sources.size(), lo + static_cast<std::size_t>(batch_size));
     const std::vector<vid_t> batch_sources(
@@ -141,7 +225,7 @@ std::vector<double> run_batched_bc(sim::Sim& sim, const dist::Layout& base,
         // charges re-enters this same policy instead of escaping.
         if (need_recover) {
           recover_from_rank_failure(sim, base, n, hooks, lambda, lambda_ckpt,
-                                    all_ranks, batch_index);
+                                    all_ranks, batch_index, stats);
           need_recover = false;
         }
         // Checkpoint λ at the batch boundary: each base-grid row replicates
@@ -162,6 +246,20 @@ std::vector<double> run_batched_bc(sim::Sim& sim, const dist::Layout& base,
         // Nothing dirty may outlive a batch: repair corruption from frontier
         // exchanges that no ABFT pass covered.
         dist::abft_repair_pending(sim);
+        if (durable) {
+          // Persist λ after every complete batch (core/checkpoint.hpp); the
+          // gather models collecting the row-replicated segments to the
+          // writer. Inside the try: the gather is a fault charge point, and
+          // a rank that dies during it re-enters this batch's retry policy.
+          LambdaCheckpoint ck;
+          ck.n = static_cast<std::uint64_t>(n);
+          ck.batches_done = static_cast<std::uint64_t>(batch_index + 1);
+          ck.source_sig = sig;
+          ck.lambda = lambda;
+          save_checkpoint(run_opts.checkpoint_dir, ck);
+          auto rs = sim.recovery_scope();
+          sim.charge_gather(all_ranks, static_cast<double>(n));
+        }
         break;
       } catch (const sim::FaultError& e) {
         // A failure inside an overlap window leaves the window open; the
@@ -169,18 +267,24 @@ std::vector<double> run_batched_bc(sim::Sim& sim, const dist::Layout& base,
         // credit is forfeited — the retry re-earns (or doesn't) its own.
         sim.overlap_abandon_all();
         if (e.kind() != sim::FaultKind::kRankFailure || !e.recoverable()) {
-          throw;
+          // Annotate the failing batch on the way out so the CLI can name
+          // it in the unrecoverable diagnostic.
+          sim::FaultError out = e;
+          if (out.batch() < 0) out.set_batch(batch_index);
+          throw out;
         }
         MFBC_CHECK(checkpointing, "rank failure without checkpointing");
         ++attempts;
         if (stats != nullptr) ++stats->batch_retries;
         if (attempts > fi->spec().max_batch_retries) {
           fi->count_aborted(sim::FaultKind::kRankFailure);
-          throw sim::FaultError(
+          sim::FaultError limit(
               e.kind(), e.charge_index(), e.rank(), false,
               std::string(e.what()) + " (batch retry limit of " +
                   std::to_string(fi->spec().max_batch_retries) +
                   " exceeded)");
+          limit.set_batch(batch_index);
+          throw limit;
         }
         need_recover = true;
       }

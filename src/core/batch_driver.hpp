@@ -39,7 +39,24 @@ struct BatchHooks {
 };
 
 struct BatchDriverStats {
-  int batch_retries = 0;  ///< batches re-run after a rank failure
+  int batch_retries = 0;    ///< batches re-run after a rank failure
+  int resumed_batches = 0;  ///< batches skipped by a --resume restart
+  int spare_rehomes = 0;    ///< recoveries served from the spare pool
+  int grid_shrinks = 0;     ///< recoveries that shrank the physical grid
+};
+
+/// Durable-checkpoint policy for one driver run (core/checkpoint.hpp).
+struct BatchRunOptions {
+  /// Directory for `mfbc.ckpt` files; empty disables durable checkpoints.
+  /// When set, λ is persisted after every completed batch whether or not a
+  /// fault injector is installed — durability guards against fatal
+  /// failures, not just recoverable ones.
+  std::string checkpoint_dir;
+  /// Load checkpoint_dir's file and restart after its last complete batch.
+  /// The file is fully verified first; a checkpoint whose shape signature
+  /// (graph size, batch size, source list) disagrees with this run is
+  /// refused. Requires checkpoint_dir.
+  bool resume = false;
 };
 
 /// Validate a requested source list (ids in [0, n), duplicate-free; throws
@@ -58,6 +75,7 @@ std::vector<double> run_batched_bc(sim::Sim& sim, const dist::Layout& base,
                                    const std::vector<graph::vid_t>& sources,
                                    graph::vid_t batch_size,
                                    const BatchHooks& hooks,
-                                   BatchDriverStats* stats = nullptr);
+                                   BatchDriverStats* stats = nullptr,
+                                   const BatchRunOptions& run_opts = {});
 
 }  // namespace mfbc::core

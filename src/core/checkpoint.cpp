@@ -1,0 +1,150 @@
+#include "core/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "support/error.hpp"
+#include "telemetry/registry.hpp"
+
+namespace mfbc::core {
+
+namespace {
+
+constexpr std::size_t kMagicBytes = sizeof(kCheckpointMagic) - 1;  // no NUL
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+std::uint64_t get_u64(const std::string& in, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(in[at + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+[[noreturn]] void bad_file(const std::string& path, const std::string& why) {
+  throw ::mfbc::Error("checkpoint " + path + ": " + why);
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes, std::uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+std::uint64_t source_signature(graph::vid_t n, graph::vid_t batch_size,
+                               const std::vector<graph::vid_t>& sources) {
+  std::uint64_t h = fnv1a(&n, sizeof(n));
+  h = fnv1a(&batch_size, sizeof(batch_size), h);
+  for (graph::vid_t s : sources) h = fnv1a(&s, sizeof(s), h);
+  return h;
+}
+
+std::string checkpoint_path(const std::string& dir) {
+  if (dir.empty()) return "mfbc.ckpt";
+  return dir.back() == '/' ? dir + "mfbc.ckpt" : dir + "/mfbc.ckpt";
+}
+
+void save_checkpoint(const std::string& dir, const LambdaCheckpoint& ck) {
+  MFBC_CHECK(ck.lambda.size() == ck.n,
+             "checkpoint: lambda length disagrees with n");
+  std::string bytes;
+  bytes.reserve(kMagicBytes + 5 * 8 + ck.lambda.size() * 8);
+  bytes.append(kCheckpointMagic, kMagicBytes);
+  put_u64(bytes, ck.n);
+  put_u64(bytes, ck.batches_done);
+  put_u64(bytes, ck.source_sig);
+  put_u64(bytes, static_cast<std::uint64_t>(ck.lambda.size()));
+  for (double v : ck.lambda) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    put_u64(bytes, bits);
+  }
+  put_u64(bytes, fnv1a(bytes.data(), bytes.size()));
+
+  const std::string path = checkpoint_path(dir);
+  const std::string tmp = path + ".tmp";
+  if (!dir.empty()) {
+    // A missing directory is a config choice, not a defect: create it so
+    // --checkpoint-dir works on a fresh path (mirrors mkdir -p).
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+  }
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) bad_file(tmp, "cannot open for writing");
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) bad_file(tmp, "write failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    bad_file(path, "rename from temp file failed");
+  }
+  telemetry::count("ckpt.writes");
+  telemetry::count("ckpt.bytes", static_cast<double>(bytes.size()));
+}
+
+LambdaCheckpoint load_checkpoint(const std::string& dir) {
+  const std::string path = checkpoint_path(dir);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) bad_file(path, "cannot open (no checkpoint to resume from?)");
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (bytes.size() < kMagicBytes ||
+      std::memcmp(bytes.data(), kCheckpointMagic, kMagicBytes) != 0) {
+    // Distinguish a future/other version from arbitrary junk: both are
+    // refused, but the version case tells the user which tool to reach for.
+    if (bytes.compare(0, 10, "mfbc.ckpt.") == 0) {
+      const std::size_t nl = bytes.find('\n');
+      bad_file(path, "version mismatch: file is '" +
+                         bytes.substr(0, nl == std::string::npos
+                                             ? std::min<std::size_t>(
+                                                   bytes.size(), 16)
+                                             : nl) +
+                         "', this build reads 'mfbc.ckpt.v1'");
+    }
+    bad_file(path, "not a checkpoint file (bad magic)");
+  }
+  const std::size_t header = kMagicBytes + 4 * 8;
+  if (bytes.size() < header + 8) bad_file(path, "truncated (header cut off)");
+  LambdaCheckpoint ck;
+  ck.n = get_u64(bytes, kMagicBytes);
+  ck.batches_done = get_u64(bytes, kMagicBytes + 8);
+  ck.source_sig = get_u64(bytes, kMagicBytes + 16);
+  const std::uint64_t count = get_u64(bytes, kMagicBytes + 24);
+  if (count != ck.n) bad_file(path, "corrupt header: lambda count != n");
+  const std::size_t expect = header + count * 8 + 8;
+  if (bytes.size() != expect) {
+    bad_file(path, "truncated: " + std::to_string(bytes.size()) +
+                       " bytes, expected " + std::to_string(expect));
+  }
+  const std::uint64_t stored = get_u64(bytes, bytes.size() - 8);
+  const std::uint64_t computed = fnv1a(bytes.data(), bytes.size() - 8);
+  if (stored != computed) {
+    bad_file(path, "checksum mismatch (corrupt): stored " +
+                       std::to_string(stored) + ", computed " +
+                       std::to_string(computed));
+  }
+  ck.lambda.resize(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t bits = get_u64(bytes, header + i * 8);
+    std::memcpy(&ck.lambda[i], &bits, sizeof(double));
+  }
+  telemetry::count("ckpt.restores");
+  return ck;
+}
+
+}  // namespace mfbc::core

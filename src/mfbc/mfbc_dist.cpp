@@ -151,6 +151,10 @@ dist::Plan DistMfbc::plan_for(const DistMfbcOptions& opts, const char* stream,
     req.stats = stats;
     req.machine = sim_.model();
     req.opts = topts;
+    // A grid shrink is a topology-change event: plans cached for the old
+    // placement stop being addressable under the bumped epoch.
+    req.topology =
+        sim_.faults() != nullptr ? sim_.faults()->shrinks() : 0;
     return opts.tuner->plan(req);
   }
   return dist::autotune(sim_.nranks(), stats, sim_.model(), topts);
@@ -193,11 +197,21 @@ std::vector<double> DistMfbc::run(const DistMfbcOptions& opts,
             static_cast<double>(adj_t_.block(i, j).nnz())) *
            sim::sparse_entry_words<Weight>();
   };
-  hooks.invalidate_caches = [&] {
+  int seen_shrinks = 0;
+  hooks.invalidate_caches = [&, seen_shrinks]() mutable {
     // Plan-home adjacency replicas on dead ranks are gone; drop the caches
     // so the next multiply re-maps (and re-charges) them.
     adj_cache_.clear();
     adj_t_cache_.clear();
+    // After a grid shrink the tuner's per-stream hysteresis state describes
+    // a placement that no longer exists — forget it so the next plan is a
+    // fresh decision on the shrunken topology (the bumped epoch already
+    // retired the cached plans).
+    const sim::FaultInjector* fi = sim_.faults();
+    if (fi != nullptr && fi->shrinks() > seen_shrinks) {
+      seen_shrinks = fi->shrinks();
+      if (opts.tuner != nullptr) opts.tuner->reset_stream_state();
+    }
   };
   // Sources arrive in the caller's original vertex ids; validate and map
   // them into partition order *positionally* (the batch composition and λ
@@ -207,13 +221,20 @@ std::vector<double> DistMfbc::run(const DistMfbcOptions& opts,
   const std::vector<vid_t> sources =
       part_.map_sources(resolve_sources(g_.n(), opts.sources));
   BatchDriverStats driver_stats;
+  BatchRunOptions run_opts;
+  run_opts.checkpoint_dir = opts.checkpoint_dir;
+  run_opts.resume = opts.resume;
   auto lambda = run_batched_bc(sim_, base_, g_.n(), sources,
-                               opts.batch_size, hooks, &driver_stats);
+                               opts.batch_size, hooks, &driver_stats,
+                               run_opts);
   const double imb_ops = run_ops_.ops_imbalance(sim_.nranks());
   telemetry::gauge("dist.imbalance.ops", imb_ops);
   telemetry::gauge("dist.imbalance.nnz", imb_nnz_);
   if (stats != nullptr) {
     stats->batch_retries += driver_stats.batch_retries;
+    stats->resumed_batches += driver_stats.resumed_batches;
+    stats->spare_rehomes += driver_stats.spare_rehomes;
+    stats->grid_shrinks += driver_stats.grid_shrinks;
     stats->imbalance_nnz = imb_nnz_;
     stats->imbalance_ops = imb_ops;
   }

@@ -50,13 +50,20 @@ struct DistMfbcOptions {
   /// be in [0, n) and duplicate-free; run() throws mfbc::Error otherwise,
   /// before any distribution work starts.
   std::vector<vid_t> sources;
+  /// Durable checkpoint directory and resume flag, forwarded to the shared
+  /// batch driver (core/batch_driver.hpp BatchRunOptions).
+  std::string checkpoint_dir;
+  bool resume = false;
 };
 
 struct DistMfbcStats {
   FrontierTrace forward;
   FrontierTrace backward;
   int batches = 0;
-  int batch_retries = 0;  ///< batches re-run after a rank failure
+  int batch_retries = 0;    ///< batches re-run after a rank failure
+  int resumed_batches = 0;  ///< batches skipped by a --resume restart
+  int spare_rehomes = 0;    ///< recoveries served from the spare pool
+  int grid_shrinks = 0;     ///< recoveries that shrank the physical grid
   std::vector<std::string> plans_used;  ///< distinct plan names, in order seen
   /// Critical-path cost deltas per phase (summed over batches): how much of
   /// the run's W/S/time the forward (MFBF) and backward (MFBr) phases each

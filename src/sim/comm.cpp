@@ -11,6 +11,7 @@ namespace mfbc::sim {
 
 Sim::Sim(int nranks, MachineModel model)
     : model_(std::move(model)),
+      nranks_(nranks),
       ledger_(nranks),
       resident_words_(static_cast<std::size_t>(nranks), 0.0) {
   MFBC_CHECK(model_.profiles.empty() ||
@@ -81,9 +82,55 @@ void Sim::charge_compute(int rank, double ops) {
 
 void Sim::enable_faults(const FaultSpec& spec) {
   faults_ = std::make_unique<FaultInjector>(spec, nranks());
+  // Spare physical ranks join the machine beyond the compute fleet: extend
+  // the ledger (zero accumulated cost until activation), the resident
+  // bookkeeping, and — for heterogeneous fleets — the profile table with
+  // cpu-class standby hardware, unless --machine-profile already covered
+  // the pool via its `spare` class.
+  const int physical = faults_->physical_ranks();
+  if (physical > ledger_.nranks()) {
+    ledger_.add_ranks(physical - ledger_.nranks());
+  }
+  if (static_cast<int>(resident_words_.size()) < physical) {
+    resident_words_.resize(static_cast<std::size_t>(physical), 0.0);
+  }
+  if (model_.heterogeneous() &&
+      static_cast<int>(model_.profiles.size()) < physical) {
+    model_.profiles.resize(
+        static_cast<std::size_t>(physical),
+        RankProfile{model_.seconds_per_op, model_.alpha, model_.beta,
+                    model_.memory_words});
+  }
 }
 
 void Sim::disable_faults() { faults_.reset(); }
+
+double Sim::resident_words(int rank) const {
+  MFBC_CHECK(rank >= 0 && rank < static_cast<int>(resident_words_.size()),
+             "resident_words: rank out of range");
+  return resident_words_[static_cast<std::size_t>(rank)];
+}
+
+RemapOutcome Sim::remap_dead_ranks(int batch) {
+  MFBC_CHECK(faults_ != nullptr, "remap_dead_ranks without fault injection");
+  RemapContext ctx;
+  ctx.vrank_resident_words =
+      std::span<const double>(resident_words_.data(),
+                              static_cast<std::size_t>(nranks_));
+  ctx.machine = &model_;
+  ctx.batch = batch;
+  ctx.now_seconds = ledger_.critical().total_seconds();
+  RemapOutcome out = faults_->remap(ctx);
+  // Consolidation raises per-host footprints; fold them into the high-water
+  // mark so memory-pressure re-planning sees the degraded machine.
+  std::vector<double> load(static_cast<std::size_t>(ledger_.nranks()), 0.0);
+  for (int v = 0; v < nranks_; ++v) {
+    load[static_cast<std::size_t>(faults_->physical(v))] +=
+        resident_words_[static_cast<std::size_t>(v)];
+  }
+  for (double w : load) resident_highwater_ = std::max(resident_highwater_, w);
+  return out;
+}
 
 void Sim::charge_retransfer(std::span<const int> group, double words,
                             double msgs) {
@@ -176,6 +223,9 @@ void Sim::charge_faulty(std::span<const int> group, double words,
         fi.count_detected(FaultKind::kRankFailure);
         const int phys = fi.physical(d.victim);
         fi.kill(phys);
+        fi.record_event({RecoveryEvent::Kind::kRankFailure, d.index, -1,
+                         d.victim, phys,
+                         ledger_.critical().total_seconds()});
         throw FaultError(
             FaultKind::kRankFailure, d.index, d.victim, true,
             "virtual rank " + std::to_string(d.victim) + " (physical rank " +

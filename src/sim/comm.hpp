@@ -34,7 +34,11 @@ class Sim {
 
   /// Virtual rank count: fixed for the lifetime of the Sim, even after rank
   /// failures (dead ranks are re-mapped onto survivors, not removed).
-  int nranks() const { return ledger_.nranks(); }
+  int nranks() const { return nranks_; }
+  /// Physical ranks on the ledger: the compute fleet plus any spare-rank
+  /// pool provisioned by enable_faults. Equals nranks() until a spec with
+  /// `spares:N` extends the machine.
+  int physical_ranks() const { return ledger_.nranks(); }
   const MachineModel& model() const { return model_; }
   CostLedger& ledger() { return ledger_; }
   const CostLedger& ledger() const { return ledger_; }
@@ -106,6 +110,9 @@ class Sim {
   void note_resident(int rank, double words);
   /// Largest per-rank resident footprint seen so far, in words.
   double resident_highwater_words() const { return resident_highwater_; }
+  /// One virtual rank's current resident footprint (the elastic remap's
+  /// fit checks and the recovery tests read these).
+  double resident_words(int rank) const;
 
   // --- fault injection ----------------------------------------------------
 
@@ -117,6 +124,13 @@ class Sim {
   bool faults_enabled() const { return faults_ != nullptr; }
   FaultInjector* faults() { return faults_.get(); }
   const FaultInjector* faults() const { return faults_.get(); }
+
+  /// Elastic re-home of every virtual rank whose host died: builds the
+  /// RemapContext (per-rank residents, machine model, ledger time) and runs
+  /// the injector's spare → double → shrink policy. Folds the consolidated
+  /// per-host footprint into the resident high-water mark so
+  /// memory-pressure re-planning sees the degraded machine.
+  RemapOutcome remap_dead_ranks(int batch = -1);
 
   /// Re-issue a corrupted transfer from its recorded raw (words, msgs), as
   /// part of ABFT repair. This is a fresh charge point — the repair itself
@@ -153,6 +167,7 @@ class Sim {
                          double seconds, bool overhead);
 
   MachineModel model_;
+  int nranks_;
   CostLedger ledger_;
   std::unique_ptr<FaultInjector> faults_;
   int recovery_depth_ = 0;

@@ -4,6 +4,7 @@
 #include <charconv>
 #include <cstdlib>
 
+#include "sim/machine.hpp"
 #include "support/rng.hpp"
 #include "telemetry/registry.hpp"
 
@@ -19,6 +20,24 @@ const char* fault_kind_name(FaultKind k) {
       return "rank";
     case FaultKind::kCorruption:
       return "corrupt";
+  }
+  return "?";
+}
+
+const char* recovery_event_kind_name(RecoveryEvent::Kind k) {
+  switch (k) {
+    case RecoveryEvent::Kind::kRankFailure:
+      return "rank_failure";
+    case RecoveryEvent::Kind::kSpareRehome:
+      return "spare_rehome";
+    case RecoveryEvent::Kind::kSurvivorDouble:
+      return "survivor_double";
+    case RecoveryEvent::Kind::kGridShrink:
+      return "grid_shrink";
+    case RecoveryEvent::Kind::kCheckpointRestore:
+      return "checkpoint_restore";
+    case RecoveryEvent::Kind::kResume:
+      return "resume";
   }
   return "?";
 }
@@ -125,6 +144,10 @@ FaultSpec FaultSpec::parse(const std::string& text, std::uint64_t seed) {
       spec.max_retries = static_cast<int>(parse_int(item, value));
     } else if (name == "batch-retries") {
       spec.max_batch_retries = static_cast<int>(parse_int(item, value));
+    } else if (name == "spares") {
+      spec.spares = static_cast<int>(parse_int(item, value));
+    } else if (name == "shrinks") {
+      spec.max_shrinks = static_cast<int>(parse_int(item, value));
     } else if (name == "seed") {
       spec.seed = parse_u64(item, value);
     } else if (kind_of(name) == FaultKind::kTransient) {
@@ -170,6 +193,12 @@ std::string FaultSpec::to_string() const {
   if (max_batch_retries != defaults.max_batch_retries) {
     items.push_back("batch-retries:" + std::to_string(max_batch_retries));
   }
+  if (spares != defaults.spares) {
+    items.push_back("spares:" + std::to_string(spares));
+  }
+  if (max_shrinks != defaults.max_shrinks) {
+    items.push_back("shrinks:" + std::to_string(max_shrinks));
+  }
   if (seed != defaults.seed) items.push_back("seed:" + std::to_string(seed));
   if (record_trace) items.push_back("trace");
   std::string out;
@@ -181,9 +210,24 @@ std::string FaultSpec::to_string() const {
 }
 
 FaultInjector::FaultInjector(FaultSpec spec, int nranks)
-    : spec_(std::move(spec)), map_(nranks), dead_(nranks, 0), alive_(nranks) {
+    : spec_(std::move(spec)), map_(nranks), alive_(nranks) {
   MFBC_CHECK(nranks > 0, "fault injector needs at least one rank");
-  for (int r = 0; r < nranks; ++r) map_[r] = r;
+  MFBC_CHECK(spec_.spares >= 0, "spares must be non-negative");
+  MFBC_CHECK(spec_.max_shrinks >= 0, "shrinks must be non-negative");
+  spares_provisioned_ = spec_.spares;
+  const int physical = nranks + spares_provisioned_;
+  dead_.assign(static_cast<std::size_t>(physical), 0);
+  active_.assign(static_cast<std::size_t>(physical), 0);
+  for (int r = 0; r < nranks; ++r) {
+    map_[r] = r;
+    active_[r] = 1;
+  }
+  spare_pool_.reserve(static_cast<std::size_t>(spares_provisioned_));
+  for (int s = nranks; s < physical; ++s) spare_pool_.push_back(s);
+  if (spares_provisioned_ > 0) {
+    telemetry::count("spare.provisioned",
+                     static_cast<double>(spares_provisioned_));
+  }
   for (const FaultSpec::Scheduled& s : spec_.scheduled) {
     MFBC_CHECK(s.victim < nranks, "scheduled fault victim out of range");
   }
@@ -243,28 +287,148 @@ std::vector<int> FaultInjector::physical_group(
 }
 
 void FaultInjector::kill(int physical) {
-  MFBC_CHECK(physical >= 0 && physical < nranks(), "kill: rank out of range");
+  MFBC_CHECK(physical >= 0 && physical < physical_ranks(),
+             "kill: rank out of range");
   if (dead_[physical]) return;
   dead_[physical] = 1;
-  --alive_;
+  if (active_[physical]) {
+    --alive_;
+  } else {
+    // A cold spare died in the pool: it can never be activated.
+    spare_pool_.erase(
+        std::remove(spare_pool_.begin(), spare_pool_.end(), physical),
+        spare_pool_.end());
+  }
 }
 
-void FaultInjector::remap() {
-  if (alive_ == 0) {
+bool FaultInjector::fits(const std::vector<int>& candidate,
+                         const RemapContext& ctx) const {
+  if (ctx.vrank_resident_words.empty() || ctx.machine == nullptr) return true;
+  std::vector<double> load(static_cast<std::size_t>(physical_ranks()), 0.0);
+  for (int v = 0; v < nranks(); ++v) {
+    const auto r = std::min(static_cast<std::size_t>(v),
+                            ctx.vrank_resident_words.size() - 1);
+    load[static_cast<std::size_t>(candidate[static_cast<std::size_t>(v)])] +=
+        ctx.vrank_resident_words[r];
+  }
+  const auto& profiles = ctx.machine->profiles;
+  for (std::size_t h = 0; h < load.size(); ++h) {
+    // Spares provisioned beyond the profiled fleet price as the scalar
+    // (cpu-class) memory; Sim::enable_faults extends the profiles so this
+    // fallback only triggers for standalone injectors in tests.
+    const double cap = h < profiles.size()
+                           ? profiles[h].memory_words
+                           : ctx.machine->memory_words;
+    if (load[h] > cap) return false;
+  }
+  return true;
+}
+
+RemapOutcome FaultInjector::remap(const RemapContext& ctx) {
+  RemapOutcome out;
+  if (alive_ == 0 && spare_pool_.empty()) {
     throw FaultError(FaultKind::kRankFailure, next_index_, -1, false,
                      "unrecoverable: every physical rank is dead");
   }
-  std::vector<int> alive;
-  alive.reserve(static_cast<std::size_t>(alive_));
-  for (int r = 0; r < nranks(); ++r)
-    if (!dead_[r]) alive.push_back(r);
-  identity_ = alive_ == nranks();
+  // Dead hosts still carrying virtual ranks, in ascending physical order.
+  std::vector<int> dead_hosts;
   for (int v = 0; v < nranks(); ++v) {
-    if (dead_[map_[v]]) {
-      map_[v] = alive[static_cast<std::size_t>(v) % alive.size()];
-      identity_ = false;
+    if (dead_[map_[v]]) dead_hosts.push_back(map_[v]);
+  }
+  std::sort(dead_hosts.begin(), dead_hosts.end());
+  dead_hosts.erase(std::unique(dead_hosts.begin(), dead_hosts.end()),
+                   dead_hosts.end());
+  // 1. Spare re-home: each dead host's virtual ranks move wholesale onto
+  // the next cold spare, preserving the placement shape exactly.
+  for (int h : dead_hosts) {
+    if (spare_pool_.empty()) break;
+    const int s = spare_pool_.front();
+    spare_pool_.erase(spare_pool_.begin());
+    active_[static_cast<std::size_t>(s)] = 1;
+    ++alive_;
+    spare_activation_seconds_.push_back(ctx.now_seconds);
+    telemetry::count("spare.activated");
+    for (int v = 0; v < nranks(); ++v) {
+      if (map_[v] == h) {
+        map_[v] = s;
+        telemetry::count("spare.rehomed_vranks");
+        record_event({RecoveryEvent::Kind::kSpareRehome, next_index_,
+                      ctx.batch, v, s, ctx.now_seconds});
+      }
+    }
+    out.used_spare = true;
+    out.spares_activated.push_back(s);
+  }
+  bool any_dead = false;
+  for (int v = 0; v < nranks(); ++v) any_dead |= dead_[map_[v]] != 0;
+  if (any_dead) {
+    MFBC_CHECK(alive_ > 0, "remap: no active host survives");
+    std::vector<int> alive;
+    alive.reserve(static_cast<std::size_t>(alive_));
+    for (int r = 0; r < physical_ranks(); ++r) {
+      if (active_[r] && !dead_[r]) alive.push_back(r);
+    }
+    // 2. Survivor doubling (the pre-elastic policy), if it fits.
+    std::vector<int> candidate = map_;
+    for (int v = 0; v < nranks(); ++v) {
+      if (dead_[candidate[v]]) {
+        candidate[v] = alive[static_cast<std::size_t>(v) % alive.size()];
+      }
+    }
+    if (fits(candidate, ctx)) {
+      for (int v = 0; v < nranks(); ++v) {
+        if (map_[v] != candidate[v]) {
+          telemetry::count("degrade.doubled_vranks");
+          record_event({RecoveryEvent::Kind::kSurvivorDouble, next_index_,
+                        ctx.batch, v, candidate[v], ctx.now_seconds});
+        }
+      }
+      map_ = std::move(candidate);
+      out.doubled = true;
+    } else {
+      // 3. Grid shrink: balanced contiguous placement of the whole virtual
+      // fleet onto the survivors.
+      if (shrinks_ >= spec_.max_shrinks) {
+        throw FaultError(
+            FaultKind::kRankFailure, next_index_, -1, false,
+            "unrecoverable: survivor doubling violates the memory fit and "
+            "the grid-shrink budget (shrinks:" +
+                std::to_string(spec_.max_shrinks) + ") is exhausted");
+      }
+      std::vector<int> shrunk(map_.size());
+      for (int v = 0; v < nranks(); ++v) {
+        shrunk[v] = alive[static_cast<std::size_t>(v) * alive.size() /
+                          map_.size()];
+      }
+      if (!fits(shrunk, ctx)) {
+        throw FaultError(
+            FaultKind::kRankFailure, next_index_, -1, false,
+            "unrecoverable: resident blocks do not fit the surviving ranks' "
+            "memory even after a grid shrink");
+      }
+      map_ = std::move(shrunk);
+      ++shrinks_;
+      out.shrunk = true;
+      telemetry::count("degrade.shrinks");
+      record_event({RecoveryEvent::Kind::kGridShrink, next_index_, ctx.batch,
+                    -1, -1, ctx.now_seconds});
     }
   }
+  identity_ = true;
+  for (int v = 0; v < nranks(); ++v) identity_ &= map_[v] == v;
+  return out;
+}
+
+SpareReport FaultInjector::spare_report(double end_seconds) const {
+  SpareReport r;
+  r.provisioned = spares_provisioned_;
+  r.activated = spares_activated();
+  for (double t : spare_activation_seconds_) {
+    r.idle_seconds += std::min(t, end_seconds);
+  }
+  r.idle_seconds +=
+      static_cast<double>(r.provisioned - r.activated) * end_seconds;
+  return r;
 }
 
 void FaultInjector::record_corruption(Corruption c) {

@@ -32,6 +32,8 @@
 
 namespace mfbc::sim {
 
+struct MachineModel;
+
 enum class FaultKind { kNone, kTransient, kRankFailure, kCorruption };
 
 const char* fault_kind_name(FaultKind k);
@@ -52,11 +54,18 @@ class FaultError : public ::mfbc::Error {
   int rank() const { return rank_; }
   bool recoverable() const { return recoverable_; }
 
+  /// Source batch the fault escaped from, or -1 when it never reached the
+  /// batch driver. The driver annotates errors on their way out so the CLI
+  /// can name the failing batch in its unrecoverable diagnostic.
+  int batch() const { return batch_; }
+  void set_batch(int batch) { batch_ = batch; }
+
  private:
   FaultKind kind_;
   std::uint64_t charge_index_;
   int rank_;
   bool recoverable_;
+  int batch_ = -1;
 };
 
 /// What to inject and how hard to try recovering. Parsed from the
@@ -85,6 +94,16 @@ struct FaultSpec {
   int max_retries = 3;
   /// Rank-failure policy: a batch is re-run at most this many times.
   int max_batch_retries = 4;
+  /// Cold spare physical ranks provisioned beyond the compute fleet. On a
+  /// rank failure the dead host's virtual ranks re-home onto the next spare
+  /// (ascending id); survivor doubling is only the fallback once the pool
+  /// is dry (docs/fault_tolerance.md "Elastic recovery").
+  int spares = 0;
+  /// Grid-shrink budget: when the pool is dry and survivor doubling would
+  /// violate the survivors' memory fit, the whole virtual fleet is
+  /// re-homed balanced-contiguously onto the survivors, at most this many
+  /// times per run.
+  int max_shrinks = 2;
   /// Record one TracePoint per charge point (tests assert schedule
   /// determinism across thread counts against this).
   bool record_trace = false;
@@ -97,7 +116,8 @@ struct FaultSpec {
   ///   "transient@12,corrupt@40,rank@88:3,trace"
   /// Items: `transient:R` `corrupt:R` `rank:R` (rates in [0,1]);
   /// `transient@I` `corrupt@I` `rank@I` `rank@I:V` (explicit charge index I,
-  /// victim rank V); `retries:N`; `batch-retries:N`; `trace`.
+  /// victim rank V); `retries:N`; `batch-retries:N`; `spares:N`;
+  /// `shrinks:N`; `trace`.
   /// Throws mfbc::Error on malformed input.
   static FaultSpec parse(const std::string& text, std::uint64_t seed = 1);
 
@@ -133,6 +153,60 @@ struct FaultOverhead {
   double ops = 0;
 };
 
+/// Optional context for FaultInjector::remap(): per-virtual-rank resident
+/// footprints and the machine model enable the memory-fit checks that
+/// decide between survivor doubling and a grid shrink. An empty context
+/// (the default) skips the fit checks — doubling always "fits", which is
+/// the pre-elastic behavior.
+struct RemapContext {
+  std::span<const double> vrank_resident_words;  ///< indexed by virtual rank
+  const MachineModel* machine = nullptr;
+  int batch = -1;           ///< source batch being recovered, for the timeline
+  double now_seconds = 0;   ///< ledger critical time, for the timeline
+};
+
+/// What a remap() did, so the driver can charge the matching recovery cost
+/// (spare warm-up vs redistribution) and the CLI can report it.
+struct RemapOutcome {
+  bool used_spare = false;
+  bool doubled = false;
+  bool shrunk = false;
+  std::vector<int> spares_activated;  ///< physical ids drawn from the pool
+};
+
+/// One entry of the recovery timeline surfaced in the --json artifact:
+/// every failure, re-home decision, and checkpoint restore, stamped with
+/// the charge index and modelled time at which it happened.
+struct RecoveryEvent {
+  enum class Kind {
+    kRankFailure,     ///< a physical host died (victim = virtual, host = physical)
+    kSpareRehome,     ///< virtual rank re-homed onto an activated spare
+    kSurvivorDouble,  ///< virtual rank doubled onto a surviving host
+    kGridShrink,      ///< whole fleet re-homed balanced onto the survivors
+    kCheckpointRestore,  ///< λ rolled back to the batch checkpoint
+    kResume,          ///< run resumed from a durable checkpoint file
+  };
+  Kind kind = Kind::kRankFailure;
+  std::uint64_t charge_index = 0;
+  int batch = -1;
+  int victim = -1;  ///< virtual rank (kind-dependent; -1 when not applicable)
+  int host = -1;    ///< destination physical rank (-1 when not applicable)
+  double seconds = 0;  ///< modelled critical-path time when recorded
+};
+
+const char* recovery_event_kind_name(RecoveryEvent::Kind k);
+
+/// Spare-pool accounting for the --json artifact. Idleness is priced as
+/// wall-clock spent provisioned-but-unused: an activated spare idles until
+/// its activation time, a cold one for the whole run. It is reported (and
+/// priced via the `spare.idle_seconds` counter), not added to the critical
+/// path — a standby rank costs money, not algorithm time.
+struct SpareReport {
+  int provisioned = 0;
+  int activated = 0;
+  double idle_seconds = 0;
+};
+
 class FaultInjector {
  public:
   FaultInjector(FaultSpec spec, int nranks);
@@ -157,6 +231,8 @@ class FaultInjector {
   bool identity_map() const { return identity_; }
   bool dead(int physical) const { return dead_[physical] != 0; }
   int alive_count() const { return alive_; }
+  /// Physical ranks in the machine: compute fleet plus the spare pool.
+  int physical_ranks() const { return static_cast<int>(dead_.size()); }
   /// Physical rank currently hosting `virtual_rank`.
   int physical(int virtual_rank) const { return map_[virtual_rank]; }
   /// Translate a virtual group to the sorted, deduplicated physical ranks
@@ -166,10 +242,39 @@ class FaultInjector {
   /// until remap() — callers throw immediately after kill(), so no charge
   /// lands in between.
   void kill(int physical);
-  /// Deterministically re-home every virtual rank whose host died onto a
-  /// surviving physical rank (virtual v -> alive[v mod alive_count]).
-  /// Throws FaultError(recoverable=false) when no rank survives.
-  void remap();
+  /// Deterministically re-home every virtual rank whose host died, trying
+  /// in order (docs/fault_tolerance.md "Elastic recovery"):
+  ///  1. spare re-home — each dead host's virtual ranks move wholesale onto
+  ///     the next cold spare from the pool (ascending physical id);
+  ///  2. survivor doubling — virtual v -> alive[v mod alive_count], the
+  ///     pre-elastic policy, taken when it passes the context's memory fit
+  ///     (or unconditionally with an empty context);
+  ///  3. grid shrink — the entire virtual fleet re-homes balanced and
+  ///     contiguously (v -> alive[v·|alive| / p]) onto the survivors, at
+  ///     most spec().max_shrinks times.
+  /// Throws FaultError(recoverable=false) when no rank survives, when the
+  /// shrink budget is exhausted, or when not even the shrunken placement
+  /// fits the survivors' memory.
+  RemapOutcome remap(const RemapContext& ctx = {});
+
+  // --- spare pool ---------------------------------------------------------
+  int spares_provisioned() const { return spares_provisioned_; }
+  int spares_available() const { return static_cast<int>(spare_pool_.size()); }
+  int spares_activated() const {
+    return spares_provisioned_ - spares_available();
+  }
+  /// Pool accounting priced to `end_seconds` (the run's critical time).
+  SpareReport spare_report(double end_seconds) const;
+
+  // --- graceful degradation ----------------------------------------------
+  /// Grid shrinks taken so far. Doubles as the topology epoch: the tuner
+  /// keys plan-cache entries on it, so a shrink invalidates every cached
+  /// plan chosen for the old placement (tune/plan_cache.hpp).
+  int shrinks() const { return shrinks_; }
+
+  // --- recovery timeline --------------------------------------------------
+  const std::vector<RecoveryEvent>& timeline() const { return timeline_; }
+  void record_event(RecoveryEvent e) { timeline_.push_back(e); }
 
   // --- corruption bookkeeping -------------------------------------------
   struct Corruption {
@@ -215,16 +320,27 @@ class FaultInjector {
   /// stream); stream 0 selects the fault kind, stream 1 the victim.
   double draw(std::uint64_t index, std::uint64_t stream) const;
 
+  /// True when the candidate map's per-host resident load fits every host's
+  /// memory under the context (vacuously true for an empty context).
+  bool fits(const std::vector<int>& candidate, const RemapContext& ctx) const;
+
   FaultSpec spec_;
   std::uint64_t next_index_ = 0;
   std::vector<int> map_;       ///< virtual rank -> physical rank
-  std::vector<char> dead_;     ///< per physical rank
-  int alive_ = 0;
+  std::vector<char> dead_;     ///< per physical rank (fleet + spares)
+  std::vector<char> active_;   ///< per physical rank: carries work (spares
+                               ///< start cold and activate on first re-home)
+  int alive_ = 0;              ///< active and not dead
   bool identity_ = true;
+  int spares_provisioned_ = 0;
+  std::vector<int> spare_pool_;  ///< cold spares, ascending physical id
+  std::vector<double> spare_activation_seconds_;  ///< parallel to activated
+  int shrinks_ = 0;
   std::vector<Corruption> pending_;
   FaultCounters counters_;
   FaultOverhead overhead_;
   std::vector<TracePoint> trace_;
+  std::vector<RecoveryEvent> timeline_;
 };
 
 }  // namespace mfbc::sim

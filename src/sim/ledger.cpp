@@ -19,6 +19,11 @@ CostLedger::CostLedger(int nranks) : state_(static_cast<std::size_t>(nranks)) {
   MFBC_CHECK(nranks >= 1, "ledger needs at least one rank");
 }
 
+void CostLedger::add_ranks(int count) {
+  MFBC_CHECK(count >= 0, "ledger cannot shed ranks");
+  state_.resize(state_.size() + static_cast<std::size_t>(count));
+}
+
 void CostLedger::collective(std::span<const int> ranks, double words,
                             double msgs, double seconds) {
   Cost sync;

@@ -59,6 +59,14 @@ class CostLedger {
 
   int nranks() const { return static_cast<int>(state_.size()); }
 
+  /// Grow the ledger by `count` fresh ranks with zero accumulated cost.
+  /// Spare-rank pools use this: cold spares are provisioned after
+  /// construction and must be chargeable once activated. Joining at zero is
+  /// correct — a collective that includes a fresh rank synchronizes it up to
+  /// the group max before adding, so the critical path is unchanged until
+  /// the spare actually carries work.
+  void add_ranks(int count);
+
   /// Charge a collective over `ranks`: every participant first synchronizes
   /// to the componentwise max of the group's accumulated costs, then adds
   /// (words, msgs, seconds).

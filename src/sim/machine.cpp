@@ -1,6 +1,7 @@
 #include "sim/machine.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 #include <limits>
 
@@ -115,41 +116,144 @@ double MachineModel::min_memory_words() const {
   return m;
 }
 
-void apply_profile_spec(MachineModel& model, const std::string& spec,
-                        int nranks) {
+const char* ProfileSpec::class_name(Class cls) {
+  switch (cls) {
+    case Class::kCpu:
+      return "cpu";
+    case Class::kAccel:
+      return "accel";
+    case Class::kSpare:
+      return "spare";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Rejection with position context: the item's ordinal and the half-open
+/// character range it occupies in the spec text.
+[[noreturn]] void bad_item(const std::string& item, std::size_t ordinal,
+                           std::size_t begin, std::size_t end,
+                           const std::string& why) {
+  MFBC_CHECK(false, "bad --machine-profile item '" + item + "' (item " +
+                        std::to_string(ordinal) + ", chars " +
+                        std::to_string(begin) + "-" + std::to_string(end) +
+                        "): " + why);
+}
+
+}  // namespace
+
+ProfileSpec ProfileSpec::parse(const std::string& text) {
+  MFBC_CHECK(!text.empty(), "--machine-profile spec is empty");
+  ProfileSpec spec;
+  bool seen[3] = {false, false, false};
+  std::size_t pos = 0;
+  std::size_t ordinal = 1;
+  while (pos <= text.size()) {
+    std::size_t end = text.find(',', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string item = text.substr(pos, end - pos);
+    const std::size_t begin = pos;
+    if (item.empty()) bad_item(item, ordinal, begin, end, "empty item");
+    const std::size_t x = item.find('x');
+    if (x == std::string::npos) {
+      bad_item(item, ordinal, begin, end, "expected COUNTxCLASS");
+    }
+    if (x == 0) bad_item(item, ordinal, begin, end, "missing rank count");
+    const std::string digits = item.substr(0, x);
+    for (char c : digits) {
+      if (c < '0' || c > '9') {
+        bad_item(item, ordinal, begin, end,
+                 "rank count must be a positive integer");
+      }
+    }
+    errno = 0;
+    char* parsed_end = nullptr;
+    const long count = std::strtol(digits.c_str(), &parsed_end, 10);
+    if (parsed_end != digits.c_str() + digits.size()) {
+      bad_item(item, ordinal, begin, end,
+               "rank count must be a positive integer");
+    }
+    if (errno == ERANGE || count > kMaxCount) {
+      bad_item(item, ordinal, begin, end,
+               "rank count overflows (max " + std::to_string(kMaxCount) + ")");
+    }
+    if (count <= 0) bad_item(item, ordinal, begin, end, "zero rank count");
+    const std::string cls_text = item.substr(x + 1);
+    Class cls;
+    if (cls_text == "cpu") {
+      cls = Class::kCpu;
+    } else if (cls_text == "accel") {
+      cls = Class::kAccel;
+    } else if (cls_text == "spare") {
+      cls = Class::kSpare;
+    } else {
+      bad_item(item, ordinal, begin, end,
+               "class must be cpu|accel|spare, got '" + cls_text + "'");
+    }
+    if (seen[static_cast<int>(cls)]) {
+      bad_item(item, ordinal, begin, end,
+               std::string("duplicate class '") + class_name(cls) + "'");
+    }
+    seen[static_cast<int>(cls)] = true;
+    spec.items.push_back(Item{count, cls});
+    if (end == text.size()) break;
+    pos = end + 1;
+    ++ordinal;
+    if (pos == text.size()) {
+      bad_item("", ordinal, pos, pos, "empty item (trailing comma)");
+    }
+  }
+  return spec;
+}
+
+std::string ProfileSpec::to_string() const {
+  std::string out;
+  for (const Item& item : items) {
+    if (!out.empty()) out += ',';
+    out += std::to_string(item.count);
+    out += 'x';
+    out += class_name(item.cls);
+  }
+  return out;
+}
+
+long ProfileSpec::count_of(Class cls) const {
+  long total = 0;
+  for (const Item& item : items) {
+    if (item.cls == cls) total += item.count;
+  }
+  return total;
+}
+
+int apply_profile_spec(MachineModel& model, const std::string& spec,
+                       int nranks) {
   MFBC_CHECK(nranks > 0, "--machine-profile needs a positive rank count");
+  const ProfileSpec parsed = ProfileSpec::parse(spec);
   std::vector<RankProfile> fleet;
   fleet.reserve(static_cast<std::size_t>(nranks));
-  std::size_t pos = 0;
-  while (pos < spec.size()) {
-    std::size_t end = spec.find(',', pos);
-    if (end == std::string::npos) end = spec.size();
-    const std::string item = spec.substr(pos, end - pos);
-    pos = end + 1;
-    const std::size_t x = item.find('x');
-    MFBC_CHECK(x != std::string::npos && x > 0,
-               "--machine-profile item must be COUNTxCLASS: " + item);
-    char* parsed_end = nullptr;
-    const long count = std::strtol(item.c_str(), &parsed_end, 10);
-    MFBC_CHECK(parsed_end == item.c_str() + x && count > 0,
-               "--machine-profile has a bad rank count: " + item);
-    const std::string cls = item.substr(x + 1);
-    RankProfile profile;
-    if (cls == "cpu") {
-      profile = cpu_profile(model);
-    } else if (cls == "accel") {
-      profile = accel_profile(model);
-    } else {
-      MFBC_CHECK(false, "--machine-profile class must be cpu|accel: " + cls);
+  long spares = 0;
+  for (const ProfileSpec::Item& item : parsed.items) {
+    if (item.cls == ProfileSpec::Class::kSpare) {
+      // Spares are standby hardware of the common cpu class; they live
+      // *beyond* the compute fleet and do not consume --ranks slots.
+      spares = item.count;
+      continue;
     }
-    MFBC_CHECK(count <= nranks - static_cast<long>(fleet.size()),
+    const RankProfile profile = item.cls == ProfileSpec::Class::kAccel
+                                    ? accel_profile(model)
+                                    : cpu_profile(model);
+    MFBC_CHECK(item.count <= nranks - static_cast<long>(fleet.size()),
                "--machine-profile names more ranks than --ranks provides");
-    fleet.insert(fleet.end(), static_cast<std::size_t>(count), profile);
+    fleet.insert(fleet.end(), static_cast<std::size_t>(item.count), profile);
   }
-  MFBC_CHECK(!fleet.empty(), "--machine-profile spec is empty");
-  // Unspecified trailing ranks default to the cpu class.
+  // Unspecified trailing compute ranks default to the cpu class; spare
+  // ranks are appended after the whole compute fleet.
   fleet.resize(static_cast<std::size_t>(nranks), cpu_profile(model));
+  fleet.insert(fleet.end(), static_cast<std::size_t>(spares),
+               cpu_profile(model));
   model.profiles = std::move(fleet);
+  return static_cast<int>(spares);
 }
 
 double log2_ceil(int p) {

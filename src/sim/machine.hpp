@@ -88,14 +88,52 @@ struct MachineModel {
   static MachineModel blue_waters() { return MachineModel{}; }
 };
 
-/// Install per-rank profiles from a --machine-profile spec: a comma list of
-/// COUNTxCLASS items with CLASS ∈ {cpu, accel}, assigned to ranks in order;
-/// unspecified trailing ranks default to cpu. "4xaccel" makes ranks 0..3
-/// accelerator-class (16× flop rate, 4× α, ¼ memory relative to the scalar
-/// model) and the rest cpu-class. Aborts on malformed specs or counts
-/// exceeding `nranks`.
-void apply_profile_spec(MachineModel& model, const std::string& spec,
-                        int nranks);
+/// Parsed --machine-profile spec: a comma list of COUNTxCLASS items with
+/// CLASS ∈ {cpu, accel, spare}. The grammar is hardened the same way the
+/// fault-spec grammar is (sim/faults.hpp): every rejection names the
+/// offending item with its position (item ordinal and character range), and
+/// `to_string` emits the canonical text so parse ∘ to_string is the
+/// identity on canonical specs and to_string ∘ parse is idempotent.
+///
+/// Rejected with context: empty specs/items, a missing or empty COUNT or
+/// CLASS, zero or negative counts, counts that overflow (or exceed the
+/// kMaxCount sanity bound), unknown class names, and duplicate class names
+/// ("4xcpu,4xcpu" is ambiguous — one item per class).
+struct ProfileSpec {
+  enum class Class { kCpu, kAccel, kSpare };
+
+  struct Item {
+    long count = 0;
+    Class cls = Class::kCpu;
+    friend bool operator==(const Item&, const Item&) = default;
+  };
+
+  /// Sanity bound on a single item's count: far beyond any simulated fleet,
+  /// small enough that sums of items can never overflow a long.
+  static constexpr long kMaxCount = 1'000'000;
+
+  std::vector<Item> items;
+
+  static const char* class_name(Class cls);
+  static ProfileSpec parse(const std::string& text);
+  std::string to_string() const;
+
+  long count_of(Class cls) const;
+
+  friend bool operator==(const ProfileSpec&, const ProfileSpec&) = default;
+};
+
+/// Install per-rank profiles from a --machine-profile spec (grammar above),
+/// assigned to ranks in order; unspecified trailing ranks default to cpu.
+/// "4xaccel" makes ranks 0..3 accelerator-class (16× flop rate, 4× α, ¼
+/// memory relative to the scalar model) and the rest cpu-class. A `spare`
+/// item provisions cold standby ranks of the common cpu class *beyond* the
+/// `nranks` compute ranks (their profiles are appended after the fleet);
+/// the returned value is that spare count, which the caller adds to the
+/// fault injector's pool (sim/faults.hpp). Aborts on malformed specs or
+/// compute counts exceeding `nranks`.
+int apply_profile_spec(MachineModel& model, const std::string& spec,
+                       int nranks);
 
 /// Number of 8-byte words an element of type T occupies on the wire.
 /// Fractional: a 4-byte float is half a word of payload, not a full one

@@ -362,6 +362,9 @@ PlanKey Tuner::make_key(const PlanRequest& req,
   // the advisory other-distribution twins were in the candidate space.
   key.partition = (req.opts.partition == dist::Dist::kBalanced ? 1 : 0) |
                   (req.opts.allow_partition ? 2 : 0);
+  // And the topology epoch: plans chosen before a grid shrink were priced
+  // for a placement that no longer exists.
+  key.topology = req.topology;
   return key;
 }
 

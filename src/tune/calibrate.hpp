@@ -149,6 +149,9 @@ struct PlanRequest {
   dist::MultiplyStats stats;  ///< with the §5.2 uniform estimates filled in
   sim::MachineModel machine;  ///< the *charging* model (uncalibrated)
   dist::TuneOptions opts;
+  /// Topology epoch (grid shrinks survived, sim/faults.hpp): keys the plan
+  /// cache so a shrink retires every plan chosen for the old placement.
+  int topology = 0;
 };
 
 class Tuner {

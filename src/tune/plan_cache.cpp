@@ -69,6 +69,7 @@ std::string PlanKey::to_string() const {
      << band_b << ":p" << ranks << ":t" << threads;
   if (schedule != 0) os << ":s" << schedule;
   if (partition != 0) os << ":d" << partition;
+  if (topology != 0) os << ":g" << topology;
   return os.str();
 }
 
@@ -188,6 +189,7 @@ telemetry::Json PlanCache::to_json() const {
     e["threads"] = telemetry::Json(key.threads);
     if (key.schedule != 0) e["schedule"] = telemetry::Json(key.schedule);
     if (key.partition != 0) e["partition"] = telemetry::Json(key.partition);
+    if (key.topology != 0) e["topology"] = telemetry::Json(key.topology);
     e["plan"] = plan_to_json(plan);
     arr.push(std::move(e));
   }
@@ -216,6 +218,10 @@ void PlanCache::load_json(const telemetry::Json& plans) {
     if (const telemetry::Json* d = e.find("partition"); d != nullptr) {
       MFBC_CHECK(d->is_number(), "tune profile: \"partition\" must be numeric");
       key.partition = static_cast<int>(d->as_double());
+    }
+    if (const telemetry::Json* g = e.find("topology"); g != nullptr) {
+      MFBC_CHECK(g->is_number(), "tune profile: \"topology\" must be numeric");
+      key.topology = static_cast<int>(g->as_double());
     }
     MFBC_CHECK(key.ranks >= 1, "tune profile: plan entry needs ranks >= 1");
     const telemetry::Json* p = e.find("plan");

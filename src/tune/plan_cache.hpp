@@ -46,6 +46,13 @@ struct PlanKey {
   /// when the advisory other-distribution twins were enumerated. 0 (a plain
   /// block request) keeps pre-partition profile entries addressable.
   int partition = 0;
+  /// Topology epoch: the number of grid shrinks the machine has survived
+  /// (sim/faults.hpp). A shrink consolidates the whole virtual fleet onto
+  /// fewer physical hosts, so every plan chosen for the old placement is
+  /// stale — bumping the epoch retires those cache entries without touching
+  /// them. 0 (the healthy machine) keeps pre-elastic profile entries
+  /// addressable.
+  int topology = 0;
 
   /// floor(log2(nnz)) band, -1 for nnz <= 0.
   static int nnz_band(double nnz);
@@ -56,7 +63,7 @@ struct PlanKey {
   friend bool operator<(const PlanKey& a, const PlanKey& b) {
     auto tie = [](const PlanKey& x) {
       return std::tie(x.monoid, x.m, x.k, x.n, x.band_a, x.band_b, x.ranks,
-                      x.threads, x.schedule, x.partition);
+                      x.threads, x.schedule, x.partition, x.topology);
     };
     return tie(a) < tie(b);
   }

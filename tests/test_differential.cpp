@@ -16,8 +16,11 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+
 #include "baseline/brandes.hpp"
 #include "baseline/combblas_bc.hpp"
+#include "dist/partition.hpp"
 #include "graph/generators.hpp"
 #include "mfbc/mfbc_dist.hpp"
 #include "sim/comm.hpp"
@@ -121,6 +124,164 @@ TEST_P(Differential, BitIdenticalAcrossThreadsAndFaults) {
           "threads=" + std::to_string(threads) + " faults='" + spec + "'";
       expect_bits(run_combblas(g, spec), ref_comb, "combblas " + label);
       expect_bits(run_mfbc(g, spec), ref_mfbc, "mfbc " + label);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Elastic-recovery cells (docs/fault_tolerance.md "Elastic recovery"): the
+// bit-identity matrix extended with spare-pool and grid-shrink recovery,
+// crossed with the partitioning axis — threads {1,2,4} × fault schedules ×
+// {spares, no-spares} × {block, balanced}.
+
+/// One engine run with an explicit partition/machine, capturing the recovery
+/// stats the elastic cells assert on.
+struct DiffRun {
+  std::vector<double> lambda;
+  std::vector<sim::FaultInjector::TracePoint> trace;
+  int spare_rehomes = 0;
+  int grid_shrinks = 0;
+};
+
+DiffRun run_mfbc_part(const Graph& g, const std::string& spec,
+                      dist::PartitionKind pkind,
+                      const sim::MachineModel& machine = {},
+                      vid_t batch = kBatch) {
+  sim::Sim sim(kRanks, machine);
+  core::DistMfbc engine(sim, g, dist::make_partition(g, pkind, kRanks));
+  if (!spec.empty()) sim.enable_faults(sim::FaultSpec::parse(spec));
+  core::DistMfbcOptions opts;
+  opts.batch_size = batch;
+  core::DistMfbcStats st;
+  DiffRun out;
+  out.lambda = engine.run(opts, &st);
+  if (const sim::FaultInjector* fi = sim.faults()) out.trace = fi->trace();
+  out.spare_rehomes = st.spare_rehomes;
+  out.grid_shrinks = st.grid_shrinks;
+  return out;
+}
+
+DiffRun run_combblas_part(const Graph& g, const std::string& spec,
+                          dist::PartitionKind pkind) {
+  sim::Sim sim(kRanks);
+  baseline::CombBlasBc engine(sim, g, dist::make_partition(g, pkind, kRanks));
+  if (!spec.empty()) sim.enable_faults(sim::FaultSpec::parse(spec));
+  baseline::CombBlasOptions opts;
+  opts.batch_size = kBatch;
+  baseline::CombBlasStats st;
+  DiffRun out;
+  out.lambda = engine.run(opts, &st);
+  if (const sim::FaultInjector* fi = sim.faults()) out.trace = fi->trace();
+  out.spare_rehomes = st.spare_rehomes;
+  out.grid_shrinks = st.grid_shrinks;
+  return out;
+}
+
+/// First all-ranks charge index in `trace` strictly after `after` (used to
+/// schedule kills at points that exist at every thread count).
+std::uint64_t all_ranks_index_after(
+    const std::vector<sim::FaultInjector::TracePoint>& trace,
+    std::uint64_t after) {
+  for (const auto& t : trace) {
+    if (t.group_size == kRanks && t.index > after) return t.index;
+  }
+  return 0;
+}
+
+const char* part_name(dist::PartitionKind k) {
+  return k == dist::PartitionKind::kBlock ? "block" : "balanced";
+}
+
+// Spare-pool cells: both engines, threads {1,2,4} × {spares, no-spares} ×
+// {block, balanced} must reproduce the single-threaded fault-free bits of
+// the same partition, and the spare pool must actually serve the recovery
+// when provisioned (never when not).
+TEST_P(Differential, SparePoolBitIdenticalAcrossThreadsAndPartitions) {
+  const Graph g = make_graph(GetParam(), false);
+  PoolSizeGuard guard;
+  for (const dist::PartitionKind pkind :
+       {dist::PartitionKind::kBlock, dist::PartitionKind::kDegree}) {
+    support::set_threads(1);
+    const DiffRun ref_comb = run_combblas_part(g, "", pkind);
+    const DiffRun ref_mfbc = run_mfbc_part(g, "", pkind);
+    for (const int threads : {1, 2, 4}) {
+      support::set_threads(threads);
+      for (const bool spares : {false, true}) {
+        const std::string spec =
+            spares ? "rank@5:1,spares:1" : "rank@5:1";
+        const std::string label = std::string(part_name(pkind)) +
+                                  " threads=" + std::to_string(threads) +
+                                  " faults='" + spec + "'";
+        const DiffRun comb = run_combblas_part(g, spec, pkind);
+        expect_bits(comb.lambda, ref_comb.lambda, "combblas " + label);
+        EXPECT_EQ(comb.spare_rehomes, spares ? 1 : 0) << "combblas " << label;
+        EXPECT_EQ(comb.grid_shrinks, 0) << "combblas " << label;
+        const DiffRun mfbc = run_mfbc_part(g, spec, pkind);
+        expect_bits(mfbc.lambda, ref_mfbc.lambda, "mfbc " + label);
+        EXPECT_EQ(mfbc.spare_rehomes, spares ? 1 : 0) << "mfbc " << label;
+        EXPECT_EQ(mfbc.grid_shrinks, 0) << "mfbc " << label;
+      }
+    }
+  }
+}
+
+// Grid-shrink cells: under a memory budget where survivor doubling would
+// violate the fit, the balanced shrink must keep every partition's bits at
+// every thread count. The budget is probed per partition — balanced
+// orderings change the per-rank resident footprints.
+TEST_P(Differential, GridShrinkBitIdenticalAcrossThreadsAndPartitions) {
+  // Dense graph, small batch: the resident adjacency dominates the plan
+  // workspace, so the fault-free plan still fits after a doubling
+  // consolidates two residents onto one host. The plan never switches
+  // mid-run — a switch would change the SpGEMM accumulation grid and the
+  // floating-point summation order, breaking bit-identity with clean.
+  const Graph g =
+      graph::erdos_renyi(64, 800, /*directed=*/false, {}, 90 + GetParam());
+  const vid_t batch = 2;
+  PoolSizeGuard guard;
+  for (const dist::PartitionKind pkind :
+       {dist::PartitionKind::kBlock, dist::PartitionKind::kDegree}) {
+    support::set_threads(1);
+    sim::MachineModel m;
+    std::vector<double> r(kRanks);
+    {
+      sim::Sim sim(kRanks, m);
+      core::DistMfbc probe(sim, g, dist::make_partition(g, pkind, kRanks));
+      for (int i = 0; i < kRanks; ++i) r[i] = sim.resident_words(i);
+    }
+    ASSERT_GT(r[2], 0.0);
+    // Kill v0 (doubles onto host 1), then v2: a second doubling would stack
+    // three residents on host 1 and violate the fit, forcing the balanced
+    // shrink onto the pairs {0,1} and {2,3} — which fit again. The budget
+    // sits just under the collision to maximize plan-fit headroom.
+    const double first_double = r[0] + r[1];
+    const double collision = first_double + r[2];
+    const double shrunk = std::max(r[0] + r[1], r[2] + r[3]);
+    m.memory_words = collision - 0.05 * r[2];
+    ASSERT_GE(m.memory_words, first_double) << part_name(pkind);
+    ASSERT_GE(m.memory_words, shrunk) << part_name(pkind);
+    ASSERT_GT(collision, m.memory_words) << part_name(pkind);
+
+    const DiffRun clean = run_mfbc_part(g, "", pkind, m, batch);
+    const DiffRun pass1 =
+        run_mfbc_part(g, "rank@1000000000,trace", pkind, m, batch);
+    const std::uint64_t i1 =
+        all_ranks_index_after(pass1.trace, pass1.trace.size() / 3);
+    ASSERT_GT(i1, 0u);
+    const DiffRun pass2 = run_mfbc_part(
+        g, "rank@" + std::to_string(i1) + ":0,trace", pkind, m, batch);
+    const std::uint64_t i2 = all_ranks_index_after(pass2.trace, i1 + 8);
+    ASSERT_GT(i2, 0u);
+    const std::string spec = "rank@" + std::to_string(i1) + ":0,rank@" +
+                             std::to_string(i2) + ":2";
+
+    for (const int threads : {1, 2, 4}) {
+      support::set_threads(threads);
+      const std::string label = std::string(part_name(pkind)) +
+                                " threads=" + std::to_string(threads);
+      const DiffRun degraded = run_mfbc_part(g, spec, pkind, m, batch);
+      expect_bits(degraded.lambda, clean.lambda, "mfbc shrink " + label);
+      EXPECT_EQ(degraded.grid_shrinks, 1) << label;
     }
   }
 }

@@ -43,6 +43,8 @@ FaultSpec random_spec(std::uint64_t seed) {
   if (rng.bounded(2) == 0) {
     spec.max_batch_retries = static_cast<int>(rng.bounded(10));
   }
+  if (rng.bounded(2) == 0) spec.spares = static_cast<int>(rng.bounded(8));
+  if (rng.bounded(2) == 0) spec.max_shrinks = static_cast<int>(rng.bounded(5));
   if (rng.bounded(2) == 0) spec.seed = rng.next();
   spec.record_trace = rng.bounded(2) == 0;
   return spec;
@@ -87,6 +89,8 @@ TEST(FaultSpecToString, KnownSpecsRenderCanonically) {
   EXPECT_EQ(
       FaultSpec::parse("retries:5,batch-retries:2,seed:7").to_string(),
       "retries:5,batch-retries:2,seed:7");
+  EXPECT_EQ(FaultSpec::parse("rank:0.01,spares:2,shrinks:1").to_string(),
+            "rank:0.01,spares:2,shrinks:1");
   // Items re-order into the canonical sequence: rates, scheduled, policy.
   EXPECT_EQ(FaultSpec::parse("trace,transient@12,rank:0.25").to_string(),
             "rank:0.25,transient@12,trace");
@@ -95,8 +99,8 @@ TEST(FaultSpecToString, KnownSpecsRenderCanonically) {
 TEST(FaultSpecToString, DefaultValuedPolicyItemsAreOmitted) {
   // retries:3, batch-retries:4 and seed:1 are the defaults — the canonical
   // form drops them, and parsing what remains restores the same spec.
-  const FaultSpec spec =
-      FaultSpec::parse("transient:0.1,retries:3,batch-retries:4,seed:1");
+  const FaultSpec spec = FaultSpec::parse(
+      "transient:0.1,retries:3,batch-retries:4,spares:0,shrinks:2,seed:1");
   EXPECT_EQ(spec.to_string(), "transient:0.1");
   EXPECT_EQ(FaultSpec::parse(spec.to_string()), spec);
 }
@@ -114,6 +118,10 @@ TEST(FaultSpecParse, RejectsMalformedInput) {
       "retries:-1",       // negative policy value
       "retries:two",      // not an integer
       "batch-retries:",   // empty value
+      "spares:-1",        // negative pool size
+      "spares:x",         // not an integer
+      "shrinks:-2",       // negative shrink budget
+      "shrinks:",         // empty value
       "seed:1x",          // trailing garbage
       "bogus@12",         // unknown scheduled kind
       "transient@",       // empty index

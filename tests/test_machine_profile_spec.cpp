@@ -1,0 +1,146 @@
+// Fuzz tests for the --machine-profile spec grammar (sim::ProfileSpec),
+// mirroring tests/test_fault_spec.cpp: randomized parse -> to_string ->
+// parse round-trips, canonical-form properties, malformed-input rejection
+// with position context, and the apply_profile_spec() fleet/spare split.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace mfbc::sim {
+namespace {
+
+/// A random valid ProfileSpec: 1-3 distinct classes in random order with
+/// counts across the full legal range (1 .. kMaxCount).
+ProfileSpec random_spec(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  ProfileSpec spec;
+  std::vector<ProfileSpec::Class> classes = {ProfileSpec::Class::kCpu,
+                                             ProfileSpec::Class::kAccel,
+                                             ProfileSpec::Class::kSpare};
+  // Random order.
+  for (std::size_t i = classes.size(); i > 1; --i) {
+    std::swap(classes[i - 1], classes[rng.bounded(i)]);
+  }
+  const std::size_t nitems = 1 + rng.bounded(classes.size());
+  for (std::size_t i = 0; i < nitems; ++i) {
+    const long count =
+        rng.bounded(4) == 0
+            ? static_cast<long>(1 + rng.bounded(ProfileSpec::kMaxCount))
+            : static_cast<long>(1 + rng.bounded(64));
+    spec.items.push_back(ProfileSpec::Item{count, classes[i]});
+  }
+  return spec;
+}
+
+class ProfileSpecRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProfileSpecRoundTrip, ToStringParsesBackExactly) {
+  const ProfileSpec spec = random_spec(GetParam());
+  const ProfileSpec back = ProfileSpec::parse(spec.to_string());
+  EXPECT_EQ(back, spec) << "spec text: " << spec.to_string();
+}
+
+TEST_P(ProfileSpecRoundTrip, CanonicalFormIsAFixedPoint) {
+  const ProfileSpec spec = random_spec(GetParam());
+  const std::string text = spec.to_string();
+  EXPECT_EQ(ProfileSpec::parse(text).to_string(), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, ProfileSpecRoundTrip,
+                         ::testing::Range<std::uint64_t>(1, 65));
+
+TEST(ProfileSpecParse, KnownSpecsRenderCanonically) {
+  EXPECT_EQ(ProfileSpec::parse("4xcpu").to_string(), "4xcpu");
+  EXPECT_EQ(ProfileSpec::parse("4xaccel,60xcpu").to_string(), "4xaccel,60xcpu");
+  EXPECT_EQ(ProfileSpec::parse("2xspare,4xcpu,1xaccel").to_string(),
+            "2xspare,4xcpu,1xaccel");
+  EXPECT_EQ(ProfileSpec::parse("4xcpu").count_of(ProfileSpec::Class::kCpu), 4);
+  EXPECT_EQ(ProfileSpec::parse("4xcpu").count_of(ProfileSpec::Class::kSpare),
+            0);
+}
+
+TEST(ProfileSpecParse, RejectsMalformedInput) {
+  const std::vector<std::string> bad = {
+      "",                   // empty spec
+      ",",                  // empty items
+      "4xcpu,",             // trailing comma
+      ",4xcpu",             // leading comma
+      "4xcpu,,2xaccel",     // empty middle item
+      "4x",                 // missing class
+      "xcpu",               // missing count
+      "cpu",                // no 'x' separator
+      "4.5xcpu",            // fractional count
+      "-4xcpu",             // negative count
+      "0xcpu",              // zero count
+      "4xtpu",              // unknown class
+      "4xCPU",              // class names are case-sensitive
+      "4 xcpu",             // no whitespace tolerance
+      "4xcpu,4xcpu",        // duplicate class
+      "1xspare,2xspare",    // duplicate class (spare)
+      "10000001xcpu",       // beyond kMaxCount
+      "99999999999999999999xcpu",  // strtol overflow
+  };
+  for (const std::string& text : bad) {
+    EXPECT_THROW(ProfileSpec::parse(text), mfbc::Error) << "'" << text << "'";
+  }
+}
+
+TEST(ProfileSpecParse, RejectionNamesTheItemWithPositionContext) {
+  try {
+    ProfileSpec::parse("4xcpu,4xtpu");
+    FAIL() << "expected mfbc::Error";
+  } catch (const mfbc::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("'4xtpu'"), std::string::npos) << what;
+    EXPECT_NE(what.find("item 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("chars 6-11"), std::string::npos) << what;
+  }
+  try {
+    ProfileSpec::parse("2xcpu,3xcpu");
+    FAIL() << "expected mfbc::Error";
+  } catch (const mfbc::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate class 'cpu'"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ApplyProfileSpec, FillsFleetInOrderAndPadsWithCpu) {
+  MachineModel m;
+  const int spares = apply_profile_spec(m, "2xaccel", 4);
+  EXPECT_EQ(spares, 0);
+  ASSERT_EQ(m.profiles.size(), 4u);
+  // Accelerator class: faster flops, pricier messages, less memory.
+  EXPECT_LT(m.profiles[0].seconds_per_op, m.seconds_per_op);
+  EXPECT_GT(m.profiles[0].alpha, m.alpha);
+  EXPECT_LT(m.profiles[0].memory_words, m.memory_words);
+  EXPECT_EQ(m.profiles[2].seconds_per_op, m.seconds_per_op);
+  EXPECT_EQ(m.profiles[3].memory_words, m.memory_words);
+}
+
+TEST(ApplyProfileSpec, SparesAppendBeyondTheComputeFleet) {
+  MachineModel m;
+  const int spares = apply_profile_spec(m, "2xspare,1xaccel", 4);
+  EXPECT_EQ(spares, 2);
+  // 4 compute ranks + 2 spares; spares are cpu-class standby hardware.
+  ASSERT_EQ(m.profiles.size(), 6u);
+  EXPECT_LT(m.profiles[0].seconds_per_op, m.seconds_per_op);  // accel
+  EXPECT_EQ(m.profiles[4].seconds_per_op, m.seconds_per_op);  // spare = cpu
+  EXPECT_EQ(m.profiles[5].memory_words, m.memory_words);
+}
+
+TEST(ApplyProfileSpec, RejectsMoreComputeRanksThanProvided) {
+  MachineModel m;
+  EXPECT_THROW(apply_profile_spec(m, "8xcpu", 4), mfbc::Error);
+  // Spares do not consume --ranks slots, so this fits.
+  EXPECT_EQ(apply_profile_spec(m, "4xcpu,3xspare", 4), 3);
+  EXPECT_EQ(m.profiles.size(), 7u);
+}
+
+}  // namespace
+}  // namespace mfbc::sim

@@ -87,6 +87,9 @@ struct Args {
   bool explain_plan = false;   // print the candidate-plan table, don't run
   std::string faults;      // fault-injection spec (simulated runs)
   std::uint64_t fault_seed = 1;
+  int spares = 0;          // cold spare ranks beyond --ranks
+  std::string checkpoint_dir;  // durable λ checkpoints land here
+  bool resume = false;         // restart from the durable checkpoint
   std::string json_file;   // write a run-summary artifact here
   bool help = false;
 };
@@ -140,10 +143,12 @@ void usage() {
       "  --model FILE        load a tuned machine model (see --tune)\n"
       "  --tune FILE         run the section 6.2 model tuner, save to FILE\n"
       "  --machine-profile S heterogeneous per-rank profiles as a comma list\n"
-      "                      of COUNTxCLASS (cpu | accel), e.g. '4xaccel,60xcpu';\n"
-      "                      trailing ranks default to cpu. Collectives are\n"
-      "                      priced at the group's slowest link; compute at\n"
-      "                      each rank's own flop rate\n"
+      "                      of COUNTxCLASS (cpu | accel | spare), e.g.\n"
+      "                      '4xaccel,60xcpu'; trailing ranks default to cpu.\n"
+      "                      Collectives are priced at the group's slowest\n"
+      "                      link; compute at each rank's own flop rate.\n"
+      "                      spare ranks are provisioned beyond --ranks as a\n"
+      "                      cold pool (same as --spares)\n"
       "plan tuning (simulated runs; see docs/autotuning.md):\n"
       "  --tune-profile FILE attach the adaptive plan tuner: calibrated\n"
       "                      model, per-iteration re-planning with\n"
@@ -161,6 +166,15 @@ void usage() {
       "                      bit-identical centrality, the ledger pays the\n"
       "                      recovery cost\n"
       "  --fault-seed S      seed of the fault schedule (default 1)\n"
+      "  --spares N          provision N cold spare physical ranks beyond\n"
+      "                      --ranks; a dead host's virtual ranks re-home\n"
+      "                      onto the next spare before survivor doubling\n"
+      "                      is tried (docs/fault_tolerance.md)\n"
+      "  --checkpoint-dir D  write a durable, versioned λ checkpoint\n"
+      "                      (mfbc.ckpt) into D after every batch\n"
+      "  --resume            restart from D's checkpoint: completed batches\n"
+      "                      are skipped, centrality stays bit-identical to\n"
+      "                      the uninterrupted run\n"
       "output:\n"
       "  --top K             print the K highest-ranked vertices (default 10)\n"
       "  --seed S            generator seed\n"
@@ -207,6 +221,9 @@ Args parse(int argc, char** argv) {
     else if (f == "--faults") a.faults = need(i);
     else if (f == "--fault-seed")
       a.fault_seed = std::strtoull(need(i), nullptr, 10);
+    else if (f == "--spares") a.spares = std::atoi(need(i));
+    else if (f == "--checkpoint-dir") a.checkpoint_dir = need(i);
+    else if (f == "--resume") a.resume = true;
     else if (f == "--json") a.json_file = need(i);
     else if (f == "--seed") a.seed = std::strtoull(need(i), nullptr, 10);
     else if (f == "--help" || f == "-h") a.help = true;
@@ -282,8 +299,10 @@ telemetry::Json cost_block(const sim::Cost& cost) {
 
 /// Print the fault-injection outcome line and return the --json `faults`
 /// block. Shared by the mfbc and combblas engines (both run the same batch
-/// driver, so the outcome shape is identical).
-telemetry::Json fault_block(const sim::FaultInjector& fi, int batch_retries) {
+/// driver, so the outcome shape is identical). `end_seconds` is the run's
+/// critical-path time, pricing the spare pool's idleness.
+telemetry::Json fault_block(const sim::FaultInjector& fi, int batch_retries,
+                            double end_seconds) {
   const sim::FaultCounters& c = fi.counters();
   const sim::FaultOverhead& o = fi.overhead();
   std::printf("faults: %llu injected, %llu detected, %llu recovered, "
@@ -303,7 +322,69 @@ telemetry::Json fault_block(const sim::FaultInjector& fi, int batch_retries) {
   j["batch_retries"] = telemetry::Json(batch_retries);
   j["overhead_words"] = telemetry::Json(o.words);
   j["overhead_seconds"] = telemetry::Json(o.comm_seconds + o.compute_seconds);
+  if (fi.spares_provisioned() > 0) {
+    const sim::SpareReport sr = fi.spare_report(end_seconds);
+    std::printf("spares: %d provisioned, %d activated, %.4fs idle\n",
+                sr.provisioned, sr.activated, sr.idle_seconds);
+    telemetry::Json s = telemetry::Json::object();
+    s["provisioned"] = telemetry::Json(sr.provisioned);
+    s["activated"] = telemetry::Json(sr.activated);
+    s["idle_seconds"] = telemetry::Json(sr.idle_seconds);
+    j["spares"] = std::move(s);
+  }
+  if (fi.shrinks() > 0) j["shrinks"] = telemetry::Json(fi.shrinks());
+  if (!fi.timeline().empty()) {
+    telemetry::Json tl = telemetry::Json::array();
+    for (const sim::RecoveryEvent& ev : fi.timeline()) {
+      telemetry::Json e = telemetry::Json::object();
+      e["kind"] =
+          telemetry::Json(std::string(recovery_event_kind_name(ev.kind)));
+      e["charge_index"] =
+          telemetry::Json(static_cast<double>(ev.charge_index));
+      e["batch"] = telemetry::Json(ev.batch);
+      e["victim"] = telemetry::Json(ev.victim);
+      e["host"] = telemetry::Json(ev.host);
+      e["seconds"] = telemetry::Json(ev.seconds);
+      tl.push(std::move(e));
+    }
+    j["timeline"] = std::move(tl);
+  }
   return j;
+}
+
+/// An unrecoverable fault schedule: print the one-line diagnostic naming
+/// the failing batch and the schedule that produced it, write the --json
+/// artifact (an `unrecoverable` block next to the usual `faults` block) if
+/// one was requested, and return the distinct exit code 3.
+int report_unrecoverable(const sim::FaultError& e, const Args& a,
+                         const sim::Sim& sim, int batch_retries) {
+  std::fprintf(stderr,
+               "unrecoverable fault schedule: %s [%s at charge index %llu, "
+               "batch %d, --faults '%s' seed %llu]\n",
+               e.what(), sim::fault_kind_name(e.kind()),
+               static_cast<unsigned long long>(e.charge_index()), e.batch(),
+               a.faults.c_str(),
+               static_cast<unsigned long long>(a.fault_seed));
+  if (!a.json_file.empty()) {
+    telemetry::RunSummary summary("mfbc_cli");
+    telemetry::Json u = telemetry::Json::object();
+    u["what"] = telemetry::Json(std::string(e.what()));
+    u["kind"] = telemetry::Json(std::string(sim::fault_kind_name(e.kind())));
+    u["charge_index"] =
+        telemetry::Json(static_cast<double>(e.charge_index()));
+    u["batch"] = telemetry::Json(e.batch());
+    u["schedule"] = telemetry::Json(a.faults);
+    u["fault_seed"] = telemetry::Json(static_cast<double>(a.fault_seed));
+    summary.set("unrecoverable", std::move(u));
+    if (const sim::FaultInjector* fi = sim.faults()) {
+      summary.set("faults",
+                  fault_block(*fi, batch_retries,
+                              sim.ledger().critical().total_seconds()));
+    }
+    summary.write(a.json_file);
+    std::printf("[json] wrote %s\n", a.json_file.c_str());
+  }
+  return 3;
 }
 
 /// Attach the adaptive plan tuner when --tune-profile was given.
@@ -354,9 +435,11 @@ int run(const Args& a) {
     MFBC_CHECK(a.overlap_beta <= 1.0, "--overlap-beta expects a value in [0,1]");
     machine.overlap_beta = a.overlap_beta;
   }
+  int profile_spares = 0;  // spare-class ranks declared by --machine-profile
   if (!a.machine_profile.empty()) {
     MFBC_CHECK(a.ranks > 0, "--machine-profile needs --ranks P");
-    sim::apply_profile_spec(machine, a.machine_profile, a.ranks);
+    profile_spares =
+        sim::apply_profile_spec(machine, a.machine_profile, a.ranks);
   }
   const bool allow_async = allow_async_of(a);
   // Validate eagerly so a bogus value fails before any expensive work.
@@ -532,6 +615,17 @@ int run(const Args& a) {
   MFBC_CHECK(pkind == dist::PartitionKind::kBlock || simulated_bc,
              "--partition needs a simulated run "
              "(--algo mfbc|combblas --ranks P)");
+  MFBC_CHECK(a.spares >= 0, "--spares expects a count >= 0");
+  MFBC_CHECK(a.spares == 0 || !a.faults.empty(),
+             "--spares needs --faults (spares only matter to recovery)");
+  MFBC_CHECK(a.checkpoint_dir.empty() || simulated_bc,
+             "--checkpoint-dir needs a simulated run "
+             "(--algo mfbc|combblas --ranks P)");
+  MFBC_CHECK(!a.resume || !a.checkpoint_dir.empty(),
+             "--resume needs --checkpoint-dir DIR");
+  // Spares can come from either flag: --spares N and the machine-profile's
+  // `spare` class add up to one pool.
+  const int total_spares = a.spares + profile_spares;
   telemetry::Json cost_json;     // ledger cost of the simulated run, if any
   telemetry::Json faults_json;   // fault-injection outcome, if enabled
   telemetry::Json tune_json;     // adaptive-tuner summary, if attached
@@ -549,16 +643,25 @@ int run(const Args& a) {
     if (!a.faults.empty()) {
       // After construction: the one-time graph distribution does not
       // consume charge indices, so schedules address the algorithm itself.
-      sim.enable_faults(sim::FaultSpec::parse(a.faults, a.fault_seed));
+      sim::FaultSpec spec = sim::FaultSpec::parse(a.faults, a.fault_seed);
+      spec.spares += total_spares;
+      sim.enable_faults(spec);
     }
     baseline::CombBlasOptions opts;
     opts.batch_size = a.batch;
     opts.tune.allow_async = allow_async;
+    opts.checkpoint_dir = a.checkpoint_dir;
+    opts.resume = a.resume;
     if (a.approx > 0) opts.sources = pivot_sources(g, a.approx);
     std::unique_ptr<tune::Tuner> tuner = make_tuner(a, machine);
     opts.tuner = tuner.get();
     baseline::CombBlasStats stats;
-    bc = engine.run(opts, &stats);
+    try {
+      bc = engine.run(opts, &stats);
+    } catch (const sim::FaultError& e) {
+      if (e.recoverable()) throw;
+      return report_unrecoverable(e, a, sim, stats.batch_retries);
+    }
     const auto cost = sim.ledger().critical();
     std::printf("combblas-style on %d ranks: critical path %s, %.0f msgs, "
                 "modelled %.4fs, plans:",
@@ -583,6 +686,10 @@ int run(const Args& a) {
     baseline_json["engine"] = telemetry::Json(std::string("combblas"));
     baseline_json["batches"] = telemetry::Json(stats.batches);
     baseline_json["batch_retries"] = telemetry::Json(stats.batch_retries);
+    if (stats.resumed_batches > 0) {
+      baseline_json["resumed_batches"] =
+          telemetry::Json(stats.resumed_batches);
+    }
     telemetry::Json plans = telemetry::Json::array();
     for (const auto& p : stats.plans_used) plans.push(telemetry::Json(p));
     baseline_json["plans"] = std::move(plans);
@@ -596,7 +703,8 @@ int run(const Args& a) {
     baseline_json["imbalance_nnz"] = telemetry::Json(stats.imbalance_nnz);
     baseline_json["imbalance_ops"] = telemetry::Json(stats.imbalance_ops);
     if (const sim::FaultInjector* fi = sim.faults()) {
-      faults_json = fault_block(*fi, stats.batch_retries);
+      faults_json = fault_block(*fi, stats.batch_retries,
+                                cost.total_seconds());
     }
   } else if (a.algo == "mfbc" && a.ranks > 0) {
     sim::Sim sim(a.ranks, machine);
@@ -607,7 +715,9 @@ int run(const Args& a) {
     if (!a.faults.empty()) {
       // After construction: the one-time graph distribution does not
       // consume charge indices, so schedules address the algorithm itself.
-      sim.enable_faults(sim::FaultSpec::parse(a.faults, a.fault_seed));
+      sim::FaultSpec spec = sim::FaultSpec::parse(a.faults, a.fault_seed);
+      spec.spares += total_spares;
+      sim.enable_faults(spec);
     }
     core::DistMfbcOptions opts;
     opts.batch_size = a.batch;
@@ -615,11 +725,18 @@ int run(const Args& a) {
         a.mode == "ca" ? core::PlanMode::kFixedCa : core::PlanMode::kAuto;
     opts.tune.allow_async = allow_async;
     opts.replication_c = a.c;
+    opts.checkpoint_dir = a.checkpoint_dir;
+    opts.resume = a.resume;
     if (a.approx > 0) opts.sources = pivot_sources(g, a.approx);
     std::unique_ptr<tune::Tuner> tuner = make_tuner(a, machine);
     opts.tuner = tuner.get();
     core::DistMfbcStats stats;
-    bc = engine.run(opts, &stats);
+    try {
+      bc = engine.run(opts, &stats);
+    } catch (const sim::FaultError& e) {
+      if (e.recoverable()) throw;
+      return report_unrecoverable(e, a, sim, stats.batch_retries);
+    }
     const auto cost = sim.ledger().critical();
     std::printf("mfbc on %d ranks (%s): critical path %s, %.0f msgs, "
                 "modelled %.4fs, plans:",
@@ -641,7 +758,8 @@ int run(const Args& a) {
     }
     cost_json = cost_block(cost);
     if (const sim::FaultInjector* fi = sim.faults()) {
-      faults_json = fault_block(*fi, stats.batch_retries);
+      faults_json = fault_block(*fi, stats.batch_retries,
+                                cost.total_seconds());
     }
   } else if (a.algo == "mfbc") {
     core::MfbcOptions opts;
@@ -672,6 +790,11 @@ int run(const Args& a) {
       config["faults"] = telemetry::Json(a.faults);
       config["fault_seed"] =
           telemetry::Json(static_cast<double>(a.fault_seed));
+    }
+    if (a.spares > 0) config["spares"] = telemetry::Json(a.spares);
+    if (!a.checkpoint_dir.empty()) {
+      config["checkpoint_dir"] = telemetry::Json(a.checkpoint_dir);
+      config["resume"] = telemetry::Json(a.resume);
     }
     summary.set("config", std::move(config));
     if (!cost_json.is_null()) summary.set("cost", std::move(cost_json));
@@ -704,6 +827,12 @@ int main(int argc, char** argv) {
       return 0;
     }
     return run(a);
+  } catch (const mfbc::sim::FaultError& e) {
+    // Backstop for FaultErrors escaping outside the engine branches (the
+    // branches themselves report unrecoverable schedules with context):
+    // unrecoverable schedules exit 3, distinct from the generic error 2.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return e.recoverable() ? 2 : 3;
   } catch (const mfbc::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
