@@ -1,0 +1,164 @@
+#include "apps/bc_server.hpp"
+
+#include <utility>
+
+#include "support/error.hpp"
+#include "support/timer.hpp"
+#include "telemetry/span.hpp"
+
+namespace mfbc::serve {
+
+BcServer::BcServer(graph::Graph base, ServerOptions opts)
+    : n_(base.n()),
+      engine_(std::make_unique<IncrementalBc>(std::move(base),
+                                              std::move(opts.compute))) {
+  publish();
+}
+
+std::shared_ptr<const BcServer::Served> BcServer::snapshot() const {
+  std::lock_guard<std::mutex> lock(pub_mu_);
+  return published_;
+}
+
+void BcServer::publish() {
+  // Called with engine_mu_ held (or from the constructor): the engine's λ
+  // is complete for the engine's current version. Build the immutable
+  // snapshot first, swap the pointer last — a reader either sees the old
+  // complete version or the new one, never a partial λ.
+  auto served = std::make_shared<Served>();
+  served->version = engine_->version();
+  served->lambda = engine_->lambda();
+  {
+    std::lock_guard<std::mutex> lock(pub_mu_);
+    published_ = std::move(served);
+  }
+  published_count_.fetch_add(1);
+  telemetry::count("serve.publish");
+}
+
+std::uint64_t BcServer::version() const {
+  std::lock_guard<std::mutex> lock(pub_mu_);
+  return published_ == nullptr ? 0 : published_->version;
+}
+
+Answer BcServer::answer_one(const Served& s, const Query& q,
+                            std::uint64_t floor_version) {
+  WallTimer timer;
+  Answer a;
+  a.kind = q.kind;
+  a.version = s.version;
+  queries_.fetch_add(1);
+  if (q.kind == QueryKind::kTopK) {
+    topk_queries_.fetch_add(1);
+    std::lock_guard<std::mutex> lock(s.mu);
+    bool hit = false;
+    for (const auto& [k, top] : s.topk) {
+      if (k == q.k) {
+        a.top = top;
+        hit = true;
+        break;
+      }
+    }
+    if (hit) {
+      cache_hits_.fetch_add(1);
+      a.from_cache = true;
+    } else {
+      cache_misses_.fetch_add(1);
+      a.top = core::top_k(s.lambda, q.k);
+      s.topk.emplace_back(q.k, a.top);
+    }
+  } else {
+    vertex_queries_.fetch_add(1);
+    MFBC_CHECK(q.vertex >= 0 && q.vertex < n_,
+               "serve: query vertex out of range [0, " + std::to_string(n_) +
+                   "): " + std::to_string(q.vertex));
+    a.score = s.lambda[static_cast<std::size_t>(q.vertex)];
+  }
+  if (s.version < floor_version) {
+    // Impossible by construction (publish only moves forward and a reader
+    // copies the snapshot *after* reading the floor); counted rather than
+    // asserted so the serve-smoke job can pin it to zero end to end.
+    stale_.fetch_add(1);
+    telemetry::count("serve.stale_answers");
+  }
+  a.latency_us = timer.seconds() * 1e6;
+  latency_.observe("serve.query_us", a.latency_us);
+  telemetry::observe("serve.query_us", a.latency_us);
+  return a;
+}
+
+Answer BcServer::top_k(std::size_t k) {
+  telemetry::Span span("serve.query");
+  const std::uint64_t floor = version();
+  auto s = snapshot();
+  return answer_one(*s, Query::top_k(k), floor);
+}
+
+Answer BcServer::centrality(graph::vid_t v) {
+  telemetry::Span span("serve.query");
+  const std::uint64_t floor = version();
+  auto s = snapshot();
+  return answer_one(*s, Query::centrality(v), floor);
+}
+
+std::vector<Answer> BcServer::submit(const std::vector<Query>& queries) {
+  telemetry::Span span("serve.batch");
+  span.attr("queries", static_cast<std::int64_t>(queries.size()));
+  telemetry::count("serve.batches");
+  const std::uint64_t floor = version();
+  // One snapshot for the whole batch: every answer shares a version.
+  auto s = snapshot();
+  std::vector<Answer> answers;
+  answers.reserve(queries.size());
+  for (const Query& q : queries) {
+    answers.push_back(answer_one(*s, q, floor));
+  }
+  return answers;
+}
+
+RecomputeReport BcServer::apply(const graph::MutationBatch& batch) {
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  const RecomputeReport rep = engine_->apply(batch);
+  if (rep.incremental) {
+    incremental_recomputes_.fetch_add(1);
+  } else {
+    full_recomputes_.fetch_add(1);
+  }
+  batches_rerun_.fetch_add(static_cast<std::uint64_t>(rep.batches_rerun));
+  affected_bound_.fetch_add(
+      static_cast<std::uint64_t>(rep.affected_batches));
+  publish();
+  return rep;
+}
+
+telemetry::Json BcServer::json() const {
+  telemetry::Json j = telemetry::Json::object();
+  j["queries"] = telemetry::Json(
+      static_cast<std::int64_t>(queries_.load()));
+  j["topk_queries"] = telemetry::Json(
+      static_cast<std::int64_t>(topk_queries_.load()));
+  j["vertex_queries"] = telemetry::Json(
+      static_cast<std::int64_t>(vertex_queries_.load()));
+  j["cache_hits"] = telemetry::Json(
+      static_cast<std::int64_t>(cache_hits_.load()));
+  j["cache_misses"] = telemetry::Json(
+      static_cast<std::int64_t>(cache_misses_.load()));
+  j["stale_answers"] = telemetry::Json(
+      static_cast<std::int64_t>(stale_.load()));
+  j["versions_published"] = telemetry::Json(
+      static_cast<std::int64_t>(published_count_.load()));
+  j["incremental_recomputes"] = telemetry::Json(
+      static_cast<std::int64_t>(incremental_recomputes_.load()));
+  j["full_recomputes"] = telemetry::Json(
+      static_cast<std::int64_t>(full_recomputes_.load()));
+  j["batches_rerun"] = telemetry::Json(
+      static_cast<std::int64_t>(batches_rerun_.load()));
+  j["affected_bound"] = telemetry::Json(
+      static_cast<std::int64_t>(affected_bound_.load()));
+  const telemetry::HistStats lat = latency_.histogram("serve.query_us");
+  j["p50_us"] = telemetry::Json(lat.percentile(50));
+  j["p95_us"] = telemetry::Json(lat.percentile(95));
+  return j;
+}
+
+}  // namespace mfbc::serve

@@ -1,0 +1,158 @@
+// BC-as-a-service front-end (docs/serving.md).
+//
+// A deterministic in-process request loop — library plus CLI driver
+// (tools/bc_server_cli.cpp), no sockets — serving concurrent top-k and
+// per-vertex centrality queries against the freshest *complete* published
+// version while the next version computes:
+//
+//   * Publication: apply() runs the incremental engine (serve/incremental),
+//     then atomically swaps in a new Served snapshot. Queries never observe
+//     a partially recomputed λ — they copy the current snapshot pointer
+//     under a lock and answer entirely from that immutable object.
+//   * Freshness: an answer carries the version it was computed against,
+//     which is always >= the latest version published at the instant the
+//     query started. The stale_answers counter (pinned 0 by the serve-smoke
+//     TSan job) counts violations.
+//   * Caching: top-k results are cached per (version, k) *inside* the
+//     Served snapshot, so publishing a version invalidates the previous
+//     cache by construction — there is no invalidation step to forget.
+//     Cached and freshly computed answers are byte-identical because
+//     core::top_k breaks score ties by vertex id.
+//   * Batching: submit() answers a whole request batch against one
+//     snapshot, so a batch sees a single consistent version.
+//
+// Telemetry: serve.* spans/counters plus a private latency histogram
+// (always compiled, unlike the global registry) feeding the p50/p95 figures
+// in json().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "mfbc/ranking.hpp"
+#include "serve/incremental.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/registry.hpp"
+
+namespace mfbc::serve {
+
+enum class QueryKind { kTopK, kVertex };
+
+struct Query {
+  QueryKind kind = QueryKind::kTopK;
+  std::size_t k = 10;         ///< top-k size (kTopK)
+  graph::vid_t vertex = 0;    ///< vertex id (kVertex)
+
+  static Query top_k(std::size_t k) {
+    Query q;
+    q.kind = QueryKind::kTopK;
+    q.k = k;
+    return q;
+  }
+  static Query centrality(graph::vid_t v) {
+    Query q;
+    q.kind = QueryKind::kVertex;
+    q.vertex = v;
+    return q;
+  }
+};
+
+struct Answer {
+  QueryKind kind = QueryKind::kTopK;
+  std::uint64_t version = 0;  ///< the complete version this was served from
+  bool from_cache = false;
+  double latency_us = 0;
+  std::vector<core::RankedVertex> top;  ///< kTopK payload
+  double score = 0;                     ///< kVertex payload
+};
+
+struct ServerOptions {
+  IncrementalOptions compute;
+};
+
+class BcServer {
+ public:
+  /// Computes and publishes version 0 before returning: the server is
+  /// always queryable.
+  explicit BcServer(graph::Graph base, ServerOptions opts = {});
+
+  /// Thread-safe query entry points.
+  Answer top_k(std::size_t k);
+  Answer centrality(graph::vid_t v);
+  /// Answer a request batch against one snapshot (a single consistent
+  /// version for the whole batch).
+  std::vector<Answer> submit(const std::vector<Query>& queries);
+
+  /// Apply a mutation batch and publish the new version. Serialized
+  /// internally; concurrent queries keep serving the previous version
+  /// until the swap. Throws (graph/mutate.hpp errors) without publishing
+  /// on an invalid batch.
+  RecomputeReport apply(const graph::MutationBatch& batch);
+
+  /// The latest published (complete) version.
+  std::uint64_t version() const;
+  graph::vid_t n() const { return n_; }
+
+  /// Engine views for the mutator thread — the thread that calls apply(),
+  /// e.g. to build the next mutation batch against the current topology.
+  /// Queries must go through the published snapshot instead.
+  const graph::Graph& current_graph() const {
+    return engine_->versioned().graph();
+  }
+  int total_batches() const { return engine_->total_batches(); }
+
+  std::uint64_t queries() const { return queries_.load(); }
+  std::uint64_t cache_hits() const { return cache_hits_.load(); }
+  std::uint64_t cache_misses() const { return cache_misses_.load(); }
+  /// Answers that observed a version older than the one published when the
+  /// query started. 0 by construction; pinned by tests and CI.
+  std::uint64_t stale_answers() const { return stale_.load(); }
+  std::uint64_t versions_published() const { return published_count_.load(); }
+
+  /// The --json artifact's `serve` block: query/cache/publication counters,
+  /// recompute totals, the affected-region bound, p50/p95 query latency.
+  telemetry::Json json() const;
+
+ private:
+  struct Served {
+    std::uint64_t version = 0;
+    std::vector<double> lambda;
+    /// Version-keyed top-k cache; lives inside the snapshot so publishing
+    /// the next version invalidates it structurally.
+    mutable std::mutex mu;
+    mutable std::vector<std::pair<std::size_t,
+                                  std::vector<core::RankedVertex>>> topk;
+  };
+
+  std::shared_ptr<const Served> snapshot() const;
+  void publish();
+  Answer answer_one(const Served& s, const Query& q,
+                    std::uint64_t floor_version);
+
+  graph::vid_t n_ = 0;
+  std::mutex engine_mu_;  ///< serializes apply() against itself
+  std::unique_ptr<IncrementalBc> engine_;
+
+  mutable std::mutex pub_mu_;  ///< guards published_
+  std::shared_ptr<const Served> published_;
+
+  std::atomic<std::uint64_t> queries_{0};
+  std::atomic<std::uint64_t> topk_queries_{0};
+  std::atomic<std::uint64_t> vertex_queries_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> cache_misses_{0};
+  std::atomic<std::uint64_t> stale_{0};
+  std::atomic<std::uint64_t> published_count_{0};
+  std::atomic<std::uint64_t> incremental_recomputes_{0};
+  std::atomic<std::uint64_t> full_recomputes_{0};
+  std::atomic<std::uint64_t> batches_rerun_{0};
+  std::atomic<std::uint64_t> affected_bound_{0};
+  /// Private registry for query latencies: the global one is compiled out
+  /// under MFBC_TELEMETRY=0 but the serve block must always carry p50/p95.
+  mutable telemetry::Registry latency_;
+};
+
+}  // namespace mfbc::serve

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 
 #include "core/checkpoint.hpp"
 #include "dist/spgemm_dist.hpp"
@@ -18,18 +19,17 @@ using graph::vid_t;
 
 /// Batch-level rank-failure recovery: verify every base-grid row still has a
 /// live λ-checkpoint replica (throws an unrecoverable FaultError otherwise),
-/// re-map dead virtual ranks onto survivors, charge the λ restore and the
-/// stationary-operand re-fetch, and roll λ back to `checkpoint`.
+/// re-map dead virtual ranks onto survivors, and charge the λ restore and
+/// the stationary-operand re-fetch. The run's λ itself needs no data
+/// rollback: the failing batch only ever wrote its private scratch vector,
+/// which the retry re-zeroes — the charges below model restoring the
+/// row-replicated λ segments on the remapped machine.
 void recover_from_rank_failure(sim::Sim& sim, const dist::Layout& base,
                                vid_t n, const BatchHooks& hooks,
-                               std::vector<double>& lambda,
-                               const std::vector<double>& checkpoint,
                                std::span<const int> all_ranks,
                                int batch_index, BatchDriverStats* stats) {
   sim::FaultInjector* fi = sim.faults();
   MFBC_CHECK(fi != nullptr, "rank-failure recovery without fault injection");
-  MFBC_CHECK(checkpoint.size() == lambda.size(),
-             "rank-failure recovery without a λ checkpoint");
   telemetry::Span span("recovery.batch_rollback");
   span.attr("batch", static_cast<std::int64_t>(batch_index));
   telemetry::count("faults.batch_rollbacks");
@@ -118,7 +118,6 @@ void recover_from_rank_failure(sim::Sim& sim, const dist::Layout& base,
 
   hooks.invalidate_caches();
 
-  lambda = checkpoint;
   fi->count_recovered(sim::FaultKind::kRankFailure);
 }
 
@@ -132,13 +131,20 @@ std::vector<vid_t> resolve_sources(vid_t n,
     return all;
   }
   // Validate before any distribution work: bad source lists must not cost a
-  // single charge.
+  // single charge, and the rejection is a *named* error (SourceListError) so
+  // the serving layer can turn it into a client-level refusal. A duplicate
+  // would silently double-count its pair dependencies in λ.
   std::vector<char> seen(static_cast<std::size_t>(n), 0);
   for (vid_t s : requested) {
-    MFBC_CHECK(s >= 0 && s < n,
-               "source id out of range [0, n): " + std::to_string(s));
-    MFBC_CHECK(seen[static_cast<std::size_t>(s)] == 0,
-               "duplicate source id: " + std::to_string(s));
+    if (s < 0 || s >= n) {
+      throw SourceListError("invalid source list: id " + std::to_string(s) +
+                            " out of range [0, " + std::to_string(n) + ")");
+    }
+    if (seen[static_cast<std::size_t>(s)] != 0) {
+      throw SourceListError(
+          "invalid source list: duplicate source id " + std::to_string(s) +
+          " (duplicates would double-count pair dependencies)");
+    }
     seen[static_cast<std::size_t>(s)] = 1;
   }
   return requested;
@@ -156,6 +162,9 @@ std::vector<double> run_batched_bc(sim::Sim& sim, const dist::Layout& base,
              "run_batched_bc: every BatchHooks callback must be set");
   MFBC_CHECK(!run_opts.resume || !run_opts.checkpoint_dir.empty(),
              "--resume needs --checkpoint-dir");
+  MFBC_CHECK(run_opts.batch_deltas == nullptr || !run_opts.resume,
+             "per-batch λ-delta collection is incompatible with --resume: a "
+             "resumed run has no deltas for the batches it skipped");
   const std::vector<vid_t> all_sources = resolve_sources(n, sources);
   const int p = sim.nranks();
   std::vector<int> all_ranks(static_cast<std::size_t>(p));
@@ -166,12 +175,17 @@ std::vector<double> run_batched_bc(sim::Sim& sim, const dist::Layout& base,
   sim::FaultInjector* fi = sim.faults();
   const bool checkpointing = fi != nullptr && fi->checkpoint_enabled();
   const bool durable = !run_opts.checkpoint_dir.empty();
-  const std::uint64_t sig = durable
-                                ? source_signature(n, batch_size, all_sources)
-                                : 0;
+  const std::uint64_t sig =
+      durable ? source_signature(n, batch_size, all_sources,
+                                 run_opts.graph_sig)
+              : 0;
   const int total_batches = static_cast<int>(
       (all_sources.size() + static_cast<std::size_t>(batch_size) - 1) /
       static_cast<std::size_t>(batch_size));
+  if (run_opts.batch_deltas != nullptr) {
+    run_opts.batch_deltas->assign(static_cast<std::size_t>(total_batches),
+                                  {});
+  }
 
   int start_batch = 0;
   if (run_opts.resume) {
@@ -215,7 +229,7 @@ std::vector<double> run_batched_bc(sim::Sim& sim, const dist::Layout& base,
         all_sources.begin() + static_cast<std::ptrdiff_t>(lo),
         all_sources.begin() + static_cast<std::ptrdiff_t>(hi));
 
-    std::vector<double> lambda_ckpt;
+    std::vector<double> batch_lambda;
     int attempts = 0;
     bool need_recover = false;
     for (;;) {
@@ -224,8 +238,8 @@ std::vector<double> run_batched_bc(sim::Sim& sim, const dist::Layout& base,
         // handler) so a rank that dies *during* recovery's own restore
         // charges re-enters this same policy instead of escaping.
         if (need_recover) {
-          recover_from_rank_failure(sim, base, n, hooks, lambda, lambda_ckpt,
-                                    all_ranks, batch_index, stats);
+          recover_from_rank_failure(sim, base, n, hooks, all_ranks,
+                                    batch_index, stats);
           need_recover = false;
         }
         // Checkpoint λ at the batch boundary: each base-grid row replicates
@@ -235,17 +249,31 @@ std::vector<double> run_batched_bc(sim::Sim& sim, const dist::Layout& base,
         // restored segments.
         if (checkpointing) {
           telemetry::Span ckpt_span("recovery.checkpoint");
-          lambda_ckpt = lambda;
           auto rs = sim.recovery_scope();
           for (int i = 0; i < base.pr; ++i) {
             sim.charge_allgather(base.row_group(i),
                                  static_cast<double>(n) / base.pr);
           }
         }
-        hooks.run_batch(batch_sources, lambda, all_ranks, batch_index);
+        // Each batch accumulates into a private zeroed scratch vector; the
+        // fold below adds it into λ with exactly one add per vertex per
+        // batch. Two things fall out: rollback is re-zeroing (λ is never
+        // dirtied by a failed attempt), and the per-batch deltas are
+        // independent — summing them in batch order reproduces λ bitwise,
+        // which is the splice contract incremental recomputation
+        // (docs/serving.md) is built on.
+        batch_lambda.assign(static_cast<std::size_t>(n), 0.0);
+        hooks.run_batch(batch_sources, batch_lambda, all_ranks, batch_index);
         // Nothing dirty may outlive a batch: repair corruption from frontier
         // exchanges that no ABFT pass covered.
         dist::abft_repair_pending(sim);
+        for (std::size_t v = 0; v < lambda.size(); ++v) {
+          lambda[v] += batch_lambda[v];
+        }
+        if (run_opts.batch_deltas != nullptr) {
+          (*run_opts.batch_deltas)[static_cast<std::size_t>(batch_index)] =
+              std::move(batch_lambda);
+        }
         if (durable) {
           // Persist λ after every complete batch (core/checkpoint.hpp); the
           // gather models collecting the row-replicated segments to the

@@ -10,22 +10,40 @@
 // every thread count) holds for both engines by construction.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "dist/procgrid.hpp"
 #include "graph/graph.hpp"
 #include "sim/comm.hpp"
+#include "support/error.hpp"
 
 namespace mfbc::core {
+
+/// Named rejection of an invalid requested source list (out-of-range or
+/// duplicate ids). Thrown by resolve_sources — and therefore by every
+/// engine's run() — *before* any distribution work, so a bad list never
+/// costs a single simulated charge. A duplicate source would silently
+/// double-count its pair dependencies in λ; naming the error lets the
+/// serving layer map it to a client-level rejection instead of a crash.
+class SourceListError : public mfbc::Error {
+ public:
+  explicit SourceListError(const std::string& what) : mfbc::Error(what) {}
+};
 
 /// Engine-specific callbacks consumed by run_batched_bc. All three must be
 /// set; the driver checks and throws mfbc::Error otherwise.
 struct BatchHooks {
   /// One full forward + backward pass over `batch_sources`, accumulating
-  /// partial centrality into `lambda`. May throw sim::FaultError out of the
-  /// charging layer; the driver owns rollback and re-runs the batch.
+  /// partial centrality into `lambda`. The driver hands in a zeroed
+  /// per-batch scratch vector and folds it into the run's λ itself (one add
+  /// per vertex per batch), so each batch's contribution is an independent
+  /// delta the incremental-recomputation layer can splice
+  /// (docs/serving.md). May throw sim::FaultError out of the charging
+  /// layer; the driver owns rollback and re-runs the batch.
   std::function<void(const std::vector<graph::vid_t>& batch_sources,
                      std::vector<double>& lambda,
                      std::span<const int> all_ranks, int batch_index)>
@@ -57,11 +75,24 @@ struct BatchRunOptions {
   /// (graph size, batch size, source list) disagrees with this run is
   /// refused. Requires checkpoint_dir.
   bool resume = false;
+  /// Structural signature of the graph this run computes on
+  /// (graph/mutate.hpp). When nonzero it is folded into the checkpoint's
+  /// shape signature, so a checkpoint written against one graph version can
+  /// never resume a run on another. 0 keeps pre-versioning checkpoints
+  /// resumable.
+  std::uint64_t graph_sig = 0;
+  /// When set, receives one λ-delta vector per batch (resized to the batch
+  /// count; each entry length n): exactly the scratch vector the driver
+  /// folded for that batch. Summing the deltas in batch order reproduces
+  /// the returned λ bitwise — the splice contract incremental
+  /// recomputation is built on. Incompatible with resume (a resumed run
+  /// has no deltas for the batches it skipped; the driver throws).
+  std::vector<std::vector<double>>* batch_deltas = nullptr;
 };
 
 /// Validate a requested source list (ids in [0, n), duplicate-free; throws
-/// mfbc::Error before any distribution work otherwise) or default it to all
-/// n vertices when empty.
+/// SourceListError before any distribution work otherwise) or default it to
+/// all n vertices when empty.
 std::vector<graph::vid_t> resolve_sources(
     graph::vid_t n, const std::vector<graph::vid_t>& requested);
 

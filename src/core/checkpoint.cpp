@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "support/error.hpp"
+#include "support/hash.hpp"
 #include "telemetry/registry.hpp"
 
 namespace mfbc::core {
@@ -36,20 +37,18 @@ std::uint64_t get_u64(const std::string& in, std::size_t at) {
 }  // namespace
 
 std::uint64_t fnv1a(const void* data, std::size_t bytes, std::uint64_t seed) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  std::uint64_t h = seed;
-  for (std::size_t i = 0; i < bytes; ++i) {
-    h ^= p[i];
-    h *= 0x100000001B3ull;
-  }
-  return h;
+  return support::fnv1a(data, bytes, seed);
 }
 
 std::uint64_t source_signature(graph::vid_t n, graph::vid_t batch_size,
-                               const std::vector<graph::vid_t>& sources) {
+                               const std::vector<graph::vid_t>& sources,
+                               std::uint64_t graph_sig) {
   std::uint64_t h = fnv1a(&n, sizeof(n));
   h = fnv1a(&batch_size, sizeof(batch_size), h);
   for (graph::vid_t s : sources) h = fnv1a(&s, sizeof(s), h);
+  // Folded only when the caller binds a graph version: the default keeps
+  // every pre-versioning checkpoint resumable (signature unchanged).
+  if (graph_sig != 0) h = fnv1a(&graph_sig, sizeof(graph_sig), h);
   return h;
 }
 

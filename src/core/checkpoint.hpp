@@ -50,11 +50,15 @@ struct LambdaCheckpoint {
 std::uint64_t fnv1a(const void* data, std::size_t bytes,
                     std::uint64_t seed = 0xCBF29CE484222325ull);
 
-/// Signature binding a checkpoint to its run shape: n, batch size, and the
-/// resolved source list. A checkpoint from a different graph, batching, or
-/// source set must never resume a run it does not describe.
+/// Signature binding a checkpoint to its run shape: n, batch size, the
+/// resolved source list and — when nonzero — the graph's structural
+/// signature (graph/mutate.hpp). A checkpoint from a different graph
+/// version, batching, or source set must never resume a run it does not
+/// describe. graph_sig = 0 (the default) reproduces the pre-versioning
+/// signature, so old checkpoints stay resumable.
 std::uint64_t source_signature(graph::vid_t n, graph::vid_t batch_size,
-                               const std::vector<graph::vid_t>& sources);
+                               const std::vector<graph::vid_t>& sources,
+                               std::uint64_t graph_sig = 0);
 
 /// The checkpoint file inside `dir` (a fixed name: one run per directory).
 std::string checkpoint_path(const std::string& dir);

@@ -17,6 +17,8 @@ using sparse::nnz_t;
 using sparse::vid_t;
 using Weight = algebra::Weight;
 
+struct MutationBatch;  // graph/mutate.hpp
+
 struct Edge {
   vid_t u = 0;
   vid_t v = 0;
@@ -55,6 +57,19 @@ class Graph {
   }
 
   vid_t out_degree(vid_t v) const { return adj_.row_nnz(v); }
+
+  /// True when the stored adjacency has entry (u, v); symmetric for
+  /// undirected graphs. Endpoints must be in [0, n).
+  bool has_edge(vid_t u, vid_t v) const;
+
+  /// Versioned-mutation API (graph/mutate.hpp): a Graph is immutable, so
+  /// each call returns a *new* snapshot with the edit applied. Errors
+  /// (out-of-range endpoints, self-loops, duplicate adds, absent removals,
+  /// non-positive weights) throw mfbc::Error with graph::io-style context.
+  Graph add_edge(vid_t u, vid_t v, Weight w = 1.0) const;
+  Graph remove_edge(vid_t u, vid_t v) const;
+  /// Replay a whole MutationBatch in order (sequential semantics).
+  Graph apply(const MutationBatch& batch) const;
 
  private:
   Graph(sparse::Csr<Weight> adj, bool directed, bool weighted)

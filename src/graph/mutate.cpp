@@ -1,0 +1,214 @@
+#include "graph/mutate.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "sparse/coo.hpp"
+#include "support/error.hpp"
+#include "support/hash.hpp"
+
+namespace mfbc::graph {
+
+namespace {
+
+using MinMonoid = algebra::TropicalMinMonoid;
+
+/// "<label>:<index>: " prefix for batch-applied mutations, "" for the
+/// single-edge entry points — the graph::io source:position convention.
+std::string ctx(const std::string& label, std::ptrdiff_t index) {
+  if (index < 0) return "";
+  return label + ":" + std::to_string(index) + ": ";
+}
+
+/// Mutable adjacency: one ordered (neighbor → weight) map per vertex.
+/// Rebuilding through Coo + from_coo afterwards reproduces the exact CSR a
+/// from-scratch Graph::from_edges build would produce (sorted unique
+/// columns, identical weight bit patterns), which is what keeps the fuzz
+/// test's same-CSR-bits pin honest.
+struct MutableAdj {
+  vid_t n = 0;
+  std::vector<std::map<vid_t, Weight>> rows;
+
+  explicit MutableAdj(const Graph& g) : n(g.n()), rows(g.n()) {
+    const auto& a = g.adj();
+    for (vid_t r = 0; r < n; ++r) {
+      auto cols = a.row_cols(r);
+      auto vals = a.row_vals(r);
+      for (std::size_t i = 0; i < cols.size(); ++i) {
+        rows[static_cast<std::size_t>(r)].emplace(cols[i], vals[i]);
+      }
+    }
+  }
+
+  bool has(vid_t u, vid_t v) const {
+    return rows[static_cast<std::size_t>(u)].count(v) != 0;
+  }
+
+  Graph build(bool directed, bool weighted) const {
+    nnz_t total = 0;
+    for (const auto& r : rows) total += static_cast<nnz_t>(r.size());
+    sparse::Coo<Weight> coo(n, n);
+    coo.reserve(total);
+    for (vid_t r = 0; r < n; ++r) {
+      for (const auto& [c, w] : rows[static_cast<std::size_t>(r)]) {
+        coo.push(r, c, w);
+      }
+    }
+    return graph_from_csr(sparse::Csr<Weight>::from_coo<MinMonoid>(
+                              std::move(coo)),
+                          directed, weighted);
+  }
+};
+
+void check_endpoints(const MutableAdj& adj, vid_t u, vid_t v,
+                     const std::string& where) {
+  MFBC_CHECK(u >= 0 && u < adj.n && v >= 0 && v < adj.n,
+             where + "edge endpoint out of range [0, " +
+                 std::to_string(adj.n) + "): (" + std::to_string(u) + ", " +
+                 std::to_string(v) + ")");
+  MFBC_CHECK(u != v, where + "self-loop (" + std::to_string(u) + ", " +
+                         std::to_string(u) +
+                         ") rejected: self-loops never lie on a simple "
+                         "shortest path");
+}
+
+void apply_one(MutableAdj& adj, const Mutation& m, bool directed,
+               bool weighted, const std::string& label,
+               std::ptrdiff_t index) {
+  const std::string where = ctx(label, index);
+  check_endpoints(adj, m.u, m.v, where);
+  auto& fwd = adj.rows[static_cast<std::size_t>(m.u)];
+  auto& bwd = adj.rows[static_cast<std::size_t>(m.v)];
+  if (m.kind == MutationKind::kAddEdge) {
+    const Weight w = weighted ? m.w : 1.0;
+    MFBC_CHECK(w > 0, where + "edge weights must be strictly positive, got " +
+                          std::to_string(w));
+    MFBC_CHECK(!adj.has(m.u, m.v),
+               where + "edge (" + std::to_string(m.u) + ", " +
+                   std::to_string(m.v) +
+                   ") already exists (replace = remove + add)");
+    fwd.emplace(m.v, w);
+    if (!directed) bwd.emplace(m.u, w);
+  } else {
+    MFBC_CHECK(adj.has(m.u, m.v),
+               where + "no such edge (" + std::to_string(m.u) + ", " +
+                   std::to_string(m.v) + ")");
+    fwd.erase(m.v);
+    if (!directed) bwd.erase(m.u);
+  }
+}
+
+}  // namespace
+
+std::uint64_t structural_signature(const Graph& g) {
+  const auto& a = g.adj();
+  std::uint64_t h = support::fnv1a("mfbc.graph.v1", 13);
+  const std::uint64_t n = static_cast<std::uint64_t>(g.n());
+  const std::uint64_t flags = (g.directed() ? 1u : 0u) |
+                              (g.weighted() ? 2u : 0u);
+  h = support::fnv1a_value(n, h);
+  h = support::fnv1a_value(flags, h);
+  const auto rowptr = a.rowptr();
+  const auto col = a.col();
+  const auto val = a.val();
+  h = support::fnv1a(rowptr.data(), rowptr.size_bytes(), h);
+  h = support::fnv1a(col.data(), col.size_bytes(), h);
+  h = support::fnv1a(val.data(), val.size_bytes(), h);
+  return h;
+}
+
+bool has_edge(const Graph& g, vid_t u, vid_t v) {
+  MFBC_CHECK(u >= 0 && u < g.n() && v >= 0 && v < g.n(),
+             "has_edge endpoint out of range [0, " + std::to_string(g.n()) +
+                 "): (" + std::to_string(u) + ", " + std::to_string(v) + ")");
+  auto cols = g.adj().row_cols(u);
+  return std::binary_search(cols.begin(), cols.end(), v);
+}
+
+Graph add_edge(const Graph& g, vid_t u, vid_t v, Weight w) {
+  MutableAdj adj(g);
+  apply_one(adj, Mutation::add(u, v, w), g.directed(), g.weighted(),
+            "mutation", -1);
+  return adj.build(g.directed(), g.weighted());
+}
+
+Graph remove_edge(const Graph& g, vid_t u, vid_t v) {
+  MutableAdj adj(g);
+  apply_one(adj, Mutation::remove(u, v), g.directed(), g.weighted(),
+            "mutation", -1);
+  return adj.build(g.directed(), g.weighted());
+}
+
+Graph apply(const Graph& g, const MutationBatch& batch) {
+  MutableAdj adj(g);
+  for (std::size_t i = 0; i < batch.mutations.size(); ++i) {
+    apply_one(adj, batch.mutations[i], g.directed(), g.weighted(),
+              batch.label, static_cast<std::ptrdiff_t>(i));
+  }
+  return adj.build(g.directed(), g.weighted());
+}
+
+bool Graph::has_edge(vid_t u, vid_t v) const {
+  return graph::has_edge(*this, u, v);
+}
+
+Graph Graph::add_edge(vid_t u, vid_t v, Weight w) const {
+  return graph::add_edge(*this, u, v, w);
+}
+
+Graph Graph::remove_edge(vid_t u, vid_t v) const {
+  return graph::remove_edge(*this, u, v);
+}
+
+Graph Graph::apply(const MutationBatch& batch) const {
+  return graph::apply(*this, batch);
+}
+
+MutationBatch random_mutation_batch(const Graph& g, int adds, int removes,
+                                    Xoshiro256& rng) {
+  MutationBatch out;
+  const vid_t n = g.n();
+  if (n < 2) return out;
+  // Track the evolving edge set so the batch replays cleanly under apply()'s
+  // sequential semantics (no duplicate adds, no double removals).
+  MutableAdj adj(g);
+  // Removals first, over a stable enumeration of the current edges.
+  std::vector<std::pair<vid_t, vid_t>> edges;
+  for (vid_t u = 0; u < n; ++u) {
+    for (const auto& [v, w] : adj.rows[static_cast<std::size_t>(u)]) {
+      if (g.directed() || u < v) edges.emplace_back(u, v);
+    }
+  }
+  for (int i = 0; i < removes && !edges.empty(); ++i) {
+    const std::size_t at =
+        static_cast<std::size_t>(rng.bounded(edges.size()));
+    const auto [u, v] = edges[at];
+    edges[at] = edges.back();
+    edges.pop_back();
+    out.mutations.push_back(Mutation::remove(u, v));
+    adj.rows[static_cast<std::size_t>(u)].erase(v);
+    if (!g.directed()) adj.rows[static_cast<std::size_t>(v)].erase(u);
+  }
+  for (int i = 0; i < adds; ++i) {
+    bool placed = false;
+    for (int attempt = 0; attempt < 64 && !placed; ++attempt) {
+      const vid_t u = static_cast<vid_t>(rng.bounded(
+          static_cast<std::uint64_t>(n)));
+      const vid_t v = static_cast<vid_t>(rng.bounded(
+          static_cast<std::uint64_t>(n)));
+      if (u == v || adj.has(u, v)) continue;
+      const Weight w = g.weighted() ? rng.weight(1, 100) : 1.0;
+      out.mutations.push_back(Mutation::add(u, v, w));
+      adj.rows[static_cast<std::size_t>(u)].emplace(v, w);
+      if (!g.directed()) adj.rows[static_cast<std::size_t>(v)].emplace(u, w);
+      placed = true;
+    }
+    // A (near-)complete graph may exhaust the attempts; the batch just
+    // carries fewer adds, which every consumer tolerates.
+  }
+  return out;
+}
+
+}  // namespace mfbc::graph

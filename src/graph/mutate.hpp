@@ -1,0 +1,113 @@
+// Versioned edge mutations (docs/serving.md).
+//
+// A Graph is immutable; a mutation produces a *new* Graph. MutationBatch is
+// the unit of change the serving layer applies between published versions:
+// an ordered list of edge insertions and deletions validated as a whole
+// (errors carry the batch label and 0-based mutation index, the same
+// source:position convention as graph/io.hpp). apply() is sequential — a
+// later mutation sees the effect of every earlier one, so "remove then
+// re-add with a new weight" behaves the way a changelog replay would.
+//
+// VersionedGraph wraps a Graph with a monotonically increasing version
+// number and a structural signature (FNV-1a over the exact CSR bits), the
+// token checkpoints, plan-cache keys, and serve-layer caches bind to. Two
+// graphs built through different mutation histories that land on the same
+// adjacency structure have the same signature — the signature names the
+// *structure*, the version names the *publication*.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace mfbc::graph {
+
+enum class MutationKind { kAddEdge, kRemoveEdge };
+
+struct Mutation {
+  MutationKind kind = MutationKind::kAddEdge;
+  vid_t u = 0;
+  vid_t v = 0;
+  Weight w = 1.0;  ///< ignored by removals and by unweighted graphs
+
+  static Mutation add(vid_t u, vid_t v, Weight w = 1.0) {
+    return {MutationKind::kAddEdge, u, v, w};
+  }
+  static Mutation remove(vid_t u, vid_t v) {
+    return {MutationKind::kRemoveEdge, u, v, 1.0};
+  }
+};
+
+struct MutationBatch {
+  std::vector<Mutation> mutations;
+  /// Names the batch in error messages ("serve batch 3:1: ..."), the way
+  /// graph::io names the input stream. Defaults to "mutation".
+  std::string label = "mutation";
+
+  bool empty() const { return mutations.empty(); }
+  std::size_t size() const { return mutations.size(); }
+};
+
+/// FNV-1a 64-bit over the graph's exact structure: n, directedness,
+/// weightedness, and the raw CSR arrays (rowptr, column indices, weight bit
+/// patterns). Bit-identical adjacency ⇔ equal signature.
+std::uint64_t structural_signature(const Graph& g);
+
+/// True when the stored adjacency has an entry (u, v). Undirected graphs
+/// store both directions, so has_edge(u, v) == has_edge(v, u) for them.
+/// Endpoints must be in [0, n).
+bool has_edge(const Graph& g, vid_t u, vid_t v);
+
+/// Apply one insertion: returns a new Graph with edge (u, v) present at
+/// weight w (both directions for undirected graphs). Throws mfbc::Error —
+/// with "<label>:<index>:" context when called through apply() — on
+/// out-of-range endpoints, self-loops, non-positive weights, or an edge
+/// that already exists (replace = remove + add, so the changelog stays
+/// unambiguous). Unweighted graphs force w to 1.
+Graph add_edge(const Graph& g, vid_t u, vid_t v, Weight w = 1.0);
+
+/// Apply one deletion: returns a new Graph without edge (u, v). Throws
+/// mfbc::Error on out-of-range endpoints or an absent edge.
+Graph remove_edge(const Graph& g, vid_t u, vid_t v);
+
+/// Replay a whole batch in order; each error message carries
+/// "<batch.label>:<index>:" context. Returns the mutated graph.
+Graph apply(const Graph& g, const MutationBatch& batch);
+
+/// An immutable graph snapshot with a publication version and structural
+/// signature. Versions increase by exactly 1 per apply(); the base snapshot
+/// is version 0.
+class VersionedGraph {
+ public:
+  VersionedGraph() = default;
+  explicit VersionedGraph(Graph g)
+      : g_(std::move(g)), sig_(structural_signature(g_)) {}
+
+  /// The next snapshot: graph::apply(batch), version + 1, fresh signature.
+  VersionedGraph apply(const MutationBatch& batch) const {
+    VersionedGraph next(graph::apply(g_, batch));
+    next.version_ = version_ + 1;
+    return next;
+  }
+
+  const Graph& graph() const { return g_; }
+  std::uint64_t version() const { return version_; }
+  std::uint64_t signature() const { return sig_; }
+
+ private:
+  Graph g_;
+  std::uint64_t version_ = 0;
+  std::uint64_t sig_ = 0;
+};
+
+/// Deterministic random mutation batch for tests, the storm driver, and
+/// bench_serve: `adds` insertions of edges not currently present and
+/// `removes` deletions of existing edges (skipped when the graph has no
+/// edges), drawn from `rng`. Weights are U{1..100} for weighted graphs.
+MutationBatch random_mutation_batch(const Graph& g, int adds, int removes,
+                                    Xoshiro256& rng);
+
+}  // namespace mfbc::graph

@@ -121,6 +121,14 @@ dist::Plan DistMfbc::plan_for(const DistMfbcOptions& opts, const char* stream,
   if (opts.plan_mode == PlanMode::kFixedCa) {
     return ca_plan(sim_.nranks(), opts.replication_c);
   }
+  // Version-stable planning (docs/serving.md): quantize the stationary
+  // operand's nnz to its power-of-two band representative so plan choice —
+  // and with it the summation grid of every unaffected batch — cannot drift
+  // with small mutations. Crossing a band boundary is the serving layer's
+  // cue to fall back to a full recompute.
+  if (opts.stable_plans && b_nnz > 0) {
+    b_nnz = std::exp2(std::floor(std::log2(b_nnz)));
+  }
   auto stats = dist::MultiplyStats::estimated(
       /*m=*/opts.batch_size, /*k=*/g_.n(), /*n=*/g_.n(), frontier_nnz, b_nnz,
       /*words_a=*/sim::sparse_entry_words<Multpath>(),
@@ -134,7 +142,11 @@ dist::Plan DistMfbc::plan_for(const DistMfbcOptions& opts, const char* stream,
   // every enumerated plan matches the partition this instance was built on.
   topts.partition =
       part_.identity() ? dist::Dist::kBlock : dist::Dist::kBalanced;
-  const double resident = sim_.resident_highwater_words();
+  // Under stable_plans the resident high-water mark — which tracks the
+  // exact adjacency nnz — must not steer plan selection either; the
+  // serving layer sizes its machines so the untightened budget is safe.
+  const double resident =
+      opts.stable_plans ? 0.0 : sim_.resident_highwater_words();
   if (resident > 0) {
     // Heterogeneous fleets budget against the tightest rank's memory
     // (min_memory_words == memory_words bitwise when homogeneous).
@@ -155,6 +167,9 @@ dist::Plan DistMfbc::plan_for(const DistMfbcOptions& opts, const char* stream,
     // placement stop being addressable under the bumped epoch.
     req.topology =
         sim_.faults() != nullptr ? sim_.faults()->shrinks() : 0;
+    // The graph version keys the plan cache the same way the topology
+    // epoch does: a mutated adjacency retires the old version's plans.
+    req.graph_sig = opts.graph_signature;
     return opts.tuner->plan(req);
   }
   return dist::autotune(sim_.nranks(), stats, sim_.model(), topts);
@@ -224,9 +239,18 @@ std::vector<double> DistMfbc::run(const DistMfbcOptions& opts,
   BatchRunOptions run_opts;
   run_opts.checkpoint_dir = opts.checkpoint_dir;
   run_opts.resume = opts.resume;
+  run_opts.graph_sig = opts.graph_signature;
+  run_opts.batch_deltas = opts.batch_deltas;
   auto lambda = run_batched_bc(sim_, base_, g_.n(), sources,
                                opts.batch_size, hooks, &driver_stats,
                                run_opts);
+  if (opts.batch_deltas != nullptr && !part_.identity()) {
+    // Deltas come back in permuted ids like λ; hand them to the caller in
+    // original ids so the splice contract composes with any partition.
+    for (auto& delta : *opts.batch_deltas) {
+      if (!delta.empty()) delta = part_.unpermute(delta);
+    }
+  }
   const double imb_ops = run_ops_.ops_imbalance(sim_.nranks());
   telemetry::gauge("dist.imbalance.ops", imb_ops);
   telemetry::gauge("dist.imbalance.nnz", imb_nnz_);

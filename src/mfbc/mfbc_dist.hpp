@@ -18,6 +18,7 @@
 // replication amortization).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
@@ -54,6 +55,25 @@ struct DistMfbcOptions {
   /// batch driver (core/batch_driver.hpp BatchRunOptions).
   std::string checkpoint_dir;
   bool resume = false;
+  /// Version-stable planning for the serving layer (docs/serving.md): plan
+  /// selection sees the adjacency nnz quantized to its power-of-two band
+  /// (the plan-cache band, tune/plan_cache.hpp) instead of the exact count,
+  /// and skips the resident-memory tightening — both of which drift with
+  /// small mutations. Within a band, every iteration's plan is then a pure
+  /// function of the batch shape, so source batches whose BFS DAGs a
+  /// mutation cannot touch replay bit-identically across graph versions.
+  /// Results are unchanged by this flag (plans never change results); only
+  /// which plan runs can differ.
+  bool stable_plans = false;
+  /// Structural signature of the graph version (graph/mutate.hpp). Bound
+  /// into durable-checkpoint signatures and tuner plan-cache keys; 0 (the
+  /// batch default) keeps pre-versioning checkpoints and profiles usable.
+  std::uint64_t graph_signature = 0;
+  /// When set, receives one λ-delta per batch in the caller's original
+  /// vertex ids (core/batch_driver.hpp batch_deltas, unpermuted the same
+  /// way the returned λ is). Summing the deltas in batch order reproduces
+  /// run()'s result bitwise.
+  std::vector<std::vector<double>>* batch_deltas = nullptr;
 };
 
 struct DistMfbcStats {

@@ -1,0 +1,206 @@
+#include "serve/incremental.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/batch_driver.hpp"
+#include "sim/comm.hpp"
+#include "support/error.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/span.hpp"
+#include "tune/plan_cache.hpp"
+
+namespace mfbc::serve {
+
+using graph::vid_t;
+
+IncrementalBc::IncrementalBc(graph::Graph base, IncrementalOptions opts)
+    : opts_(std::move(opts)), vg_(std::move(base)) {
+  MFBC_CHECK(opts_.ranks >= 1, "serve: compute ranks must be >= 1");
+  MFBC_CHECK(opts_.batch_size >= 1, "serve: batch size must be >= 1");
+  const vid_t n = vg_.graph().n();
+  const std::vector<vid_t> sources =
+      core::resolve_sources(n, opts_.sources);
+  for (std::size_t lo = 0; lo < sources.size();
+       lo += static_cast<std::size_t>(opts_.batch_size)) {
+    const std::size_t hi =
+        std::min(sources.size(),
+                 lo + static_cast<std::size_t>(opts_.batch_size));
+    batches_.emplace_back(sources.begin() + static_cast<std::ptrdiff_t>(lo),
+                          sources.begin() + static_cast<std::ptrdiff_t>(hi));
+  }
+  deltas_.assign(batches_.size(), {});
+  reach_.assign(batches_.size(), {});
+  nnz_band_ =
+      tune::PlanKey::nnz_band(static_cast<double>(vg_.graph().adj().nnz()));
+
+  std::vector<int> all(batches_.size());
+  for (std::size_t b = 0; b < all.size(); ++b) all[b] = static_cast<int>(b);
+  RecomputeReport rep;
+  rep.version = vg_.version();
+  rep.signature = vg_.signature();
+  rep.total_batches = total_batches();
+  rep.affected_batches = total_batches();
+  rep.affected_fraction = batches_.empty() ? 0.0 : 1.0;
+  rep.reason = "initial";
+  recompute(all, rep);
+  rebuild_reach(all);
+  fold();
+  last_ = rep;
+}
+
+RecomputeReport IncrementalBc::apply(const graph::MutationBatch& batch) {
+  telemetry::Span span("serve.recompute");
+  // Validation + the new snapshot happen before any engine state changes:
+  // a bad mutation leaves version, deltas, and λ untouched.
+  graph::VersionedGraph next = vg_.apply(batch);
+
+  // Affected-region detection against the *pre-mutation* reach sets. The
+  // conservative rule is sound in both directions: if neither endpoint was
+  // reachable from a batch's sources, the mutation can neither be read by
+  // that batch's multiplies nor extend its reachable set (a new edge
+  // (u, v) only adds reachability through u or v).
+  std::vector<int> affected;
+  for (std::size_t b = 0; b < batches_.size(); ++b) {
+    const auto& reach = reach_[b];
+    bool hit = false;
+    for (const graph::Mutation& m : batch.mutations) {
+      if (reach[static_cast<std::size_t>(m.u)] != 0 ||
+          reach[static_cast<std::size_t>(m.v)] != 0) {
+        hit = true;
+        break;
+      }
+    }
+    if (hit) affected.push_back(static_cast<int>(b));
+  }
+
+  RecomputeReport rep;
+  rep.version = next.version();
+  rep.signature = next.signature();
+  rep.total_batches = total_batches();
+  rep.affected_batches = static_cast<int>(affected.size());
+  rep.affected_fraction =
+      batches_.empty() ? 0.0
+                       : static_cast<double>(affected.size()) /
+                             static_cast<double>(batches_.size());
+
+  const int band = tune::PlanKey::nnz_band(
+      static_cast<double>(next.graph().adj().nnz()));
+  bool full = false;
+  if (opts_.full_recompute_fraction < 0) {
+    full = true;
+    rep.reason = "forced";
+  } else if (rep.affected_fraction > opts_.full_recompute_fraction) {
+    // Re-running most batches buys nothing over a clean slate.
+    full = true;
+    rep.reason = "fraction";
+  } else if (band != nnz_band_) {
+    // Crossing an nnz band can shift plan selection, which voids the
+    // carried deltas' plan-stability argument (docs/serving.md).
+    full = true;
+    rep.reason = "band";
+  } else {
+    rep.reason = "incremental";
+  }
+  rep.incremental = !full;
+
+  vg_ = std::move(next);
+  nnz_band_ = band;
+
+  std::vector<int> rerun;
+  if (full) {
+    rerun.resize(batches_.size());
+    for (std::size_t b = 0; b < rerun.size(); ++b) {
+      rerun[b] = static_cast<int>(b);
+    }
+  } else {
+    rerun = affected;
+  }
+  recompute(rerun, rep);
+  rebuild_reach(rerun);
+  fold();
+
+  telemetry::count(full ? "serve.recompute.full"
+                        : "serve.recompute.incremental");
+  telemetry::count("serve.recompute.batches_rerun",
+                   static_cast<double>(rep.batches_rerun));
+  span.attr("version", static_cast<std::int64_t>(rep.version));
+  span.attr("reason", rep.reason);
+  last_ = rep;
+  return rep;
+}
+
+void IncrementalBc::recompute(const std::vector<int>& batch_ids,
+                              RecomputeReport& rep) {
+  rep.batches_rerun = static_cast<int>(batch_ids.size());
+  if (batch_ids.empty()) return;  // mutation invisible to every batch
+
+  // Concatenate the chosen batches' sources in ascending batch order. Every
+  // batch except the original last one is exactly batch_size sources, so
+  // the driver re-chunks this list into precisely the original groups and
+  // the returned deltas line up 1:1 with batch_ids.
+  std::vector<vid_t> sources;
+  for (int b : batch_ids) {
+    const auto& group = batches_[static_cast<std::size_t>(b)];
+    sources.insert(sources.end(), group.begin(), group.end());
+  }
+
+  sim::Sim sim(opts_.ranks, opts_.machine);
+  core::DistMfbc engine(sim, vg_.graph());
+  core::DistMfbcOptions d;
+  d.batch_size = opts_.batch_size;
+  d.plan_mode = opts_.plan_mode;
+  d.replication_c = opts_.replication_c;
+  d.sources = sources;
+  d.stable_plans = true;
+  d.graph_signature = vg_.signature();
+  std::vector<std::vector<double>> out;
+  d.batch_deltas = &out;
+  engine.run(d);
+  MFBC_CHECK(out.size() == batch_ids.size(),
+             "serve: recompute returned a different batch count than "
+             "requested");
+  for (std::size_t i = 0; i < batch_ids.size(); ++i) {
+    deltas_[static_cast<std::size_t>(batch_ids[i])] = std::move(out[i]);
+  }
+  rep.modelled_seconds += sim.ledger().critical().total_seconds();
+}
+
+void IncrementalBc::rebuild_reach(const std::vector<int>& batch_ids) {
+  // Reachability is weight-independent, so a sequential multi-source BFS
+  // over the CSR is enough (and cheap next to the SpGEMM recompute).
+  const auto& adj = vg_.graph().adj();
+  const vid_t n = vg_.graph().n();
+  std::vector<vid_t> queue;
+  for (int b : batch_ids) {
+    auto& reach = reach_[static_cast<std::size_t>(b)];
+    reach.assign(static_cast<std::size_t>(n), 0);
+    queue.clear();
+    for (vid_t s : batches_[static_cast<std::size_t>(b)]) {
+      if (reach[static_cast<std::size_t>(s)] == 0) {
+        reach[static_cast<std::size_t>(s)] = 1;
+        queue.push_back(s);
+      }
+    }
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      for (vid_t v : adj.row_cols(queue[head])) {
+        if (reach[static_cast<std::size_t>(v)] == 0) {
+          reach[static_cast<std::size_t>(v)] = 1;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+}
+
+void IncrementalBc::fold() {
+  // Same element order as the driver's per-batch fold: one add per vertex
+  // per batch, batches ascending — λ here is bitwise the λ a from-scratch
+  // run over all batches would return.
+  lambda_.assign(static_cast<std::size_t>(vg_.graph().n()), 0.0);
+  for (const auto& delta : deltas_) {
+    for (std::size_t v = 0; v < delta.size(); ++v) lambda_[v] += delta[v];
+  }
+}
+
+}  // namespace mfbc::serve

@@ -1,0 +1,100 @@
+// Incremental BC recomputation over versioned graph mutations
+// (docs/serving.md).
+//
+// The batch driver's scratch-λ fold makes every source batch's contribution
+// an independent delta: λ = Σ_b delta_b, summed in batch order, bitwise.
+// IncrementalBc keeps those deltas plus, per batch, the set of vertices
+// reachable from the batch's sources. A mutation can only change a batch's
+// delta if one of its endpoints is reachable from the batch's sources — the
+// forward multiplies read adjacency row u only when u enters a frontier,
+// and the backward multiplies read Aᵀ row v only for reached v — so
+// unaffected batches replay bit-identically on the mutated graph (given
+// version-stable plans, DistMfbcOptions::stable_plans) and only the
+// affected batches re-run. The incremental λ is therefore bit-identical to
+// a from-scratch run on the same version, at every thread count.
+//
+// Fallbacks to a full recompute: the affected fraction exceeds the
+// configured threshold (re-running most batches buys nothing), or the
+// adjacency nnz crosses a power-of-two band (plan selection may shift, so
+// the carried deltas' plan-stability argument no longer holds).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/mutate.hpp"
+#include "mfbc/mfbc_dist.hpp"
+#include "sim/machine.hpp"
+
+namespace mfbc::serve {
+
+struct IncrementalOptions {
+  /// Simulated ranks of the per-recompute machine.
+  int ranks = 4;
+  graph::vid_t batch_size = 16;
+  /// Sources to accumulate BC from (empty = all vertices); validated by
+  /// core::resolve_sources, so duplicates or out-of-range ids throw
+  /// core::SourceListError before any work.
+  std::vector<graph::vid_t> sources;
+  /// Fall back to a full recompute when affected_batches / total_batches
+  /// exceeds this. Negative forces a full recompute on every apply (the
+  /// bench's full-recompute baseline); >= 1 disables the fraction fallback.
+  double full_recompute_fraction = 0.5;
+  sim::MachineModel machine = sim::MachineModel::blue_waters();
+  core::PlanMode plan_mode = core::PlanMode::kAuto;
+  int replication_c = 1;
+};
+
+/// What one apply() (or the initial build) decided and did.
+struct RecomputeReport {
+  std::uint64_t version = 0;    ///< version the recompute produced
+  std::uint64_t signature = 0;  ///< its structural signature
+  bool incremental = false;     ///< false: full recompute
+  int total_batches = 0;
+  /// The affected-region bound: batches with a mutation endpoint reachable
+  /// from their sources. An incremental apply re-runs exactly these;
+  /// batches_rerun > affected_batches is a contract violation bench_serve
+  /// fails the build on.
+  int affected_batches = 0;
+  int batches_rerun = 0;
+  double affected_fraction = 0;
+  /// "initial", "incremental", "fraction", "band", or "forced".
+  std::string reason;
+  /// Modelled critical-path seconds of this recompute's simulated machine.
+  double modelled_seconds = 0;
+};
+
+class IncrementalBc {
+ public:
+  /// Builds version 0: full recompute of every batch.
+  IncrementalBc(graph::Graph base, IncrementalOptions opts = {});
+
+  /// Validate + apply the mutation batch (graph/mutate.hpp semantics; an
+  /// invalid mutation throws before any graph or λ state changes), decide
+  /// incremental vs full, re-run the chosen batches, and re-fold λ.
+  RecomputeReport apply(const graph::MutationBatch& batch);
+
+  const std::vector<double>& lambda() const { return lambda_; }
+  const graph::VersionedGraph& versioned() const { return vg_; }
+  std::uint64_t version() const { return vg_.version(); }
+  const RecomputeReport& last_report() const { return last_; }
+  int total_batches() const { return static_cast<int>(batches_.size()); }
+
+ private:
+  void recompute(const std::vector<int>& batch_ids, RecomputeReport& rep);
+  void rebuild_reach(const std::vector<int>& batch_ids);
+  void fold();
+
+  IncrementalOptions opts_;
+  graph::VersionedGraph vg_;
+  std::vector<std::vector<graph::vid_t>> batches_;  ///< source groups
+  std::vector<std::vector<double>> deltas_;  ///< per-batch λ deltas
+  /// Per batch: reach_[b][v] != 0 ⇔ v reachable from batches_[b]'s sources.
+  std::vector<std::vector<std::uint8_t>> reach_;
+  std::vector<double> lambda_;
+  int nnz_band_ = -1;
+  RecomputeReport last_;
+};
+
+}  // namespace mfbc::serve

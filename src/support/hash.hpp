@@ -1,0 +1,32 @@
+// FNV-1a 64-bit hashing, shared by the checkpoint format and the graph
+// structural signature. One definition so the two byte-level signatures can
+// never drift apart.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mfbc::support {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xCBF29CE484222325ull;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001B3ull;
+
+/// FNV-1a over a byte range, chainable through `seed`.
+inline std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                           std::uint64_t seed = kFnvOffsetBasis) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Hash one trivially-copyable value into a running FNV-1a state.
+template <typename T>
+std::uint64_t fnv1a_value(const T& v, std::uint64_t seed = kFnvOffsetBasis) {
+  return fnv1a(&v, sizeof(T), seed);
+}
+
+}  // namespace mfbc::support

@@ -365,6 +365,9 @@ PlanKey Tuner::make_key(const PlanRequest& req,
   // And the topology epoch: plans chosen before a grid shrink were priced
   // for a placement that no longer exists.
   key.topology = req.topology;
+  // And the graph version: a mutated adjacency is a different operand even
+  // when its dims and nnz band happen to match.
+  key.graph = req.graph_sig;
   return key;
 }
 

@@ -152,6 +152,11 @@ struct PlanRequest {
   /// Topology epoch (grid shrinks survived, sim/faults.hpp): keys the plan
   /// cache so a shrink retires every plan chosen for the old placement.
   int topology = 0;
+  /// Structural signature of the graph version being computed on
+  /// (graph/mutate.hpp), 0 for unversioned batch runs. Keys the plan cache
+  /// per version: the serving layer's mutated adjacencies must not reuse
+  /// plans tuned for a structure that no longer exists.
+  std::uint64_t graph_sig = 0;
 };
 
 class Tuner {

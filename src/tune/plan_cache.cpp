@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 
 #include "support/error.hpp"
@@ -70,6 +71,7 @@ std::string PlanKey::to_string() const {
   if (schedule != 0) os << ":s" << schedule;
   if (partition != 0) os << ":d" << partition;
   if (topology != 0) os << ":g" << topology;
+  if (graph != 0) os << ":v" << std::hex << graph << std::dec;
   return os.str();
 }
 
@@ -190,6 +192,13 @@ telemetry::Json PlanCache::to_json() const {
     if (key.schedule != 0) e["schedule"] = telemetry::Json(key.schedule);
     if (key.partition != 0) e["partition"] = telemetry::Json(key.partition);
     if (key.topology != 0) e["topology"] = telemetry::Json(key.topology);
+    if (key.graph != 0) {
+      // Hex string, not a number: the JSON layer stores numbers as doubles
+      // and a 64-bit signature would silently lose its low bits.
+      std::ostringstream hex;
+      hex << std::hex << key.graph;
+      e["graph"] = telemetry::Json(hex.str());
+    }
     e["plan"] = plan_to_json(plan);
     arr.push(std::move(e));
   }
@@ -222,6 +231,15 @@ void PlanCache::load_json(const telemetry::Json& plans) {
     if (const telemetry::Json* g = e.find("topology"); g != nullptr) {
       MFBC_CHECK(g->is_number(), "tune profile: \"topology\" must be numeric");
       key.topology = static_cast<int>(g->as_double());
+    }
+    if (const telemetry::Json* v = e.find("graph"); v != nullptr) {
+      MFBC_CHECK(v->is_string(),
+                 "tune profile: \"graph\" must be a hex string");
+      const std::string& s = v->as_string();
+      char* end = nullptr;
+      key.graph = std::strtoull(s.c_str(), &end, 16);
+      MFBC_CHECK(end != nullptr && *end == '\0' && !s.empty(),
+                 "tune profile: malformed \"graph\" signature: " + s);
     }
     MFBC_CHECK(key.ranks >= 1, "tune profile: plan entry needs ranks >= 1");
     const telemetry::Json* p = e.find("plan");

@@ -53,6 +53,15 @@ struct PlanKey {
   /// them. 0 (the healthy machine) keeps pre-elastic profile entries
   /// addressable.
   int topology = 0;
+  /// Structural signature of the graph version the plan was chosen for
+  /// (graph/mutate.hpp): the serving layer keys per-version plans the same
+  /// way topology keys per-placement plans, so a plan tuned against one
+  /// published version is never silently replayed against a mutated
+  /// adjacency. 0 (an unversioned run, the batch default) keeps
+  /// pre-versioning profile entries addressable. Serialized as a hex
+  /// string in the profile JSON — the number form would round through a
+  /// double and lose bits.
+  std::uint64_t graph = 0;
 
   /// floor(log2(nnz)) band, -1 for nnz <= 0.
   static int nnz_band(double nnz);
@@ -63,7 +72,8 @@ struct PlanKey {
   friend bool operator<(const PlanKey& a, const PlanKey& b) {
     auto tie = [](const PlanKey& x) {
       return std::tie(x.monoid, x.m, x.k, x.n, x.band_a, x.band_b, x.ranks,
-                      x.threads, x.schedule, x.partition, x.topology);
+                      x.threads, x.schedule, x.partition, x.topology,
+                      x.graph);
     };
     return tie(a) < tie(b);
   }

@@ -1,0 +1,233 @@
+// Tests for the versioned mutation API (graph/mutate.hpp): fuzzed
+// mutate-vs-rebuild equivalence, version/signature semantics, and
+// validation errors with io-style "<label>:<index>:" context.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/mutate.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace mfbc::graph {
+namespace {
+
+Graph path4(bool directed = false, bool weighted = false) {
+  // 0 - 1 - 2 - 3
+  return Graph::from_edges(4, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}},
+                           directed, weighted);
+}
+
+std::string message_of(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const Error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(Mutate, AddEdgeCreatesBothDirectionsUndirected) {
+  const Graph g = path4().add_edge(0, 3);
+  EXPECT_TRUE(g.has_edge(0, 3));
+  EXPECT_TRUE(g.has_edge(3, 0));
+  EXPECT_EQ(g.m(), 4);
+  // The original snapshot is untouched.
+  EXPECT_FALSE(path4().has_edge(0, 3));
+}
+
+TEST(Mutate, AddEdgeDirectedIsOneDirection) {
+  const Graph g = path4(/*directed=*/true).add_edge(3, 0);
+  EXPECT_TRUE(g.has_edge(3, 0));
+  EXPECT_FALSE(g.has_edge(0, 3));
+}
+
+TEST(Mutate, RemoveEdgeUndirected) {
+  const Graph g = path4().remove_edge(2, 1);  // order-insensitive
+  EXPECT_FALSE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(2, 1));
+  EXPECT_EQ(g.m(), 2);
+}
+
+TEST(Mutate, UnweightedGraphForcesWeightOne) {
+  const Graph g = path4().add_edge(0, 2, 7.5);
+  EXPECT_EQ(g.adj().row_vals(0).back(), 1.0);
+}
+
+TEST(Mutate, RemoveThenReAddChangesWeight) {
+  const Graph base =
+      Graph::from_edges(3, {{0, 1, 2.0}, {1, 2, 3.0}}, false, true);
+  MutationBatch batch;
+  batch.mutations.push_back(Mutation::remove(0, 1));
+  batch.mutations.push_back(Mutation::add(0, 1, 9.0));
+  const Graph g = base.apply(batch);
+  EXPECT_EQ(g.m(), 2);
+  EXPECT_EQ(g.adj().row_vals(0)[0], 9.0);
+}
+
+TEST(Mutate, ErrorsCarryLabelAndIndexContext) {
+  const Graph g = path4();
+  MutationBatch batch;
+  batch.label = "replay";
+  batch.mutations.push_back(Mutation::add(0, 2));   // fine
+  batch.mutations.push_back(Mutation::remove(0, 3));  // absent
+  const std::string msg = message_of([&] { (void)g.apply(batch); });
+  EXPECT_NE(msg.find("replay:1:"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("no such edge"), std::string::npos) << msg;
+}
+
+TEST(Mutate, RejectsOutOfRangeEndpoints) {
+  const Graph g = path4();
+  EXPECT_THROW((void)g.add_edge(0, 4), Error);
+  EXPECT_THROW((void)g.remove_edge(-1, 2), Error);
+  const std::string msg = message_of([&] { (void)g.add_edge(0, 99); });
+  EXPECT_NE(msg.find("out of range [0, 4)"), std::string::npos) << msg;
+}
+
+TEST(Mutate, RejectsSelfLoopDuplicateAddAbsentRemoval) {
+  const Graph g = path4();
+  EXPECT_THROW((void)g.add_edge(2, 2), Error);
+  EXPECT_THROW((void)g.add_edge(0, 1), Error);  // already present
+  EXPECT_THROW((void)g.add_edge(1, 0), Error);  // undirected duplicate
+  EXPECT_THROW((void)g.remove_edge(0, 2), Error);
+}
+
+TEST(Mutate, RejectsNonPositiveWeights) {
+  const Graph g = Graph::from_edges(3, {{0, 1, 2.0}}, false, true);
+  EXPECT_THROW((void)g.add_edge(1, 2, 0.0), Error);
+  EXPECT_THROW((void)g.add_edge(1, 2, -3.0), Error);
+}
+
+TEST(Mutate, FailedBatchLeavesNoPartialState) {
+  const Graph g = path4();
+  MutationBatch batch;
+  batch.mutations.push_back(Mutation::add(0, 2));
+  batch.mutations.push_back(Mutation::add(5, 6));  // out of range
+  EXPECT_THROW((void)g.apply(batch), Error);
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(Mutate, SignatureNamesStructureNotHistory) {
+  const Graph a = path4().add_edge(0, 2).remove_edge(0, 2);
+  const Graph b = path4();
+  EXPECT_EQ(structural_signature(a), structural_signature(b));
+  EXPECT_NE(structural_signature(path4().add_edge(0, 2)),
+            structural_signature(b));
+}
+
+TEST(Mutate, SignatureSeparatesFlagsAndWeights) {
+  const std::vector<Edge> edges{{0, 1, 2.0}, {1, 2, 3.0}};
+  const Graph uw = Graph::from_edges(3, edges, false, false);
+  const Graph w = Graph::from_edges(3, edges, false, true);
+  EXPECT_NE(structural_signature(uw), structural_signature(w));
+  const Graph w2 = Graph::from_edges(
+      3, {{0, 1, 2.0}, {1, 2, 4.0}}, false, true);
+  EXPECT_NE(structural_signature(w), structural_signature(w2));
+}
+
+TEST(VersionedGraphTest, VersionsAreMonotonic) {
+  VersionedGraph v0(path4());
+  EXPECT_EQ(v0.version(), 0u);
+  MutationBatch b1;
+  b1.mutations.push_back(Mutation::add(0, 2));
+  const VersionedGraph v1 = v0.apply(b1);
+  EXPECT_EQ(v1.version(), 1u);
+  MutationBatch b2;
+  b2.mutations.push_back(Mutation::remove(0, 2));
+  const VersionedGraph v2 = v1.apply(b2);
+  EXPECT_EQ(v2.version(), 2u);
+  // Same structure as v0, but a distinct publication.
+  EXPECT_EQ(v2.signature(), v0.signature());
+  EXPECT_EQ(v0.version(), 0u);  // the base snapshot is untouched
+  EXPECT_EQ(v1.signature(), structural_signature(v1.graph()));
+}
+
+TEST(VersionedGraphTest, FailedApplyDoesNotBumpVersion) {
+  VersionedGraph v0(path4());
+  MutationBatch bad;
+  bad.mutations.push_back(Mutation::add(2, 2));
+  EXPECT_THROW((void)v0.apply(bad), Error);
+  EXPECT_EQ(v0.version(), 0u);
+}
+
+// The fuzz pin: a random add/remove sequence replayed through the mutation
+// API must land on exactly the graph a from-scratch Graph::from_edges
+// rebuild of the final edge set produces — same CSR bits, same signature.
+void fuzz_roundtrip(bool directed, bool weighted, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const vid_t n = 24;
+  Graph g = erdos_renyi(n, 40, directed,
+                        WeightSpec{.weighted = weighted}, seed);
+  // Shadow edge map holding the expected final edge set (canonical key:
+  // u < v for undirected graphs).
+  std::map<std::pair<vid_t, vid_t>, Weight> edges;
+  for (vid_t u = 0; u < n; ++u) {
+    const auto cols = g.adj().row_cols(u);
+    const auto vals = g.adj().row_vals(u);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      const vid_t v = cols[i];
+      if (!directed && v < u) continue;
+      edges[{u, v}] = vals[i];
+    }
+  }
+
+  for (int round = 0; round < 12; ++round) {
+    const MutationBatch batch = random_mutation_batch(g, 3, 2, rng);
+    g = g.apply(batch);
+    for (const Mutation& m : batch.mutations) {
+      vid_t u = m.u, v = m.v;
+      if (!directed && v < u) std::swap(u, v);
+      if (m.kind == MutationKind::kAddEdge) {
+        edges[{u, v}] = weighted ? m.w : 1.0;
+      } else {
+        edges.erase({u, v});
+      }
+    }
+  }
+
+  std::vector<Edge> final_edges;
+  for (const auto& [key, w] : edges) {
+    final_edges.push_back({key.first, key.second, w});
+  }
+  const Graph rebuilt = Graph::from_edges(n, final_edges, directed, weighted);
+  EXPECT_TRUE(g.adj() == rebuilt.adj())
+      << "mutated CSR diverged from from-scratch rebuild (seed " << seed
+      << ")";
+  EXPECT_EQ(structural_signature(g), structural_signature(rebuilt));
+}
+
+TEST(MutateFuzz, UndirectedUnweighted) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    fuzz_roundtrip(false, false, seed);
+  }
+}
+
+TEST(MutateFuzz, UndirectedWeighted) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    fuzz_roundtrip(false, true, seed);
+  }
+}
+
+TEST(MutateFuzz, DirectedWeighted) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    fuzz_roundtrip(true, true, seed);
+  }
+}
+
+TEST(MutateFuzz, RandomBatchesAreValidByConstruction) {
+  Xoshiro256 rng(9);
+  Graph g = erdos_renyi(30, 60, false, {}, 9);
+  for (int round = 0; round < 20; ++round) {
+    const MutationBatch batch = random_mutation_batch(g, 2, 2, rng);
+    EXPECT_NO_THROW(g = g.apply(batch));
+  }
+}
+
+}  // namespace
+}  // namespace mfbc::graph

@@ -1,0 +1,302 @@
+// Tests for the serving subsystem (serve/incremental.hpp + apps/bc_server):
+// incremental-vs-from-scratch bit-identity, affected-region bounds,
+// fallback reasons, cache semantics, freshness, and the concurrent storm.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "apps/bc_server.hpp"
+#include "graph/generators.hpp"
+#include "graph/mutate.hpp"
+#include "serve/incremental.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+
+namespace mfbc::serve {
+namespace {
+
+using graph::Graph;
+using graph::Mutation;
+using graph::MutationBatch;
+using graph::vid_t;
+
+bool bitwise_equal(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+// λ recomputed from scratch on exactly this graph version, with the same
+// engine configuration the incremental path uses.
+std::vector<double> from_scratch(const Graph& g,
+                                 const IncrementalOptions& opts) {
+  IncrementalBc fresh(g, opts);
+  return fresh.lambda();
+}
+
+// The headline pin: replaying a mutation stream through IncrementalBc
+// yields λ bit-identical to a from-scratch recompute of the same version —
+// weighted graphs exactly, at every thread count.
+TEST(IncrementalServe, BitIdenticalToFromScratchWeighted) {
+  for (int threads : {1, 2, 4}) {
+    support::set_threads(threads);
+    IncrementalOptions opts;
+    opts.ranks = 4;
+    opts.batch_size = 8;
+    opts.full_recompute_fraction = 1.0;  // exercise the incremental path
+    Graph g = graph::erdos_renyi(80, 160, false,
+                                 {.weighted = true}, /*seed=*/11);
+    IncrementalBc inc(g, opts);
+    Xoshiro256 rng(17);
+    for (int round = 0; round < 4; ++round) {
+      const MutationBatch batch = graph::random_mutation_batch(
+          inc.versioned().graph(), 2, 1, rng);
+      const RecomputeReport rep = inc.apply(batch);
+      EXPECT_LE(rep.batches_rerun, rep.total_batches);
+      EXPECT_TRUE(bitwise_equal(
+          inc.lambda(), from_scratch(inc.versioned().graph(), opts)))
+          << "threads=" << threads << " round=" << round << " reason="
+          << rep.reason;
+    }
+  }
+  support::set_threads(1);
+}
+
+// Unweighted graphs go through the BFS wavefront accumulation whose
+// tie-sums are compared at the documented 1e-9 tolerance (docs/serving.md);
+// in practice the fold is bitwise too, which this pins at the tolerance.
+TEST(IncrementalServe, MatchesFromScratchUnweighted) {
+  IncrementalOptions opts;
+  opts.ranks = 4;
+  opts.batch_size = 8;
+  opts.full_recompute_fraction = 1.0;
+  Graph g = graph::erdos_renyi(80, 140, false, {}, 5);
+  IncrementalBc inc(g, opts);
+  Xoshiro256 rng(23);
+  for (int round = 0; round < 3; ++round) {
+    const MutationBatch batch = graph::random_mutation_batch(
+        inc.versioned().graph(), 2, 1, rng);
+    (void)inc.apply(batch);
+    const std::vector<double> full =
+        from_scratch(inc.versioned().graph(), opts);
+    ASSERT_EQ(inc.lambda().size(), full.size());
+    for (std::size_t v = 0; v < full.size(); ++v) {
+      EXPECT_NEAR(inc.lambda()[v], full[v], 1e-9) << "v=" << v;
+    }
+  }
+}
+
+TEST(IncrementalServe, RerunCountObeysAffectedBound) {
+  IncrementalOptions opts;
+  opts.batch_size = 4;
+  opts.full_recompute_fraction = 1.0;
+  Graph g = graph::erdos_renyi(64, 90, false, {}, 3);
+  IncrementalBc inc(g, opts);
+  Xoshiro256 rng(31);
+  for (int round = 0; round < 5; ++round) {
+    const MutationBatch batch = graph::random_mutation_batch(
+        inc.versioned().graph(), 1, 1, rng);
+    const RecomputeReport rep = inc.apply(batch);
+    if (rep.incremental) {
+      // An incremental apply re-runs exactly the affected batches.
+      EXPECT_EQ(rep.batches_rerun, rep.affected_batches);
+    } else {
+      EXPECT_EQ(rep.batches_rerun, rep.total_batches);
+    }
+  }
+}
+
+// Two components: 0-1-2 (sources) and 3-4-5. A mutation confined to the
+// unreachable component re-runs nothing and leaves λ bitwise untouched.
+TEST(IncrementalServe, MutationInUnreachedComponentRerunsNothing) {
+  Graph g = Graph::from_edges(
+      6, {{0, 1, 1.0}, {1, 2, 1.0}, {3, 4, 1.0}, {4, 5, 1.0}}, false, false);
+  IncrementalOptions opts;
+  opts.batch_size = 4;
+  opts.sources = {0, 1, 2};
+  IncrementalBc inc(g, opts);
+  const std::vector<double> before = inc.lambda();
+
+  MutationBatch batch;
+  batch.mutations.push_back(Mutation::add(3, 5));
+  const RecomputeReport rep = inc.apply(batch);
+  EXPECT_EQ(rep.affected_batches, 0);
+  EXPECT_EQ(rep.batches_rerun, 0);
+  EXPECT_TRUE(rep.incremental);
+  EXPECT_EQ(rep.reason, "incremental");
+  EXPECT_TRUE(bitwise_equal(inc.lambda(), before));
+  EXPECT_EQ(inc.version(), 1u);
+  // And the skipped recompute still matches a from-scratch run.
+  EXPECT_TRUE(bitwise_equal(inc.lambda(),
+                            from_scratch(inc.versioned().graph(), opts)));
+}
+
+TEST(IncrementalServe, NegativeThresholdForcesFullRecompute) {
+  IncrementalOptions opts;
+  opts.batch_size = 4;
+  opts.full_recompute_fraction = -1;
+  Graph g = graph::erdos_renyi(40, 80, false, {}, 3);
+  IncrementalBc inc(g, opts);
+  Xoshiro256 rng(1);
+  const MutationBatch batch =
+      graph::random_mutation_batch(inc.versioned().graph(), 1, 0, rng);
+  const RecomputeReport rep = inc.apply(batch);
+  EXPECT_FALSE(rep.incremental);
+  EXPECT_EQ(rep.reason, "forced");
+  EXPECT_EQ(rep.batches_rerun, rep.total_batches);
+}
+
+TEST(IncrementalServe, FractionFallbackOnDenseGraph) {
+  IncrementalOptions opts;
+  opts.batch_size = 4;
+  opts.full_recompute_fraction = 0.25;
+  // Connected-ish graph: a random mutation touches most reach sets.
+  Graph g = graph::erdos_renyi(40, 160, false, {}, 13);
+  IncrementalBc inc(g, opts);
+  Xoshiro256 rng(2);
+  const MutationBatch batch =
+      graph::random_mutation_batch(inc.versioned().graph(), 2, 0, rng);
+  const RecomputeReport rep = inc.apply(batch);
+  EXPECT_FALSE(rep.incremental);
+  EXPECT_EQ(rep.reason, "fraction");
+}
+
+TEST(IncrementalServe, ReportCarriesVersionAndSignature) {
+  Graph g = graph::erdos_renyi(32, 64, false, {}, 5);
+  IncrementalBc inc(g);
+  EXPECT_EQ(inc.last_report().reason, "initial");
+  EXPECT_EQ(inc.last_report().version, 0u);
+  Xoshiro256 rng(3);
+  const MutationBatch batch =
+      graph::random_mutation_batch(inc.versioned().graph(), 1, 1, rng);
+  const RecomputeReport rep = inc.apply(batch);
+  EXPECT_EQ(rep.version, 1u);
+  EXPECT_EQ(rep.signature, inc.versioned().signature());
+  EXPECT_EQ(rep.signature,
+            graph::structural_signature(inc.versioned().graph()));
+}
+
+TEST(BcServerTest, CachedAndFreshTopKAreByteIdentical) {
+  ServerOptions opts;
+  opts.compute.batch_size = 8;
+  BcServer server(graph::erdos_renyi(60, 180, false, {}, 9), opts);
+  const Answer fresh = server.top_k(5);
+  EXPECT_FALSE(fresh.from_cache);
+  const Answer cached = server.top_k(5);
+  EXPECT_TRUE(cached.from_cache);
+  ASSERT_EQ(fresh.top.size(), cached.top.size());
+  for (std::size_t i = 0; i < fresh.top.size(); ++i) {
+    EXPECT_EQ(fresh.top[i].vertex, cached.top[i].vertex);
+    EXPECT_EQ(std::memcmp(&fresh.top[i].score, &cached.top[i].score,
+                          sizeof(double)),
+              0);
+  }
+  EXPECT_EQ(server.cache_hits(), 1u);
+  EXPECT_EQ(server.cache_misses(), 1u);
+}
+
+TEST(BcServerTest, PublishInvalidatesTopKCache) {
+  ServerOptions opts;
+  opts.compute.batch_size = 8;
+  BcServer server(graph::erdos_renyi(60, 120, false, {}, 9), opts);
+  (void)server.top_k(3);
+  Xoshiro256 rng(4);
+  const MutationBatch batch =
+      graph::random_mutation_batch(server.current_graph(), 1, 0, rng);
+  (void)server.apply(batch);
+  const Answer after = server.top_k(3);
+  EXPECT_FALSE(after.from_cache) << "stale cache served across a publish";
+  EXPECT_EQ(after.version, 1u);
+}
+
+// A cycle makes every vertex's centrality identical: the tie pin — top-k
+// lists vertex ids in ascending order, cached or fresh.
+TEST(BcServerTest, CycleTiesRankByVertexId) {
+  std::vector<graph::Edge> edges;
+  const vid_t n = 12;
+  for (vid_t v = 0; v < n; ++v) {
+    edges.push_back({v, static_cast<vid_t>((v + 1) % n), 1.0});
+  }
+  BcServer server(Graph::from_edges(n, edges, false, false));
+  for (int pass = 0; pass < 2; ++pass) {
+    const Answer a = server.top_k(5);
+    ASSERT_EQ(a.top.size(), 5u);
+    for (std::size_t i = 0; i < a.top.size(); ++i) {
+      EXPECT_EQ(a.top[i].vertex, i);
+    }
+  }
+}
+
+TEST(BcServerTest, SubmitAnswersWholeBatchAtOneVersion) {
+  BcServer server(graph::erdos_renyi(40, 120, false, {}, 9));
+  std::vector<Query> batch;
+  batch.push_back(Query::top_k(3));
+  batch.push_back(Query::centrality(7));
+  batch.push_back(Query::top_k(3));
+  const std::vector<Answer> answers = server.submit(batch);
+  ASSERT_EQ(answers.size(), 3u);
+  EXPECT_EQ(answers[0].version, answers[1].version);
+  EXPECT_EQ(answers[1].version, answers[2].version);
+  EXPECT_TRUE(answers[2].from_cache);  // same snapshot, same k
+}
+
+TEST(BcServerTest, JsonAlwaysCarriesLatencyPercentiles) {
+  BcServer server(graph::erdos_renyi(40, 120, false, {}, 9));
+  (void)server.top_k(3);
+  (void)server.centrality(1);
+  const telemetry::Json j = server.json();
+  ASSERT_NE(j.find("p50_us"), nullptr);
+  ASSERT_NE(j.find("p95_us"), nullptr);
+  EXPECT_GT(j.find("p50_us")->as_double(), 0.0);
+  EXPECT_EQ(j.find("stale_answers")->as_double(), 0.0);
+  EXPECT_EQ(j.find("queries")->as_double(), 2.0);
+}
+
+// The storm: concurrent queries during mutations must only ever observe
+// complete published versions — never stale, never partial, monotone per
+// thread.
+TEST(BcServerTest, ConcurrentStormServesOnlyFreshCompleteVersions) {
+  ServerOptions opts;
+  opts.compute.batch_size = 8;
+  BcServer server(graph::erdos_renyi(64, 128, false, {}, 21), opts);
+  const vid_t n = server.n();
+
+  std::atomic<std::uint64_t> violations{0};
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 4; ++t) {
+    pool.emplace_back([&, t]() {
+      Xoshiro256 rng(100 + static_cast<std::uint64_t>(t));
+      std::uint64_t last = 0;
+      for (int i = 0; i < 50; ++i) {
+        const std::uint64_t floor = server.version();
+        const Answer a =
+            (i % 2 == 0)
+                ? server.top_k(1 + rng.bounded(6))
+                : server.centrality(static_cast<vid_t>(
+                      rng.bounded(static_cast<std::uint64_t>(n))));
+        if (a.version < floor || a.version < last) violations.fetch_add(1);
+        last = a.version;
+      }
+    });
+  }
+  Xoshiro256 mut_rng(55);
+  for (int m = 0; m < 3; ++m) {
+    const MutationBatch batch =
+        graph::random_mutation_batch(server.current_graph(), 2, 1, mut_rng);
+    (void)server.apply(batch);
+  }
+  for (std::thread& th : pool) th.join();
+
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_EQ(server.stale_answers(), 0u);
+  EXPECT_EQ(server.versions_published(), 4u);  // v0 + 3 applies
+  EXPECT_EQ(server.version(), 3u);
+  EXPECT_EQ(server.queries(), 200u);
+}
+
+}  // namespace
+}  // namespace mfbc::serve

@@ -1,0 +1,87 @@
+// Source-list validation (core::SourceListError): every engine rejects
+// out-of-range or duplicate source ids with the named error *before* any
+// distribution work, so a bad request never costs a simulated charge.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baseline/combblas_bc.hpp"
+#include "core/batch_driver.hpp"
+#include "graph/generators.hpp"
+#include "mfbc/mfbc_dist.hpp"
+#include "sim/comm.hpp"
+
+namespace mfbc::core {
+namespace {
+
+graph::Graph test_graph() {
+  return graph::erdos_renyi(64, 200, false, {}, 7);
+}
+
+TEST(SourceValidation, ResolveHappyPathPreservesRequestOrder) {
+  const auto all = resolve_sources(5, {});
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_EQ(all.front(), 0);
+  EXPECT_EQ(all.back(), 4);
+  const auto some = resolve_sources(10, {7, 2, 4});
+  EXPECT_EQ(some, (std::vector<graph::vid_t>{7, 2, 4}));
+}
+
+TEST(SourceValidation, ResolveThrowsNamedErrorWithContext) {
+  try {
+    (void)resolve_sources(10, {3, 12});
+    FAIL() << "out-of-range source accepted";
+  } catch (const SourceListError& e) {
+    EXPECT_NE(std::string(e.what()).find("12 out of range [0, 10)"),
+              std::string::npos)
+        << e.what();
+  }
+  try {
+    (void)resolve_sources(10, {3, 5, 3});
+    FAIL() << "duplicate source accepted";
+  } catch (const SourceListError& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate source id 3"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SourceValidation, DistEngineRejectsBeforeAnyCharge) {
+  const graph::Graph g = test_graph();
+  sim::Sim sim(4);
+  DistMfbc engine(sim, g);
+  // Construction distributes the adjacency (charged); the rejected run
+  // itself must not add a single charge on top.
+  const double baseline = sim.ledger().critical().total_seconds();
+  DistMfbcOptions opts;
+  opts.sources = {1, 2, 1};
+  EXPECT_THROW((void)engine.run(opts), SourceListError);
+  EXPECT_EQ(sim.ledger().critical().total_seconds(), baseline)
+      << "rejected source list still charged the machine";
+
+  opts.sources = {64};
+  EXPECT_THROW((void)engine.run(opts), SourceListError);
+  EXPECT_EQ(sim.ledger().critical().total_seconds(), baseline);
+}
+
+TEST(SourceValidation, CombBlasEngineRejectsBeforeAnyCharge) {
+  const graph::Graph g = test_graph();
+  sim::Sim sim(4);
+  baseline::CombBlasBc engine(sim, g);
+  const double baseline = sim.ledger().critical().total_seconds();
+  baseline::CombBlasOptions opts;
+  opts.sources = {0, 0};
+  EXPECT_THROW((void)engine.run(opts), SourceListError);
+  opts.sources = {-1};
+  EXPECT_THROW((void)engine.run(opts), SourceListError);
+  EXPECT_EQ(sim.ledger().critical().total_seconds(), baseline);
+}
+
+// The named error is still an mfbc::Error, so existing catch sites keep
+// working unchanged.
+TEST(SourceValidation, IsAnMfbcError) {
+  EXPECT_THROW((void)resolve_sources(4, {9}), mfbc::Error);
+}
+
+}  // namespace
+}  // namespace mfbc::core

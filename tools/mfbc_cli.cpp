@@ -35,6 +35,7 @@
 #include "dist/pipeline.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "graph/mutate.hpp"
 #include "graph/prep.hpp"
 #include "graph/snap_proxy.hpp"
 #include "mfbc/mfbc_dist.hpp"
@@ -727,6 +728,10 @@ int run(const Args& a) {
     opts.replication_c = a.c;
     opts.checkpoint_dir = a.checkpoint_dir;
     opts.resume = a.resume;
+    // Bind checkpoints and plan-cache keys to this exact graph version
+    // (docs/serving.md): a checkpoint taken on one structure can never be
+    // resumed against another, and cached plans are per-structure.
+    opts.graph_signature = graph::structural_signature(g);
     if (a.approx > 0) opts.sources = pivot_sources(g, a.approx);
     std::unique_ptr<tune::Tuner> tuner = make_tuner(a, machine);
     opts.tuner = tuner.get();
