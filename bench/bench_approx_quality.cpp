@@ -13,7 +13,9 @@
 #include "benchsupport/table.hpp"
 #include "graph/generators.hpp"
 #include "graph/prep.hpp"
+#include "mfbc/adaptive.hpp"
 #include "mfbc/approx.hpp"
+#include "mfbc/mfbc_dist.hpp"
 #include "mfbc/ranking.hpp"
 #include "support/strutil.hpp"
 
@@ -67,8 +69,51 @@ int main(int argc, char** argv) {
   std::puts("\nExpected: strong top-k agreement and correlation well before "
             "10% of the\nexact work — the regime where a single MFBC batch "
             "already gives a usable ranking.");
+
+  // Adaptive rows: instead of a fixed pivot budget, the (ε,δ) sampler
+  // (docs/approximation.md) runs on the distributed engine and chooses its
+  // own sample count — tighter ε buys more samples and narrower bands.
+  bench::Table atab({"eps", "delta", "samples", "work vs exact", "stop",
+                     "top-10 overlap", "correlation"});
+  for (double eps : {0.4, 0.3, 0.2, 0.1}) {
+    sim::Sim sim(4, sim::MachineModel::blue_waters());
+    core::DistMfbc engine(sim, g);
+    core::AdaptiveSamplerOptions aopts;
+    aopts.eps = eps;
+    aopts.delta = 0.2;
+    aopts.seed = 2027;
+    aopts.batch_size = 64;
+    const core::AdaptiveSampleResult r = core::run_adaptive_bc(
+        g.n(), aopts,
+        [&](const std::vector<graph::vid_t>& srcs,
+            const core::BatchRunOptions::BatchObserver& ob, bool resume) {
+          core::DistMfbcOptions opts;
+          opts.batch_size = 64;
+          opts.sources = srcs;
+          opts.on_batch = ob;
+          opts.resume = resume;
+          return engine.run(opts);
+        });
+    atab.add_row(
+        {fixed(eps, 2), fixed(aopts.delta, 2), std::to_string(r.samples_used),
+         fixed(100.0 * static_cast<double>(r.samples_used) /
+                   static_cast<double>(g.n()),
+               1) + "%",
+         core::adaptive_stop_name(r.stop_reason),
+         fixed(100.0 * core::top_k_overlap(r.lambda, exact, 10), 0) + "%",
+         fixed(pearson(r.lambda, exact), 4)});
+  }
+  std::fputs(
+      atab.render("Adaptive (eps,delta)-sampling quality on the same graph")
+          .c_str(),
+      stdout);
+  std::puts("\nExpected: the sampler converges well short of the full sweep "
+            "at loose eps\nand spends its extra samples on quality as eps "
+            "tightens.");
   bench::maybe_write_csv(args, "approx_quality", tab);
-  bench::maybe_write_artifacts(args, "approx_quality",
-                               {{"approx_quality", &tab}});
+  bench::maybe_write_csv(args, "approx_adaptive", atab);
+  bench::maybe_write_artifacts(
+      args, "approx_quality",
+      {{"approx_quality", &tab}, {"approx_adaptive", &atab}});
   return 0;
 }

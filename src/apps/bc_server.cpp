@@ -9,10 +9,50 @@
 namespace mfbc::serve {
 
 BcServer::BcServer(graph::Graph base, ServerOptions opts)
-    : n_(base.n()),
-      engine_(std::make_unique<IncrementalBc>(std::move(base),
-                                              std::move(opts.compute))) {
+    : n_(base.n()), approx_(opts.approx), compute_(opts.compute) {
+  if (approx_.enabled) {
+    avg_ = graph::VersionedGraph(std::move(base));
+    recompute_approx();
+  } else {
+    engine_ = std::make_unique<IncrementalBc>(std::move(base),
+                                              std::move(opts.compute));
+  }
   publish();
+}
+
+double BcServer::recompute_approx() {
+  // Called with engine_mu_ held (or from the constructor). A fresh
+  // simulated machine per publish: the sampled recompute is a from-scratch
+  // run on the current graph version, deterministic in (seed, version) —
+  // there is no incremental splice because spliced deltas would invalidate
+  // the batch-mean moments behind the confidence intervals.
+  const graph::Graph& g = avg_.graph();
+  sim::Sim sim(compute_.ranks, compute_.machine);
+  core::DistMfbc engine(sim, g);
+  core::AdaptiveSamplerOptions aopts;
+  aopts.eps = approx_.eps;
+  aopts.delta = approx_.delta;
+  aopts.seed = approx_.seed;
+  aopts.batch_size = compute_.batch_size;
+  aopts.graph_sig = avg_.signature();
+  last_approx_ = core::run_adaptive_bc(
+      g.n(), aopts,
+      [&](const std::vector<graph::vid_t>& srcs,
+          const core::BatchRunOptions::BatchObserver& ob, bool resume) {
+        core::DistMfbcOptions ropts;
+        ropts.batch_size = compute_.batch_size;
+        ropts.plan_mode = compute_.plan_mode;
+        ropts.replication_c = compute_.replication_c;
+        ropts.sources = srcs;
+        ropts.on_batch = ob;
+        ropts.resume = resume;
+        ropts.graph_signature = avg_.signature();
+        return engine.run(ropts);
+      });
+  telemetry::count("serve.approx_recomputes");
+  telemetry::gauge("serve.approx_samples",
+                   static_cast<double>(last_approx_.samples_used));
+  return sim.ledger().critical().total_seconds();
 }
 
 std::shared_ptr<const BcServer::Served> BcServer::snapshot() const {
@@ -26,8 +66,21 @@ void BcServer::publish() {
   // snapshot first, swap the pointer last — a reader either sees the old
   // complete version or the new one, never a partial λ.
   auto served = std::make_shared<Served>();
-  served->version = engine_->version();
-  served->lambda = engine_->lambda();
+  if (approx_.enabled) {
+    served->version = avg_.version();
+    served->lambda = last_approx_.lambda;
+    served->ci_lower = last_approx_.ci_lower;
+    served->ci_upper = last_approx_.ci_upper;
+    served->approximate = true;
+    served->eps = approx_.eps;
+    served->delta = approx_.delta;
+    served->samples = static_cast<std::uint64_t>(last_approx_.samples_used);
+    served->stop_reason = core::adaptive_stop_name(last_approx_.stop_reason);
+    served->guarantee_met = last_approx_.guarantee_met;
+  } else {
+    served->version = engine_->version();
+    served->lambda = engine_->lambda();
+  }
   {
     std::lock_guard<std::mutex> lock(pub_mu_);
     published_ = std::move(served);
@@ -73,6 +126,18 @@ Answer BcServer::answer_one(const Served& s, const Query& q,
                "serve: query vertex out of range [0, " + std::to_string(n_) +
                    "): " + std::to_string(q.vertex));
     a.score = s.lambda[static_cast<std::size_t>(q.vertex)];
+    if (s.approximate) {
+      a.ci_lower = s.ci_lower[static_cast<std::size_t>(q.vertex)];
+      a.ci_upper = s.ci_upper[static_cast<std::size_t>(q.vertex)];
+    }
+  }
+  if (s.approximate) {
+    // The guarantee rides with every answer: the client knows it got an
+    // (ε,δ) estimate, from which version, and whether it was certified.
+    a.approximate = true;
+    a.eps = s.eps;
+    a.delta = s.delta;
+    a.guarantee_met = s.guarantee_met;
   }
   if (s.version < floor_version) {
     // Impossible by construction (publish only moves forward and a reader
@@ -118,6 +183,25 @@ std::vector<Answer> BcServer::submit(const std::vector<Query>& queries) {
 
 RecomputeReport BcServer::apply(const graph::MutationBatch& batch) {
   std::lock_guard<std::mutex> lock(engine_mu_);
+  if (approx_.enabled) {
+    avg_ = avg_.apply(batch);
+    RecomputeReport rep;
+    rep.version = avg_.version();
+    rep.signature = avg_.signature();
+    rep.incremental = false;
+    rep.reason = "approx";
+    rep.modelled_seconds = recompute_approx();
+    rep.total_batches = last_approx_.batches;
+    rep.affected_batches = last_approx_.batches;
+    rep.batches_rerun = last_approx_.batches;
+    rep.affected_fraction = 1.0;
+    full_recomputes_.fetch_add(1);
+    batches_rerun_.fetch_add(static_cast<std::uint64_t>(rep.batches_rerun));
+    affected_bound_.fetch_add(
+        static_cast<std::uint64_t>(rep.affected_batches));
+    publish();
+    return rep;
+  }
   const RecomputeReport rep = engine_->apply(batch);
   if (rep.incremental) {
     incremental_recomputes_.fetch_add(1);
@@ -158,6 +242,31 @@ telemetry::Json BcServer::json() const {
   const telemetry::HistStats lat = latency_.histogram("serve.query_us");
   j["p50_us"] = telemetry::Json(lat.percentile(50));
   j["p95_us"] = telemetry::Json(lat.percentile(95));
+  if (approx_.enabled) {
+    // Report from the published snapshot, not the engine-side state: json()
+    // may race with a concurrent apply(), and the snapshot is immutable.
+    const auto s = snapshot();
+    telemetry::Json ax = telemetry::Json::object();
+    ax["eps"] = telemetry::Json(s->eps);
+    ax["delta"] = telemetry::Json(s->delta);
+    ax["seed"] = telemetry::Json(static_cast<std::int64_t>(approx_.seed));
+    ax["samples"] = telemetry::Json(static_cast<std::int64_t>(s->samples));
+    ax["stop_reason"] = telemetry::Json(s->stop_reason);
+    ax["guarantee_met"] = telemetry::Json(s->guarantee_met);
+    std::vector<double> widths(s->lambda.size(), 0.0);
+    for (std::size_t v = 0; v < widths.size(); ++v) {
+      widths[v] = s->ci_upper[v] - s->ci_lower[v];
+    }
+    telemetry::Registry wreg;
+    for (double w : widths) wreg.observe("w", w);
+    const telemetry::HistStats ws = wreg.histogram("w");
+    telemetry::Json ci = telemetry::Json::object();
+    ci["p50"] = telemetry::Json(ws.percentile(50));
+    ci["p95"] = telemetry::Json(ws.percentile(95));
+    ci["max"] = telemetry::Json(ws.max);
+    ax["ci_width"] = std::move(ci);
+    j["approx"] = std::move(ax);
+  }
   return j;
 }
 

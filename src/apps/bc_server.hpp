@@ -30,8 +30,10 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
+#include "mfbc/adaptive.hpp"
 #include "mfbc/ranking.hpp"
 #include "serve/incremental.hpp"
 #include "telemetry/json.hpp"
@@ -67,10 +69,34 @@ struct Answer {
   double latency_us = 0;
   std::vector<core::RankedVertex> top;  ///< kTopK payload
   double score = 0;                     ///< kVertex payload
+  /// Approximate-serving guarantee metadata (ApproxServeOptions). When
+  /// approximate, the score is the (ε,δ)-sampled estimate and — for kVertex
+  /// queries — [ci_lower, ci_upper] brackets it; guarantee_met says whether
+  /// the published version's sampler certified the (eps, delta) guarantee.
+  bool approximate = false;
+  double eps = 0;
+  double delta = 0;
+  bool guarantee_met = false;
+  double ci_lower = 0;  ///< kVertex payload (λ units)
+  double ci_upper = 0;  ///< kVertex payload (λ units)
+};
+
+/// Approximate serving mode (docs/approximation.md): every published
+/// version is an adaptive (ε,δ)-sampled recompute on the distributed engine
+/// instead of the exact incremental splice. Each publish re-runs the
+/// sampler with the same seed on the mutated graph — deterministic in
+/// (seed, version) — and serves λ̂ with per-vertex confidence intervals;
+/// query answers carry the guarantee.
+struct ApproxServeOptions {
+  bool enabled = false;
+  double eps = 0.25;
+  double delta = 0.1;
+  std::uint64_t seed = 1;
 };
 
 struct ServerOptions {
   IncrementalOptions compute;
+  ApproxServeOptions approx;
 };
 
 class BcServer {
@@ -100,9 +126,12 @@ class BcServer {
   /// e.g. to build the next mutation batch against the current topology.
   /// Queries must go through the published snapshot instead.
   const graph::Graph& current_graph() const {
-    return engine_->versioned().graph();
+    return approx_.enabled ? avg_.graph() : engine_->versioned().graph();
   }
-  int total_batches() const { return engine_->total_batches(); }
+  int total_batches() const {
+    return approx_.enabled ? last_approx_.batches : engine_->total_batches();
+  }
+  bool approximate() const { return approx_.enabled; }
 
   std::uint64_t queries() const { return queries_.load(); }
   std::uint64_t cache_hits() const { return cache_hits_.load(); }
@@ -120,6 +149,16 @@ class BcServer {
   struct Served {
     std::uint64_t version = 0;
     std::vector<double> lambda;
+    /// Approximate-mode payload: per-vertex CI endpoints (λ units) plus the
+    /// sampler outcome the answers echo. Empty/false in exact mode.
+    std::vector<double> ci_lower;
+    std::vector<double> ci_upper;
+    bool approximate = false;
+    double eps = 0;
+    double delta = 0;
+    std::uint64_t samples = 0;
+    std::string stop_reason;
+    bool guarantee_met = false;
     /// Version-keyed top-k cache; lives inside the snapshot so publishing
     /// the next version invalidates it structurally.
     mutable std::mutex mu;
@@ -131,10 +170,19 @@ class BcServer {
   void publish();
   Answer answer_one(const Served& s, const Query& q,
                     std::uint64_t floor_version);
+  /// Approximate mode: full (ε,δ)-sampled recompute of the current graph
+  /// version on a fresh simulated machine. Returns the modelled seconds.
+  double recompute_approx();
 
   graph::vid_t n_ = 0;
   std::mutex engine_mu_;  ///< serializes apply() against itself
   std::unique_ptr<IncrementalBc> engine_;
+  /// Approximate-mode state (engine_ stays null): the versioned graph the
+  /// mutator sees and the last sampler outcome, both guarded by engine_mu_.
+  ApproxServeOptions approx_;
+  IncrementalOptions compute_;
+  graph::VersionedGraph avg_;
+  core::AdaptiveSampleResult last_approx_;
 
   mutable std::mutex pub_mu_;  ///< guards published_
   std::shared_ptr<const Served> published_;

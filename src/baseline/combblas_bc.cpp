@@ -196,6 +196,23 @@ std::vector<double> CombBlasBc::run(const CombBlasOptions& opts,
   core::BatchRunOptions run_opts;
   run_opts.checkpoint_dir = opts.checkpoint_dir;
   run_opts.resume = opts.resume;
+  if (opts.on_batch) {
+    if (part_.identity()) {
+      run_opts.on_batch = opts.on_batch;
+    } else {
+      // Observers see deltas in the caller's original ids, exactly like the
+      // returned λ; resume-replayed empty deltas pass through unpermuted.
+      run_opts.on_batch = [&opts, this](int batch_index,
+                                        std::size_t batch_source_count,
+                                        const std::vector<double>& delta) {
+        if (delta.empty()) {
+          return opts.on_batch(batch_index, batch_source_count, delta);
+        }
+        return opts.on_batch(batch_index, batch_source_count,
+                             part_.unpermute(delta));
+      };
+    }
+  }
   auto bc = core::run_batched_bc(sim_, base_, g_.n(), sources,
                                  opts.batch_size, hooks, &driver_stats,
                                  run_opts);

@@ -24,6 +24,7 @@
 
 #include <vector>
 
+#include "core/batch_driver.hpp"
 #include "dist/partition.hpp"
 #include "dist/spgemm_dist.hpp"
 #include "graph/graph.hpp"
@@ -50,6 +51,12 @@ struct CombBlasOptions {
   /// batch driver (core/batch_driver.hpp BatchRunOptions).
   std::string checkpoint_dir;
   bool resume = false;
+  /// Per-committed-batch observer with an early-stop vote (the adaptive
+  /// sampler's hook; core/batch_driver.hpp BatchObserver for the full
+  /// contract). Non-empty deltas are unpermuted to the caller's original
+  /// vertex ids before the call; resume-replayed batches arrive with an
+  /// empty delta, pass-through.
+  core::BatchRunOptions::BatchObserver on_batch;
 };
 
 struct CombBlasStats {

@@ -216,11 +216,25 @@ std::vector<double> run_batched_bc(sim::Sim& sim, const dist::Layout& base,
   }
 
   int batch_index = 0;
+  bool stop_requested = false;
   for (std::size_t lo = 0; lo < all_sources.size();
        lo += static_cast<std::size_t>(batch_size)) {
     if (batch_index < start_batch) {
       // Already accumulated into the checkpoint this run resumed from.
+      // Replay the batch to the observer with an empty delta (the cumulative
+      // checkpoint holds the sum, not the per-batch vectors) so a layered
+      // stop rule can re-evaluate its decision at the restore point — and
+      // stop the resumed run before it executes a single batch.
+      if (run_opts.on_batch) {
+        const std::size_t hi_skip = std::min(
+            all_sources.size(), lo + static_cast<std::size_t>(batch_size));
+        static const std::vector<double> kEmptyDelta;
+        if (!run_opts.on_batch(batch_index, hi_skip - lo, kEmptyDelta)) {
+          stop_requested = true;
+        }
+      }
       ++batch_index;
+      if (stop_requested) break;
       continue;
     }
     const std::size_t hi = std::min(
@@ -267,26 +281,43 @@ std::vector<double> run_batched_bc(sim::Sim& sim, const dist::Layout& base,
         // Nothing dirty may outlive a batch: repair corruption from frontier
         // exchanges that no ABFT pass covered.
         dist::abft_repair_pending(sim);
+        if (durable) {
+          // Charge collecting the row-replicated segments to the checkpoint
+          // writer *before* the fold below commits this batch into λ. The
+          // gather is a fault charge point; placing it after the fold would
+          // let a recoverable rank failure re-run an already-folded batch
+          // and double-count its delta. The fold itself is pure host
+          // arithmetic — no charges — so this order shift moves no charge
+          // index of any existing fault schedule.
+          auto rs = sim.recovery_scope();
+          sim.charge_gather(all_ranks, static_cast<double>(n));
+        }
         for (std::size_t v = 0; v < lambda.size(); ++v) {
           lambda[v] += batch_lambda[v];
+        }
+        // The batch is committed: every fault charge point is behind us, λ
+        // holds the fold. Observe exactly once per committed batch — before
+        // the durable save, so the observer's own persisted state (the
+        // adaptive sampler's statistics sidecar) can only ever *lead* the λ
+        // checkpoint, a crash window the resume path reconciles.
+        if (run_opts.on_batch &&
+            !run_opts.on_batch(batch_index, batch_sources.size(),
+                               batch_lambda)) {
+          stop_requested = true;
+          telemetry::count("driver.early_stops");
         }
         if (run_opts.batch_deltas != nullptr) {
           (*run_opts.batch_deltas)[static_cast<std::size_t>(batch_index)] =
               std::move(batch_lambda);
         }
         if (durable) {
-          // Persist λ after every complete batch (core/checkpoint.hpp); the
-          // gather models collecting the row-replicated segments to the
-          // writer. Inside the try: the gather is a fault charge point, and
-          // a rank that dies during it re-enters this batch's retry policy.
+          // Persist λ after every complete batch (core/checkpoint.hpp).
           LambdaCheckpoint ck;
           ck.n = static_cast<std::uint64_t>(n);
           ck.batches_done = static_cast<std::uint64_t>(batch_index + 1);
           ck.source_sig = sig;
           ck.lambda = lambda;
           save_checkpoint(run_opts.checkpoint_dir, ck);
-          auto rs = sim.recovery_scope();
-          sim.charge_gather(all_ranks, static_cast<double>(n));
         }
         break;
       } catch (const sim::FaultError& e) {
@@ -318,6 +349,7 @@ std::vector<double> run_batched_bc(sim::Sim& sim, const dist::Layout& base,
       }
     }
     ++batch_index;
+    if (stop_requested) break;
   }
 
   // The per-rank λ partials are summed with one reduction over all ranks.

@@ -88,6 +88,25 @@ struct BatchRunOptions {
   /// recomputation is built on. Incompatible with resume (a resumed run
   /// has no deltas for the batches it skipped; the driver throws).
   std::vector<std::vector<double>>* batch_deltas = nullptr;
+  /// Per-batch observer with an early-stop vote. Called exactly once per
+  /// *committed* batch (λ folded, every fault charge point of the batch
+  /// behind us — a retried attempt is never observed), with the batch's
+  /// λ-delta: the same scratch vector batch_deltas would receive. Returning
+  /// false stops the run after this batch: remaining batches are skipped,
+  /// the final λ reduction is still charged, and a durable checkpoint —
+  /// written after the observer, so a crash inside the observer costs at
+  /// most a re-observation of the same committed statistics — stays valid
+  /// for a later --resume continuation of the same full source list.
+  ///
+  /// Batches skipped by --resume are *replayed* to the observer in order
+  /// with an empty delta (the cumulative checkpoint holds their sum, not
+  /// the per-batch vectors), so a layered stop rule that persisted its own
+  /// state alongside λ (mfbc/adaptive.hpp) can re-evaluate its decision at
+  /// the restore point and stop a resumed run before it executes anything.
+  using BatchObserver = std::function<bool(
+      int batch_index, std::size_t batch_source_count,
+      const std::vector<double>& batch_delta)>;
+  BatchObserver on_batch;
 };
 
 /// Validate a requested source list (ids in [0, n), duplicate-free; throws

@@ -1,0 +1,483 @@
+#include "mfbc/adaptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <numeric>
+
+#include "core/checkpoint.hpp"
+#include "support/rng.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/span.hpp"
+
+namespace mfbc::core {
+
+namespace {
+
+using graph::vid_t;
+
+constexpr std::size_t kStatsMagicBytes = sizeof(kAdaptiveStatsMagic) - 1;
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+std::uint64_t get_u64(const std::string& in, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= std::uint64_t{static_cast<unsigned char>(in[at + i])} << (8 * i);
+  }
+  return v;
+}
+
+void put_doubles(std::string& out, const std::vector<double>& xs) {
+  for (double x : xs) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &x, sizeof(bits));
+    put_u64(out, bits);
+  }
+}
+
+[[noreturn]] void bad_stats(const std::string& path, const std::string& why) {
+  throw AdaptiveStatsError("adaptive statistics " + path + ": " + why);
+}
+
+/// Nearest-rank percentile of an unsorted sample (copies; small n·8 bytes).
+double percentile_of(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const std::size_t idx = static_cast<std::size_t>(std::llround(rank));
+  return xs[std::min(idx, xs.size() - 1)];
+}
+
+/// Live sampler state: the persisted AdaptiveStats plus the derived stop
+/// decision. All arithmetic is a pure fold over committed batch deltas in
+/// batch order, so the state — and with it the stop batch — is bit-identical
+/// wherever those deltas are (threads, fault retries, resume replays).
+struct SamplerState {
+  vid_t n = 0;
+  vid_t cap = 0;            ///< drawn source count (min(max_samples, n) | n)
+  vid_t batch_size = 0;
+  double eps = 0;
+  double rr = 1;            ///< R = max(1, n−2)
+  double log_term = 0;      ///< L = ln(4n/δ)
+  bool durable = false;
+  std::string dir;
+
+  AdaptiveStats stats;
+
+  bool stopped = false;
+  AdaptiveStop reason = AdaptiveStop::kExhausted;
+  double max_width = std::numeric_limits<double>::infinity();
+
+  /// Hoeffding–Serfling half-width after k of n samples without
+  /// replacement; vertex-independent.
+  double hs_width(double k) const {
+    const double nn = static_cast<double>(n);
+    const double wor = 1.0 - (k - 1.0) / nn;
+    return std::sqrt(std::max(0.0, wor) * log_term / (2.0 * k));
+  }
+
+  /// Empirical-Bernstein (Maurer–Pontil) half-width for vertex v over the B
+  /// full batch means; infinite until a variance estimate exists (B ≥ 2).
+  double eb_width(std::size_t v, double b) const {
+    if (b < 2) return std::numeric_limits<double>::infinity();
+    const double mean_sq = stats.m1[v] * stats.m1[v] / b;
+    const double var = std::max(0.0, (stats.m2[v] - mean_sq) / (b - 1.0));
+    return std::sqrt(2.0 * var * log_term / b) +
+           7.0 * log_term / (3.0 * (b - 1.0));
+  }
+
+  /// Evaluate the stop rule after `stats` covers batches_done batches.
+  /// Returns true exactly when the run must stop; sets reason/max_width.
+  bool evaluate_stop() {
+    const vid_t k = static_cast<vid_t>(stats.samples_used);
+    if (k >= n) {
+      // Every source consumed: the estimate is exact, width 0 ≤ any ε.
+      stopped = true;
+      reason = AdaptiveStop::kExhausted;
+      max_width = 0;
+      return true;
+    }
+    const double b = static_cast<double>(stats.full_batches);
+    const double hs = hs_width(static_cast<double>(k));
+    // w(v) = min(hs, eb(v)) and hs is vertex-independent, so
+    // max_v w(v) = min(hs, max_v eb(v)).
+    double max_eb = 0;
+    for (std::size_t v = 0; v < stats.m1.size(); ++v) {
+      max_eb = std::max(max_eb, eb_width(v, b));
+    }
+    max_width = std::min(hs, max_eb);
+    if (max_width <= eps) {
+      stopped = true;
+      reason = AdaptiveStop::kConverged;
+      return true;
+    }
+    if (k >= cap) {
+      // Budget exhausted short of both convergence and the population:
+      // report honestly that the guarantee is not certified.
+      stopped = true;
+      reason = AdaptiveStop::kSampleCap;
+      return true;
+    }
+    return false;
+  }
+
+  /// The driver's per-committed-batch observation (BatchObserver contract).
+  /// Idempotent against resume replays and the stats-ahead crash window:
+  /// a batch already covered by `stats` is never re-accumulated.
+  bool observe(int batch_index, std::size_t batch_source_count,
+               const std::vector<double>& delta) {
+    const std::uint64_t done = static_cast<std::uint64_t>(batch_index) + 1;
+    if (done < stats.batches_done) {
+      // Replayed prefix of a resumed run: already in the moments, and the
+      // stop decision point lies at a later batch.
+      return true;
+    }
+    if (done == stats.batches_done) {
+      // Either the resume replay of the last accounted batch, or the
+      // re-execution after a crash that left the sidecar one batch ahead of
+      // the λ checkpoint: the statistics already include it, so only the
+      // stop rule runs — which is what makes a resumed run stop at the
+      // exact batch the uninterrupted run would have.
+      return !evaluate_stop();
+    }
+    if (delta.empty()) {
+      // An empty delta is the resume-replay marker; seeing one *past* the
+      // sidecar's coverage means λ advanced without its statistics — no
+      // crash of the sidecar-first write order produces this.
+      bad_stats(adaptive_stats_path(dir),
+                "λ checkpoint is ahead of the statistics sidecar (batch " +
+                    std::to_string(done) + " > " +
+                    std::to_string(stats.batches_done) +
+                    " accounted); the sidecar cannot certify this resume");
+    }
+    stats.samples_used += static_cast<std::uint64_t>(batch_source_count);
+    if (batch_source_count == static_cast<std::size_t>(batch_size)) {
+      // Only full batches enter the Bernstein moments: equal-sized batch
+      // means are the iid-over-permutations sample the bound needs. A
+      // partial tail batch (exhaustion/cap only) still feeds λ̂ and k.
+      stats.full_batches += 1;
+      const double denom =
+          static_cast<double>(batch_source_count) * rr;
+      for (std::size_t v = 0; v < delta.size(); ++v) {
+        const double y = delta[v] / denom;
+        stats.m1[v] += y;
+        stats.m2[v] += y * y;
+      }
+    }
+    stats.batches_done = done;
+    if (durable) save_adaptive_stats(dir, stats);
+    return !evaluate_stop();
+  }
+};
+
+}  // namespace
+
+const char* adaptive_stop_name(AdaptiveStop reason) {
+  switch (reason) {
+    case AdaptiveStop::kConverged: return "converged";
+    case AdaptiveStop::kExhausted: return "exhausted";
+    case AdaptiveStop::kSampleCap: return "sample_cap";
+  }
+  return "unknown";
+}
+
+std::uint64_t adaptive_signature(vid_t n, const AdaptiveSamplerOptions& opts,
+                                 const std::vector<vid_t>& sources) {
+  std::uint64_t h = fnv1a(&n, sizeof(n));
+  std::uint64_t bits;
+  std::memcpy(&bits, &opts.eps, sizeof(bits));
+  h = fnv1a(&bits, sizeof(bits), h);
+  std::memcpy(&bits, &opts.delta, sizeof(bits));
+  h = fnv1a(&bits, sizeof(bits), h);
+  h = fnv1a(&opts.seed, sizeof(opts.seed), h);
+  h = fnv1a(&opts.batch_size, sizeof(opts.batch_size), h);
+  h = fnv1a(&opts.max_samples, sizeof(opts.max_samples), h);
+  for (vid_t s : sources) h = fnv1a(&s, sizeof(s), h);
+  if (opts.graph_sig != 0) {
+    h = fnv1a(&opts.graph_sig, sizeof(opts.graph_sig), h);
+  }
+  return h;
+}
+
+std::string adaptive_stats_path(const std::string& dir) {
+  if (dir.empty()) return "mfbc.stats";
+  return dir.back() == '/' ? dir + "mfbc.stats" : dir + "/mfbc.stats";
+}
+
+void save_adaptive_stats(const std::string& dir, const AdaptiveStats& st) {
+  MFBC_CHECK(st.m1.size() == st.n && st.m2.size() == st.n,
+             "adaptive statistics: moment length disagrees with n");
+  std::string bytes;
+  bytes.reserve(kStatsMagicBytes + 7 * 8 + st.n * 16);
+  bytes.append(kAdaptiveStatsMagic, kStatsMagicBytes);
+  put_u64(bytes, st.n);
+  put_u64(bytes, st.batches_done);
+  put_u64(bytes, st.samples_used);
+  put_u64(bytes, st.full_batches);
+  put_u64(bytes, st.sig);
+  put_u64(bytes, static_cast<std::uint64_t>(st.m1.size()));
+  put_doubles(bytes, st.m1);
+  put_doubles(bytes, st.m2);
+  put_u64(bytes, fnv1a(bytes.data(), bytes.size()));
+
+  const std::string path = adaptive_stats_path(dir);
+  const std::string tmp = path + ".tmp";
+  if (!dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+  }
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) bad_stats(tmp, "cannot open for writing");
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) bad_stats(tmp, "write failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    bad_stats(path, "rename from temp file failed");
+  }
+  telemetry::count("approx.stats_writes");
+}
+
+AdaptiveStats load_adaptive_stats(const std::string& dir) {
+  const std::string path = adaptive_stats_path(dir);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) bad_stats(path, "cannot open (no statistics to resume from?)");
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (bytes.size() < kStatsMagicBytes ||
+      std::memcmp(bytes.data(), kAdaptiveStatsMagic, kStatsMagicBytes) != 0) {
+    if (bytes.compare(0, 11, "mfbc.stats.") == 0) {
+      const std::size_t nl = bytes.find('\n');
+      bad_stats(path,
+                "version mismatch: file is '" +
+                    bytes.substr(0, nl == std::string::npos
+                                        ? std::min<std::size_t>(bytes.size(),
+                                                                16)
+                                        : nl) +
+                    "', this build reads 'mfbc.stats.v1'");
+    }
+    bad_stats(path, "not a statistics sidecar (bad magic)");
+  }
+  const std::size_t header = kStatsMagicBytes + 6 * 8;
+  if (bytes.size() < header + 8) bad_stats(path, "truncated (header cut off)");
+  AdaptiveStats st;
+  st.n = get_u64(bytes, kStatsMagicBytes);
+  st.batches_done = get_u64(bytes, kStatsMagicBytes + 8);
+  st.samples_used = get_u64(bytes, kStatsMagicBytes + 16);
+  st.full_batches = get_u64(bytes, kStatsMagicBytes + 24);
+  st.sig = get_u64(bytes, kStatsMagicBytes + 32);
+  const std::uint64_t count = get_u64(bytes, kStatsMagicBytes + 40);
+  if (count != st.n) bad_stats(path, "corrupt header: moment count != n");
+  const std::size_t expect = header + count * 16 + 8;
+  if (bytes.size() != expect) {
+    bad_stats(path, "truncated: " + std::to_string(bytes.size()) +
+                        " bytes, expected " + std::to_string(expect));
+  }
+  const std::uint64_t stored = get_u64(bytes, bytes.size() - 8);
+  const std::uint64_t computed = fnv1a(bytes.data(), bytes.size() - 8);
+  if (stored != computed) {
+    bad_stats(path, "checksum mismatch (corrupt): stored " +
+                        std::to_string(stored) + ", computed " +
+                        std::to_string(computed));
+  }
+  st.m1.resize(count);
+  st.m2.resize(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t bits = get_u64(bytes, header + i * 8);
+    std::memcpy(&st.m1[i], &bits, sizeof(double));
+    bits = get_u64(bytes, header + (count + i) * 8);
+    std::memcpy(&st.m2[i], &bits, sizeof(double));
+  }
+  telemetry::count("approx.stats_restores");
+  return st;
+}
+
+std::vector<vid_t> sample_sources(vid_t n, vid_t k, std::uint64_t seed) {
+  MFBC_CHECK(k >= 0 && k <= n, "sample count out of range");
+  std::vector<vid_t> pool(static_cast<std::size_t>(n));
+  std::iota(pool.begin(), pool.end(), vid_t{0});
+  Xoshiro256 rng(seed);
+  for (vid_t i = 0; i < k; ++i) {
+    const auto j = i + static_cast<vid_t>(
+                           rng.bounded(static_cast<std::uint64_t>(n - i)));
+    std::swap(pool[static_cast<std::size_t>(i)],
+              pool[static_cast<std::size_t>(j)]);
+  }
+  pool.resize(static_cast<std::size_t>(k));
+  return pool;
+}
+
+AdaptiveSampleResult run_adaptive_bc(vid_t n, const AdaptiveSamplerOptions& opts,
+                                 const AdaptiveEngineRunner& run_engine) {
+  MFBC_CHECK(n >= 1, "adaptive sampling needs at least one vertex");
+  MFBC_CHECK(std::isfinite(opts.eps) && opts.eps >= 0,
+             "eps must be finite and non-negative");
+  MFBC_CHECK(opts.delta > 0 && opts.delta < 1, "delta must be in (0, 1)");
+  MFBC_CHECK(opts.batch_size >= 1, "batch size must be positive");
+  MFBC_CHECK(opts.max_samples >= 0, "max_samples must be non-negative");
+  MFBC_CHECK(!opts.resume || !opts.checkpoint_dir.empty(),
+             "adaptive resume needs a checkpoint directory");
+  MFBC_CHECK(run_engine != nullptr, "adaptive sampling needs an engine");
+
+  telemetry::Span span("approx.adaptive");
+  const vid_t cap =
+      opts.max_samples > 0 ? std::min(opts.max_samples, n) : n;
+
+  SamplerState st;
+  st.n = n;
+  st.cap = cap;
+  st.batch_size = opts.batch_size;
+  st.eps = opts.eps;
+  st.rr = static_cast<double>(std::max<vid_t>(1, n - 2));
+  st.log_term = std::log(4.0 * static_cast<double>(n) / opts.delta);
+  st.durable = !opts.checkpoint_dir.empty();
+  st.dir = opts.checkpoint_dir;
+  st.stats.n = static_cast<std::uint64_t>(n);
+  st.stats.m1.assign(static_cast<std::size_t>(n), 0.0);
+  st.stats.m2.assign(static_cast<std::size_t>(n), 0.0);
+
+  AdaptiveSampleResult result;
+  // The *full* candidate permutation goes to one engine run: the engine's
+  // checkpoint source signature must be stable wherever sampling stops, and
+  // the early-stop vote trims execution, not the list.
+  result.sources = sample_sources(n, cap, opts.seed);
+  st.stats.sig = adaptive_signature(n, opts, result.sources);
+
+  if (opts.resume) {
+    AdaptiveStats prev = load_adaptive_stats(opts.checkpoint_dir);
+    const std::string path = adaptive_stats_path(opts.checkpoint_dir);
+    if (prev.n != static_cast<std::uint64_t>(n)) {
+      bad_stats(path, "resumes a different graph (n mismatch)");
+    }
+    if (prev.sig != st.stats.sig) {
+      bad_stats(path,
+                "resumes a different run (eps/delta/seed/batch/source "
+                "signature mismatch)");
+    }
+    // The sidecar is written before the λ checkpoint, so it may lead by
+    // exactly one batch (the crash window) and can never trail: a trailing
+    // sidecar could not certify the λ it rides alongside.
+    const LambdaCheckpoint ck = load_checkpoint(opts.checkpoint_dir);
+    if (prev.batches_done != ck.batches_done &&
+        prev.batches_done != ck.batches_done + 1) {
+      bad_stats(path, "disagrees with the λ checkpoint (" +
+                          std::to_string(prev.batches_done) +
+                          " batches accounted vs " +
+                          std::to_string(ck.batches_done) +
+                          " checkpointed); refusing to certify the resume");
+    }
+    st.stats = std::move(prev);
+  }
+
+  const BatchRunOptions::BatchObserver observer =
+      [&st](int batch_index, std::size_t batch_source_count,
+            const std::vector<double>& delta) {
+        return st.observe(batch_index, batch_source_count, delta);
+      };
+
+  std::vector<double> raw = run_engine(result.sources, observer, opts.resume);
+  MFBC_CHECK(raw.size() == static_cast<std::size_t>(n),
+             "engine returned a λ vector of the wrong length");
+  MFBC_CHECK(st.stopped,
+             "engine finished without the stop rule concluding (observer "
+             "not installed?)");
+
+  const vid_t k = static_cast<vid_t>(st.stats.samples_used);
+  result.samples_used = k;
+  result.batches = static_cast<int>(st.stats.batches_done);
+  result.full_batches = st.stats.full_batches;
+  result.stop_reason = st.reason;
+  result.guarantee_met = st.reason != AdaptiveStop::kSampleCap;
+  result.max_ci_width = st.max_width;
+
+  const double nn = static_cast<double>(n);
+  const double scale_units = nn * st.rr;  // normalized b(v) → λ units
+  if (k >= n) {
+    // Exhaustion: the scale is exactly 1 — return the engine's λ bitwise,
+    // the ε→0 ≡ exact contract.
+    result.lambda = std::move(raw);
+    result.ci_lower = result.lambda;
+    result.ci_upper = result.lambda;
+  } else {
+    const double kk = static_cast<double>(k);
+    const double b = static_cast<double>(st.stats.full_batches);
+    const double hs = st.hs_width(kk);
+    result.lambda.resize(raw.size());
+    result.ci_lower.resize(raw.size());
+    result.ci_upper.resize(raw.size());
+    for (std::size_t v = 0; v < raw.size(); ++v) {
+      const double est = raw[v] * (nn / kk);
+      // Per vertex, the tighter of the two valid intervals wins; each pairs
+      // its own center (the bound is anchored to that estimator's mean).
+      const double eb = st.eb_width(v, b);
+      double center;
+      double width;
+      if (hs <= eb) {
+        center = raw[v] / (kk * st.rr);
+        width = hs;
+      } else {
+        center = st.stats.m1[v] / b;
+        width = eb;
+      }
+      const double lo = std::clamp(center - width, 0.0, 1.0) * scale_units;
+      const double hi = std::clamp(center + width, 0.0, 1.0) * scale_units;
+      result.lambda[v] = est;
+      // Both centers estimate the same b(v); widening each interval to
+      // include the reported point estimate keeps the artifact coherent
+      // (lower ≤ λ̂ ≤ upper) without shrinking coverage.
+      result.ci_lower[v] = std::min(lo, est);
+      result.ci_upper[v] = std::max(hi, est);
+    }
+  }
+
+  telemetry::count("approx.runs");
+  telemetry::gauge("approx.samples", static_cast<double>(k));
+  telemetry::gauge("approx.batches",
+                   static_cast<double>(st.stats.batches_done));
+  telemetry::gauge("approx.max_ci_width", st.max_width);
+  telemetry::count(std::string("approx.stop.") +
+                   adaptive_stop_name(st.reason));
+  for (std::size_t v = 0; v < result.lambda.size(); ++v) {
+    telemetry::observe("approx.ci_width",
+                       result.ci_upper[v] - result.ci_lower[v]);
+  }
+  return result;
+}
+
+telemetry::Json approx_json(const AdaptiveSampleResult& r,
+                            const AdaptiveSamplerOptions& opts) {
+  std::vector<double> widths(r.lambda.size(), 0.0);
+  for (std::size_t v = 0; v < r.lambda.size(); ++v) {
+    widths[v] = r.ci_upper[v] - r.ci_lower[v];
+  }
+  telemetry::Json j = telemetry::Json::object();
+  j["eps"] = opts.eps;
+  j["delta"] = opts.delta;
+  j["seed"] = static_cast<std::int64_t>(opts.seed);
+  j["samples"] = static_cast<std::int64_t>(r.samples_used);
+  j["batches"] = r.batches;
+  j["full_batches"] = static_cast<std::int64_t>(r.full_batches);
+  j["stop_reason"] = adaptive_stop_name(r.stop_reason);
+  j["guarantee_met"] = r.guarantee_met;
+  j["max_ci_width"] = r.max_ci_width;
+  telemetry::Json ci = telemetry::Json::object();
+  ci["p50"] = percentile_of(widths, 50);
+  ci["p95"] = percentile_of(widths, 95);
+  ci["max"] = widths.empty()
+                  ? 0.0
+                  : *std::max_element(widths.begin(), widths.end());
+  j["ci_width"] = std::move(ci);
+  return j;
+}
+
+}  // namespace mfbc::core

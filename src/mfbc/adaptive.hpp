@@ -1,0 +1,189 @@
+// Adaptive (ε,δ)-sampled betweenness centrality on the shared batch driver
+// (docs/approximation.md).
+//
+// Exact MFBC sweeps all n sources; the approximation literature the ROADMAP
+// points at (van der Grinten & Meyerhenke, "Scaling Betweenness Approximation
+// to Billions of Edges by MPI-based Adaptive Sampling") serves BC at scale by
+// sampling sources until a per-vertex (ε,δ) guarantee holds. This module is
+// that sampler, built as a *layer over* core::run_batched_bc rather than a
+// new engine: it draws a seeded source permutation, hands the whole list to
+// an engine run (DistMfbc or baseline::CombBlasBc — faults, tuning,
+// partitioning, and async schedules apply unchanged), observes each
+// committed batch's λ-delta through BatchRunOptions::on_batch, folds it into
+// running moments, and votes to stop the run the moment the guarantee holds.
+//
+// Estimator. Brandes' identity λ(v) = Σ_s δ_s(v) makes the per-source
+// dependency a bounded random variable under a uniform source:
+// X_s(v) = δ_s(v)/R ∈ [0, 1] with R = max(1, n−2), and
+// E[X] = λ(v)/(n·R) =: b(v). After k sampled sources the plug-in estimate is
+// λ̂(v) = (n/k)·Σ δ — at k = n the scale is exactly 1.0, so ε→0 (which never
+// converges early) degenerates to the exact sweep *bit-for-bit*.
+//
+// Confidence intervals. Two deviation bounds are maintained and the tighter
+// one wins per vertex, both at confidence 1 − δ/(2n) per side (a union bound
+// over n vertices and both tails makes the *joint* miss probability ≤ δ):
+//   * Hoeffding–Serfling (sampling without replacement over the finite
+//     source population): width √((1 − (k−1)/n)·L/(2k)), L = ln(4n/δ) —
+//     vertex-independent, with the WOR factor driving it to 0 as k → n.
+//   * Empirical Bernstein (Maurer–Pontil) over the B *full* batch means
+//     Y_j(v) ∈ [0, 1]: width √(2·V̂(v)·L/B) + 7L/(3(B−1)) — variance-
+//     adaptive, far tighter on low-variance vertices.
+// The run stops when max_v min(hs, eb(v)) ≤ ε (every vertex's true b(v) is
+// inside its interval with probability ≥ 1 − δ), when the sample budget
+// max_samples is exhausted (guarantee *not* certified), or when all n
+// sources are consumed (exact; width 0).
+//
+// Determinism and resume. The drawn source list is a pure function of
+// (n, seed, cap); batch composition and λ accumulation are the engine's, so
+// the whole run is bit-identical across thread counts and recoverable fault
+// schedules at fixed (seed, schedule). The sampler's statistics persist as a
+// sidecar file (`mfbc.stats.v1`) next to the engine's λ checkpoint, written
+// after every committed batch *before* the λ save: a crash between the two
+// leaves the sidecar exactly one batch ahead, which the resume path
+// reconciles (the replayed batch's accumulation is skipped). A λ checkpoint
+// ahead of the sidecar cannot result from any crash of this ordering and is
+// refused as a named defect (AdaptiveStatsError), as are missing, truncated,
+// corrupt, or mismatched sidecars.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/batch_driver.hpp"
+#include "graph/graph.hpp"
+#include "support/error.hpp"
+#include "telemetry/json.hpp"
+
+namespace mfbc::core {
+
+/// Named defect in the adaptive statistics sidecar: missing, version
+/// mismatch, truncated, corrupt, count/signature mismatch, or inconsistent
+/// with the λ checkpoint it rides alongside. Never silently ignored — a bad
+/// sidecar would turn the (ε,δ) guarantee into a lie.
+class AdaptiveStatsError : public mfbc::Error {
+ public:
+  explicit AdaptiveStatsError(const std::string& what) : mfbc::Error(what) {}
+};
+
+inline constexpr const char kAdaptiveStatsMagic[] = "mfbc.stats.v1\n";
+
+struct AdaptiveSamplerOptions {
+  /// Half-width target for every vertex's normalized centrality
+  /// b(v) = λ(v)/(n·R) ∈ [0,1]. 0 never converges early: the run degenerates
+  /// to the exact all-n sweep, bit-equal to run_batched_bc.
+  double eps = 0.05;
+  /// Joint miss probability: P[any vertex's true b(v) outside its CI] ≤ δ.
+  double delta = 0.1;
+  std::uint64_t seed = 1;
+  /// Sources per engine batch (also the batch-mean granularity of the
+  /// empirical-Bernstein bound).
+  graph::vid_t batch_size = 16;
+  /// Hard sample budget; 0 = up to n. Stopping on the budget (rather than on
+  /// convergence or exhaustion) yields guarantee_met = false.
+  graph::vid_t max_samples = 0;
+  /// Directory shared with the engine's durable λ checkpoint; the sampler's
+  /// `mfbc.stats.v1` sidecar lives beside `mfbc.ckpt`. Empty keeps the
+  /// statistics in memory only.
+  std::string checkpoint_dir;
+  /// Resume a killed run: load the sidecar, cross-check it against the λ
+  /// checkpoint, and re-evaluate the stop rule at the restore point. The
+  /// resumed run's (samples_used, λ, CI bounds) are bit-identical to the
+  /// uninterrupted run's.
+  bool resume = false;
+  /// Graph structural signature (graph/mutate.hpp); folded into the sidecar
+  /// signature when nonzero so statistics from one graph version can never
+  /// season another's estimate.
+  std::uint64_t graph_sig = 0;
+};
+
+enum class AdaptiveStop {
+  kConverged,   ///< max_v CI half-width ≤ ε with k < n samples
+  kExhausted,   ///< all n sources consumed — the estimate is exact
+  kSampleCap,   ///< max_samples hit first — guarantee NOT certified
+};
+
+const char* adaptive_stop_name(AdaptiveStop reason);
+
+struct AdaptiveSampleResult {
+  /// λ̂ scaled to exact-λ units: (n/k)·Σ δ (identity when k = n).
+  std::vector<double> lambda;
+  /// Per-vertex CI endpoints in λ units; guaranteed to bracket lambda[v].
+  /// Equal to lambda on exhaustion (exact ⇒ width 0).
+  std::vector<double> ci_lower;
+  std::vector<double> ci_upper;
+  /// The full drawn source permutation handed to the engine (its first
+  /// samples_used entries were executed). Feeding this list back as an
+  /// explicit engine source list reproduces the sampled λ̂·(k/n) bitwise.
+  std::vector<graph::vid_t> sources;
+  graph::vid_t samples_used = 0;
+  int batches = 0;                  ///< batches folded into the statistics
+  std::uint64_t full_batches = 0;   ///< batches in the Bernstein moments
+  AdaptiveStop stop_reason = AdaptiveStop::kExhausted;
+  /// True when the (ε,δ) guarantee is certified (converged or exhausted).
+  bool guarantee_met = false;
+  /// max_v half-width at stop, in normalized b(v) units (compare to ε).
+  double max_ci_width = 0;
+};
+
+/// Persisted sampler statistics — the `mfbc.stats.v1` sidecar payload,
+/// exposed so tests can pin the defect taxonomy.
+struct AdaptiveStats {
+  std::uint64_t n = 0;
+  std::uint64_t batches_done = 0;   ///< batches folded into these moments
+  std::uint64_t samples_used = 0;
+  std::uint64_t full_batches = 0;
+  std::uint64_t sig = 0;            ///< adaptive run-shape signature
+  std::vector<double> m1;           ///< Σ batch means, per vertex
+  std::vector<double> m2;           ///< Σ squared batch means, per vertex
+};
+
+/// Signature binding a statistics sidecar to its run shape: n, ε, δ, seed,
+/// batch size, sample cap, the drawn source list, and (when nonzero) the
+/// graph's structural signature. Any mismatch refuses the resume.
+std::uint64_t adaptive_signature(graph::vid_t n,
+                                 const AdaptiveSamplerOptions& opts,
+                                 const std::vector<graph::vid_t>& sources);
+
+/// The sidecar file inside `dir`, beside checkpoint_path(dir).
+std::string adaptive_stats_path(const std::string& dir);
+
+/// Atomically write `st` (temp file + rename, like save_checkpoint).
+void save_adaptive_stats(const std::string& dir, const AdaptiveStats& st);
+
+/// Load and fully verify a sidecar. Throws AdaptiveStatsError naming the
+/// file and the defect (missing, version mismatch, truncated, checksum
+/// mismatch, count mismatch).
+AdaptiveStats load_adaptive_stats(const std::string& dir);
+
+/// k distinct uniform vertices (partial Fisher–Yates, Xoshiro256(seed)) —
+/// the seeded source permutation; deterministic in (n, k, seed).
+std::vector<graph::vid_t> sample_sources(graph::vid_t n, graph::vid_t k,
+                                         std::uint64_t seed);
+
+/// One engine run: execute batched BC over exactly `sources` (in order) with
+/// the sampler's observer installed, honoring `resume`, and return the
+/// accumulated λ in caller vertex ids. The adapter owns engine choice and
+/// all engine options (it must forward opts.checkpoint_dir so λ and the
+/// statistics sidecar land in the same directory, and opts.batch_size so
+/// batch boundaries match the moments).
+using AdaptiveEngineRunner = std::function<std::vector<double>(
+    const std::vector<graph::vid_t>& sources,
+    const BatchRunOptions::BatchObserver& on_batch, bool resume)>;
+
+/// Run the adaptive sampler over `run_engine`. Deterministic in
+/// (seed, schedule); bit-identical across thread counts, recoverable fault
+/// schedules, and checkpoint resume. Exports approx.* telemetry (samples,
+/// batches, CI-width histogram, stop reason).
+AdaptiveSampleResult run_adaptive_bc(graph::vid_t n,
+                                     const AdaptiveSamplerOptions& opts,
+                                     const AdaptiveEngineRunner& run_engine);
+
+/// The `approx` JSON block shared by mfbc_cli, bc_server, and the benches
+/// (schema pinned by the approx-smoke CI job): eps, delta, seed, samples,
+/// batches, stop_reason, guarantee, and ci_width percentiles in λ units.
+telemetry::Json approx_json(const AdaptiveSampleResult& r,
+                            const AdaptiveSamplerOptions& opts);
+
+}  // namespace mfbc::core

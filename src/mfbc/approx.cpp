@@ -1,6 +1,7 @@
 #include "mfbc/approx.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "sparse/ops.hpp"
@@ -47,7 +48,9 @@ ApproxBcResult approx_bc(const graph::Graph& g, vid_t num_pivots,
 AdaptiveBcResult adaptive_bc_vertex(const graph::Graph& g, vid_t v,
                                     const AdaptiveOptions& opts) {
   MFBC_CHECK(v >= 0 && v < g.n(), "vertex out of range");
-  MFBC_CHECK(opts.alpha > 0, "alpha must be positive");
+  MFBC_CHECK(opts.alpha > 0 && std::isfinite(opts.alpha),
+             "alpha must be positive and finite");
+  MFBC_CHECK(opts.batch_size >= 1, "batch size must be positive");
   const vid_t n = g.n();
   const vid_t cap = opts.max_samples > 0 ? std::min(opts.max_samples, n) : n;
   const std::vector<vid_t> order = sample_vertices(n, cap, opts.seed);
@@ -56,6 +59,9 @@ AdaptiveBcResult adaptive_bc_vertex(const graph::Graph& g, vid_t v,
   AdaptiveBcResult result;
   double sum = 0;
   vid_t used = 0;
+  // alpha·n may overflow to +inf for extreme alpha on large n; the
+  // comparison below then never trips and the estimator degrades to the
+  // full sample budget — the correct limit, never a NaN or a wrap.
   const double threshold = opts.alpha * static_cast<double>(n);
   while (used < cap) {
     const vid_t take = std::min(opts.batch_size, cap - used);

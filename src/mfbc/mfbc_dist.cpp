@@ -241,6 +241,24 @@ std::vector<double> DistMfbc::run(const DistMfbcOptions& opts,
   run_opts.resume = opts.resume;
   run_opts.graph_sig = opts.graph_signature;
   run_opts.batch_deltas = opts.batch_deltas;
+  if (opts.on_batch) {
+    if (part_.identity()) {
+      run_opts.on_batch = opts.on_batch;
+    } else {
+      // The driver observes deltas in permuted ids; the caller's observer
+      // must see original ids, exactly like the returned λ. Resume-replayed
+      // batches carry an empty delta — pass it through unpermuted.
+      run_opts.on_batch = [&opts, this](int batch_index,
+                                        std::size_t batch_source_count,
+                                        const std::vector<double>& delta) {
+        if (delta.empty()) {
+          return opts.on_batch(batch_index, batch_source_count, delta);
+        }
+        return opts.on_batch(batch_index, batch_source_count,
+                             part_.unpermute(delta));
+      };
+    }
+  }
   auto lambda = run_batched_bc(sim_, base_, g_.n(), sources,
                                opts.batch_size, hooks, &driver_stats,
                                run_opts);

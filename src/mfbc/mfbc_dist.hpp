@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "core/batch_driver.hpp"
 #include "dist/partition.hpp"
 #include "dist/spgemm_dist.hpp"
 #include "graph/graph.hpp"
@@ -74,6 +75,12 @@ struct DistMfbcOptions {
   /// way the returned λ is). Summing the deltas in batch order reproduces
   /// run()'s result bitwise.
   std::vector<std::vector<double>>* batch_deltas = nullptr;
+  /// Per-committed-batch observer with an early-stop vote (the adaptive
+  /// sampler's hook; core/batch_driver.hpp BatchObserver for the full
+  /// contract). Non-empty deltas are unpermuted to the caller's original
+  /// vertex ids before the call; resume-replayed batches arrive with an
+  /// empty delta, pass-through.
+  BatchRunOptions::BatchObserver on_batch;
 };
 
 struct DistMfbcStats {

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "baseline/brandes.hpp"
 #include "graph/generators.hpp"
@@ -112,6 +113,57 @@ TEST(AdaptiveBc, ValidatesArguments) {
   AdaptiveOptions bad;
   bad.alpha = 0;
   EXPECT_THROW(adaptive_bc_vertex(g, 0, bad), Error);
+}
+
+// Edge-case pins for the hardened estimator: each of these was a way to get
+// a silent wrong answer (NaN, overshoot, or a wrapped threshold) before the
+// argument checks and the batch clamp landed.
+
+TEST(AdaptiveBc, RejectsNonFiniteAlphaAndZeroBatch) {
+  Graph g = graph::erdos_renyi(10, 20, false, {}, 10);
+  AdaptiveOptions bad;
+  bad.alpha = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(adaptive_bc_vertex(g, 0, bad), Error);
+  bad.alpha = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(adaptive_bc_vertex(g, 0, bad), Error);
+  bad = {};
+  bad.batch_size = 0;
+  EXPECT_THROW(adaptive_bc_vertex(g, 0, bad), Error);
+}
+
+TEST(AdaptiveBc, HugeAlphaOverflowsToNeverTrippingNotWrapping) {
+  // alpha·n overflows the finite double range: the threshold becomes +inf,
+  // the stop never trips, and the estimator degrades to the full budget with
+  // a finite estimate — never a wrapped threshold or a NaN.
+  Graph g = graph::erdos_renyi(30, 90, false, {}, 12);
+  AdaptiveOptions opts;
+  opts.alpha = 1e308;
+  auto r = adaptive_bc_vertex(g, 0, opts);
+  EXPECT_EQ(r.samples_used, g.n());
+  EXPECT_TRUE(std::isfinite(r.estimate));
+}
+
+TEST(AdaptiveBc, UnreachableVertexIsZeroNotNaN) {
+  // The target sits in its own component: δ(s, v) is undefined for every
+  // sampled source, and those terms must be skipped, not folded in as
+  // inf·0 = NaN.
+  std::vector<graph::Edge> edges{{0, 1}, {1, 2}, {2, 3}, {4, 5}};
+  Graph g = Graph::from_edges(6, edges, false, false);
+  auto r = adaptive_bc_vertex(g, 4, {});
+  EXPECT_EQ(r.samples_used, g.n());
+  EXPECT_DOUBLE_EQ(r.estimate, 0.0);
+}
+
+TEST(AdaptiveBc, CapNotAMultipleOfBatchIsNotOvershot) {
+  // cap = 13 with batch 5 must take 5 + 5 + 3, never round the last batch
+  // up past the budget.
+  Graph g = graph::erdos_renyi(60, 180, false, {}, 9);
+  AdaptiveOptions opts;
+  opts.alpha = 1e12;  // never trips
+  opts.max_samples = 13;
+  opts.batch_size = 5;
+  auto r = adaptive_bc_vertex(g, 0, opts);
+  EXPECT_EQ(r.samples_used, 13);
 }
 
 }  // namespace

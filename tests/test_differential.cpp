@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,7 @@
 #include "baseline/combblas_bc.hpp"
 #include "dist/partition.hpp"
 #include "graph/generators.hpp"
+#include "mfbc/adaptive.hpp"
 #include "mfbc/mfbc_dist.hpp"
 #include "sim/comm.hpp"
 #include "sim/faults.hpp"
@@ -283,6 +285,85 @@ TEST_P(Differential, GridShrinkBitIdenticalAcrossThreadsAndPartitions) {
       expect_bits(degraded.lambda, clean.lambda, "mfbc shrink " + label);
       EXPECT_EQ(degraded.grid_shrinks, 1) << label;
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive-sampler cross-engine cells (docs/approximation.md): the (ε,δ)
+// sampler layered over each engine at equal (seed, schedule) must agree on
+// the whole control plane — drawn sources, samples used, batch count, stop
+// reason — bitwise, while λ and the CI endpoints meet the usual cross-engine
+// regrouping tolerance. ε is fat relative to the per-batch width decrements,
+// so an ulp of cross-engine λ difference can never flip a stop decision.
+
+core::AdaptiveSampleResult run_adaptive_on(const Graph& g, bool use_mfbc,
+                                           const std::string& spec) {
+  sim::Sim sim(kRanks);
+  std::optional<core::DistMfbc> mfbc_engine;
+  std::optional<baseline::CombBlasBc> comb_engine;
+  if (use_mfbc) {
+    mfbc_engine.emplace(sim, g);
+  } else {
+    comb_engine.emplace(sim, g);
+  }
+  if (!spec.empty()) sim.enable_faults(sim::FaultSpec::parse(spec));
+  core::AdaptiveSamplerOptions aopts;
+  aopts.eps = 0.3;
+  aopts.delta = 0.2;
+  aopts.seed = 71;
+  aopts.batch_size = kBatch;
+  return core::run_adaptive_bc(
+      g.n(), aopts,
+      [&](const std::vector<vid_t>& srcs,
+          const core::BatchRunOptions::BatchObserver& ob, bool resume) {
+        if (use_mfbc) {
+          core::DistMfbcOptions opts;
+          opts.batch_size = kBatch;
+          opts.sources = srcs;
+          opts.on_batch = ob;
+          opts.resume = resume;
+          return mfbc_engine->run(opts);
+        }
+        baseline::CombBlasOptions opts;
+        opts.batch_size = kBatch;
+        opts.sources = srcs;
+        opts.on_batch = ob;
+        opts.resume = resume;
+        return comb_engine->run(opts);
+      });
+}
+
+TEST_P(Differential, AdaptiveSamplerAgreesAcrossEngines) {
+  const Graph g = make_graph(GetParam(), false);
+  const core::AdaptiveSampleResult mfbc = run_adaptive_on(g, true, "");
+  const core::AdaptiveSampleResult comb = run_adaptive_on(g, false, "");
+  // Control plane: bitwise. The drawn permutation is engine-independent by
+  // construction; the stop decisions must be too.
+  EXPECT_EQ(mfbc.sources, comb.sources);
+  EXPECT_EQ(mfbc.samples_used, comb.samples_used);
+  EXPECT_EQ(mfbc.batches, comb.batches);
+  EXPECT_EQ(mfbc.full_batches, comb.full_batches);
+  EXPECT_EQ(mfbc.stop_reason, comb.stop_reason);
+  EXPECT_EQ(mfbc.guarantee_met, comb.guarantee_met);
+  // Estimates: regrouping tolerance, like the exact cross-engine cells.
+  expect_close(mfbc.lambda, comb.lambda, "adaptive lambda");
+  expect_close(mfbc.ci_lower, comb.ci_lower, "adaptive ci_lower");
+  expect_close(mfbc.ci_upper, comb.ci_upper, "adaptive ci_upper");
+
+  // And each engine's sampled run is bit-identical across recoverable fault
+  // schedules at the fixed (seed, schedule) — the determinism contract holds
+  // with the sampler's early-stop vote in the loop.
+  for (const std::string& spec : {std::string("transient@3"),
+                                  std::string("rank@5:1")}) {
+    const core::AdaptiveSampleResult mf = run_adaptive_on(g, true, spec);
+    EXPECT_EQ(mf.samples_used, mfbc.samples_used) << spec;
+    EXPECT_EQ(mf.stop_reason, mfbc.stop_reason) << spec;
+    expect_bits(mf.lambda, mfbc.lambda, "mfbc adaptive faults=" + spec);
+    expect_bits(mf.ci_upper, mfbc.ci_upper,
+                "mfbc adaptive ci faults=" + spec);
+    const core::AdaptiveSampleResult cb = run_adaptive_on(g, false, spec);
+    EXPECT_EQ(cb.samples_used, comb.samples_used) << spec;
+    expect_bits(cb.lambda, comb.lambda, "combblas adaptive faults=" + spec);
   }
 }
 

@@ -55,6 +55,10 @@ struct Args {
   int mutation_removes = 1;
   std::string mode = "auto";  // auto | incremental | full
   double full_threshold = -2;  // <-1 = take it from --mode
+  bool approx = false;        // approximate serving (adaptive sampler)
+  double approx_eps = 0.25;
+  double approx_delta = 0.1;
+  std::uint64_t approx_seed = 1;
   std::uint64_t seed = 1;
   std::string json_file;
   bool help = false;
@@ -78,6 +82,10 @@ void usage() {
       "                      fallback) | incremental (never fall back on\n"
       "                      fraction) | full (always full recompute)\n"
       "  --full-threshold F  override the affected-fraction fallback\n"
+      "  --approx E,D[,S]    approximate serving: every published version\n"
+      "                      is an adaptive (eps,delta)-sampled recompute\n"
+      "                      with sampler seed S (default 1); answers carry\n"
+      "                      the guarantee and per-vertex CIs\n"
       "storm:\n"
       "  --query-threads T   concurrent query threads (default 4)\n"
       "  --queries N         queries per thread (default 200)\n"
@@ -116,6 +124,14 @@ Args parse(int argc, char** argv) {
       a.mutation_removes = std::atoi(need(i));
     else if (f == "--mode") a.mode = need(i);
     else if (f == "--full-threshold") a.full_threshold = std::atof(need(i));
+    else if (f == "--approx") {
+      a.approx = true;
+      unsigned long long s = 1;
+      const int got = std::sscanf(need(i), "%lf,%lf,%llu", &a.approx_eps,
+                                  &a.approx_delta, &s);
+      if (got < 2) throw Error("--approx expects eps,delta[,seed]");
+      a.approx_seed = s;
+    }
     else if (f == "--seed") a.seed = std::strtoull(need(i), nullptr, 10);
     else if (f == "--json") a.json_file = need(i);
     else if (f == "--help" || f == "-h") a.help = true;
@@ -171,6 +187,12 @@ int run(const Args& a) {
   sopts.compute.ranks = a.ranks;
   sopts.compute.batch_size = a.batch;
   sopts.compute.full_recompute_fraction = threshold_of(a);
+  if (a.approx) {
+    sopts.approx.enabled = true;
+    sopts.approx.eps = a.approx_eps;
+    sopts.approx.delta = a.approx_delta;
+    sopts.approx.seed = a.approx_seed;
+  }
   if (a.sources > 0 && a.sources < n) {
     // K evenly spaced source ids: deterministic, duplicate-free.
     const graph::vid_t stride = n / a.sources;
@@ -179,6 +201,11 @@ int run(const Args& a) {
     }
   }
   serve::BcServer server(std::move(g), std::move(sopts));
+  if (a.approx) {
+    std::printf(
+        "approximate serving: eps=%g delta=%g seed=%llu\n", a.approx_eps,
+        a.approx_delta, static_cast<unsigned long long>(a.approx_seed));
+  }
   std::printf("version %llu published, %d source batches\n",
               static_cast<unsigned long long>(server.version()),
               server.total_batches());
@@ -186,6 +213,7 @@ int run(const Args& a) {
   // --- concurrent query storm -------------------------------------------
   std::atomic<std::uint64_t> monotonicity_violations{0};
   std::atomic<std::uint64_t> floor_violations{0};
+  std::atomic<std::uint64_t> approx_violations{0};
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(a.query_threads));
   for (int t = 0; t < a.query_threads; ++t) {
@@ -196,6 +224,18 @@ int run(const Args& a) {
         if (ans.version < last_version) monotonicity_violations.fetch_add(1);
         if (ans.version < floor) floor_violations.fetch_add(1);
         last_version = ans.version;
+        // Approx contract: every answer advertises the configured
+        // guarantee, and a vertex answer's CI brackets its score.
+        if (ans.approximate != a.approx) approx_violations.fetch_add(1);
+        if (ans.approximate) {
+          if (ans.eps != a.approx_eps || ans.delta != a.approx_delta) {
+            approx_violations.fetch_add(1);
+          }
+          if (ans.kind == serve::QueryKind::kVertex &&
+              !(ans.ci_lower <= ans.score && ans.score <= ans.ci_upper)) {
+            approx_violations.fetch_add(1);
+          }
+        }
       };
       for (int i = 0; i < a.queries; ++i) {
         const std::uint64_t floor = server.version();
@@ -227,6 +267,14 @@ int run(const Args& a) {
   Xoshiro256 mut_rng(a.seed + 7);
   std::vector<serve::RecomputeReport> reports;
   int bound_violations = 0;
+  int guarantee_misses = 0;
+  // Approx contract: the sampler certifies every published version. The
+  // probe rides the normal query path so the check sees what clients see.
+  auto check_guarantee = [&]() {
+    if (!a.approx) return;
+    if (!server.centrality(0).guarantee_met) ++guarantee_misses;
+  };
+  check_guarantee();
   for (int m = 0; m < a.mutations; ++m) {
     graph::MutationBatch batch = graph::random_mutation_batch(
         server.current_graph(), a.mutation_adds, a.mutation_removes,
@@ -244,6 +292,7 @@ int run(const Args& a) {
     if (rep.incremental && rep.batches_rerun > rep.affected_batches) {
       ++bound_violations;
     }
+    check_guarantee();
     reports.push_back(rep);
   }
   for (std::thread& th : pool) th.join();
@@ -267,6 +316,7 @@ int run(const Args& a) {
     config["query_threads"] = telemetry::Json(a.query_threads);
     config["mutations"] = telemetry::Json(a.mutations);
     config["seed"] = telemetry::Json(static_cast<std::int64_t>(a.seed));
+    config["approx"] = telemetry::Json(a.approx);
     summary.set("config", std::move(config));
     summary.set("serve", server.json());
     telemetry::Json recs = telemetry::Json::array();
@@ -311,6 +361,20 @@ int run(const Args& a) {
                  "FAIL: %d incremental recomputes exceeded the "
                  "affected-region bound\n",
                  bound_violations);
+    ok = false;
+  }
+  if (approx_violations.load() != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %llu answers violated the approximate-serving "
+                 "contract (guarantee metadata or CI bracketing)\n",
+                 static_cast<unsigned long long>(approx_violations.load()));
+    ok = false;
+  }
+  if (guarantee_misses != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %d published versions missed the (eps,delta) "
+                 "guarantee\n",
+                 guarantee_misses);
     ok = false;
   }
   if (ok) std::puts("serve storm: all contracts held");

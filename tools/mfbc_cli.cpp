@@ -38,6 +38,7 @@
 #include "graph/mutate.hpp"
 #include "graph/prep.hpp"
 #include "graph/snap_proxy.hpp"
+#include "mfbc/adaptive.hpp"
 #include "mfbc/mfbc_dist.hpp"
 #include "mfbc/mfbc_seq.hpp"
 #include "mfbc/ranking.hpp"
@@ -71,6 +72,10 @@ struct Args {
   std::string algo = "mfbc";  // mfbc | brandes | combblas
   graph::vid_t batch = 128;
   graph::vid_t approx = 0;  // 0 = exact (all sources)
+  bool adaptive = false;    // --approx eps,delta[,seed] (ε,δ)-sampling
+  double approx_eps = 0.05;
+  double approx_delta = 0.1;
+  std::uint64_t approx_seed = 1;
   int ranks = 0;            // 0 = sequential
   int threads = 0;          // 0 = MFBC_THREADS / hardware default
   std::string mode = "auto";  // auto | ca
@@ -113,6 +118,14 @@ void usage() {
       "  --algo A            bc engine: mfbc (default) | brandes | combblas\n"
       "  --batch NB          source batch size (default 128)\n"
       "  --approx K          use K pivot sources instead of all n\n"
+      "  --approx E,D[,S]    adaptive (eps,delta)-sampled BC on the batch\n"
+      "                      driver (docs/approximation.md): seeded source\n"
+      "                      sampling with per-vertex confidence intervals,\n"
+      "                      stopping once every normalized score is within\n"
+      "                      eps at joint confidence 1-delta. Needs a\n"
+      "                      simulated run (--ranks P); deterministic in the\n"
+      "                      seed S (default 1), bit-identical across\n"
+      "                      threads, fault schedules, and --resume\n"
       "  --ranks P           run on a P-rank simulated machine (mfbc and\n"
       "                      combblas; combblas needs a square P)\n"
       "  --threads N         execution-pool threads for the per-rank kernels\n"
@@ -204,7 +217,21 @@ Args parse(int argc, char** argv) {
     else if (f == "--sink") a.sink = std::atol(need(i));
     else if (f == "--algo") a.algo = need(i);
     else if (f == "--batch") a.batch = std::atol(need(i));
-    else if (f == "--approx") a.approx = std::atol(need(i));
+    else if (f == "--approx") {
+      // Dual form: a plain integer keeps the legacy pivot-count estimator;
+      // a comma means the adaptive (ε,δ) sampler.
+      const std::string v = need(i);
+      if (v.find(',') != std::string::npos) {
+        a.adaptive = true;
+        unsigned long long s = 1;
+        const int got = std::sscanf(v.c_str(), "%lf,%lf,%llu",
+                                    &a.approx_eps, &a.approx_delta, &s);
+        if (got < 2) throw Error("--approx expects K or eps,delta[,seed]");
+        a.approx_seed = s;
+      } else {
+        a.approx = std::atol(v.c_str());
+      }
+    }
     else if (f == "--ranks") a.ranks = std::atoi(need(i));
     else if (f == "--threads") a.threads = std::atoi(need(i));
     else if (f == "--mode") a.mode = need(i);
@@ -386,6 +413,32 @@ int report_unrecoverable(const sim::FaultError& e, const Args& a,
     std::printf("[json] wrote %s\n", a.json_file.c_str());
   }
   return 3;
+}
+
+/// Sampler options for --approx eps,delta[,seed] (mfbc/adaptive.hpp).
+core::AdaptiveSamplerOptions adaptive_opts(const Args& a,
+                                           const graph::Graph& g) {
+  core::AdaptiveSamplerOptions o;
+  o.eps = a.approx_eps;
+  o.delta = a.approx_delta;
+  o.seed = a.approx_seed;
+  o.batch_size = a.batch;
+  o.checkpoint_dir = a.checkpoint_dir;
+  o.resume = a.resume;
+  o.graph_sig = graph::structural_signature(g);
+  return o;
+}
+
+void print_adaptive_summary(const core::AdaptiveSampleResult& r,
+                            const core::AdaptiveSamplerOptions& o,
+                            graph::vid_t n) {
+  std::printf("approx: eps=%g delta=%g seed=%llu -> %lld/%lld sources in %d "
+              "batches, stop=%s, guarantee %s, max CI half-width %.3g\n",
+              o.eps, o.delta, static_cast<unsigned long long>(o.seed),
+              static_cast<long long>(r.samples_used),
+              static_cast<long long>(n), r.batches,
+              core::adaptive_stop_name(r.stop_reason),
+              r.guarantee_met ? "met" : "NOT met", r.max_ci_width);
 }
 
 /// Attach the adaptive plan tuner when --tune-profile was given.
@@ -624,6 +677,9 @@ int run(const Args& a) {
              "(--algo mfbc|combblas --ranks P)");
   MFBC_CHECK(!a.resume || !a.checkpoint_dir.empty(),
              "--resume needs --checkpoint-dir DIR");
+  MFBC_CHECK(!a.adaptive || simulated_bc,
+             "--approx eps,delta needs a simulated run "
+             "(--algo mfbc|combblas --ranks P)");
   // Spares can come from either flag: --spares N and the machine-profile's
   // `spare` class add up to one pool.
   const int total_spares = a.spares + profile_spares;
@@ -631,6 +687,7 @@ int run(const Args& a) {
   telemetry::Json faults_json;   // fault-injection outcome, if enabled
   telemetry::Json tune_json;     // adaptive-tuner summary, if attached
   telemetry::Json baseline_json; // combblas engine summary, if it ran
+  telemetry::Json approx_block;  // adaptive (ε,δ) sampling outcome, if used
   std::vector<double> bc;
   if (a.algo == "brandes") {
     bc = a.approx > 0
@@ -658,7 +715,25 @@ int run(const Args& a) {
     opts.tuner = tuner.get();
     baseline::CombBlasStats stats;
     try {
-      bc = engine.run(opts, &stats);
+      if (a.adaptive) {
+        const core::AdaptiveSamplerOptions aopts = adaptive_opts(a, g);
+        const core::AdaptiveSampleResult ares = core::run_adaptive_bc(
+            g.n(), aopts,
+            [&](const std::vector<graph::vid_t>& srcs,
+                const core::BatchRunOptions::BatchObserver& ob,
+                bool resume) {
+              baseline::CombBlasOptions ropts = opts;
+              ropts.sources = srcs;
+              ropts.on_batch = ob;
+              ropts.resume = resume;
+              return engine.run(ropts, &stats);
+            });
+        bc = ares.lambda;
+        print_adaptive_summary(ares, aopts, g.n());
+        approx_block = core::approx_json(ares, aopts);
+      } else {
+        bc = engine.run(opts, &stats);
+      }
     } catch (const sim::FaultError& e) {
       if (e.recoverable()) throw;
       return report_unrecoverable(e, a, sim, stats.batch_retries);
@@ -737,7 +812,25 @@ int run(const Args& a) {
     opts.tuner = tuner.get();
     core::DistMfbcStats stats;
     try {
-      bc = engine.run(opts, &stats);
+      if (a.adaptive) {
+        const core::AdaptiveSamplerOptions aopts = adaptive_opts(a, g);
+        const core::AdaptiveSampleResult ares = core::run_adaptive_bc(
+            g.n(), aopts,
+            [&](const std::vector<graph::vid_t>& srcs,
+                const core::BatchRunOptions::BatchObserver& ob,
+                bool resume) {
+              core::DistMfbcOptions ropts = opts;
+              ropts.sources = srcs;
+              ropts.on_batch = ob;
+              ropts.resume = resume;
+              return engine.run(ropts, &stats);
+            });
+        bc = ares.lambda;
+        print_adaptive_summary(ares, aopts, g.n());
+        approx_block = core::approx_json(ares, aopts);
+      } else {
+        bc = engine.run(opts, &stats);
+      }
     } catch (const sim::FaultError& e) {
       if (e.recoverable()) throw;
       return report_unrecoverable(e, a, sim, stats.batch_retries);
@@ -805,6 +898,9 @@ int run(const Args& a) {
     if (!cost_json.is_null()) summary.set("cost", std::move(cost_json));
     if (!faults_json.is_null()) summary.set("faults", std::move(faults_json));
     if (!tune_json.is_null()) summary.set("tune", std::move(tune_json));
+    if (!approx_block.is_null()) {
+      summary.set("approx", std::move(approx_block));
+    }
     if (!baseline_json.is_null()) {
       summary.set("baseline", std::move(baseline_json));
     }
